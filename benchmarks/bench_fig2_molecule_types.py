@@ -1,0 +1,86 @@
+"""E-FIG2 — Figure 2: two molecule types derived from the same atom networks.
+
+Derives ``mt_state`` (state→area→edge→point) and ``point neighborhood``
+(point→edge→(area→state, net→river)) from the same database and checks the
+figure's two claims:
+
+* the same link types are used symmetrically in both directions (dynamic
+  object definition over a symmetric database);
+* molecules overlap in shared subobjects (the Parana border edges and the
+  corner point 'pn').
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro import MoleculeAlgebra, attr, molecule_type_definition
+
+
+def test_fig2_mt_state_molecules(geo_db, mt_state_desc, benchmark):
+    """One mt_state molecule per state; neighbouring states share border subobjects."""
+    mt_state = benchmark(molecule_type_definition, geo_db, "mt_state", mt_state_desc)
+
+    assert len(mt_state) == len(geo_db.atyp("state"))
+    shared = mt_state.shared_atoms()
+    report(
+        "Figure 2: mt_state molecule sizes",
+        [("state", "atoms", "links")]
+        + [
+            (m.root_atom["code"], len(m), len(m.links))
+            for m in sorted(mt_state, key=lambda m: str(m.root_atom["code"]))
+        ],
+    )
+    # SP and MG share a border edge and its point (plus the 'pn' corner).
+    sp = mt_state.find(code="SP")[0]
+    mg = mt_state.find(code="MG")[0]
+    assert sp.shares_atoms_with(mg), "SP and MG molecules must overlap (shared subobjects)"
+    assert shared, "some atoms must belong to more than one mt_state molecule"
+
+
+def test_fig2_point_neighborhood(geo_db, point_neighborhood_desc, benchmark):
+    """The neighborhood of point 'pn' reaches the states SP, MS, MG, GO and the river Parana."""
+    algebra = MoleculeAlgebra(geo_db)
+
+    def derive_and_restrict():
+        neighborhood = algebra.define("point_neighborhood", point_neighborhood_desc)
+        return algebra.restrict(neighborhood, attr("name", "point") == "pn")
+
+    result = benchmark(derive_and_restrict)
+
+    assert len(result.molecule_type) == 1
+    molecule = result.molecule_type.occurrence[0]
+    states = sorted(atom["code"] for atom in molecule.atoms_of_type("state"))
+    rivers = sorted(atom["name"] for atom in molecule.atoms_of_type("river"))
+    report(
+        "Figure 2: neighborhood of point 'pn'",
+        [("states", ", ".join(states)), ("rivers", ", ".join(rivers))],
+    )
+    assert states == ["GO", "MG", "MS", "SP"]
+    assert rivers == ["Parana"]
+
+
+def test_fig2_symmetric_link_use(geo_db, mt_state_desc, point_neighborhood_desc, benchmark):
+    """Both molecule types traverse the same nondirectional link types, in opposite directions."""
+
+    def derive_both():
+        return (
+            molecule_type_definition(geo_db, "mt_state", mt_state_desc),
+            molecule_type_definition(geo_db, "point_neighborhood", point_neighborhood_desc),
+        )
+
+    mt_state, neighborhood = benchmark(derive_both)
+
+    downward = {dl.link_type_name for dl in mt_state_desc.directed_links}
+    upward = {dl.link_type_name for dl in point_neighborhood_desc.directed_links}
+    assert downward <= upward, "the neighborhood reuses every link type of mt_state"
+    # The directions are opposite: state-area is used state→area in one and
+    # area→state in the other.
+    down_pairs = {(dl.source, dl.target) for dl in mt_state_desc.directed_links}
+    up_pairs = {(dl.target, dl.source) for dl in point_neighborhood_desc.directed_links}
+    assert down_pairs & up_pairs, "at least one link type is traversed in both directions"
+    # Shared subobjects across molecule *types*: edges on the Parana appear in
+    # state molecules and in the neighborhood molecules alike.
+    state_atoms = {a.identifier for m in mt_state for a in m.atoms_of_type("edge")}
+    neighborhood_atoms = {a.identifier for m in neighborhood for a in m.atoms_of_type("edge")}
+    assert state_atoms & neighborhood_atoms

@@ -1,0 +1,74 @@
+"""E-FIG3 — Figure 3: the relational-vs-MAD concept-comparison table.
+
+Regenerates the table programmatically and verifies each row against the live
+implementations: for every MAD concept the corresponding class/function
+exists, and for every relational concept its counterpart (or absence) is as
+the figure states — in particular, links and link types have *no* relational
+counterpart other than foreign keys inside auxiliary relations.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.atom import Atom, AtomType
+from repro.core.attributes import AttributeDescription, AtomTypeDescription
+from repro.core.database import Database
+from repro.core.link import Link, LinkType
+from repro.relational import Relation, RelationSchema, map_database
+from repro.relational.mapping import concept_comparison_rows
+
+
+def test_fig3_concept_table(benchmark):
+    """Every row of Fig. 3 is backed by the implementation."""
+    rows = benchmark(concept_comparison_rows)
+
+    report("Figure 3: relational vs. MAD concepts", [("relational", "MAD")] + list(rows))
+    mad_side = {mad for _, mad in rows}
+    # The MAD concepts named by the figure all exist as classes/constructs.
+    implemented = {
+        "attribute": AttributeDescription,
+        "atom-type description": AtomTypeDescription,
+        "atom": Atom,
+        "atom type": AtomType,
+        "link": Link,
+        "link type": LinkType,
+        "database": Database,
+    }
+    for concept, cls in implemented.items():
+        assert concept in mad_side
+        assert isinstance(cls, type)
+    # The relational side has no counterpart for link concepts (shown as '-').
+    relational_side = {rel for rel, mad in rows if "link" in mad}
+    assert relational_side == {"-"}
+    # Relation schema / tuple / relation exist on the relational side.
+    assert isinstance(RelationSchema(("a",)), RelationSchema)
+    assert isinstance(Relation("r", ("a",)), Relation)
+
+
+def test_fig3_referential_integrity_contrast(geo_db, benchmark):
+    """Referential integrity: guaranteed by construction in MAD, checkable-only relationally.
+
+    In the MAD database dangling links cannot be created through the public
+    API (the database validates); in the relational mapping the junction
+    relations accept foreign-key values that reference no tuple — the '(?)'
+    versus '(!)' of Fig. 3.
+    """
+    mapping = benchmark(map_database, geo_db)
+
+    # MAD side: the loaded database validates.
+    assert geo_db.is_valid()
+    # Relational side: nothing stops us from inserting a dangling reference.
+    junction = mapping.auxiliary_relations["area-edge"]
+    junction.insert({"area_id": "a1", "edge_id": "edge-that-does-not-exist"})
+    edge_ids = {row["_id"] for row in mapping.entity_relations["edge"]}
+    dangling = [row for row in junction if row["edge_id"] not in edge_ids]
+    assert dangling, "the relational mapping accepted a dangling foreign key"
+    report(
+        "Figure 3: referential integrity",
+        [
+            ("model", "dangling references possible"),
+            ("MAD (links)", "no — rejected at validation"),
+            ("relational (foreign keys)", f"yes — {len(dangling)} inserted unchecked"),
+        ],
+    )

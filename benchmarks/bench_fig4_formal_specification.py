@@ -1,0 +1,77 @@
+"""E-FIG4 — Figure 4: the formal specification of the geographic database.
+
+Regenerates the figure's textual specification (atom types ∈ AT*, link types
+∈ LT*, database ∈ DB*) from the loaded occurrence and validates membership in
+the database domain, plus the two atom-type-operation examples the paper works
+through right after the figure (the cartesian product ``border = area × edge``
+and the restriction ``σ[hectare>1000]``).
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro import attr, formal_specification
+from repro.core.atom_algebra import AtomAlgebra
+from repro.schema import validate_database
+
+
+def test_fig4_formal_specification_text(geo_db, benchmark):
+    """The specification names every atom type, link type and the database itself."""
+    text = benchmark(formal_specification, geo_db)
+
+    print("\n" + text)
+    for atom_type_name in geo_db.atom_type_names:
+        assert f"{atom_type_name} = <" in text
+        assert "∈ AT*" in text
+    for link_type_name in geo_db.link_type_names:
+        assert f"{link_type_name} = <" in text
+    assert "∈ DB*" in text
+    assert geo_db.name in text
+
+
+def test_fig4_database_domain_membership(geo_db, benchmark):
+    """The loaded database is a valid element of DB* (no dangling links, valid domains)."""
+    validation = benchmark(validate_database, geo_db)
+
+    assert validation.is_valid, validation.violations
+    report(
+        "Figure 4: database-domain validation",
+        [
+            ("atoms checked", validation.checked_atoms),
+            ("links checked", validation.checked_links),
+            ("violations", len(validation.violations)),
+        ],
+    )
+
+
+def test_fig4_atom_type_operation_examples(geo_db, benchmark):
+    """The §3.1 examples: border = ×(area, edge) and σ[hectare>1000](state)."""
+
+    def run_examples():
+        algebra = AtomAlgebra(geo_db)
+        border = algebra.product("area", "edge", name="border")
+        big = algebra.restrict("state", attr("hectare") > 900, name="big_states")
+        return border, big
+
+    border, big = benchmark(run_examples)
+
+    # The cartesian product concatenates the descriptions ...
+    assert len(border.atom_type.description) == (
+        len(geo_db.atyp("area").description) + len(geo_db.atyp("edge").description)
+    )
+    # ... produces |area| x |edge| atoms ...
+    assert len(border.atom_type) == len(geo_db.atyp("area")) * len(geo_db.atyp("edge"))
+    # ... and inherits the link types of both operands.
+    inherited_names = {lt.name.split("~", 1)[0] for lt in border.inherited_link_types}
+    assert {"state-area", "area-edge", "net-edge", "edge-point"} <= inherited_names
+    # The restriction keeps exactly the states above the threshold.
+    assert {atom["code"] for atom in big.atom_type} == {"BA"}
+    report(
+        "Figure 4: atom-type operation examples",
+        [
+            ("operation", "result atoms", "inherited link types"),
+            ("border = ×(area, edge)", len(border.atom_type), len(border.inherited_link_types)),
+            ("σ[hectare>900](state)", len(big.atom_type), len(big.inherited_link_types)),
+        ],
+    )

@@ -1,0 +1,75 @@
+"""E-FIG5 — Figure 5: the three-phase definition of molecule-type operations.
+
+Every molecule-type operation is defined as: operation-specific actions → prop
+(materialize the result set into an enlarged database) → α (re-derive the
+result as a molecule type).  The benchmark traces a restriction through those
+phases explicitly and checks the consistency property Definition 9 promises:
+"for each element within rsv there is exactly one equivalent molecule within
+mv and vice versa".
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro import attr, molecule_type_definition
+from repro.core.molecule_algebra import (
+    ResultSet,
+    molecule_restriction,
+    propagate,
+)
+
+
+def test_fig5_restriction_three_phases(geo_db, mt_state_desc, benchmark):
+    """Tracing Σ through Fig. 5: result set → prop → α reproduces the same molecules."""
+    mt_state = molecule_type_definition(geo_db, "mt_state", mt_state_desc)
+    formula = attr("hectare", "state") > 800
+
+    def run_phases():
+        # Phase 1: operation-specific actions — select the qualifying molecules.
+        qualifying = tuple(m for m in mt_state if formula.evaluate_molecule(m))
+        result_set = ResultSet("big_states", mt_state.description, qualifying)
+        # Phases 2+3: prop materializes the result set and α re-derives it.
+        return result_set, propagate(result_set, geo_db)
+
+    result_set, propagated = benchmark(run_phases)
+
+    derived = propagated.molecule_type
+    # Exactly one derived molecule per result-set element, and vice versa.
+    assert len(derived) == len(result_set.molecules)
+    result_roots = {m.root_atom.identifier for m in result_set.molecules}
+    derived_roots = {m.root_atom.identifier for m in derived}
+    assert result_roots == derived_roots
+    # Component atom sets agree molecule by molecule.
+    by_root = {m.root_atom.identifier: m for m in result_set.molecules}
+    for molecule in derived:
+        assert molecule.atom_identifiers == by_root[molecule.root_atom.identifier].atom_identifiers
+    report(
+        "Figure 5: phases of Σ[hectare>800](mt_state)",
+        [
+            ("phase", "output"),
+            ("operation-specific actions", f"{len(result_set.molecules)} qualifying molecules"),
+            ("prop", f"{len(propagated.propagated_atom_types)} atom types, "
+                     f"{len(propagated.propagated_link_types)} link types added"),
+            ("α over DB'", f"{len(derived)} molecules re-derived"),
+        ],
+    )
+
+
+def test_fig5_operation_equals_pipeline(geo_db, mt_state_desc, benchmark):
+    """The packaged Σ operation equals the hand-run three-phase pipeline."""
+    mt_state = molecule_type_definition(geo_db, "mt_state", mt_state_desc)
+    formula = attr("hectare", "state") > 800
+
+    packaged = benchmark(molecule_restriction, geo_db, mt_state, formula)
+
+    qualifying_roots = {
+        m.root_atom.identifier for m in mt_state if formula.evaluate_molecule(m)
+    }
+    assert {m.root_atom.identifier for m in packaged.molecule_type} == qualifying_roots
+    # The enlarged database contains the original types plus the propagated ones.
+    for name in geo_db.atom_type_names:
+        assert packaged.database.has_atom_type(name)
+    assert len(packaged.database.atom_types) > len(geo_db.atom_types)
+    # The original database is untouched (closure never mutates operands).
+    assert len(geo_db.atom_types) == 7

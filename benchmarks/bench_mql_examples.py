@@ -1,0 +1,104 @@
+"""E-MQL — chapter 4: the two worked MQL statements and their algebra semantics.
+
+Parses and executes the paper's two statements, then checks that the MQL
+results coincide with the hand-built algebra expressions the paper gives as
+their definition (α for the first, α followed by Σ for the second).
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro import MoleculeAlgebra, attr, molecule_type_definition
+from repro.mql import MQLInterpreter, execute, parse
+
+STATEMENT_MT_STATE = "SELECT ALL FROM mt_state (state - area - edge - point);"
+STATEMENT_NEIGHBORHOOD = (
+    "SELECT ALL FROM point - edge - (area - state, net - river) WHERE point.name = 'pn';"
+)
+
+
+def test_mql_statement_mt_state(geo_db, mt_state_desc, benchmark):
+    """'SELECT ALL FROM mt_state(state-area-edge-point)' equals α[mt_state, G](C)."""
+    result = benchmark(execute, geo_db, STATEMENT_MT_STATE)
+
+    algebra_result = molecule_type_definition(geo_db, "mt_state", mt_state_desc)
+    assert len(result) == len(algebra_result)
+    mql_roots = {m.root_atom.identifier for m in result}
+    algebra_roots = {m.root_atom.identifier for m in algebra_result}
+    assert mql_roots == algebra_roots
+    by_root = {m.root_atom.identifier: m for m in algebra_result}
+    for molecule in result:
+        assert molecule.atom_identifiers == by_root[molecule.root_atom.identifier].atom_identifiers
+    report(
+        "Chapter 4, statement 1",
+        [("MQL molecules", len(result)), ("algebra molecules", len(algebra_result))],
+    )
+
+
+def test_mql_statement_point_neighborhood(geo_db, point_neighborhood_desc, benchmark):
+    """The symmetric query equals α(point-neighborhood) followed by Σ[point.name='pn']."""
+    result = benchmark(execute, geo_db, STATEMENT_NEIGHBORHOOD)
+
+    algebra = MoleculeAlgebra(geo_db)
+    neighborhood = algebra.define("point_neighborhood", point_neighborhood_desc)
+    restricted = algebra.restrict(neighborhood, attr("name", "point") == "pn")
+    assert len(result) == len(restricted.molecule_type) == 1
+    mql_molecule = result.molecules[0]
+    algebra_molecule = restricted.molecule_type.occurrence[0]
+    assert mql_molecule.atom_identifiers == algebra_molecule.atom_identifiers
+    states = sorted(atom["code"] for atom in mql_molecule.atoms_of_type("state"))
+    assert states == ["GO", "MG", "MS", "SP"]
+    report(
+        "Chapter 4, statement 2",
+        [("states reached", ", ".join(states)),
+         ("rivers reached", ", ".join(sorted(a["name"] for a in mql_molecule.atoms_of_type("river"))))],
+    )
+
+
+def test_mql_parse_and_explain(geo_db, benchmark):
+    """Parsing + plan explanation exposes the algebra operations behind each clause."""
+    interpreter = MQLInterpreter(geo_db)
+
+    def parse_and_explain():
+        ast = parse(STATEMENT_NEIGHBORHOOD)
+        return ast, interpreter.explain(STATEMENT_NEIGHBORHOOD)
+
+    ast, plan = benchmark(parse_and_explain)
+
+    assert ast.where is not None
+    assert any(line.strip().startswith("α") for line in plan)
+    assert any(line.strip().startswith("Σ") for line in plan)
+    print("\n".join("  " + line for line in plan))
+
+
+def test_mql_set_operations(geo_db, benchmark):
+    """UNION / DIFFERENCE / INTERSECT between query blocks map onto Ω / Δ / Ψ."""
+    union_statement = (
+        "SELECT ALL FROM mt_state (state - area - edge - point) WHERE state.hectare > 800 "
+        "UNION "
+        "SELECT ALL FROM mt_state (state - area - edge - point) WHERE state.code = 'SP';"
+    )
+
+    result = benchmark(execute, geo_db, union_statement)
+
+    big = execute(geo_db, "SELECT ALL FROM mt_state (state-area-edge-point) WHERE state.hectare > 800;")
+    assert len(result) == len(big) + 1  # SP is not among the >800 states
+    difference = execute(
+        geo_db,
+        "SELECT ALL FROM mt_state (state-area-edge-point) "
+        "DIFFERENCE "
+        "SELECT ALL FROM mt_state (state-area-edge-point) WHERE state.hectare > 800;",
+    )
+    assert len(difference) == 10 - len(big)
+    intersect = execute(
+        geo_db,
+        "SELECT ALL FROM mt_state (state-area-edge-point) WHERE state.hectare > 800 "
+        "INTERSECT "
+        "SELECT ALL FROM mt_state (state-area-edge-point) WHERE state.code = 'MG';",
+    )
+    assert len(intersect) == 1
+    report(
+        "MQL set operations",
+        [("UNION", len(result)), ("DIFFERENCE", len(difference)), ("INTERSECT", len(intersect))],
+    )

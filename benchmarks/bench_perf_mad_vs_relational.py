@@ -1,0 +1,121 @@
+"""E-PERF1 — the paper's efficiency claim: MAD vs. relational vs. NF² complex-object retrieval.
+
+§1–2 argue that on the relational side "all n:m relationship types have to be
+modeled by some auxiliary relations.  With this, the queries and their
+processing obviously become more complicated and perhaps less efficient", and
+§5 adds that NF² duplicates shared subobjects.  This benchmark makes all three
+claims measurable on scaled synthetic geographies:
+
+* wall-clock time of assembling all ``mt_state`` complex objects,
+* intermediate tuples materialized (relational joins) vs. atoms touched
+  (molecule derivation),
+* storage overhead: junction-relation tuples (relational) and duplicated
+  sub-tuples (NF²) vs. shared atoms (MAD).
+
+Expected shape (checked by assertions): molecule derivation touches fewer
+intermediate items than the relational join plan; the relational mapping
+stores strictly more tuples than the MAD database has atoms; the NF² mapping
+duplicates shared subobjects (duplication factor > 1).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import report
+
+from repro import molecule_type_definition
+from repro.core.derivation import hierarchical_join_statistics
+from repro.core.molecule import MoleculeTypeDescription
+from repro.datasets.geography import build_geography, mt_state_description
+from repro.nf2 import molecule_type_to_nested, nested_duplication_factor
+from repro.relational import assemble_complex_objects, map_database
+
+
+def _description() -> MoleculeTypeDescription:
+    atom_types, directed_links = mt_state_description()
+    return MoleculeTypeDescription(atom_types, directed_links)
+
+
+@pytest.mark.parametrize("n_states", [10, 30, 60])
+def test_perf1_mad_molecule_derivation(benchmark, n_states):
+    """MAD side: derive every mt_state molecule (the hierarchical join over links)."""
+    db = build_geography(n_states=n_states, edges_per_state=5, n_rivers=4)
+    description = _description()
+
+    molecule_type = benchmark(molecule_type_definition, db, "mt_state", description)
+
+    assert len(molecule_type) == n_states
+    stats = hierarchical_join_statistics(db, description)
+    report(
+        f"E-PERF1 (MAD, {n_states} states)",
+        [("molecules", stats["molecules"]), ("atoms touched", stats["atoms_touched"]),
+         ("links touched", stats["links_touched"])],
+    )
+
+
+@pytest.mark.parametrize("n_states", [10, 30, 60])
+def test_perf1_relational_join_assembly(benchmark, n_states):
+    """Relational side: join root → auxiliary relations → leaves and re-nest."""
+    db = build_geography(n_states=n_states, edges_per_state=5, n_rivers=4)
+    description = _description()
+    mapping = map_database(db)
+
+    result = benchmark(assemble_complex_objects, mapping, description)
+
+    assert len(result.objects) == n_states
+    report(
+        f"E-PERF1 (relational, {n_states} states)",
+        [("objects", len(result.objects)),
+         ("binary joins", result.plan.join_count()),
+         ("intermediate tuples", result.intermediate_tuples())],
+    )
+
+
+@pytest.mark.parametrize("n_states", [10, 30])
+def test_perf1_shape_mad_beats_relational(benchmark, n_states):
+    """Shape check: molecule derivation touches fewer items than the join plan materializes."""
+    db = build_geography(n_states=n_states, edges_per_state=5, n_rivers=4)
+    description = _description()
+    mapping = map_database(db)
+
+    def both_sides():
+        mad = hierarchical_join_statistics(db, description)
+        relational = assemble_complex_objects(mapping, description)
+        return mad, relational
+
+    mad, relational = benchmark(both_sides)
+
+    assert mad["molecules"] == len(relational.objects)
+    assert mad["atoms_touched"] < relational.intermediate_tuples(), (
+        "molecule derivation must touch fewer items than the relational join plan"
+    )
+    # Storage overhead: the relational image stores every link as a tuple.
+    assert mapping.total_tuples() > db.atom_count()
+    report(
+        f"E-PERF1 shape ({n_states} states)",
+        [
+            ("metric", "MAD", "relational"),
+            ("objects", mad["molecules"], len(relational.objects)),
+            ("work items", mad["atoms_touched"], relational.intermediate_tuples()),
+            ("stored tuples/atoms", db.atom_count(), mapping.total_tuples()),
+        ],
+    )
+
+
+def test_perf1_nf2_duplicates_shared_subobjects(benchmark):
+    """NF² side: nesting the hierarchical mt_state type copies every shared edge/point."""
+    db = build_geography(n_states=20, edges_per_state=5, n_rivers=4)
+    description = _description()
+    molecule_type = molecule_type_definition(db, "mt_state", description)
+
+    nested = benchmark(molecule_type_to_nested, molecule_type)
+
+    assert len(nested) == len(molecule_type)
+    factor = nested_duplication_factor(molecule_type, nested)
+    assert factor > 1.0, "shared border edges must be duplicated in the NF² representation"
+    report(
+        "E-PERF1 (NF², 20 states)",
+        [("nested tuples (flat)", nested.flat_tuple_count()),
+         ("distinct MAD atoms", molecule_type.distinct_atom_count()),
+         ("duplication factor", f"{factor:.2f}x")],
+    )

@@ -1,0 +1,105 @@
+"""E-PERF2 — recursive molecules on bill-of-material graphs (§5 outlook).
+
+Compares recursive molecule expansion (parts explosion over the reflexive
+``composition`` link type) against the iterative relational transitive closure
+over the corresponding junction relation, for growing depth and fan-out, and
+checks that both compute the same closure.  Also exercises the symmetric
+where-used (super-component) view, which needs no extra schema on the MAD side.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import report
+
+from repro import RecursiveDescription, build_bill_of_materials, recursive_molecule_type
+from repro.core.recursion import expand_recursive
+from repro.datasets.bill_of_materials import root_parts
+from repro.relational import map_database
+from repro.relational.query import relational_transitive_closure
+
+
+@pytest.mark.parametrize("depth,fan_out", [(3, 3), (5, 3), (7, 2)])
+def test_perf2_recursive_molecule_explosion(benchmark, depth, fan_out):
+    """Parts explosion via recursive molecule expansion."""
+    db = build_bill_of_materials(depth=depth, fan_out=fan_out, share_every=4)
+    description = RecursiveDescription("part", "composition", "down")
+    roots = root_parts(db)
+
+    molecule = benchmark(expand_recursive, db, description, roots[0])
+
+    assert molecule.depth() == depth
+    report(
+        f"E-PERF2 (MAD, depth={depth}, fan_out={fan_out})",
+        [("parts in database", len(db.atyp("part"))),
+         ("components reached", len(molecule) - 1),
+         ("explosion depth", molecule.depth())],
+    )
+
+
+@pytest.mark.parametrize("depth,fan_out", [(3, 3), (5, 3), (7, 2)])
+def test_perf2_relational_transitive_closure(benchmark, depth, fan_out):
+    """The same explosion via iterative joins over the composition junction relation."""
+    db = build_bill_of_materials(depth=depth, fan_out=fan_out, share_every=4)
+    roots = root_parts(db)
+    mapping = map_database(db)
+
+    closures = benchmark(
+        relational_transitive_closure, mapping, "composition", [roots[0].identifier]
+    )
+
+    description = RecursiveDescription("part", "composition", "down")
+    molecule = expand_recursive(db, description, roots[0])
+    assert len(closures[roots[0].identifier]) == len(molecule) - 1, (
+        "both evaluation strategies must compute the same closure"
+    )
+
+
+def test_perf2_both_views_from_one_link_type(benchmark):
+    """Sub-component and super-component views use the same reflexive link type."""
+    db = build_bill_of_materials(depth=4, fan_out=3, share_every=3)
+    parts = db.atyp("part")
+    leaf = max(parts, key=lambda atom: atom["level"])
+
+    def both_views():
+        explosion = recursive_molecule_type(
+            db, "explosion", RecursiveDescription("part", "composition", "down"), root_parts(db)
+        )
+        where_used = recursive_molecule_type(
+            db, "where_used", RecursiveDescription("part", "composition", "up"), [leaf]
+        )
+        return explosion, where_used
+
+    explosion, where_used = benchmark(both_views)
+
+    assert len(db.link_types) == 1, "one reflexive link type suffices for both views"
+    assert len(explosion.occurrence[0]) > 1
+    assert len(where_used.occurrence[0]) > 1
+    # The where-used chain of the leaf must end at a top-level assembly.
+    top_levels = {atom["level"] for atom in where_used.occurrence[0].atoms}
+    assert 0 in top_levels
+    report(
+        "E-PERF2: symmetric views over the 'composition' link type",
+        [("parts explosion of root", len(explosion.occurrence[0]) - 1),
+         ("where-used of deepest leaf", len(where_used.occurrence[0]) - 1)],
+    )
+
+
+@pytest.mark.parametrize("share_every", [0, 2])
+def test_perf2_shared_subassemblies(benchmark, share_every):
+    """Shared sub-assemblies are represented once and reached from several parents."""
+    db = build_bill_of_materials(depth=4, fan_out=3, share_every=share_every, n_roots=2)
+    description = RecursiveDescription("part", "composition", "down")
+
+    molecule_type = benchmark(
+        recursive_molecule_type, db, "explosion", description, root_parts(db)
+    )
+
+    shared = molecule_type.shared_atoms()
+    if share_every:
+        assert shared, "with sharing enabled, some parts belong to both assemblies' explosions"
+    report(
+        f"E-PERF2: sharing (share_every={share_every})",
+        [("parts", len(db.atyp('part'))),
+         ("parts in >1 explosion", len(shared))],
+    )

@@ -1,0 +1,108 @@
+"""E-THM1 — Theorem 1: the atom-type operations form an algebra on DB*.
+
+Audits the closure property over randomized databases and over chains of
+operations: every result atom type is valid (its occurrence respects its
+description), every inherited link type is well-defined (no dangling links),
+and the enlarged database is again a member of the database domain.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro import attr
+from repro.core.atom_algebra import AtomAlgebra
+from repro.datasets.synthetic import build_synthetic_network
+from repro.schema import validate_database
+
+
+def _audit_result(result) -> None:
+    """Check one operation result: valid atom type + well-defined inherited link types."""
+    atom_type = result.atom_type
+    for atom in atom_type:
+        atom_type.description.validate_values(atom.values)
+    identifiers = set(atom_type.identifiers())
+    for link_type in result.inherited_link_types:
+        for link in link_type:
+            assert any(identifier in identifiers for identifier in link.identifiers), (
+                f"inherited link {link!r} does not touch the result atom type"
+            )
+    assert result.database.is_valid()
+
+
+def test_thm1_single_operations_closed(benchmark):
+    """Each of π, σ, ×, ω, δ yields a valid atom type with well-defined inherited links."""
+    db = build_synthetic_network(n_atom_types=4, atoms_per_type=25, links_per_type=40, seed=3)
+
+    def run_all_operations():
+        algebra = AtomAlgebra(db)
+        results = [
+            algebra.project("t0", ["key", "value"]),
+            algebra.restrict("t1", attr("value") > 50),
+            algebra.product("t0", "t1"),
+            algebra.union("t2", "t2"),
+            algebra.difference("t3", "t3"),
+        ]
+        return results
+
+    results = benchmark(run_all_operations)
+
+    for result in results:
+        _audit_result(result)
+    report(
+        "Theorem 1: single-operation closure audit",
+        [("operation", "result atoms", "inherited link types", "valid")]
+        + [
+            (result.atom_type.name.split("$")[0], len(result.atom_type),
+             len(result.inherited_link_types), "yes")
+            for result in results
+        ],
+    )
+
+
+def test_thm1_operation_chains_closed(benchmark):
+    """Operation results can be reused as operands — the whole point of closure."""
+    db = build_synthetic_network(n_atom_types=3, atoms_per_type=20, links_per_type=30, seed=11)
+
+    def run_chain():
+        algebra = AtomAlgebra(db)
+        step1 = algebra.restrict("t0", attr("value") > 25)
+        step2 = algebra.project(step1.atom_type, ["key", "grp"])
+        step3 = algebra.product(step2.atom_type, "t1")
+        step4 = algebra.restrict(step3.atom_type, attr("grp") == "alpha")
+        step5 = algebra.union(step4.atom_type, step4.atom_type)
+        return [step1, step2, step3, step4, step5]
+
+    steps = benchmark(run_chain)
+
+    for step in steps:
+        _audit_result(step)
+    final_db = steps[-1].database
+    assert validate_database(final_db).is_valid
+    # The enlarged database kept every original type and added the results.
+    assert len(final_db.atom_types) >= len(db.atom_types) + len(steps)
+
+
+def test_thm1_randomized_databases(benchmark):
+    """The closure audit holds across differently-shaped random databases."""
+
+    def audit_many():
+        audited = 0
+        for seed in range(6):
+            db = build_synthetic_network(
+                n_atom_types=2 + seed % 4,
+                atoms_per_type=10 + 3 * seed,
+                links_per_type=15 + 5 * seed,
+                seed=seed,
+            )
+            algebra = AtomAlgebra(db)
+            names = list(db.atom_type_names)
+            _audit_result(algebra.restrict(names[0], attr("value") >= 0))
+            _audit_result(algebra.project(names[-1], ["key"]))
+            if len(names) >= 2:
+                _audit_result(algebra.product(names[0], names[1]))
+            audited += 1
+        return audited
+
+    audited = benchmark(audit_many)
+    assert audited == 6

@@ -1,0 +1,118 @@
+"""E-THM3 — Theorems 2–3: the molecule-type operations form an algebra.
+
+Audits the closure of α, Σ, Π, X, Ω, Δ (and the derived Ψ): every result is a
+valid molecule type over its enlarged database (each molecule satisfies
+``mv_graph`` against the result description), and operations can be chained —
+including the paper's identity Ψ(mt1, mt2) = Δ(mt1, Δ(mt1, mt2)).
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro import MoleculeAlgebra, attr, molecule_type_definition
+from repro.core.derivation import mv_graph
+from repro.core.molecule_algebra import molecule_difference, molecule_intersection
+
+
+def _audit(result) -> None:
+    """Every result molecule must satisfy mv_graph over the enlarged database."""
+    molecule_type = result.molecule_type
+    for molecule in molecule_type:
+        ok, reason = mv_graph(result.database, molecule_type.description, molecule)
+        assert ok, reason
+    assert result.database.is_valid()
+
+
+def test_thm3_each_operation_closed(geo_db, mt_state_desc, benchmark):
+    """Σ, Π, Ω, Δ each produce valid molecule types over enlarged databases."""
+    mt_state = molecule_type_definition(geo_db, "mt_state", mt_state_desc)
+
+    def run_operations():
+        algebra = MoleculeAlgebra(geo_db)
+        restricted = algebra.restrict(mt_state, attr("hectare", "state") > 700)
+        projected = algebra.project(mt_state, ["state", "area", "edge"])
+        union = algebra.union(mt_state, mt_state)
+        difference = algebra.difference(mt_state, restricted.molecule_type)
+        return restricted, projected, union, difference
+
+    restricted, projected, union, difference = benchmark(run_operations)
+
+    for result in (restricted, projected, union, difference):
+        _audit(result)
+    report(
+        "Theorems 2-3: closure audit of the molecule operations",
+        [
+            ("operation", "molecules", "valid"),
+            ("Σ hectare>700", len(restricted.molecule_type), "yes"),
+            ("Π state,area,edge", len(projected.molecule_type), "yes"),
+            ("Ω mt_state ∪ mt_state", len(union.molecule_type), "yes"),
+            ("Δ mt_state − big", len(difference.molecule_type), "yes"),
+        ],
+    )
+    # Sanity of cardinalities.
+    assert len(union.molecule_type) == len(mt_state)
+    assert len(difference.molecule_type) == len(mt_state) - len(restricted.molecule_type)
+
+
+def test_thm3_intersection_identity(geo_db, mt_state_desc, benchmark):
+    """Ψ(mt1, mt2) = Δ(mt1, Δ(mt1, mt2)) — the paper's §3.2 construction."""
+    mt_state = molecule_type_definition(geo_db, "mt_state", mt_state_desc)
+    algebra = MoleculeAlgebra(geo_db)
+    big = algebra.restrict(mt_state, attr("hectare", "state") > 800).molecule_type
+    southern = algebra.restrict(
+        mt_state, attr("code", "state") == "MG"
+    ).molecule_type
+
+    def both_ways():
+        direct = molecule_intersection(algebra.database, big, southern)
+        inner = molecule_difference(algebra.database, big, southern)
+        double = molecule_difference(inner.database, big, inner.molecule_type)
+        return direct, double
+
+    direct, double = benchmark(both_ways)
+
+    _audit(direct)
+    _audit(double)
+    roots = lambda mt: {m.root_atom.identifier for m in mt}  # noqa: E731
+    assert roots(direct.molecule_type) == roots(double.molecule_type) == {"MG"}
+
+
+def test_thm3_product_closed(geo_db, benchmark):
+    """X produces one result molecule per operand pair and remains a valid molecule type."""
+    states = molecule_type_definition(
+        geo_db, "states_only",
+        ["state", "area"], [("state-area", "state", "area")],
+    )
+    rivers = molecule_type_definition(
+        geo_db, "rivers_only",
+        ["river", "net"], [("river-net", "river", "net")],
+    )
+    algebra = MoleculeAlgebra(geo_db)
+
+    product = benchmark(algebra.product, states, rivers)
+
+    assert len(product.molecule_type) == len(states) * len(rivers)
+    _audit(product)
+    sample = product.molecule_type.occurrence[0]
+    # Each product molecule contains one state, one area, one river and one net.
+    assert len(sample.atoms_of_type("state")) == 1
+    assert len(sample.atoms_of_type("river")) == 1
+
+
+def test_thm3_chained_operations(geo_db, mt_state_desc, benchmark):
+    """Long operation chains stay closed (the operational content of Theorem 3)."""
+
+    def chain():
+        algebra = MoleculeAlgebra(geo_db)
+        mt_state = algebra.define("mt_state", mt_state_desc)
+        step = algebra.restrict(mt_state, attr("hectare", "state") > 400)
+        step = algebra.project(step.molecule_type, ["state", "area", "edge"])
+        step = algebra.restrict(step.molecule_type, attr("length", "edge") > 5)
+        step = algebra.union(step.molecule_type, step.molecule_type)
+        return algebra, step
+
+    algebra, final = benchmark(chain)
+
+    _audit(final)
+    assert len(algebra.database.atom_types) > len(geo_db.atom_types)

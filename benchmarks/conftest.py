@@ -1,0 +1,56 @@
+"""Shared fixtures and reporting helpers for the reproduction benchmarks.
+
+Each benchmark module corresponds to one experiment id of DESIGN.md /
+EXPERIMENTS.md (a figure, a theorem, or a performance claim of the paper).
+Benchmarks both *measure* (via pytest-benchmark) and *assert the shape* the
+paper reports (who wins, what is shared, what is reproduced exactly).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import load_geography
+from repro.core.molecule import MoleculeTypeDescription
+from repro.datasets.geography import (
+    build_geography,
+    mt_state_description,
+    point_neighborhood_description,
+)
+
+
+def report(title: str, rows) -> None:
+    """Print a small aligned table under a title (shows up with pytest -s)."""
+    print(f"\n=== {title} ===")
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    if not rows:
+        return
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    for row in rows:
+        print("  " + "  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+
+
+@pytest.fixture(scope="module")
+def geo_db():
+    """The paper-faithful Brazil database (Figs. 1 and 4)."""
+    return load_geography()
+
+
+@pytest.fixture(scope="module")
+def mt_state_desc():
+    """The molecule structure of ``mt_state`` (Fig. 2)."""
+    atom_types, directed_links = mt_state_description()
+    return MoleculeTypeDescription(atom_types, directed_links)
+
+
+@pytest.fixture(scope="module")
+def point_neighborhood_desc():
+    """The molecule structure of ``point neighborhood`` (Fig. 2)."""
+    atom_types, directed_links = point_neighborhood_description()
+    return MoleculeTypeDescription(atom_types, directed_links)
+
+
+@pytest.fixture(scope="module", params=[10, 30])
+def scaled_geo_db(request):
+    """Scaled synthetic geographies for the performance benchmarks."""
+    return build_geography(n_states=request.param, edges_per_state=5, n_rivers=4)

@@ -1,0 +1,76 @@
+"""The paper's geographic application end to end (Figures 1, 2 and 4 + chapter 4).
+
+Loads the Brazil database, prints its formal specification (Fig. 4), derives
+the two molecule types of Fig. 2 (``mt_state`` and ``point neighborhood``),
+shows the shared subobjects, and runs the two MQL statements of chapter 4.
+
+Run with ``python examples/geographic_queries.py``.
+"""
+
+from repro import MoleculeAlgebra, attr, formal_specification, load_geography
+from repro.datasets.geography import mt_state_description, point_neighborhood_description
+from repro.mql import MQLInterpreter
+from repro.storage import AtomNetwork
+
+
+def main() -> None:
+    db = load_geography()
+    print("=== Figure 4: formal specification of the geographic database ===")
+    print(formal_specification(db))
+
+    algebra = MoleculeAlgebra(db)
+
+    # --- Figure 2, molecule type 'mt state' --------------------------------
+    atom_types, directed_links = mt_state_description()
+    mt_state = algebra.define("mt_state", atom_types, directed_links)
+    print(f"\n=== Figure 2: molecule type 'mt_state' ({len(mt_state)} molecules) ===")
+    for molecule in mt_state:
+        print(
+            f"  {molecule.root_atom['code']:>2}: {len(molecule)} atoms "
+            f"({len(molecule.atoms_of_type('edge'))} edges, "
+            f"{len(molecule.atoms_of_type('point'))} points)"
+        )
+    shared = mt_state.shared_atoms()
+    print(f"  shared subobjects between state molecules: {len(shared)} atoms")
+
+    # --- Figure 2, molecule type 'point neighborhood' ----------------------
+    atom_types, directed_links = point_neighborhood_description()
+    neighborhood = algebra.define("point_neighborhood", atom_types, directed_links)
+    pn_only = algebra.restrict(neighborhood, attr("name", "point") == "pn")
+    print("\n=== Figure 2: the neighborhood of point 'pn' ===")
+    for molecule in pn_only.molecule_type:
+        states = sorted(atom["code"] for atom in molecule.atoms_of_type("state"))
+        rivers = sorted(atom["name"] for atom in molecule.atoms_of_type("river"))
+        print(f"  states: {states}, rivers: {rivers}")
+
+    # --- chapter 4: the two MQL statements ---------------------------------
+    interpreter = MQLInterpreter(db)
+    print("\n=== Chapter 4: MQL statements and their algebra plans ===")
+    statement_1 = "SELECT ALL FROM mt_state (state - area - edge - point);"
+    statement_2 = (
+        "SELECT ALL FROM point - edge - (area - state, net - river) "
+        "WHERE point.name = 'pn';"
+    )
+    for statement in (statement_1, statement_2):
+        print(f"\nMQL> {statement}")
+        for line in interpreter.explain(statement):
+            print("  plan:", line)
+        result = interpreter.execute(statement)
+        print(f"  -> {len(result)} molecules")
+
+    # --- link-degree statistics of the atom networks (Fig. 1 report) -------
+    network = AtomNetwork(db)
+    print("\n=== Atom-network statistics (Fig. 1 occurrence) ===")
+    for type_name, stats in sorted(network.degree_statistics().items()):
+        print(
+            f"  {type_name:<6} atoms={int(stats['atoms']):>3}  "
+            f"degree min/mean/max = {stats['min']:.0f}/{stats['mean']:.1f}/{stats['max']:.0f}"
+        )
+    print(
+        "  edges shared between a state border and a river course:",
+        network.shared_atom_count("area", "net"),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Quickstart: define a MAD schema, load atoms and links, derive molecules, run MQL.
+
+Walks through the paper's core ideas in ~60 lines of user code:
+
+1. define atom types and link types (the database schema),
+2. insert atoms and connect them with links (the atom networks),
+3. dynamically define a molecule type with the molecule algebra (α),
+4. restrict it (Σ) and project it (Π),
+5. run the same query through MQL.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro import Database, MoleculeAlgebra, attr
+from repro.mql import execute
+
+
+def build_library_database() -> Database:
+    """A tiny library: authors write books, books cite books (shared subobjects)."""
+    db = Database("library")
+    db.define_atom_type("author", {"name": "string", "country": "string"})
+    db.define_atom_type("book", {"title": "string", "year": "integer"})
+    db.define_atom_type("chapter", {"title": "string", "pages": "integer"})
+    db.define_link_type("wrote", "author", "book")
+    db.define_link_type("contains", "book", "chapter")
+
+    codd = db.insert_atom("author", name="E. F. Codd", country="UK")
+    ullman = db.insert_atom("author", name="J. D. Ullman", country="US")
+    relational = db.insert_atom("book", title="The Relational Model", year=1970)
+    principles = db.insert_atom("book", title="Principles of Database Systems", year=1980)
+    survey = db.insert_atom("book", title="Databases: A Survey", year=1985)
+
+    db.connect("wrote", codd, relational)
+    db.connect("wrote", ullman, principles)
+    db.connect("wrote", codd, survey)
+    db.connect("wrote", ullman, survey)  # co-authored: 'survey' is a shared subobject
+
+    for book, titles in (
+        (relational, ["Relations", "Normal Forms"]),
+        (principles, ["Algebra", "Calculus", "Optimization"]),
+        (survey, ["History"]),
+    ):
+        for index, title in enumerate(titles):
+            chapter = db.insert_atom("chapter", title=title, pages=20 + 5 * index)
+            db.connect("contains", book, chapter)
+    return db
+
+
+def main() -> None:
+    db = build_library_database()
+    print(db)
+
+    # --- molecule algebra -------------------------------------------------
+    algebra = MoleculeAlgebra(db)
+    oeuvre = algebra.define(
+        "oeuvre",
+        ["author", "book", "chapter"],
+        [("wrote", "author", "book"), ("contains", "book", "chapter")],
+    )
+    print(f"\nMolecule type {oeuvre.name!r}: one molecule per author")
+    for molecule in oeuvre:
+        books = [atom["title"] for atom in molecule.atoms_of_type("book")]
+        print(f"  {molecule.root_atom['name']}: {len(molecule)} atoms, books={books}")
+
+    shared = oeuvre.shared_atoms()
+    print(f"\nShared subobjects (atoms in more than one molecule): {len(shared)}")
+
+    recent = algebra.restrict(oeuvre, attr("year", "book") >= 1980)
+    print(f"Authors with a book from 1980 or later: {len(recent.molecule_type)}")
+
+    compact = algebra.project(recent.molecule_type, ["author", "book"])
+    for molecule in compact.molecule_type:
+        print("  projected molecule:", molecule.to_nested_dict())
+
+    # --- the same query in MQL --------------------------------------------
+    result = execute(
+        db,
+        "SELECT ALL FROM oeuvre (author -[wrote]- book -[contains]- chapter) "
+        "WHERE book.year >= 1980;",
+    )
+    print(f"\nMQL result: {len(result)} molecules")
+    for nested in result.to_dicts():
+        print(" ", nested["name"], "->", [b["title"] for b in nested.get("book", [])])
+
+
+if __name__ == "__main__":
+    main()

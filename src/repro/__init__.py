@@ -1,0 +1,90 @@
+"""repro — a reproduction of the MAD model and molecule algebra (Mitschang, VLDB 1989).
+
+The package implements the molecule-atom data model (MAD model), its molecule
+algebra, and the molecule query language MQL from *Extending the Relational
+Algebra to Capture Complex Objects*, together with the substrates the paper
+builds on or compares against: the relational model with auxiliary relations,
+the NF² nested-relational model, the ER model, an in-memory storage engine,
+manipulation facilities, and an algebraic query optimizer.
+
+Quickstart::
+
+    from repro import load_geography, MoleculeAlgebra, attr
+
+    db = load_geography()
+    algebra = MoleculeAlgebra(db)
+    mt_state = algebra.define(
+        "mt_state",
+        ["state", "area", "edge", "point"],
+        [("state-area", "state", "area"),
+         ("area-edge", "area", "edge"),
+         ("edge-point", "edge", "point")],
+    )
+    big_states = algebra.restrict(mt_state, attr("hectare", "state") > 800)
+    for molecule in big_states.molecule_type:
+        print(molecule.root_atom["name"], len(molecule), "component atoms")
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+reproduction of every figure and table of the paper.
+"""
+
+from repro.core import (
+    Atom,
+    AtomAlgebra,
+    AtomType,
+    AtomTypeDescription,
+    AttributeDescription,
+    Cardinality,
+    Database,
+    DataType,
+    DirectedLink,
+    Link,
+    LinkType,
+    Molecule,
+    MoleculeAlgebra,
+    MoleculeType,
+    MoleculeTypeDescription,
+    RecursiveDescription,
+    attr,
+    derive_occurrence,
+    formal_specification,
+    molecule_type_definition,
+    recursive_molecule_type,
+)
+from repro.datasets import (
+    build_bill_of_materials,
+    build_geography,
+    build_synthetic_network,
+    load_geography,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "AtomAlgebra",
+    "AtomType",
+    "AtomTypeDescription",
+    "AttributeDescription",
+    "Cardinality",
+    "Database",
+    "DataType",
+    "DirectedLink",
+    "Link",
+    "LinkType",
+    "Molecule",
+    "MoleculeAlgebra",
+    "MoleculeType",
+    "MoleculeTypeDescription",
+    "RecursiveDescription",
+    "attr",
+    "build_bill_of_materials",
+    "build_geography",
+    "build_synthetic_network",
+    "derive_occurrence",
+    "formal_specification",
+    "load_geography",
+    "molecule_type_definition",
+    "recursive_molecule_type",
+    "__version__",
+]

@@ -1,0 +1,134 @@
+"""The MAD model core: atoms, links, databases, the atom-type algebra and the molecule algebra.
+
+This package is the paper's primary contribution.  The layering follows the
+paper's chapter 3:
+
+* :mod:`repro.core.attributes`, :mod:`repro.core.atom`, :mod:`repro.core.link`,
+  :mod:`repro.core.database` — the basic data structures (Definitions 1–3),
+* :mod:`repro.core.atom_algebra`, :mod:`repro.core.predicates` — the atom-type
+  operations π, σ, ×, ω, δ with link inheritance (Definition 4, Theorem 1),
+* :mod:`repro.core.graph`, :mod:`repro.core.molecule`,
+  :mod:`repro.core.derivation`, :mod:`repro.core.molecule_algebra` — molecule
+  types and the molecule algebra α, Σ, Π, X, Ω, Δ, Ψ (Definitions 5–10,
+  Theorems 2–3),
+* :mod:`repro.core.recursion` — recursive molecule types (§5 outlook).
+"""
+
+from repro.core.atom import Atom, AtomType, reset_surrogate_counter
+from repro.core.atom_algebra import (
+    AtomAlgebra,
+    AtomOperationResult,
+    difference,
+    intersection,
+    product,
+    project,
+    restrict,
+    union,
+)
+from repro.core.attributes import AttributeDescription, AtomTypeDescription, DataType
+from repro.core.database import Database, formal_specification
+from repro.core.derivation import (
+    derive_molecule,
+    derive_occurrence,
+    hierarchical_join_statistics,
+    is_total,
+    mv_graph,
+)
+from repro.core.graph import DirectedLink, TypeGraph, md_graph
+from repro.core.link import Cardinality, Link, LinkType
+from repro.core.molecule import Molecule, MoleculeType, MoleculeTypeDescription
+from repro.core.molecule_algebra import (
+    MoleculeAlgebra,
+    MoleculeOperationResult,
+    ResultSet,
+    molecule_difference,
+    molecule_intersection,
+    molecule_product,
+    molecule_projection,
+    molecule_restriction,
+    molecule_type_definition,
+    molecule_union,
+    propagate,
+)
+from repro.core.predicates import (
+    And,
+    AttributeRef,
+    Comparison,
+    FalseFormula,
+    Formula,
+    Not,
+    Or,
+    PredicateFormula,
+    TrueFormula,
+    attr,
+    conjoin,
+    split_conjunction,
+)
+from repro.core.recursion import (
+    RecursiveDescription,
+    RecursiveMolecule,
+    expand_recursive,
+    recursive_molecule_type,
+    transitive_closure_size,
+)
+
+__all__ = [
+    "Atom",
+    "AtomType",
+    "AtomAlgebra",
+    "AtomOperationResult",
+    "AttributeDescription",
+    "AtomTypeDescription",
+    "And",
+    "AttributeRef",
+    "Cardinality",
+    "Comparison",
+    "Database",
+    "DataType",
+    "DirectedLink",
+    "FalseFormula",
+    "Formula",
+    "Link",
+    "LinkType",
+    "Molecule",
+    "MoleculeAlgebra",
+    "MoleculeOperationResult",
+    "MoleculeType",
+    "MoleculeTypeDescription",
+    "Not",
+    "Or",
+    "PredicateFormula",
+    "RecursiveDescription",
+    "RecursiveMolecule",
+    "ResultSet",
+    "TrueFormula",
+    "TypeGraph",
+    "attr",
+    "conjoin",
+    "derive_molecule",
+    "derive_occurrence",
+    "difference",
+    "expand_recursive",
+    "formal_specification",
+    "hierarchical_join_statistics",
+    "intersection",
+    "is_total",
+    "md_graph",
+    "molecule_difference",
+    "molecule_intersection",
+    "molecule_product",
+    "molecule_projection",
+    "molecule_restriction",
+    "molecule_type_definition",
+    "molecule_union",
+    "mv_graph",
+    "product",
+    "project",
+    "propagate",
+    "recursive_molecule_type",
+    "reset_surrogate_counter",
+    "restrict",
+    "split_conjunction",
+    "transitive_closure_size",
+    "union",
+]

@@ -1,0 +1,262 @@
+"""Atoms and atom types (Definition 1).
+
+An **atom** plays the role of a tuple in the relational model: it "consists
+of attributes of various data types, is uniquely identifiable, and belongs to
+its corresponding atom type".  An **atom type** is the triple
+``at = <aname, ad, av>`` of a name, an atom-type description and an atom-type
+occurrence (a set of atoms whose values lie in the description's domain).
+
+Atoms carry a surrogate identifier so that links (Definition 2) can reference
+them independently of attribute values — this is what makes shared subobjects
+representable without foreign keys.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.core.attributes import AtomTypeDescription, make_description
+from repro.exceptions import DuplicateNameError, IntegrityError, SchemaError
+
+_atom_counter = itertools.count(1)
+
+
+def _next_surrogate(type_name: str) -> str:
+    """Generate a fresh, human-readable surrogate identifier for an atom."""
+    return f"{type_name}#{next(_atom_counter)}"
+
+
+class Atom:
+    """A uniquely identifiable element of an atom-type occurrence.
+
+    Parameters
+    ----------
+    type_name:
+        Name of the atom type this atom belongs to.
+    values:
+        Mapping from attribute names to values; validated against the atom
+        type's description when the atom is inserted into an occurrence.
+    identifier:
+        Optional explicit identifier.  When omitted a surrogate of the form
+        ``"<type>#<n>"`` is generated.  Identifiers must be unique within the
+        atom type's occurrence.
+    """
+
+    __slots__ = ("identifier", "type_name", "_values")
+
+    def __init__(
+        self,
+        type_name: str,
+        values: Optional[Mapping[str, object]] = None,
+        identifier: Optional[str] = None,
+    ) -> None:
+        self.type_name = type_name
+        self.identifier = identifier if identifier is not None else _next_surrogate(type_name)
+        self._values: Dict[str, object] = dict(values or {})
+
+    @property
+    def values(self) -> Dict[str, object]:
+        """A copy of the atom's attribute values."""
+        return dict(self._values)
+
+    def __getitem__(self, attribute: str) -> object:
+        return self._values.get(attribute)
+
+    def get(self, attribute: str, default: object = None) -> object:
+        """Return the value of *attribute*, or *default* when absent."""
+        return self._values.get(attribute, default)
+
+    def with_values(self, **updates: object) -> "Atom":
+        """Return a copy of this atom (same identity) with updated values."""
+        merged = dict(self._values)
+        merged.update(updates)
+        return Atom(self.type_name, merged, identifier=self.identifier)
+
+    def projected(self, names: Sequence[str], type_name: Optional[str] = None) -> "Atom":
+        """Return a new atom restricted to the attributes in *names*.
+
+        The projected atom keeps this atom's identity so that the link
+        inheritance of the atom-type algebra can trace result atoms back to
+        their operand atoms.
+        """
+        return Atom(
+            type_name or self.type_name,
+            {name: self._values.get(name) for name in names},
+            identifier=self.identifier,
+        )
+
+    def concatenated(self, other: "Atom", type_name: str, names: Sequence[str]) -> "Atom":
+        """Return the concatenation ``self & other`` used by the cartesian product.
+
+        The result carries a composite identifier ``"<id1>&<id2>"`` so that
+        provenance to both operand atoms is preserved.
+        """
+        combined: Dict[str, object] = {}
+        pool = dict(self._values)
+        pool_other = dict(other._values)
+        for name in names:
+            if name in pool:
+                combined[name] = pool.pop(name)
+            elif name in pool_other:
+                combined[name] = pool_other.pop(name)
+            else:
+                # Prefixed names produced by AtomTypeDescription.union.
+                bare = name.split(".", 1)[-1]
+                if bare in pool:
+                    combined[name] = pool.pop(bare)
+                elif bare in pool_other:
+                    combined[name] = pool_other.pop(bare)
+        return Atom(type_name, combined, identifier=f"{self.identifier}&{other.identifier}")
+
+    def provenance(self) -> Tuple[str, ...]:
+        """Return the operand identifiers this atom was derived from.
+
+        Atoms created directly have a single-element provenance (their own
+        identifier); atoms produced by cartesian products report every operand
+        identifier that was concatenated.
+        """
+        return tuple(self.identifier.split("&"))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return self.identifier == other.identifier and self.type_name == other.type_name
+
+    def __hash__(self) -> int:
+        return hash((self.type_name, self.identifier))
+
+    def __repr__(self) -> str:
+        shown = ", ".join(f"{k}={v!r}" for k, v in list(self._values.items())[:3])
+        return f"Atom({self.identifier}, {shown})"
+
+
+class AtomType:
+    """The triple ``<aname, ad, av>`` of Definition 1.
+
+    ``nam(at)``, ``des(at)`` and ``ext(at)`` of the paper correspond to the
+    :attr:`name`, :attr:`description` and :attr:`occurrence` properties.
+    """
+
+    __slots__ = ("_name", "_description", "_atoms", "_by_identifier")
+
+    def __init__(
+        self,
+        name: str,
+        description: "AtomTypeDescription | Sequence | Mapping",
+        atoms: Iterable[Atom] = (),
+    ) -> None:
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"invalid atom-type name: {name!r}")
+        self._name = name
+        self._description = make_description(description)
+        self._atoms: Dict[str, Atom] = {}
+        self._by_identifier = self._atoms  # alias, kept for readability
+        for atom in atoms:
+            self.add(atom)
+
+    # -- accessor functions of Definition 1 --------------------------------
+
+    @property
+    def name(self) -> str:
+        """``nam(at)`` — the atom-type name."""
+        return self._name
+
+    @property
+    def description(self) -> AtomTypeDescription:
+        """``des(at)`` — the atom-type description."""
+        return self._description
+
+    @property
+    def occurrence(self) -> Tuple[Atom, ...]:
+        """``ext(at)`` — the atom-type occurrence as a tuple of atoms."""
+        return tuple(self._atoms.values())
+
+    # -- occurrence management ---------------------------------------------
+
+    def add(self, atom: "Atom | Mapping[str, object]", identifier: Optional[str] = None) -> Atom:
+        """Insert *atom* into the occurrence, validating it against the description.
+
+        *atom* may be an :class:`Atom` or a plain mapping of attribute values
+        (in which case a new atom is created).  Returns the stored atom.
+        """
+        if isinstance(atom, Atom):
+            if atom.type_name != self._name:
+                atom = Atom(self._name, atom.values, identifier=atom.identifier)
+        else:
+            atom = Atom(self._name, dict(atom), identifier=identifier)
+        if atom.identifier in self._atoms:
+            raise IntegrityError(
+                f"atom identifier {atom.identifier!r} already present in atom type {self._name!r}"
+            )
+        validated = self._description.validate_values(atom.values)
+        stored = Atom(self._name, validated, identifier=atom.identifier)
+        self._atoms[stored.identifier] = stored
+        return stored
+
+    def insert(self, identifier: Optional[str] = None, **values: object) -> Atom:
+        """Convenience wrapper: create and add an atom from keyword values."""
+        return self.add(values, identifier=identifier)
+
+    def remove(self, atom: "Atom | str") -> Atom:
+        """Remove an atom (by object or identifier) from the occurrence."""
+        identifier = atom.identifier if isinstance(atom, Atom) else atom
+        try:
+            return self._atoms.pop(identifier)
+        except KeyError as exc:
+            raise IntegrityError(
+                f"atom {identifier!r} is not part of atom type {self._name!r}"
+            ) from exc
+
+    def get(self, identifier: str) -> Optional[Atom]:
+        """Return the atom with *identifier*, or ``None``."""
+        return self._atoms.get(identifier)
+
+    def __contains__(self, atom: object) -> bool:
+        if isinstance(atom, Atom):
+            return atom.identifier in self._atoms
+        return atom in self._atoms
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms.values())
+
+    # -- derived views -------------------------------------------------------
+
+    def identifiers(self) -> Tuple[str, ...]:
+        """Return the identifiers of all atoms in the occurrence."""
+        return tuple(self._atoms)
+
+    def empty_copy(self, name: Optional[str] = None) -> "AtomType":
+        """Return a new atom type with the same description and an empty occurrence."""
+        return AtomType(name or self._name, self._description)
+
+    def copy(self, name: Optional[str] = None) -> "AtomType":
+        """Return a deep copy (fresh occurrence dict, shared immutable atoms)."""
+        clone = AtomType(name or self._name, self._description)
+        for atom in self._atoms.values():
+            clone._atoms[atom.identifier] = atom
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AtomType):
+            return NotImplemented
+        return (
+            self._name == other._name
+            and self._description == other._description
+            and set(self._atoms) == set(other._atoms)
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._name)
+
+    def __repr__(self) -> str:
+        return f"AtomType({self._name!r}, attributes={list(self._description.names)!r}, atoms={len(self)})"
+
+
+def reset_surrogate_counter() -> None:
+    """Reset the surrogate-identifier counter (used by tests for determinism)."""
+    global _atom_counter
+    _atom_counter = itertools.count(1)

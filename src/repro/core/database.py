@@ -1,0 +1,341 @@
+"""Databases and the database domain (Definition 3).
+
+A **database** is the pair ``DB = <AT, LT>`` of a set of atom types and a set
+of link types over those atom types.  The **database domain** ``DB*``
+comprises all valid databases; every operation of the atom-type algebra and of
+the molecule algebra is *closed* under this domain — each result atom type
+(with its inherited link types) is added to a correspondingly *enlarged*
+database.
+
+The :class:`Database` class therefore provides, besides the obvious
+registries, the ``atyp``/``ltyp`` lookup functions of the paper, validity
+checking (the executable counterpart of membership in ``AT*``/``LT*``/``DB*``),
+and :meth:`enlarged`, which produces the grown database used in closure
+constructions without mutating the original.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.atom import Atom, AtomType
+from repro.core.attributes import AtomTypeDescription
+from repro.core.link import Cardinality, Link, LinkType
+from repro.exceptions import (
+    DanglingLinkError,
+    DuplicateNameError,
+    SchemaError,
+    UnknownNameError,
+)
+
+
+class Database:
+    """The pair ``<AT, LT>`` of Definition 3, with validity checking.
+
+    Databases are ordinarily built through :class:`repro.schema.SchemaBuilder`
+    or the dataset loaders, but can also be assembled directly::
+
+        db = Database("geo")
+        state = db.define_atom_type("state", {"name": "string", "hectare": "integer"})
+        area = db.define_atom_type("area", {"area_id": "string"})
+        db.define_link_type("state-area", "state", "area")
+    """
+
+    def __init__(self, name: str = "db") -> None:
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"invalid database name: {name!r}")
+        self.name = name
+        self._atom_types: Dict[str, AtomType] = {}
+        self._link_types: Dict[str, LinkType] = {}
+
+    # ------------------------------------------------------------------ AT
+
+    @property
+    def atom_types(self) -> Tuple[AtomType, ...]:
+        """The set ``AT`` of atom types (in definition order)."""
+        return tuple(self._atom_types.values())
+
+    @property
+    def atom_type_names(self) -> Tuple[str, ...]:
+        """The names of all atom types."""
+        return tuple(self._atom_types)
+
+    def define_atom_type(
+        self,
+        name: str,
+        description: "AtomTypeDescription | Sequence | Mapping",
+        atoms: Iterable[Atom] = (),
+    ) -> AtomType:
+        """Create a new atom type and register it; returns the atom type."""
+        atom_type = AtomType(name, description, atoms)
+        return self.add_atom_type(atom_type)
+
+    def add_atom_type(self, atom_type: AtomType) -> AtomType:
+        """Register an existing atom type; its name must be fresh."""
+        if atom_type.name in self._atom_types:
+            raise DuplicateNameError(f"atom type {atom_type.name!r} already defined")
+        if atom_type.name in self._link_types:
+            raise DuplicateNameError(
+                f"name {atom_type.name!r} already used by a link type"
+            )
+        self._atom_types[atom_type.name] = atom_type
+        return atom_type
+
+    def atyp(self, name: "str | Iterable[str]") -> "AtomType | Tuple[AtomType, ...]":
+        """The ``atyp`` function of Definition 1 (extended to name sets).
+
+        With a single name returns that atom type; with an iterable of names
+        returns the corresponding tuple of atom types.
+        """
+        if isinstance(name, str):
+            try:
+                return self._atom_types[name]
+            except KeyError as exc:
+                raise UnknownNameError(f"unknown atom type: {name!r}") from exc
+        return tuple(self.atyp(single) for single in name)
+
+    def has_atom_type(self, name: str) -> bool:
+        """Return ``True`` when an atom type named *name* exists."""
+        return name in self._atom_types
+
+    def drop_atom_type(self, name: str) -> None:
+        """Remove an atom type and every link type that references it."""
+        if name not in self._atom_types:
+            raise UnknownNameError(f"unknown atom type: {name!r}")
+        del self._atom_types[name]
+        for link_name in [ln for ln, lt in self._link_types.items() if lt.connects_type(name)]:
+            del self._link_types[link_name]
+
+    # ------------------------------------------------------------------ LT
+
+    @property
+    def link_types(self) -> Tuple[LinkType, ...]:
+        """The set ``LT`` of link types (in definition order)."""
+        return tuple(self._link_types.values())
+
+    @property
+    def link_type_names(self) -> Tuple[str, ...]:
+        """The names of all link types."""
+        return tuple(self._link_types)
+
+    def define_link_type(
+        self,
+        name: str,
+        first_type: "AtomType | str",
+        second_type: "AtomType | str",
+        cardinality: Cardinality = Cardinality.MANY_TO_MANY,
+    ) -> LinkType:
+        """Create and register a link type between two existing atom types."""
+        first_name = first_type.name if isinstance(first_type, AtomType) else first_type
+        second_name = second_type.name if isinstance(second_type, AtomType) else second_type
+        for type_name in (first_name, second_name):
+            if type_name not in self._atom_types:
+                raise UnknownNameError(
+                    f"cannot define link type {name!r}: unknown atom type {type_name!r}"
+                )
+        link_type = LinkType(name, first_name, second_name, cardinality=cardinality)
+        return self.add_link_type(link_type)
+
+    def add_link_type(self, link_type: LinkType) -> LinkType:
+        """Register an existing link type; both endpoint atom types must exist."""
+        if link_type.name in self._link_types:
+            raise DuplicateNameError(f"link type {link_type.name!r} already defined")
+        if link_type.name in self._atom_types:
+            raise DuplicateNameError(f"name {link_type.name!r} already used by an atom type")
+        for type_name in link_type.atom_type_names:
+            if type_name not in self._atom_types:
+                raise UnknownNameError(
+                    f"link type {link_type.name!r} references unknown atom type {type_name!r}"
+                )
+        self._link_types[link_type.name] = link_type
+        return link_type
+
+    def ltyp(self, name: "str | Iterable") -> "LinkType | Tuple[LinkType, ...]":
+        """The ``ltyp`` function: map a link-type name (or directed use) to its link type."""
+        if isinstance(name, str):
+            try:
+                return self._link_types[name]
+            except KeyError as exc:
+                raise UnknownNameError(f"unknown link type: {name!r}") from exc
+        return tuple(self.ltyp(single) for single in name)
+
+    def has_link_type(self, name: str) -> bool:
+        """Return ``True`` when a link type named *name* exists."""
+        return name in self._link_types
+
+    def drop_link_type(self, name: str) -> None:
+        """Remove a link type from the database."""
+        if name not in self._link_types:
+            raise UnknownNameError(f"unknown link type: {name!r}")
+        del self._link_types[name]
+
+    def link_types_of(self, atom_type: "AtomType | str") -> Tuple[LinkType, ...]:
+        """Return every link type incident to *atom_type*."""
+        name = atom_type.name if isinstance(atom_type, AtomType) else atom_type
+        return tuple(lt for lt in self._link_types.values() if lt.connects_type(name))
+
+    def link_types_between(self, first: str, second: str) -> Tuple[LinkType, ...]:
+        """Return all link types connecting atom types *first* and *second*."""
+        return tuple(
+            lt
+            for lt in self._link_types.values()
+            if lt.description == frozenset((first, second)) or (first == second and lt.is_reflexive)
+        )
+
+    # --------------------------------------------------------- convenience
+
+    def insert_atom(self, type_name: str, identifier: Optional[str] = None, **values: object) -> Atom:
+        """Insert a new atom into atom type *type_name*."""
+        return self.atyp(type_name).insert(identifier=identifier, **values)
+
+    def connect(self, link_type_name: str, first: "Atom | str", second: "Atom | str") -> Link:
+        """Insert a link of *link_type_name* between two atoms."""
+        return self.ltyp(link_type_name).connect(first, second)
+
+    def find_atom(self, identifier: str) -> Optional[Atom]:
+        """Locate an atom by identifier across all atom types."""
+        for atom_type in self._atom_types.values():
+            atom = atom_type.get(identifier)
+            if atom is not None:
+                return atom
+        return None
+
+    # --------------------------------------------------------------- DB*
+
+    def validate(self) -> None:
+        """Check membership in the database domain ``DB*``.
+
+        Raises when a link type references atoms that are not part of its
+        endpoint atom types' occurrences (referential integrity) or when a
+        link type's endpoint atom types are missing.
+        """
+        for link_type in self._link_types.values():
+            first_name, second_name = link_type.atom_type_names
+            if first_name not in self._atom_types or second_name not in self._atom_types:
+                raise UnknownNameError(
+                    f"link type {link_type.name!r} references undefined atom types"
+                )
+            first = self._atom_types[first_name]
+            second = self._atom_types[second_name]
+            known = set(first.identifiers()) | set(second.identifiers())
+            for link in link_type:
+                for identifier in link.identifiers:
+                    if identifier not in known:
+                        raise DanglingLinkError(
+                            f"link {link!r} of type {link_type.name!r} references "
+                            f"unknown atom {identifier!r}"
+                        )
+
+    def is_valid(self) -> bool:
+        """Return ``True`` when :meth:`validate` succeeds."""
+        try:
+            self.validate()
+        except (DanglingLinkError, UnknownNameError):
+            return False
+        return True
+
+    def enlarged(
+        self,
+        new_atom_types: Iterable[AtomType] = (),
+        new_link_types: Iterable[LinkType] = (),
+        name: Optional[str] = None,
+    ) -> "Database":
+        """Return a new database extended with additional atom/link types.
+
+        This is the "correspondingly enlarged database" of the closure
+        constructions (Theorem 1, Definition 9): the original database is left
+        untouched; the result shares the original type objects and adds the
+        new ones.
+        """
+        grown = Database(name or self.name)
+        grown._atom_types = dict(self._atom_types)
+        grown._link_types = dict(self._link_types)
+        for atom_type in new_atom_types:
+            if atom_type.name in grown._atom_types:
+                # Result names are freshly generated; a clash means the caller
+                # reused a name deliberately (idempotent re-registration).
+                continue
+            grown._atom_types[atom_type.name] = atom_type
+        for link_type in new_link_types:
+            if link_type.name in grown._link_types:
+                continue
+            grown._link_types[link_type.name] = link_type
+        return grown
+
+    def copy(self, name: Optional[str] = None) -> "Database":
+        """Return a deep copy of the database (fresh atom/link type objects)."""
+        clone = Database(name or self.name)
+        for atom_type in self._atom_types.values():
+            clone._atom_types[atom_type.name] = atom_type.copy()
+        for link_type in self._link_types.values():
+            clone._link_types[link_type.name] = link_type.copy()
+        return clone
+
+    # ---------------------------------------------------------- statistics
+
+    def atom_count(self) -> int:
+        """Total number of atoms across all atom types."""
+        return sum(len(atom_type) for atom_type in self._atom_types.values())
+
+    def link_count(self) -> int:
+        """Total number of links across all link types."""
+        return sum(len(link_type) for link_type in self._link_types.values())
+
+    def statistics(self) -> Dict[str, Dict[str, int]]:
+        """Return per-type occurrence sizes, used by reports and the optimizer."""
+        return {
+            "atom_types": {name: len(at) for name, at in self._atom_types.items()},
+            "link_types": {name: len(lt) for name, lt in self._link_types.items()},
+        }
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._atom_types or name in self._link_types
+
+    def __repr__(self) -> str:
+        return (
+            f"Database({self.name!r}, atom_types={len(self._atom_types)}, "
+            f"link_types={len(self._link_types)}, atoms={self.atom_count()}, "
+            f"links={self.link_count()})"
+        )
+
+
+def formal_specification(db: Database) -> str:
+    """Render a database in the style of Figure 4 of the paper.
+
+    Each atom type is shown as ``<name, {attributes}, {atoms}> ∈ AT*``, each
+    link type as ``<name, {endpoints}, {links}> ∈ LT*``, and the database as
+    ``<{atom types}, {link types}> ∈ DB*``.  Occurrences are elided after a few
+    elements, matching the paper's presentation.
+    """
+
+    def preview(items: Sequence[str], limit: int = 4) -> str:
+        shown = list(items[:limit])
+        if len(items) > limit:
+            shown.append("...")
+        return "{" + ", ".join(shown) + "}"
+
+    lines: List[str] = []
+    for atom_type in db.atom_types:
+        atom_previews = [
+            "<" + ", ".join(repr(atom.get(name)) for name in atom_type.description.names) + ">"
+            for atom in atom_type.occurrence
+        ]
+        lines.append(
+            f"{atom_type.name} = <{atom_type.name}, "
+            f"{preview(list(atom_type.description.names), limit=8)}, "
+            f"{preview(atom_previews)}> ∈ AT*"
+        )
+    for link_type in db.link_types:
+        link_previews = [
+            "<" + ", ".join(sorted(link.identifiers)) + ">" for link in link_type.occurrence
+        ]
+        first, second = link_type.atom_type_names
+        lines.append(
+            f"{link_type.name} = <{link_type.name}, {{{first}, {second}}}, "
+            f"{preview(link_previews)}> ∈ LT*"
+        )
+    lines.append(
+        f"{db.name} = <{preview(list(db.atom_type_names), limit=10)}, "
+        f"{preview(list(db.link_type_names), limit=10)}> ∈ DB*"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,273 @@
+"""Molecule derivation: ``m_dom``, ``contained``, ``total`` and ``mv_graph`` (Definition 6).
+
+The derivation of a molecule-type occurrence "proceeds in a straight-forward
+way using the molecule structure as a kind of template, which is laid over the
+atom networks.  Thus, for each atom of the root atom type one molecule is
+derived following all links determined by the link types of the molecule
+structure to the children, grandchildren atoms etc. till the leaves are
+reached.  Derivation of the children atoms means performing the hierarchical
+join along the specified branches."
+
+:func:`derive_occurrence` is the executable form of the function ``m_dom``;
+:func:`mv_graph` re-checks a derived (or hand-built) molecule against its
+description, and :func:`is_total` verifies maximality (the ``total``
+predicate): a molecule must contain every atom that is *contained* w.r.t. the
+description, and no atom that is not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.atom import Atom, AtomType
+from repro.core.database import Database
+from repro.core.graph import DirectedLink
+from repro.core.link import Link, LinkType
+from repro.core.molecule import Molecule, MoleculeTypeDescription
+from repro.exceptions import MoleculeGraphError, SchemaError, UnknownNameError
+
+
+def resolve_directed_link(database: Database, directed: DirectedLink) -> LinkType:
+    """The ``ltyp`` function for directed uses: map a directed link to its link type.
+
+    When the directed link carries the anonymous name ``"-"`` (the MQL
+    shorthand "if there is only one link type defined between two atom types")
+    the unique link type between source and target is resolved; ambiguity or
+    absence raises :class:`SchemaError`.
+    """
+    name = directed.link_type_name
+    if name and name != "-":
+        link_type = database.ltyp(name)
+        source = directed.source.split("@", 1)[0]
+        target = directed.target.split("@", 1)[0]
+        if not (
+            link_type.connects_type(directed.source) or link_type.connects_type(source)
+        ) or not (
+            link_type.connects_type(directed.target) or link_type.connects_type(target)
+        ):
+            raise SchemaError(
+                f"link type {name!r} does not connect {directed.source!r} and {directed.target!r}"
+            )
+        return link_type
+    candidates = database.link_types_between(directed.source, directed.target)
+    if not candidates:
+        raise SchemaError(
+            f"no link type defined between {directed.source!r} and {directed.target!r}"
+        )
+    if len(candidates) > 1:
+        raise SchemaError(
+            f"ambiguous link between {directed.source!r} and {directed.target!r}: "
+            f"{[lt.name for lt in candidates]!r}; name the link type explicitly"
+        )
+    return candidates[0]
+
+
+def resolve_description(
+    database: Database, description: MoleculeTypeDescription
+) -> MoleculeTypeDescription:
+    """Return *description* with every anonymous link-type use resolved by name."""
+    resolved = []
+    changed = False
+    for directed in description.directed_links:
+        if directed.link_type_name and directed.link_type_name != "-":
+            resolved.append(directed)
+            continue
+        link_type = resolve_directed_link(database, directed)
+        resolved.append(DirectedLink(link_type.name, directed.source, directed.target))
+        changed = True
+    if not changed:
+        return description
+    return MoleculeTypeDescription(description.atom_type_names, resolved)
+
+
+def derive_molecule(
+    database: Database,
+    description: MoleculeTypeDescription,
+    root_atom: Atom,
+) -> Molecule:
+    """Derive the single molecule rooted at *root_atom* (hierarchical join).
+
+    Traverses the molecule structure in topological order; for every directed
+    link use ``<lt, P, C>`` and every component atom of type ``P`` already in
+    the molecule, all atoms of type ``C`` connected through ``lt`` are added
+    together with the connecting links.  An atom reachable through several
+    parents is included once — molecules are graphs, not trees.
+    """
+    component_atoms: Dict[str, Atom] = {root_atom.identifier: root_atom}
+    atoms_per_type: Dict[str, Set[str]] = {description.root: {root_atom.identifier}}
+    component_links: Set[Link] = set()
+    for type_name in description.traversal_order():
+        parent_ids = atoms_per_type.get(type_name, set())
+        if not parent_ids:
+            continue
+        for directed in description.children_of(type_name):
+            link_type = resolve_directed_link(database, directed)
+            child_type = database.atyp(directed.target)
+            bucket = atoms_per_type.setdefault(directed.target, set())
+            for parent_id in parent_ids:
+                for link in link_type.links_of(parent_id):
+                    child_id = link.other(parent_id)
+                    child_atom = child_type.get(child_id)
+                    if child_atom is None:
+                        # The partner belongs to the other endpoint type of a
+                        # reflexive or differently-directed use; skip it.
+                        continue
+                    component_links.add(link)
+                    if child_id not in component_atoms:
+                        component_atoms[child_id] = child_atom
+                    bucket.add(child_id)
+    return Molecule(root_atom, component_atoms.values(), component_links, description)
+
+
+def derive_occurrence(
+    database: Database,
+    description: MoleculeTypeDescription,
+) -> Tuple[Molecule, ...]:
+    """The function ``m_dom``: derive every molecule of the description's occurrence.
+
+    One molecule per atom of the root atom type, in the root occurrence's
+    iteration order.
+    """
+    description = resolve_description(database, description)
+    root_type = database.atyp(description.root)
+    return tuple(
+        derive_molecule(database, description, root_atom) for root_atom in root_type
+    )
+
+
+def contained(
+    database: Database,
+    description: MoleculeTypeDescription,
+    molecule: Molecule,
+    atom: Atom,
+) -> bool:
+    """The recursive ``contained`` predicate of Definition 6.
+
+    An atom is contained when it is the molecule's root, or when for some
+    directed link use ending in the atom's type there is a contained parent
+    atom connected to it by a link of that use's link type.
+    """
+    if atom.identifier == molecule.root_atom.identifier:
+        return atom.type_name == description.root or (
+            atom.type_name.split("@", 1)[0] == description.root.split("@", 1)[0]
+        )
+    for directed in description.parents_of(atom.type_name):
+        link_type = resolve_directed_link(database, directed)
+        for link in link_type.links_of(atom.identifier):
+            parent_id = link.other(atom.identifier)
+            parent = molecule.get(parent_id)
+            if parent is None:
+                continue
+            if parent.type_name != directed.source:
+                continue
+            if contained(database, description, molecule, parent):
+                return True
+    return False
+
+
+def is_total(
+    database: Database,
+    description: MoleculeTypeDescription,
+    molecule: Molecule,
+) -> bool:
+    """The ``total`` predicate: the molecule is maximal w.r.t. ``contained``.
+
+    Every component atom must be contained, and every database atom of a
+    participating atom type that is contained must be a component atom.
+    """
+    description = resolve_description(database, description)
+    for atom in molecule.atoms:
+        if not contained(database, description, molecule, atom):
+            return False
+    reference = derive_molecule(database, description, molecule.root_atom)
+    return reference.atom_identifiers == molecule.atom_identifiers
+
+
+def mv_graph(
+    database: Database,
+    description: MoleculeTypeDescription,
+    molecule: Molecule,
+) -> Tuple[bool, str]:
+    """The ``mv_graph`` predicate: molecule conforms to description and is total.
+
+    Checks (1) every component atom's type appears in ``C``; (2) every
+    component link's type is the underlying link type of some directed use in
+    ``G`` and connects component atoms; (3) the molecule graph is coherent and
+    rooted at an atom of the root type; (4) the molecule is maximal (total).
+    Returns ``(ok, reason)``.
+    """
+    description = resolve_description(database, description)
+    allowed_types = set(description.atom_type_names)
+    allowed_types_bare = {name.split("@", 1)[0] for name in allowed_types}
+    for atom in molecule.atoms:
+        if atom.type_name not in allowed_types and atom.type_name.split("@", 1)[0] not in allowed_types_bare:
+            return False, f"atom {atom.identifier!r} has type outside the description"
+    allowed_link_names = set()
+    for directed in description.directed_links:
+        allowed_link_names.add(resolve_directed_link(database, directed).name)
+    component_ids = molecule.atom_identifiers
+    for link in molecule.links:
+        base_name = link.link_type_name.split("~", 1)[0]
+        if link.link_type_name not in allowed_link_names and base_name not in {
+            name.split("~", 1)[0] for name in allowed_link_names
+        }:
+            return False, f"link {link!r} uses a link type outside the description"
+        if not all(identifier in component_ids for identifier in link.identifiers):
+            return False, f"link {link!r} references atoms outside the molecule"
+    root = molecule.root_atom
+    if root.type_name != description.root and root.type_name.split("@", 1)[0] != description.root.split("@", 1)[0]:
+        return False, f"root atom {root.identifier!r} is not of the root atom type"
+    if not _is_connected(molecule):
+        return False, "the molecule graph is not coherent"
+    if not is_total(database, description, molecule):
+        return False, "the molecule is not maximal (total) w.r.t. the atom networks"
+    return True, ""
+
+
+def _is_connected(molecule: Molecule) -> bool:
+    """Check weak connectivity of the molecule graph (single atoms are connected)."""
+    identifiers = set(molecule.atom_identifiers)
+    if len(identifiers) <= 1:
+        return True
+    adjacency: Dict[str, Set[str]] = {identifier: set() for identifier in identifiers}
+    for link in molecule.links:
+        ids = tuple(link.identifiers)
+        first, last = ids[0], ids[-1]
+        if first in adjacency and last in adjacency:
+            adjacency[first].add(last)
+            adjacency[last].add(first)
+    start = molecule.root_atom.identifier
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        current = frontier.pop()
+        for neighbour in adjacency.get(current, ()):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append(neighbour)
+    return seen == identifiers
+
+
+def hierarchical_join_statistics(
+    database: Database,
+    description: MoleculeTypeDescription,
+) -> Dict[str, int]:
+    """Return work counters for deriving the full occurrence.
+
+    Used by the benchmarks to compare the number of atoms and links *touched*
+    by molecule derivation against the intermediate-tuple counts of the
+    equivalent relational join plan.
+    """
+    description = resolve_description(database, description)
+    molecules = derive_occurrence(database, description)
+    atoms_touched = sum(len(m) for m in molecules)
+    links_touched = sum(len(m.links) for m in molecules)
+    distinct_atoms: Set[str] = set()
+    for molecule in molecules:
+        distinct_atoms |= molecule.atom_identifiers
+    return {
+        "molecules": len(molecules),
+        "atoms_touched": atoms_touched,
+        "links_touched": links_touched,
+        "distinct_atoms": len(distinct_atoms),
+    }

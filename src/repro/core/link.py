@@ -1,0 +1,391 @@
+"""Links and link types (Definition 2).
+
+A **link type** is the triple ``lt = <lname, ld, lv>`` where ``ld`` names the
+two atom types it connects (possibly the same one — a *reflexive* link type)
+and ``lv`` is a set of **links**, each an *unsorted pair* of atoms drawn from
+the two atom types.  Links are the MAD model's explicit, bidirectional
+representation of relationships; they replace the relational model's
+foreign-key/primary-key connections and make referential integrity a property
+maintained by the model itself ("there are no dangling references").
+
+Link types may carry an optional cardinality restriction (the paper notes it
+"is even possible to control cardinality restrictions specified in an
+extended link-type definition"); see :class:`Cardinality`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.core.atom import Atom, AtomType
+from repro.exceptions import CardinalityError, DanglingLinkError, SchemaError
+
+
+class Cardinality(enum.Enum):
+    """Cardinality restriction of a link type, interpreted on the (from, to) pair.
+
+    ``ONE_TO_ONE`` — each atom of either type participates in at most one link.
+    ``ONE_TO_MANY`` — each atom of the *second* type links to at most one atom
+    of the first type (the classical 1:n).
+    ``MANY_TO_MANY`` — unrestricted (the default).
+    """
+
+    ONE_TO_ONE = "1:1"
+    ONE_TO_MANY = "1:n"
+    MANY_TO_MANY = "n:m"
+
+
+class Link:
+    """An unsorted pair of atom identifiers, tagged with its link type.
+
+    Because links are unsorted pairs, ``Link(lt, a, b) == Link(lt, b, a)``.
+    For reflexive link types the two endpoints may refer to distinct atoms of
+    the same type; a self-loop (both endpoints the same atom) is permitted but
+    rarely useful.
+    """
+
+    __slots__ = ("link_type_name", "_pair", "_typed_pair", "_given")
+
+    def __init__(
+        self,
+        link_type_name: str,
+        first: "Atom | str",
+        second: "Atom | str",
+        first_type: Optional[str] = None,
+        second_type: Optional[str] = None,
+    ) -> None:
+        first_id = first.identifier if isinstance(first, Atom) else first
+        second_id = second.identifier if isinstance(second, Atom) else second
+        first_tn = first.type_name if isinstance(first, Atom) else first_type
+        second_tn = second.type_name if isinstance(second, Atom) else second_type
+        self.link_type_name = link_type_name
+        self._pair: FrozenSet[str] = frozenset((first_id, second_id))
+        # The construction order is preserved: for reflexive link types it is
+        # the only way to tell the two roles apart (e.g. super-component vs.
+        # sub-component on a 'composition' link).  Equality stays unordered,
+        # matching the paper's "unsorted pair".
+        self._given: Tuple[str, str] = (first_id, second_id)
+        # Keep a canonical ordered view (sorted by (type, id)) for display and
+        # for endpoint lookups; semantics remain unsorted.
+        self._typed_pair: Tuple[Tuple[Optional[str], str], ...] = tuple(
+            sorted(((first_tn, first_id), (second_tn, second_id)), key=lambda pair: (pair[0] or "", pair[1]))
+        )
+
+    @property
+    def identifiers(self) -> FrozenSet[str]:
+        """The unsorted pair of atom identifiers this link connects."""
+        return self._pair
+
+    @property
+    def endpoints(self) -> Tuple[Tuple[Optional[str], str], ...]:
+        """Canonically ordered ``((type, id), (type, id))`` view of the endpoints."""
+        return self._typed_pair
+
+    @property
+    def given_order(self) -> Tuple[str, str]:
+        """The endpoint identifiers in construction order (first, second).
+
+        Needed to recover the two roles of a reflexive link type; for
+        non-reflexive link types the endpoint atom types already disambiguate.
+        """
+        return self._given
+
+    def connects(self, identifier: str) -> bool:
+        """Return ``True`` when *identifier* is one of the two endpoints."""
+        return identifier in self._pair
+
+    def other(self, identifier: str) -> str:
+        """Return the endpoint opposite to *identifier*.
+
+        For self-loops the same identifier is returned.
+        """
+        if identifier not in self._pair:
+            raise DanglingLinkError(f"atom {identifier!r} is not an endpoint of {self!r}")
+        if len(self._pair) == 1:
+            return identifier
+        (first, second) = tuple(self._pair)
+        return second if first == identifier else first
+
+    def endpoint_of_type(self, type_name: str) -> Optional[str]:
+        """Return the endpoint identifier whose atom type is *type_name*, if any."""
+        for endpoint_type, identifier in self._typed_pair:
+            if endpoint_type == type_name:
+                return identifier
+        return None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Link):
+            return NotImplemented
+        return self.link_type_name == other.link_type_name and self._pair == other._pair
+
+    def __hash__(self) -> int:
+        return hash((self.link_type_name, self._pair))
+
+    def __repr__(self) -> str:
+        ids = " -- ".join(identifier for _, identifier in self._typed_pair)
+        return f"Link({self.link_type_name}: {ids})"
+
+
+class LinkType:
+    """The triple ``<lname, ld, lv>`` of Definition 2.
+
+    Parameters
+    ----------
+    name:
+        The link-type name (unique within a database).
+    first_type, second_type:
+        Names of the two connected atom types.  Equal names define a reflexive
+        link type (e.g. the ``composition`` link type on ``parts`` in the
+        bill-of-material example).
+    cardinality:
+        Optional :class:`Cardinality` restriction, enforced by :meth:`add`.
+    """
+
+    __slots__ = ("_name", "_first_type", "_second_type", "_links", "_by_atom", "cardinality")
+
+    def __init__(
+        self,
+        name: str,
+        first_type: "AtomType | str",
+        second_type: "AtomType | str",
+        links: Iterable[Link] = (),
+        cardinality: Cardinality = Cardinality.MANY_TO_MANY,
+    ) -> None:
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"invalid link-type name: {name!r}")
+        self._name = name
+        self._first_type = first_type.name if isinstance(first_type, AtomType) else first_type
+        self._second_type = second_type.name if isinstance(second_type, AtomType) else second_type
+        self.cardinality = cardinality
+        self._links: Set[Link] = set()
+        self._by_atom: Dict[str, Set[Link]] = {}
+        for link in links:
+            self.add(link)
+
+    # -- accessor functions of Definition 2 --------------------------------
+
+    @property
+    def name(self) -> str:
+        """``nam(lt)`` — the link-type name."""
+        return self._name
+
+    @property
+    def description(self) -> FrozenSet[str]:
+        """``des(lt)`` — the (unordered) pair of connected atom-type names."""
+        return frozenset((self._first_type, self._second_type))
+
+    @property
+    def atom_type_names(self) -> Tuple[str, str]:
+        """The connected atom-type names as an ordered pair (definition order)."""
+        return (self._first_type, self._second_type)
+
+    @property
+    def occurrence(self) -> FrozenSet[Link]:
+        """``ext(lt)`` — the link-type occurrence."""
+        return frozenset(self._links)
+
+    @property
+    def is_reflexive(self) -> bool:
+        """``True`` when both connected atom types are the same."""
+        return self._first_type == self._second_type
+
+    def connects_type(self, type_name: str) -> bool:
+        """Return ``True`` when this link type has *type_name* as an endpoint type."""
+        return type_name in (self._first_type, self._second_type)
+
+    def other_type(self, type_name: str) -> str:
+        """Return the atom-type name opposite to *type_name* (itself when reflexive)."""
+        if type_name == self._first_type:
+            return self._second_type
+        if type_name == self._second_type:
+            return self._first_type
+        raise SchemaError(f"atom type {type_name!r} is not connected by link type {self._name!r}")
+
+    # -- occurrence management ---------------------------------------------
+
+    def add(self, link: "Link | Tuple", second: "Atom | str | None" = None) -> Link:
+        """Insert a link into the occurrence.
+
+        Accepts either a prepared :class:`Link`, a 2-tuple of atoms or
+        identifiers, or two positional atom arguments.  Cardinality
+        restrictions are enforced here.
+        """
+        if not isinstance(link, Link):
+            if second is not None:
+                first = link
+            else:
+                first, second = link  # type: ignore[misc]
+            link = Link(
+                self._name,
+                first,
+                second,
+                first_type=self._first_type if not isinstance(first, Atom) else None,
+                second_type=self._second_type if not isinstance(second, Atom) else None,
+            )
+        if link.link_type_name != self._name:
+            link = Link(self._name, *tuple(link.identifiers) * (2 if len(link.identifiers) == 1 else 1))
+        if link in self._links:
+            return link
+        self._check_cardinality(link)
+        self._links.add(link)
+        for identifier in link.identifiers:
+            self._by_atom.setdefault(identifier, set()).add(link)
+        return link
+
+    def connect(self, first: "Atom | str", second: "Atom | str") -> Link:
+        """Convenience wrapper for :meth:`add` with two endpoints."""
+        return self.add(first, second)
+
+    def _check_cardinality(self, link: Link) -> None:
+        if self.cardinality is Cardinality.MANY_TO_MANY:
+            return
+        for endpoint_type, identifier in link.endpoints:
+            existing = self._by_atom.get(identifier, set())
+            if not existing:
+                continue
+            if self.cardinality is Cardinality.ONE_TO_ONE:
+                raise CardinalityError(
+                    f"link type {self._name!r} is 1:1 but atom {identifier!r} already participates"
+                )
+            if self.cardinality is Cardinality.ONE_TO_MANY and endpoint_type == self._second_type:
+                raise CardinalityError(
+                    f"link type {self._name!r} is 1:n but atom {identifier!r} of type "
+                    f"{self._second_type!r} already has a parent link"
+                )
+
+    def remove(self, link: Link) -> None:
+        """Remove *link* from the occurrence (no error when absent)."""
+        if link not in self._links:
+            return
+        self._links.discard(link)
+        for identifier in link.identifiers:
+            bucket = self._by_atom.get(identifier)
+            if bucket is not None:
+                bucket.discard(link)
+                if not bucket:
+                    del self._by_atom[identifier]
+
+    def remove_atom(self, identifier: str) -> int:
+        """Remove every link incident to atom *identifier*; return the count removed."""
+        links = list(self._by_atom.get(identifier, ()))
+        for link in links:
+            self.remove(link)
+        return len(links)
+
+    def links_of(self, atom: "Atom | str") -> FrozenSet[Link]:
+        """Return all links incident to *atom*."""
+        identifier = atom.identifier if isinstance(atom, Atom) else atom
+        return frozenset(self._by_atom.get(identifier, set()))
+
+    def partners_of(self, atom: "Atom | str") -> FrozenSet[str]:
+        """Return the identifiers linked to *atom* through this link type."""
+        identifier = atom.identifier if isinstance(atom, Atom) else atom
+        return frozenset(link.other(identifier) for link in self._by_atom.get(identifier, set()))
+
+    def __contains__(self, link: object) -> bool:
+        return link in self._links
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __iter__(self) -> Iterator[Link]:
+        return iter(self._links)
+
+    def empty_copy(self, name: Optional[str] = None) -> "LinkType":
+        """Return a link type with the same description and an empty occurrence."""
+        return LinkType(name or self._name, self._first_type, self._second_type, cardinality=self.cardinality)
+
+    def copy(self, name: Optional[str] = None) -> "LinkType":
+        """Return a copy of this link type including its occurrence."""
+        clone = self.empty_copy(name)
+        for link in self._links:
+            clone.add(Link(clone.name, *self._ordered_ids(link)))
+        return clone
+
+    def restricted_to(
+        self,
+        name: str,
+        allowed_first: Set[str],
+        allowed_second: Set[str],
+        first_type: Optional[str] = None,
+        second_type: Optional[str] = None,
+    ) -> "LinkType":
+        """Return a renamed copy keeping only links whose endpoints are allowed.
+
+        This is the core of link-type *inheritance* (Definition 4 discussion)
+        and of result *propagation* (Definition 9): the structure of the link
+        type is preserved while the occurrence is filtered to the atoms that
+        survive in the result atom types.
+        """
+        clone = LinkType(
+            name,
+            first_type or self._first_type,
+            second_type or self._second_type,
+            cardinality=self.cardinality,
+        )
+        for link in self._links:
+            first_id, second_id = self._ordered_ids(link)
+            if first_id in allowed_first and second_id in allowed_second:
+                clone.add(Link(name, first_id, second_id, clone._first_type, clone._second_type))
+            elif self.is_reflexive and second_id in allowed_first and first_id in allowed_second:
+                clone.add(Link(name, second_id, first_id, clone._first_type, clone._second_type))
+        return clone
+
+    def _ordered_ids(self, link: Link) -> Tuple[str, str]:
+        """Return the link's endpoint identifiers ordered as (first_type, second_type)."""
+        if self.is_reflexive:
+            return link.given_order
+        first_id = link.endpoint_of_type(self._first_type)
+        second_id = link.endpoint_of_type(self._second_type)
+        if first_id is None or second_id is None:
+            # Fall back to raw pair order for links created from bare identifiers.
+            pair = tuple(link.identifiers)
+            if len(pair) == 1:
+                return (pair[0], pair[0])
+            return (pair[0], pair[1])
+        return (first_id, second_id)
+
+    def validate_against(self, first: AtomType, second: AtomType) -> None:
+        """Check referential integrity: every link endpoint exists in its atom type.
+
+        Raises :class:`DanglingLinkError` when a link references a missing atom.
+        """
+        for link in self._links:
+            first_id, second_id = self._ordered_ids(link)
+            if first_id not in first and second_id not in first and not self.is_reflexive:
+                raise DanglingLinkError(
+                    f"link {link!r} has no endpoint in atom type {first.name!r}"
+                )
+            if self.is_reflexive:
+                for identifier in (first_id, second_id):
+                    if identifier not in first:
+                        raise DanglingLinkError(
+                            f"link {link!r} references missing atom {identifier!r}"
+                        )
+            else:
+                if first_id not in first or second_id not in second:
+                    # Endpoints may be stored in either order; try the swap.
+                    if not (second_id in first and first_id in second):
+                        raise DanglingLinkError(
+                            f"link {link!r} references atoms missing from "
+                            f"{first.name!r}/{second.name!r}"
+                        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinkType):
+            return NotImplemented
+        return (
+            self._name == other._name
+            and self.description == other.description
+            and self.occurrence == other.occurrence
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._name)
+
+    def __repr__(self) -> str:
+        return (
+            f"LinkType({self._name!r}, {self._first_type!r} -- {self._second_type!r}, "
+            f"links={len(self)})"
+        )

@@ -1,0 +1,22 @@
+"""Datasets used by examples, tests, and benchmarks.
+
+* :mod:`repro.datasets.geography` — the Brazil geographic database of the
+  paper's Figures 1 and 4 (states, rivers, cities and the shared geographic
+  model of points, edges, areas, and nets), plus a parameterizable generator
+  for scaled-up variants.
+* :mod:`repro.datasets.bill_of_materials` — bill-of-material databases with
+  the reflexive ``composition`` link type (parts explosion, §5 outlook).
+* :mod:`repro.datasets.synthetic` — random atom networks used by the
+  closure/property benchmarks and by hypothesis strategies.
+"""
+
+from repro.datasets.bill_of_materials import build_bill_of_materials
+from repro.datasets.geography import build_geography, load_geography
+from repro.datasets.synthetic import build_synthetic_network
+
+__all__ = [
+    "build_bill_of_materials",
+    "build_geography",
+    "build_synthetic_network",
+    "load_geography",
+]

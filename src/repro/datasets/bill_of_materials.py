@@ -1,0 +1,112 @@
+"""Bill-of-material databases: the reflexive ``composition`` link type (§3.1, §5).
+
+The paper's canonical example of a reflexive link type: "when modeling the
+bill-of-material application with its super-component and sub-component view,
+we just have to define one reflexive link type called 'composition' on the
+atom type 'parts'.  Exploiting the link type's symmetry it is now easy to
+evaluate either the super-component view or only the sub-component view."
+
+:func:`build_bill_of_materials` generates a layered assembly graph (a DAG over
+parts) of configurable depth and fan-out, optionally with shared sub-assemblies
+(the same component used by several parents — non-disjoint complex objects).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.atom import Atom
+from repro.core.database import Database
+
+
+def define_bom_schema(name: str = "BOM_DB") -> Database:
+    """Create the bill-of-material schema: one atom type, one reflexive link type."""
+    db = Database(name)
+    db.define_atom_type(
+        "part",
+        {"part_no": "string", "description": "string", "level": "integer", "cost": "real"},
+    )
+    db.define_link_type("composition", "part", "part")
+    return db
+
+
+def build_bill_of_materials(
+    depth: int = 3,
+    fan_out: int = 3,
+    share_every: int = 0,
+    n_roots: int = 1,
+    name: str = "BOM_DB",
+) -> Database:
+    """Build a layered bill-of-material database.
+
+    Parameters
+    ----------
+    depth:
+        Number of composition levels below the root assemblies.
+    fan_out:
+        Number of sub-components per part (per level).
+    share_every:
+        When > 0, every ``share_every``-th component at a level is *shared*:
+        instead of creating a fresh part it reuses an existing part of that
+        level, producing non-disjoint sub-assemblies.
+    n_roots:
+        Number of top-level assemblies.
+
+    The composition link is directed super-component → sub-component in the
+    sense of the :class:`repro.core.recursion.RecursiveDescription` "down"
+    direction: the super-component is the link's *first* endpoint.
+    """
+    db = define_bom_schema(name)
+    part_type = db.atyp("part")
+    composition = db.ltyp("composition")
+
+    counter = 0
+
+    def new_part(level: int) -> Atom:
+        nonlocal counter
+        counter += 1
+        return part_type.add(
+            {
+                "part_no": f"P{counter:05d}",
+                "description": f"part at level {level}",
+                "level": level,
+                "cost": float(10 * (depth - level + 1)),
+            },
+            identifier=f"P{counter:05d}",
+        )
+
+    roots = [new_part(0) for _ in range(n_roots)]
+    current_level: List[Atom] = list(roots)
+    per_level_parts: Dict[int, List[Atom]] = {0: list(roots)}
+
+    for level in range(1, depth + 1):
+        next_level: List[Atom] = []
+        produced_at_level: List[Atom] = []
+        for parent in current_level:
+            for child_index in range(fan_out):
+                reuse = (
+                    share_every > 0
+                    and produced_at_level
+                    and (child_index + 1) % share_every == 0
+                )
+                if reuse:
+                    child = produced_at_level[child_index % len(produced_at_level)]
+                else:
+                    child = new_part(level)
+                    produced_at_level.append(child)
+                    next_level.append(child)
+                # Directed super-component -> sub-component: parent is the
+                # first endpoint of the (reflexive) composition link.
+                composition.connect(parent, child)
+        per_level_parts[level] = produced_at_level
+        current_level = next_level if next_level else current_level
+        if not next_level:
+            break
+
+    db.validate()
+    return db
+
+
+def root_parts(db: Database) -> Tuple[Atom, ...]:
+    """Return the top-level assemblies (parts with level 0)."""
+    return tuple(atom for atom in db.atyp("part") if atom.get("level") == 0)

@@ -1,0 +1,362 @@
+"""The geographic sample database of Figures 1 and 4 (Brazil).
+
+The database schema mirrors the MAD diagram of Fig. 1:
+
+* application atom types: ``state`` (area-like), ``river`` (network-like),
+  ``city`` (point-like),
+* geographic-model atom types shared by all of them: ``area``, ``net``,
+  ``edge``, ``point``,
+* link types: ``state-area``, ``river-net``, ``city-point``, ``area-edge``,
+  ``net-edge``, ``edge-point``.
+
+The occurrence (:func:`load_geography`) reproduces the situation described in
+the paper: "the river Parana shares with the states Minas Gerais, Sao Paulo,
+and Parana some edge and point tuples — representing in one case the course of
+the river and in another case the border of the states", and contains the
+point named ``'pn'`` whose neighborhood (Fig. 2) reaches the states SP, MS,
+MG, GO and the river Parana.
+
+:func:`build_geography` generalizes the construction to arbitrary sizes for
+the performance benchmarks: a grid of states with shared border edges and a
+set of rivers flowing along those borders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.atom import Atom
+from repro.core.database import Database
+
+#: The ten states shown in Fig. 1, with rough areas in thousands of hectares
+#: (the figure only shows a few values; the rest are invented but stable).
+STATES: Tuple[Tuple[str, str, int], ...] = (
+    ("Bahia", "BA", 1000),
+    ("Goias", "GO", 900),
+    ("Minas Gerais", "MG", 900),
+    ("Mato Grosso do Sul", "MS", 850),
+    ("Espirito Santo", "ES", 300),
+    ("Rio de Janeiro", "RJ", 400),
+    ("Sao Paulo", "SP", 750),
+    ("Parana", "PR", 600),
+    ("Santa Catarina", "SC", 450),
+    ("Rio Grande do Sul", "RS", 700),
+)
+
+#: The three rivers of Fig. 4 with their lengths in kilometres.
+RIVERS: Tuple[Tuple[str, int], ...] = (
+    ("Parana", 4880),
+    ("Amazonas", 6992),
+    ("Uruguai", 1838),
+)
+
+#: A few cities (point-like application objects of Fig. 1).
+CITIES: Tuple[Tuple[str, str, int], ...] = (
+    ("Salvador", "BA", 2900000),
+    ("Goiania", "GO", 1500000),
+    ("Belo Horizonte", "MG", 2500000),
+    ("Campo Grande", "MS", 900000),
+    ("Vitoria", "ES", 365000),
+    ("Rio de Janeiro", "RJ", 6700000),
+    ("Sao Paulo", "SP", 12300000),
+    ("Curitiba", "PR", 1900000),
+    ("Florianopolis", "SC", 500000),
+    ("Porto Alegre", "RS", 1400000),
+)
+
+#: Which states the river Parana borders in our occurrence (drives sharing).
+PARANA_BORDER_STATES: Tuple[str, ...] = ("MG", "SP", "PR", "MS", "GO")
+
+
+def define_geography_schema(name: str = "GEO_DB") -> Database:
+    """Create the MAD schema of Fig. 1 (atom types and link types, no atoms)."""
+    db = Database(name)
+    db.define_atom_type("state", {"name": "string", "code": "string", "hectare": "integer"})
+    db.define_atom_type("river", {"name": "string", "length": "integer"})
+    db.define_atom_type("city", {"name": "string", "population": "integer"})
+    db.define_atom_type("area", {"area_id": "string", "kind": "string"})
+    db.define_atom_type("net", {"net_id": "string", "kind": "string"})
+    db.define_atom_type("edge", {"edge_id": "string", "length": "real"})
+    db.define_atom_type("point", {"name": "string", "x": "real", "y": "real"})
+    db.define_link_type("state-area", "state", "area")
+    db.define_link_type("river-net", "river", "net")
+    db.define_link_type("city-point", "city", "point")
+    db.define_link_type("area-edge", "area", "edge")
+    db.define_link_type("net-edge", "net", "edge")
+    db.define_link_type("edge-point", "edge", "point")
+    return db
+
+
+def load_geography() -> Database:
+    """Load the paper-faithful Brazil occurrence (Figs. 1, 2 and 4).
+
+    The construction guarantees the two situations the paper highlights:
+
+    * **shared subobjects** — the border edges of MG, SP, PR, MS and GO are
+      the same edge atoms as the course edges of the river Parana;
+    * the **point 'pn'** sits on the corner where SP, MS, MG and GO meet and
+      on the Parana, so the ``point neighborhood`` molecule of 'pn' (Fig. 2)
+      contains exactly those four states and that river.
+    """
+    db = define_geography_schema()
+    state_type = db.atyp("state")
+    river_type = db.atyp("river")
+    city_type = db.atyp("city")
+    area_type = db.atyp("area")
+    net_type = db.atyp("net")
+    edge_type = db.atyp("edge")
+    point_type = db.atyp("point")
+
+    states: Dict[str, Atom] = {}
+    areas: Dict[str, Atom] = {}
+    for index, (name, code, hectare) in enumerate(STATES, start=1):
+        state = state_type.add({"name": name, "code": code, "hectare": hectare}, identifier=code)
+        area = area_type.add({"area_id": f"a{index}", "kind": "state-border"}, identifier=f"a{index}")
+        db.connect("state-area", state, area)
+        states[code] = state
+        areas[code] = area
+
+    rivers: Dict[str, Atom] = {}
+    nets: Dict[str, Atom] = {}
+    for index, (name, length) in enumerate(RIVERS, start=1):
+        river = river_type.add({"name": name, "length": length}, identifier=name)
+        net = net_type.add({"net_id": f"n{index}", "kind": "river-course"}, identifier=f"n{index}")
+        db.connect("river-net", river, net)
+        rivers[name] = river
+        nets[name] = net
+
+    # Points: a grid corner point 'pn' plus two boundary points per state.
+    pn = point_type.add({"name": "pn", "x": 0.0, "y": 0.0}, identifier="p_pn")
+    points: Dict[str, Atom] = {"pn": pn}
+    edge_counter = 0
+
+    def new_edge(length: float) -> Atom:
+        nonlocal edge_counter
+        edge_counter += 1
+        return edge_type.add(
+            {"edge_id": f"e{edge_counter}", "length": length}, identifier=f"e{edge_counter}"
+        )
+
+    # Border edges shared between the Parana river and its bordering states.
+    shared_edges: List[Atom] = []
+    for offset, code in enumerate(PARANA_BORDER_STATES, start=1):
+        point_a = point_type.add(
+            {"name": f"{code}-riverbank-a", "x": float(offset), "y": 1.0},
+            identifier=f"p_{code}_ra",
+        )
+        points[f"{code}-riverbank-a"] = point_a
+        edge = new_edge(length=10.0 * offset)
+        shared_edges.append(edge)
+        db.connect("area-edge", areas[code], edge)          # part of the state border ...
+        db.connect("net-edge", nets["Parana"], edge)        # ... and of the river course
+        db.connect("edge-point", edge, point_a)
+        if code in ("SP", "MS", "MG", "GO"):
+            # These four states meet at the corner point 'pn' (Fig. 2).
+            db.connect("edge-point", edge, pn)
+        else:
+            point_b = point_type.add(
+                {"name": f"{code}-riverbank-b", "x": float(offset), "y": 2.0},
+                identifier=f"p_{code}_rb",
+            )
+            points[f"{code}-riverbank-b"] = point_b
+            db.connect("edge-point", edge, point_b)
+
+    # Border edges shared between neighbouring states (Fig. 2 shows the
+    # mt_state molecules of SP and MG overlapping in shared subobjects).
+    neighbour_pairs = (("SP", "MG"), ("SP", "PR"), ("MG", "GO"), ("SC", "RS"))
+    for index, (left, right) in enumerate(neighbour_pairs, start=1):
+        border_point = point_type.add(
+            {"name": f"{left}-{right}-border", "x": -float(index), "y": -float(index)},
+            identifier=f"p_border_{left}_{right}",
+        )
+        edge = new_edge(length=15.0 + index)
+        db.connect("area-edge", areas[left], edge)
+        db.connect("area-edge", areas[right], edge)
+        db.connect("edge-point", edge, border_point)
+
+    # Interior edges private to each state's border polygon.
+    for index, (name, code, _) in enumerate(STATES, start=1):
+        for side in range(2):
+            point_a = point_type.add(
+                {"name": f"{code}-corner-{side}a", "x": float(index), "y": 10.0 + side},
+                identifier=f"p_{code}_{side}a",
+            )
+            point_b = point_type.add(
+                {"name": f"{code}-corner-{side}b", "x": float(index) + 0.5, "y": 10.0 + side},
+                identifier=f"p_{code}_{side}b",
+            )
+            edge = new_edge(length=5.0 + side)
+            db.connect("area-edge", areas[code], edge)
+            db.connect("edge-point", edge, point_a)
+            db.connect("edge-point", edge, point_b)
+
+    # River courses away from any border (private edges of each net).
+    for index, (name, _) in enumerate(RIVERS, start=1):
+        for segment in range(3):
+            point_a = point_type.add(
+                {"name": f"{name}-course-{segment}a", "x": 100.0 + index, "y": float(segment)},
+                identifier=f"p_{name}_{segment}a",
+            )
+            point_b = point_type.add(
+                {"name": f"{name}-course-{segment}b", "x": 100.0 + index, "y": float(segment) + 0.5},
+                identifier=f"p_{name}_{segment}b",
+            )
+            edge = new_edge(length=25.0 + segment)
+            db.connect("net-edge", nets[name], edge)
+            db.connect("edge-point", edge, point_a)
+            db.connect("edge-point", edge, point_b)
+
+    # Cities sit on their own points (point-like application objects).
+    for name, state_code, population in CITIES:
+        city = city_type.add(
+            {"name": name, "population": population}, identifier=f"city_{state_code}"
+        )
+        location = point_type.add(
+            {"name": f"{name}-location", "x": 200.0, "y": 200.0},
+            identifier=f"p_city_{state_code}",
+        )
+        db.connect("city-point", city, location)
+
+    db.validate()
+    return db
+
+
+def build_geography(
+    n_states: int = 10,
+    edges_per_state: int = 4,
+    n_rivers: int = 3,
+    shared_fraction: float = 0.5,
+    name: str = "GEO_SYNTH",
+) -> Database:
+    """Build a scaled synthetic geography with the same schema as Fig. 1.
+
+    States are arranged in a ring; each consecutive pair of states shares one
+    border edge, and each river runs along ``shared_fraction`` of the state
+    borders (sharing those edge atoms) plus private course edges.  Used by the
+    E-PERF1 benchmark to grow the database while keeping the schema and the
+    sharing structure of the paper's example.
+    """
+    db = define_geography_schema(name)
+    area_type = db.atyp("area")
+    edge_type = db.atyp("edge")
+    point_type = db.atyp("point")
+    net_type = db.atyp("net")
+
+    states = []
+    areas = []
+    for index in range(n_states):
+        state = db.insert_atom(
+            "state",
+            identifier=f"S{index}",
+            name=f"state-{index}",
+            code=f"S{index}",
+            hectare=100 + (index * 37) % 900,
+        )
+        area = area_type.add({"area_id": f"A{index}", "kind": "state-border"}, identifier=f"A{index}")
+        db.connect("state-area", state, area)
+        states.append(state)
+        areas.append(area)
+
+    # Private edges of each state.
+    for index, area in enumerate(areas):
+        for e in range(edges_per_state):
+            edge = edge_type.add(
+                {"edge_id": f"E{index}_{e}", "length": float(e + 1)}, identifier=f"E{index}_{e}"
+            )
+            p1 = point_type.add(
+                {"name": f"P{index}_{e}a", "x": float(index), "y": float(e)},
+                identifier=f"P{index}_{e}a",
+            )
+            p2 = point_type.add(
+                {"name": f"P{index}_{e}b", "x": float(index), "y": float(e) + 0.5},
+                identifier=f"P{index}_{e}b",
+            )
+            db.connect("area-edge", area, edge)
+            db.connect("edge-point", edge, p1)
+            db.connect("edge-point", edge, p2)
+
+    # Shared border edges between consecutive states (ring topology).
+    border_edges = []
+    for index in range(n_states):
+        neighbour = (index + 1) % n_states
+        edge = edge_type.add(
+            {"edge_id": f"B{index}", "length": 7.5}, identifier=f"B{index}"
+        )
+        corner = point_type.add(
+            {"name": f"corner-{index}", "x": float(index), "y": -1.0},
+            identifier=f"PB{index}",
+        )
+        db.connect("area-edge", areas[index], edge)
+        db.connect("area-edge", areas[neighbour], edge)
+        db.connect("edge-point", edge, corner)
+        border_edges.append(edge)
+
+    # Rivers share a fraction of the border edges and add private course edges.
+    shared_count = max(1, int(len(border_edges) * shared_fraction)) if border_edges else 0
+    for r in range(n_rivers):
+        river = db.insert_atom(
+            "river", identifier=f"R{r}", name=f"river-{r}", length=1000 + 100 * r
+        )
+        net = net_type.add({"net_id": f"N{r}", "kind": "river-course"}, identifier=f"N{r}")
+        db.connect("river-net", river, net)
+        for offset in range(shared_count):
+            edge = border_edges[(r + offset * max(1, n_rivers)) % len(border_edges)]
+            db.connect("net-edge", net, edge)
+        for segment in range(edges_per_state):
+            edge = edge_type.add(
+                {"edge_id": f"RC{r}_{segment}", "length": 30.0}, identifier=f"RC{r}_{segment}"
+            )
+            p1 = point_type.add(
+                {"name": f"RP{r}_{segment}", "x": 50.0 + r, "y": float(segment)},
+                identifier=f"RP{r}_{segment}",
+            )
+            db.connect("net-edge", net, edge)
+            db.connect("edge-point", edge, p1)
+
+    # Cities: one per state, on a private point.
+    for index in range(n_states):
+        city = db.insert_atom(
+            "city",
+            identifier=f"C{index}",
+            name=f"city-{index}",
+            population=10000 * (index + 1),
+        )
+        location = point_type.add(
+            {"name": f"city-point-{index}", "x": 300.0, "y": float(index)},
+            identifier=f"PC{index}",
+        )
+        db.connect("city-point", city, location)
+
+    db.validate()
+    return db
+
+
+def mt_state_description() -> Tuple[Tuple[str, ...], Tuple[Tuple[str, str, str], ...]]:
+    """The molecule structure of ``mt_state`` (Fig. 2): state→area→edge→point."""
+    return (
+        ("state", "area", "edge", "point"),
+        (
+            ("state-area", "state", "area"),
+            ("area-edge", "area", "edge"),
+            ("edge-point", "edge", "point"),
+        ),
+    )
+
+
+def point_neighborhood_description() -> Tuple[Tuple[str, ...], Tuple[Tuple[str, str, str], ...]]:
+    """The molecule structure of ``point neighborhood`` (Fig. 2).
+
+    point→edge, edge→area, area→state, edge→net, net→river — the same link
+    types as ``mt_state`` traversed in the opposite direction, demonstrating
+    the symmetric use of the bidirectional link concept.
+    """
+    return (
+        ("point", "edge", "area", "state", "net", "river"),
+        (
+            ("edge-point", "point", "edge"),
+            ("area-edge", "edge", "area"),
+            ("state-area", "area", "state"),
+            ("net-edge", "edge", "net"),
+            ("river-net", "net", "river"),
+        ),
+    )

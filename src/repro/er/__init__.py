@@ -1,0 +1,26 @@
+"""The (binary) ER model front-end and its mappings (Fig. 1, §2, §5).
+
+Fig. 1 models the geographic application first as an ER diagram and then as a
+MAD diagram; the paper observes "a one-to-one mapping from the ER model to the
+MAD model associating each entity type with an atom type and each relationship
+type with a link type" and, by contrast, that the relational mapping needs
+auxiliary relations for every n:m relationship type.  This package provides:
+
+* :mod:`repro.er.model` — entity types, (binary) relationship types with
+  cardinalities, and ER schemas,
+* :mod:`repro.er.to_mad` — the one-to-one ER→MAD mapping,
+* :mod:`repro.er.to_relational` — the classical ER→relational mapping with
+  junction relations for n:m relationship types.
+"""
+
+from repro.er.model import EntityType, ERSchema, RelationshipType
+from repro.er.to_mad import er_to_mad
+from repro.er.to_relational import er_to_relational_schemas
+
+__all__ = [
+    "ERSchema",
+    "EntityType",
+    "RelationshipType",
+    "er_to_mad",
+    "er_to_relational_schemas",
+]

@@ -1,0 +1,161 @@
+"""The binary ER model (without relationship attributes) used in Fig. 1.
+
+The paper compares the MAD model against "the well-known (binary) ER model
+(without relationship attributes)" and notes the MAD model "could also serve
+as a descriptive high-level 'ER language' with the molecule algebra serving as
+a sound 'ER algebra'".  The classes here are deliberately minimal: entity
+types with typed attributes, binary relationship types with a cardinality
+(1:1, 1:n or n:m), and a schema collecting both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.attributes import AttributeDescription, DataType
+from repro.exceptions import DuplicateNameError, SchemaError, UnknownNameError
+
+
+@dataclass(frozen=True)
+class EntityType:
+    """An ER entity type: a name plus typed attributes."""
+
+    name: str
+    attributes: Tuple[AttributeDescription, ...] = ()
+
+    @classmethod
+    def define(cls, entity_name: str, /, **attributes: "str | DataType") -> "EntityType":
+        """Convenience constructor: ``EntityType.define("state", name="string")``.
+
+        The entity-type name is positional-only so that an attribute may
+        itself be called ``name`` (as in the geographic example).
+        """
+        return cls(
+            entity_name,
+            tuple(AttributeDescription(attr_name, data_type) for attr_name, data_type in attributes.items()),
+        )
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        """The names of the entity type's attributes."""
+        return tuple(attribute.name for attribute in self.attributes)
+
+
+@dataclass(frozen=True)
+class RelationshipType:
+    """A binary ER relationship type between two entity types.
+
+    ``cardinality`` is one of ``"1:1"``, ``"1:n"`` or ``"n:m"``; reflexive
+    relationship types (both ends the same entity type) are allowed, mirroring
+    the reflexive link types of the MAD model.
+    """
+
+    name: str
+    first: str
+    second: str
+    cardinality: str = "n:m"
+
+    def __post_init__(self) -> None:
+        if self.cardinality not in ("1:1", "1:n", "n:m"):
+            raise SchemaError(f"unknown ER cardinality: {self.cardinality!r}")
+
+    @property
+    def is_reflexive(self) -> bool:
+        """``True`` when both ends are the same entity type."""
+        return self.first == self.second
+
+    @property
+    def is_many_to_many(self) -> bool:
+        """``True`` for n:m relationship types (the ones needing junction relations)."""
+        return self.cardinality == "n:m"
+
+
+class ERSchema:
+    """A collection of entity types and binary relationship types."""
+
+    def __init__(self, name: str = "er") -> None:
+        self.name = name
+        self._entities: Dict[str, EntityType] = {}
+        self._relationships: Dict[str, RelationshipType] = {}
+
+    def add_entity(self, entity: "EntityType | str", /, **attributes) -> EntityType:
+        """Add an entity type (object or name + keyword attribute specs)."""
+        if isinstance(entity, str):
+            entity = EntityType.define(entity, **attributes)
+        if entity.name in self._entities:
+            raise DuplicateNameError(f"entity type {entity.name!r} already defined")
+        self._entities[entity.name] = entity
+        return entity
+
+    def add_relationship(
+        self,
+        name: str,
+        first: str,
+        second: str,
+        cardinality: str = "n:m",
+    ) -> RelationshipType:
+        """Add a binary relationship type between two existing entity types."""
+        for entity_name in (first, second):
+            if entity_name not in self._entities:
+                raise UnknownNameError(
+                    f"relationship {name!r} references unknown entity type {entity_name!r}"
+                )
+        if name in self._relationships:
+            raise DuplicateNameError(f"relationship type {name!r} already defined")
+        relationship = RelationshipType(name, first, second, cardinality)
+        self._relationships[name] = relationship
+        return relationship
+
+    @property
+    def entity_types(self) -> Tuple[EntityType, ...]:
+        """All entity types."""
+        return tuple(self._entities.values())
+
+    @property
+    def relationship_types(self) -> Tuple[RelationshipType, ...]:
+        """All relationship types."""
+        return tuple(self._relationships.values())
+
+    def entity(self, name: str) -> EntityType:
+        """Return the entity type named *name*."""
+        try:
+            return self._entities[name]
+        except KeyError as exc:
+            raise UnknownNameError(f"unknown entity type: {name!r}") from exc
+
+    def relationship(self, name: str) -> RelationshipType:
+        """Return the relationship type named *name*."""
+        try:
+            return self._relationships[name]
+        except KeyError as exc:
+            raise UnknownNameError(f"unknown relationship type: {name!r}") from exc
+
+    def many_to_many_relationships(self) -> Tuple[RelationshipType, ...]:
+        """The n:m relationship types (each needs an auxiliary relation relationally)."""
+        return tuple(r for r in self._relationships.values() if r.is_many_to_many)
+
+    def __repr__(self) -> str:
+        return (
+            f"ERSchema({self.name!r}, entities={len(self._entities)}, "
+            f"relationships={len(self._relationships)})"
+        )
+
+
+def geographic_er_schema() -> ERSchema:
+    """The ER diagram of Fig. 1 for the geographic application."""
+    schema = ERSchema("geo_er")
+    schema.add_entity("state", name="string", code="string", hectare="integer")
+    schema.add_entity("river", name="string", length="integer")
+    schema.add_entity("city", name="string", population="integer")
+    schema.add_entity("area", area_id="string", kind="string")
+    schema.add_entity("net", net_id="string", kind="string")
+    schema.add_entity("edge", edge_id="string", length="real")
+    schema.add_entity("point", name="string", x="real", y="real")
+    schema.add_relationship("state-area", "state", "area", "1:n")
+    schema.add_relationship("river-net", "river", "net", "1:n")
+    schema.add_relationship("city-point", "city", "point", "1:n")
+    schema.add_relationship("area-edge", "area", "edge", "n:m")
+    schema.add_relationship("net-edge", "net", "edge", "n:m")
+    schema.add_relationship("edge-point", "edge", "point", "n:m")
+    return schema

@@ -1,0 +1,106 @@
+"""Exception hierarchy for the MAD-model reproduction.
+
+Every error raised by the library derives from :class:`MADError`, so callers
+can install a single ``except MADError`` guard around model code.  The
+sub-hierarchy mirrors the layers of the system: schema definition, the
+atom-type algebra, the molecule algebra, the MQL language front-end, storage,
+and data manipulation.
+"""
+
+from __future__ import annotations
+
+
+class MADError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(MADError):
+    """A schema-level definition is invalid (atom types, link types, names)."""
+
+
+class DuplicateNameError(SchemaError):
+    """A name (atom type, link type, attribute, molecule type) is already in use."""
+
+
+class UnknownNameError(SchemaError):
+    """A referenced name does not exist in the database or schema."""
+
+
+class AttributeError_(SchemaError):
+    """An attribute description or attribute value is invalid.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`AttributeError`.
+    """
+
+
+class DomainError(AttributeError_):
+    """A value does not belong to the domain of its attribute."""
+
+
+class IntegrityError(MADError):
+    """A structural integrity constraint is violated.
+
+    Covers dangling links, cardinality violations, and identity clashes.
+    """
+
+
+class DanglingLinkError(IntegrityError):
+    """A link references an atom that is not part of the link type's atom types."""
+
+
+class CardinalityError(IntegrityError):
+    """A link-type cardinality restriction (1:1, 1:n, n:m bounds) is violated."""
+
+
+class AlgebraError(MADError):
+    """An algebra operation was applied to incompatible operands."""
+
+
+class UnionCompatibilityError(AlgebraError):
+    """Union/difference operands do not have identical descriptions."""
+
+
+class ProjectionError(AlgebraError):
+    """A projection references attributes or atom types not present in the operand."""
+
+
+class RestrictionError(AlgebraError):
+    """A restriction formula is not a valid qualification over the operand."""
+
+
+class MoleculeGraphError(AlgebraError):
+    """A molecule-type description is not a coherent, acyclic, single-rooted graph."""
+
+
+class RecursionLimitError(AlgebraError):
+    """Recursive molecule expansion exceeded the configured depth limit."""
+
+
+class MQLError(MADError):
+    """Base class for MQL (molecule query language) front-end errors."""
+
+
+class MQLSyntaxError(MQLError):
+    """The MQL statement could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int = 1, column: int = 0) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class MQLSemanticError(MQLError):
+    """The MQL statement is syntactically valid but not meaningful over the schema."""
+
+
+class StorageError(MADError):
+    """A storage-layer operation failed (unknown identifier, duplicate key)."""
+
+
+class TransactionError(MADError):
+    """A transaction was used incorrectly (e.g. commit without begin)."""
+
+
+class ManipulationError(MADError):
+    """An insert/delete/modify operation violates the model's rules."""

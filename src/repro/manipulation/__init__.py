@@ -1,0 +1,16 @@
+"""Manipulation facilities: molecule-level insert/delete/modify with integrity maintenance."""
+
+from repro.manipulation.operations import (
+    delete_molecule,
+    insert_molecule,
+    modify_atom,
+)
+from repro.manipulation.transactions import Transaction, TransactionLog
+
+__all__ = [
+    "Transaction",
+    "TransactionLog",
+    "delete_molecule",
+    "insert_molecule",
+    "modify_atom",
+]

@@ -1,0 +1,157 @@
+"""Minimal transaction support: an undo log over atom and link manipulation.
+
+The paper's manipulation facilities presume that a complex-object update is
+applied atomically.  :class:`Transaction` provides that at the library level:
+operations performed through it are recorded in an undo log and rolled back as
+a unit on :meth:`Transaction.rollback` (or when the ``with`` block exits with
+an exception).  This is deliberately a logical undo log, not a full
+concurrency-control subsystem — the paper does not describe one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.atom import Atom
+from repro.core.database import Database
+from repro.core.link import Link
+from repro.exceptions import TransactionError
+
+
+class TransactionLog:
+    """An ordered list of undo actions."""
+
+    def __init__(self) -> None:
+        self._undo: List[Callable[[], None]] = []
+
+    def record(self, undo: Callable[[], None]) -> None:
+        """Append an undo action."""
+        self._undo.append(undo)
+
+    def undo_all(self) -> int:
+        """Run all undo actions in reverse order; returns the number executed."""
+        count = 0
+        while self._undo:
+            action = self._undo.pop()
+            action()
+            count += 1
+        return count
+
+    def clear(self) -> None:
+        """Drop all recorded actions (commit)."""
+        self._undo.clear()
+
+    def __len__(self) -> int:
+        return len(self._undo)
+
+
+class Transaction:
+    """Context manager bundling atom/link operations with rollback support.
+
+    Example::
+
+        with Transaction(db) as txn:
+            state = txn.insert_atom("state", name="Tocantins", code="TO", hectare=500)
+            area = txn.insert_atom("area", area_id="a_new")
+            txn.connect("state-area", state, area)
+            # leaving the block commits; an exception rolls everything back
+    """
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self.log = TransactionLog()
+        self._active = False
+
+    # ------------------------------------------------------------- lifecycle
+
+    def __enter__(self) -> "Transaction":
+        self.begin()
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False
+
+    def begin(self) -> None:
+        """Start the transaction."""
+        if self._active:
+            raise TransactionError("transaction already active")
+        self._active = True
+
+    def commit(self) -> None:
+        """Make all changes permanent."""
+        self._require_active()
+        self.log.clear()
+        self._active = False
+
+    def rollback(self) -> int:
+        """Undo all changes made through this transaction; returns the undo count."""
+        self._require_active()
+        undone = self.log.undo_all()
+        self._active = False
+        return undone
+
+    def _require_active(self) -> None:
+        if not self._active:
+            raise TransactionError("no active transaction")
+
+    # ------------------------------------------------------------ operations
+
+    def insert_atom(self, atom_type_name: str, identifier: Optional[str] = None, **values) -> Atom:
+        """Insert an atom, recording its removal as the undo action."""
+        self._require_active()
+        atom_type = self.database.atyp(atom_type_name)
+        atom = atom_type.add(values, identifier=identifier)
+        self.log.record(lambda: atom_type.remove(atom.identifier))
+        return atom
+
+    def delete_atom(self, atom_type_name: str, identifier: str) -> Atom:
+        """Delete an atom (and its links), recording re-insertion as the undo action."""
+        self._require_active()
+        atom_type = self.database.atyp(atom_type_name)
+        atom = atom_type.get(identifier)
+        if atom is None:
+            raise TransactionError(f"no atom {identifier!r} in {atom_type_name!r}")
+        removed_links: List[Tuple[str, Tuple[str, str]]] = []
+        for link_type in self.database.link_types_of(atom_type_name):
+            for link in link_type.links_of(identifier):
+                removed_links.append((link_type.name, link.given_order))
+                link_type.remove(link)
+        atom_type.remove(identifier)
+
+        def undo() -> None:
+            atom_type.add(atom)
+            for link_type_name, (first, second) in removed_links:
+                self.database.ltyp(link_type_name).connect(first, second)
+
+        self.log.record(undo)
+        return atom
+
+    def connect(self, link_type_name: str, first: "Atom | str", second: "Atom | str") -> Link:
+        """Insert a link, recording its removal as the undo action."""
+        self._require_active()
+        link_type = self.database.ltyp(link_type_name)
+        link = link_type.connect(first, second)
+        self.log.record(lambda: link_type.remove(link))
+        return link
+
+    def modify_atom(self, atom_type_name: str, identifier: str, **updates) -> Atom:
+        """Modify an atom's values, recording restoration of the old values."""
+        self._require_active()
+        atom_type = self.database.atyp(atom_type_name)
+        old = atom_type.get(identifier)
+        if old is None:
+            raise TransactionError(f"no atom {identifier!r} in {atom_type_name!r}")
+        from repro.manipulation.operations import modify_atom as _modify
+
+        new_atom = _modify(self.database, atom_type_name, identifier, **updates)
+
+        def undo() -> None:
+            atom_type.remove(identifier)
+            atom_type.add(old)
+
+        self.log.record(undo)
+        return new_atom

@@ -1,0 +1,59 @@
+"""MQL — the molecule query language ("MOL") of chapter 4.
+
+An SQL-like surface language whose semantics are *defined by translation to
+the molecule algebra*: the FROM clause is a molecule-type definition (α), the
+WHERE clause a molecule-type restriction (Σ), and the SELECT clause a
+molecule-type projection (Π).  Set operations between query blocks map to
+Ω/Δ/Ψ.
+
+The two statements of the paper work verbatim::
+
+    SELECT ALL
+    FROM mt_state (state - area - edge - point);
+
+    SELECT ALL
+    FROM point - edge - (area - state, net - river)
+    WHERE point.name = 'pn';
+
+Pipeline: :func:`tokenize` → :func:`parse` → :class:`QueryTranslator` →
+:class:`MQLInterpreter` (or the one-call convenience :func:`execute`).
+"""
+
+from repro.mql.ast_nodes import (
+    AttributeReference,
+    ComparisonCondition,
+    FromClause,
+    LogicalCondition,
+    NotCondition,
+    Query,
+    RecursiveStructure,
+    SetOperation,
+    StructureBranch,
+    StructureNode,
+)
+from repro.mql.interpreter import MQLInterpreter, QueryResult, execute
+from repro.mql.lexer import Token, TokenType, tokenize
+from repro.mql.parser import parse
+from repro.mql.translator import QueryTranslator, structure_to_description
+
+__all__ = [
+    "AttributeReference",
+    "ComparisonCondition",
+    "FromClause",
+    "LogicalCondition",
+    "MQLInterpreter",
+    "NotCondition",
+    "Query",
+    "QueryResult",
+    "QueryTranslator",
+    "RecursiveStructure",
+    "SetOperation",
+    "StructureBranch",
+    "StructureNode",
+    "Token",
+    "TokenType",
+    "execute",
+    "parse",
+    "structure_to_description",
+    "tokenize",
+]

@@ -1,0 +1,131 @@
+"""Abstract syntax tree of MQL statements.
+
+The AST mirrors the three-clause structure of an MQL query block plus the set
+operations between blocks:
+
+* :class:`Query` — ``SELECT`` projection list (or ALL), :class:`FromClause`,
+  optional ``WHERE`` condition;
+* :class:`FromClause` — an optional molecule-type name plus the molecule
+  structure, expressed as a tree of :class:`StructureNode`/:class:`StructureBranch`
+  (the dash-path notation of the paper), or a :class:`RecursiveStructure`;
+* conditions — :class:`ComparisonCondition`, :class:`LogicalCondition`,
+  :class:`NotCondition` over :class:`AttributeReference` and literals;
+* :class:`SetOperation` — UNION / DIFFERENCE / INTERSECT of two queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True)
+class AttributeReference:
+    """An attribute reference ``atom_type.attribute`` or a bare ``attribute``."""
+
+    attribute: str
+    atom_type: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.atom_type:
+            return f"{self.atom_type}.{self.attribute}"
+        return self.attribute
+
+
+@dataclass(frozen=True)
+class ComparisonCondition:
+    """``lhs <op> rhs`` where rhs is a literal or another attribute reference."""
+
+    lhs: AttributeReference
+    operator: str
+    rhs: object
+
+
+@dataclass(frozen=True)
+class LogicalCondition:
+    """AND/OR combination of two or more conditions."""
+
+    operator: str  # "AND" | "OR"
+    operands: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class NotCondition:
+    """Negation of a condition."""
+
+    operand: object
+
+
+@dataclass(frozen=True)
+class StructureBranch:
+    """A parenthesized branch group ``(path, path, ...)`` hanging off the previous node."""
+
+    branches: Tuple["StructurePath", ...]
+
+
+@dataclass(frozen=True)
+class StructureNode:
+    """A single atom-type node in a structure path, with the link used to reach it.
+
+    ``link_name`` is ``"-"`` for the anonymous link (resolved from the schema)
+    or an explicit bracketed link-type name; it is ``None`` for the first node
+    of a path.
+    """
+
+    atom_type: str
+    link_name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class StructurePath:
+    """A dash-separated path of nodes and branch groups."""
+
+    elements: Tuple[Union[StructureNode, StructureBranch], ...]
+
+    def root_atom_type(self) -> str:
+        """The first atom-type node of the path (its root)."""
+        for element in self.elements:
+            if isinstance(element, StructureNode):
+                return element.atom_type
+        raise ValueError("structure path has no atom-type node")
+
+
+@dataclass(frozen=True)
+class RecursiveStructure:
+    """``RECURSIVE part [composition] DOWN`` — a recursive molecule structure."""
+
+    atom_type: str
+    link_name: Optional[str] = None
+    direction: str = "down"
+    max_depth: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class FromClause:
+    """The FROM clause: an optional molecule-type name plus the structure."""
+
+    structure: Union[StructurePath, RecursiveStructure]
+    molecule_name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Query:
+    """A single SELECT-FROM-WHERE query block."""
+
+    select_all: bool
+    projection: Tuple[str, ...]
+    from_clause: FromClause
+    where: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class SetOperation:
+    """A set operation between two query expressions (left-associative)."""
+
+    operator: str  # "UNION" | "DIFFERENCE" | "INTERSECT"
+    left: object
+    right: object
+
+
+#: Any parse result: a single query block or a tree of set operations.
+Statement = Union[Query, SetOperation]

@@ -1,0 +1,172 @@
+"""Execution of MQL statements over a MAD database.
+
+The interpreter wires the translated pieces to the molecule algebra exactly as
+chapter 4 describes: "the whole molecule-type definition is expressed in the
+FROM clause", "molecule restriction in MQL is expressed within the WHERE
+clause, and molecule projection is accomplished within the SELECT clause".
+Set operations between query blocks map onto Ω, Δ and Ψ.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.database import Database
+from repro.core.molecule import Molecule, MoleculeType, MoleculeTypeDescription
+from repro.core.molecule_algebra import (
+    molecule_difference,
+    molecule_intersection,
+    molecule_projection,
+    molecule_restriction,
+    molecule_type_definition,
+    molecule_union,
+)
+from repro.core.recursion import RecursiveDescription, recursive_molecule_type
+from repro.exceptions import MQLSemanticError
+from repro.mql.ast_nodes import Query, SetOperation, Statement
+from repro.mql.parser import parse
+from repro.mql.translator import QueryTranslator
+
+_anonymous_counter = itertools.count(1)
+
+
+@dataclass
+class QueryResult:
+    """The outcome of executing one MQL statement.
+
+    Attributes
+    ----------
+    molecule_type:
+        The result molecule type (the statement's value in the algebra).
+    database:
+        The database after all propagation steps (the enlarged ``DB'``).
+    statement:
+        The parsed AST, kept for explain-style reporting.
+    """
+
+    molecule_type: MoleculeType
+    database: Database
+    statement: Optional[Statement] = None
+
+    @property
+    def molecules(self) -> Tuple[Molecule, ...]:
+        """The result molecules."""
+        return self.molecule_type.occurrence
+
+    def __len__(self) -> int:
+        return len(self.molecule_type)
+
+    def __iter__(self):
+        return iter(self.molecule_type)
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """Render every result molecule as a nested dictionary."""
+        return [molecule.to_nested_dict() for molecule in self.molecule_type]
+
+
+class MQLInterpreter:
+    """Executes MQL statements against a database using the molecule algebra."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+    # ---------------------------------------------------------------- public
+
+    def execute(self, statement: "str | Statement") -> QueryResult:
+        """Parse (when given text) and execute an MQL statement."""
+        ast = parse(statement) if isinstance(statement, str) else statement
+        molecule_type, database = self._execute_statement(ast, self.database)
+        return QueryResult(molecule_type, database, ast)
+
+    def explain(self, statement: "str | Statement") -> List[str]:
+        """Return the algebra-operation plan for *statement* without executing it.
+
+        The plan lists one line per algebra operation in execution order —
+        this is the "sound basis to express the semantics" of MQL made
+        visible, and it is what the optimizer rewrites.
+        """
+        ast = parse(statement) if isinstance(statement, str) else statement
+        lines: List[str] = []
+        self._explain_statement(ast, lines)
+        return lines
+
+    # -------------------------------------------------------------- internal
+
+    def _execute_statement(
+        self, statement: Statement, database: Database
+    ) -> Tuple[MoleculeType, Database]:
+        if isinstance(statement, SetOperation):
+            left_type, database = self._execute_statement(statement.left, database)
+            right_type, database = self._execute_statement(statement.right, database)
+            if statement.operator == "UNION":
+                result = molecule_union(database, left_type, right_type)
+            elif statement.operator == "DIFFERENCE":
+                result = molecule_difference(database, left_type, right_type)
+            else:
+                result = molecule_intersection(database, left_type, right_type)
+            return result.molecule_type, result.database
+        if not isinstance(statement, Query):
+            raise MQLSemanticError(f"cannot execute {statement!r}")
+        return self._execute_query(statement, database)
+
+    def _execute_query(self, query: Query, database: Database) -> Tuple[MoleculeType, Database]:
+        translator = QueryTranslator(database)
+        description = translator.translate_from(query.from_clause)
+        name = query.from_clause.molecule_name or f"mql_result{next(_anonymous_counter)}"
+
+        if isinstance(description, RecursiveDescription):
+            molecule_type = recursive_molecule_type(database, name, description)
+            if query.where is not None:
+                formula = translator.translate_condition(query.where, description)
+                kept = tuple(m for m in molecule_type if formula.evaluate_molecule(m))
+                molecule_type = MoleculeType(name, molecule_type.description, kept)
+            if not query.select_all:
+                raise MQLSemanticError("projection over a RECURSIVE structure is not supported")
+            return molecule_type, database
+
+        molecule_type = molecule_type_definition(database, name, description)
+        if query.where is not None:
+            formula = translator.translate_condition(query.where, description)
+            restricted = molecule_restriction(database, molecule_type, formula)
+            molecule_type, database = restricted.molecule_type, restricted.database
+        projection = translator.translate_projection(query, description)
+        if projection is not None:
+            projected = molecule_projection(database, molecule_type, projection)
+            molecule_type, database = projected.molecule_type, projected.database
+        return molecule_type, database
+
+    def _explain_statement(self, statement: Statement, lines: List[str], indent: str = "") -> None:
+        if isinstance(statement, SetOperation):
+            symbol = {"UNION": "Ω", "DIFFERENCE": "Δ", "INTERSECT": "Ψ"}[statement.operator]
+            lines.append(f"{indent}{symbol} ({statement.operator.lower()})")
+            self._explain_statement(statement.left, lines, indent + "  ")
+            self._explain_statement(statement.right, lines, indent + "  ")
+            return
+        query = statement
+        translator = QueryTranslator(self.database)
+        description = translator.translate_from(query.from_clause)
+        if isinstance(description, RecursiveDescription):
+            lines.append(
+                f"{indent}α_rec [{description.atom_type_name} via {description.link_type_name} "
+                f"{description.direction}] (recursive molecule-type definition)"
+            )
+        else:
+            structure = ", ".join(
+                f"<{dl.link_type_name},{dl.source},{dl.target}>" for dl in description.directed_links
+            )
+            lines.append(
+                f"{indent}α [{query.from_clause.molecule_name or 'anonymous'}, "
+                f"{{{structure}}}] ({', '.join(description.atom_type_names)})"
+            )
+        if query.where is not None:
+            formula = translator.translate_condition(query.where, description)
+            lines.append(f"{indent}Σ [restr: {formula!r}]")
+        if not query.select_all:
+            lines.append(f"{indent}Π [{', '.join(query.projection)}]")
+
+
+def execute(database: Database, statement: "str | Statement") -> QueryResult:
+    """One-call convenience: execute *statement* against *database*."""
+    return MQLInterpreter(database).execute(statement)

@@ -1,0 +1,182 @@
+"""Tokenizer for MQL statements.
+
+MQL identifiers may contain letters, digits and underscores; atom-type and
+link-type names containing ``-`` (like ``state-area``) are written inside
+square brackets when they must be referenced explicitly (``[state-area]``),
+because the bare ``-`` is the structure-path separator.  String literals use
+single quotes (SQL style), numbers are integers or decimals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.exceptions import MQLSyntaxError
+
+KEYWORDS = {
+    "SELECT",
+    "ALL",
+    "FROM",
+    "WHERE",
+    "AND",
+    "OR",
+    "NOT",
+    "UNION",
+    "DIFFERENCE",
+    "INTERSECT",
+    "RECURSIVE",
+    "DOWN",
+    "UP",
+    "TRUE",
+    "FALSE",
+}
+
+
+class TokenType(enum.Enum):
+    """Lexical token categories."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    BRACKET_NAME = "bracket_name"  # [state-area] — explicit link-type name
+    STRING = "string"
+    NUMBER = "number"
+    OPERATOR = "operator"  # = != <> < <= > >=
+    DASH = "dash"  # the structure separator '-'
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    COMMA = "comma"
+    DOT = "dot"
+    SEMICOLON = "semicolon"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its source position (1-based line, 0-based column)."""
+
+    type: TokenType
+    value: object
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        """``True`` when this token is the keyword *word* (case-insensitive match done at lexing)."""
+        return self.type is TokenType.KEYWORD and self.value == word
+
+
+_OPERATOR_CHARS = {"=", "!", "<", ">"}
+_TWO_CHAR_OPERATORS = {"!=", "<>", "<=", ">="}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize an MQL statement; raises :class:`MQLSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    column = 0
+    index = 0
+    length = len(text)
+
+    def error(message: str) -> MQLSyntaxError:
+        return MQLSyntaxError(message, line, column)
+
+    while index < length:
+        char = text[index]
+        if char == "\n":
+            line += 1
+            column = 0
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "-" and index + 1 < length and text[index + 1] == "-":
+            # SQL-style line comment.
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+        start_column = column
+        if char == "'":
+            end = index + 1
+            buffer = []
+            while end < length and text[end] != "'":
+                buffer.append(text[end])
+                end += 1
+            if end >= length:
+                raise error("unterminated string literal")
+            tokens.append(Token(TokenType.STRING, "".join(buffer), line, start_column))
+            column += end - index + 1
+            index = end + 1
+            continue
+        if char == "[":
+            end = index + 1
+            buffer = []
+            while end < length and text[end] != "]":
+                buffer.append(text[end])
+                end += 1
+            if end >= length:
+                raise error("unterminated bracketed name")
+            tokens.append(Token(TokenType.BRACKET_NAME, "".join(buffer).strip(), line, start_column))
+            column += end - index + 1
+            index = end + 1
+            continue
+        if char.isdigit():
+            end = index
+            seen_dot = False
+            while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    # A dot followed by a non-digit is attribute punctuation, not a decimal point.
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            literal = text[index:end]
+            value: object = float(literal) if "." in literal else int(literal)
+            tokens.append(Token(TokenType.NUMBER, value, line, start_column))
+            column += end - index
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word.upper(), line, start_column))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, line, start_column))
+            column += end - index
+            index = end
+            continue
+        if char in _OPERATOR_CHARS:
+            two = text[index : index + 2]
+            if two in _TWO_CHAR_OPERATORS:
+                tokens.append(Token(TokenType.OPERATOR, two, line, start_column))
+                index += 2
+                column += 2
+                continue
+            if char == "!":
+                raise error("unexpected '!' (did you mean '!=')")
+            tokens.append(Token(TokenType.OPERATOR, char, line, start_column))
+            index += 1
+            column += 1
+            continue
+        simple = {
+            "-": TokenType.DASH,
+            "(": TokenType.LPAREN,
+            ")": TokenType.RPAREN,
+            ",": TokenType.COMMA,
+            ".": TokenType.DOT,
+            ";": TokenType.SEMICOLON,
+        }
+        if char in simple:
+            tokens.append(Token(simple[char], char, line, start_column))
+            index += 1
+            column += 1
+            continue
+        raise error(f"unexpected character {char!r}")
+
+    tokens.append(Token(TokenType.EOF, None, line, column))
+    return tokens

@@ -1,0 +1,256 @@
+"""Recursive-descent parser for MQL.
+
+Grammar (EBNF)::
+
+    statement   := query (("UNION" | "DIFFERENCE" | "INTERSECT") query)* [";"]
+    query       := "SELECT" select_list "FROM" from_clause ["WHERE" condition]
+    select_list := "ALL" | ident ("," ident)*
+    from_clause := recursive | [ident] "(" path ")" | path
+    recursive   := "RECURSIVE" ident [bracket_name] ["DOWN" | "UP"] [number]
+    path        := node ("-" [bracket_name "-"] node)*
+    node        := ident | "(" path ("," path)* ")"
+    condition   := or_expr
+    or_expr     := and_expr ("OR" and_expr)*
+    and_expr    := not_expr ("AND" not_expr)*
+    not_expr    := "NOT" not_expr | primary
+    primary     := "(" condition ")" | comparison
+    comparison  := attr_ref op (literal | attr_ref)
+    attr_ref    := ident ["." ident]
+    literal     := string | number | "TRUE" | "FALSE"
+
+The ambiguity between a parenthesized *structure branch group* and the
+parenthesized *structure of a named molecule type* is resolved by look-ahead:
+``ident "("`` directly after FROM is a named molecule-type definition when the
+identifier is not followed by a dash.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.exceptions import MQLSyntaxError
+from repro.mql.ast_nodes import (
+    AttributeReference,
+    ComparisonCondition,
+    FromClause,
+    LogicalCondition,
+    NotCondition,
+    Query,
+    RecursiveStructure,
+    SetOperation,
+    Statement,
+    StructureBranch,
+    StructureNode,
+    StructurePath,
+)
+from repro.mql.lexer import Token, TokenType, tokenize
+
+
+class _Parser:
+    """Stateful cursor over the token stream."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # ------------------------------------------------------------- utilities
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.type is not TokenType.EOF:
+            self.position += 1
+        return token
+
+    def expect(self, token_type: TokenType, value: Optional[object] = None) -> Token:
+        token = self.peek()
+        if token.type is not token_type or (value is not None and token.value != value):
+            expected = value if value is not None else token_type.value
+            raise MQLSyntaxError(
+                f"expected {expected!r}, found {token.value!r}", token.line, token.column
+            )
+        return self.advance()
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.peek().is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------- statement
+
+    def parse_statement(self) -> Statement:
+        left: Statement = self.parse_query()
+        while self.peek().type is TokenType.KEYWORD and self.peek().value in (
+            "UNION",
+            "DIFFERENCE",
+            "INTERSECT",
+        ):
+            operator = self.advance().value
+            right = self.parse_query()
+            left = SetOperation(str(operator), left, right)
+        if self.peek().type is TokenType.SEMICOLON:
+            self.advance()
+        token = self.peek()
+        if token.type is not TokenType.EOF:
+            raise MQLSyntaxError(
+                f"unexpected trailing input {token.value!r}", token.line, token.column
+            )
+        return left
+
+    def parse_query(self) -> Query:
+        self.expect(TokenType.KEYWORD, "SELECT")
+        select_all = False
+        projection: Tuple[str, ...] = ()
+        if self.accept_keyword("ALL"):
+            select_all = True
+        else:
+            names = [self.expect(TokenType.IDENT).value]
+            while self.peek().type is TokenType.COMMA:
+                self.advance()
+                names.append(self.expect(TokenType.IDENT).value)
+            projection = tuple(str(name) for name in names)
+        self.expect(TokenType.KEYWORD, "FROM")
+        from_clause = self.parse_from_clause()
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_condition()
+        return Query(select_all, projection, from_clause, where)
+
+    # ----------------------------------------------------------- FROM clause
+
+    def parse_from_clause(self) -> FromClause:
+        if self.peek().is_keyword("RECURSIVE"):
+            return FromClause(self.parse_recursive())
+        molecule_name: Optional[str] = None
+        if (
+            self.peek().type is TokenType.IDENT
+            and self.peek(1).type is TokenType.LPAREN
+        ):
+            # "name ( path )" — a named molecule-type definition.
+            molecule_name = str(self.advance().value)
+            self.expect(TokenType.LPAREN)
+            path = self.parse_path()
+            self.expect(TokenType.RPAREN)
+            return FromClause(path, molecule_name)
+        return FromClause(self.parse_path())
+
+    def parse_recursive(self) -> RecursiveStructure:
+        self.expect(TokenType.KEYWORD, "RECURSIVE")
+        atom_type = str(self.expect(TokenType.IDENT).value)
+        link_name: Optional[str] = None
+        if self.peek().type is TokenType.BRACKET_NAME:
+            link_name = str(self.advance().value)
+        direction = "down"
+        if self.accept_keyword("DOWN"):
+            direction = "down"
+        elif self.accept_keyword("UP"):
+            direction = "up"
+        max_depth: Optional[int] = None
+        if self.peek().type is TokenType.NUMBER:
+            max_depth = int(self.advance().value)  # type: ignore[arg-type]
+        return RecursiveStructure(atom_type, link_name, direction, max_depth)
+
+    def parse_path(self) -> StructurePath:
+        elements: List[Union[StructureNode, StructureBranch]] = [self.parse_node(None)]
+        while self.peek().type is TokenType.DASH:
+            self.advance()
+            link_name = "-"
+            if self.peek().type is TokenType.BRACKET_NAME:
+                link_name = str(self.advance().value)
+                self.expect(TokenType.DASH)
+            elements.append(self.parse_node(link_name))
+        return StructurePath(tuple(elements))
+
+    def parse_node(self, link_name: Optional[str]) -> Union[StructureNode, StructureBranch]:
+        token = self.peek()
+        if token.type is TokenType.LPAREN:
+            self.advance()
+            branches = [self.parse_path()]
+            while self.peek().type is TokenType.COMMA:
+                self.advance()
+                branches.append(self.parse_path())
+            self.expect(TokenType.RPAREN)
+            return StructureBranch(tuple(branches))
+        if token.type in (TokenType.IDENT, TokenType.BRACKET_NAME):
+            self.advance()
+            return StructureNode(str(token.value), link_name)
+        raise MQLSyntaxError(
+            f"expected an atom type or a branch group, found {token.value!r}",
+            token.line,
+            token.column,
+        )
+
+    # ------------------------------------------------------------- condition
+
+    def parse_condition(self):
+        return self.parse_or()
+
+    def parse_or(self):
+        operands = [self.parse_and()]
+        while self.accept_keyword("OR"):
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return LogicalCondition("OR", tuple(operands))
+
+    def parse_and(self):
+        operands = [self.parse_not()]
+        while self.accept_keyword("AND"):
+            operands.append(self.parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return LogicalCondition("AND", tuple(operands))
+
+    def parse_not(self):
+        if self.accept_keyword("NOT"):
+            return NotCondition(self.parse_not())
+        return self.parse_primary()
+
+    def parse_primary(self):
+        if self.peek().type is TokenType.LPAREN:
+            self.advance()
+            condition = self.parse_condition()
+            self.expect(TokenType.RPAREN)
+            return condition
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> ComparisonCondition:
+        lhs = self.parse_attribute_reference()
+        operator_token = self.expect(TokenType.OPERATOR)
+        rhs: object
+        token = self.peek()
+        if token.type is TokenType.STRING or token.type is TokenType.NUMBER:
+            rhs = self.advance().value
+        elif token.is_keyword("TRUE"):
+            self.advance()
+            rhs = True
+        elif token.is_keyword("FALSE"):
+            self.advance()
+            rhs = False
+        elif token.type is TokenType.IDENT:
+            rhs = self.parse_attribute_reference()
+        else:
+            raise MQLSyntaxError(
+                f"expected a literal or attribute reference, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return ComparisonCondition(lhs, str(operator_token.value), rhs)
+
+    def parse_attribute_reference(self) -> AttributeReference:
+        first = self.expect(TokenType.IDENT)
+        if self.peek().type is TokenType.DOT:
+            self.advance()
+            second = self.expect(TokenType.IDENT)
+            return AttributeReference(str(second.value), str(first.value))
+        return AttributeReference(str(first.value))
+
+
+def parse(text: "str | List[Token]") -> Statement:
+    """Parse an MQL statement (source text or a prepared token list) into an AST."""
+    tokens = tokenize(text) if isinstance(text, str) else text
+    return _Parser(tokens).parse_statement()

@@ -1,0 +1,226 @@
+"""Translation of MQL ASTs into molecule-algebra artifacts.
+
+The FROM-clause structure path becomes a :class:`MoleculeTypeDescription`
+(i.e. the ``C`` and ``G`` arguments of the molecule-type definition α); the
+WHERE condition becomes a qualification :class:`~repro.core.predicates.Formula`
+for the molecule-type restriction Σ; the SELECT projection list becomes the
+atom-type list of the molecule-type projection Π.  Semantic checks (unknown
+atom types, ambiguous attributes, projections losing the root) are raised as
+:class:`~repro.exceptions.MQLSemanticError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.database import Database
+from repro.core.graph import DirectedLink
+from repro.core.molecule import MoleculeTypeDescription
+from repro.core.predicates import (
+    And,
+    AttributeRef,
+    Comparison,
+    Formula,
+    Not,
+    Or,
+)
+from repro.core.recursion import RecursiveDescription
+from repro.exceptions import MoleculeGraphError, MQLSemanticError
+from repro.mql.ast_nodes import (
+    AttributeReference,
+    ComparisonCondition,
+    FromClause,
+    LogicalCondition,
+    NotCondition,
+    Query,
+    RecursiveStructure,
+    StructureBranch,
+    StructureNode,
+    StructurePath,
+)
+
+
+def structure_to_description(path: StructurePath) -> MoleculeTypeDescription:
+    """Convert a dash-path structure into a molecule-type description.
+
+    The first node is the root; each subsequent node is connected to the node
+    it follows (its *parent*); a branch group attaches every branch's first
+    node to the node preceding the group.  Nodes naming an already-seen atom
+    type refer to that same node (the node set ``C`` is a set).
+    """
+    nodes: List[str] = []
+    edges: List[DirectedLink] = []
+
+    def add_node(name: str) -> str:
+        if name not in nodes:
+            nodes.append(name)
+        return name
+
+    def add_edge(link_name: Optional[str], source: str, target: str) -> None:
+        edges.append(DirectedLink(link_name or "-", source, target))
+
+    def walk_path(structure: StructurePath, parent: Optional[str]) -> None:
+        current_parent = parent
+        for element in structure.elements:
+            if isinstance(element, StructureNode):
+                add_node(element.atom_type)
+                if current_parent is not None:
+                    add_edge(element.link_name, current_parent, element.atom_type)
+                current_parent = element.atom_type
+            elif isinstance(element, StructureBranch):
+                if current_parent is None:
+                    raise MQLSemanticError("a branch group cannot start a structure path")
+                for branch in element.branches:
+                    first = branch.elements[0]
+                    if not isinstance(first, StructureNode):
+                        raise MQLSemanticError("a branch must start with an atom type")
+                    add_node(first.atom_type)
+                    add_edge(first.link_name, current_parent, first.atom_type)
+                    # Continue the branch with its own first node as parent.
+                    walk_path(StructurePath(branch.elements[1:]), first.atom_type)
+                # Subsequent elements after a branch group re-attach to the
+                # node preceding the group.
+            else:  # pragma: no cover - parser cannot produce other element kinds
+                raise MQLSemanticError(f"unsupported structure element: {element!r}")
+
+    walk_path(path, None)
+    try:
+        return MoleculeTypeDescription(nodes, edges)
+    except MoleculeGraphError as exc:
+        raise MQLSemanticError(f"invalid molecule structure: {exc}") from exc
+
+
+def recursive_to_description(structure: RecursiveStructure) -> RecursiveDescription:
+    """Convert a RECURSIVE from-clause into a :class:`RecursiveDescription`."""
+    return RecursiveDescription(
+        structure.atom_type,
+        structure.link_name or "-",
+        structure.direction,
+        structure.max_depth,
+    )
+
+
+class QueryTranslator:
+    """Semantic analysis and translation of one query block against a database."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+    # ---------------------------------------------------------- FROM clause
+
+    def translate_from(self, from_clause: FromClause) -> Union[MoleculeTypeDescription, RecursiveDescription]:
+        """Translate the FROM clause, checking every named atom type exists."""
+        if isinstance(from_clause.structure, RecursiveStructure):
+            recursive = recursive_to_description(from_clause.structure)
+            if not self.database.has_atom_type(recursive.atom_type_name):
+                raise MQLSemanticError(f"unknown atom type {recursive.atom_type_name!r}")
+            if recursive.link_type_name == "-":
+                candidates = self.database.link_types_between(
+                    recursive.atom_type_name, recursive.atom_type_name
+                )
+                if len(candidates) != 1:
+                    raise MQLSemanticError(
+                        f"cannot resolve the recursive link type on {recursive.atom_type_name!r}; "
+                        "name it explicitly with [link-type]"
+                    )
+                recursive = RecursiveDescription(
+                    recursive.atom_type_name,
+                    candidates[0].name,
+                    recursive.direction,
+                    recursive.max_depth,
+                )
+            elif not self.database.has_link_type(recursive.link_type_name):
+                raise MQLSemanticError(f"unknown link type {recursive.link_type_name!r}")
+            return recursive
+        description = structure_to_description(from_clause.structure)
+        for atom_type_name in description.atom_type_names:
+            if not self.database.has_atom_type(atom_type_name):
+                raise MQLSemanticError(f"unknown atom type {atom_type_name!r} in FROM clause")
+        for directed in description.directed_links:
+            if directed.link_type_name != "-" and not self.database.has_link_type(
+                directed.link_type_name
+            ):
+                raise MQLSemanticError(
+                    f"unknown link type {directed.link_type_name!r} in FROM clause"
+                )
+        return description
+
+    # --------------------------------------------------------- WHERE clause
+
+    def translate_condition(
+        self,
+        condition,
+        description: Union[MoleculeTypeDescription, RecursiveDescription],
+    ) -> Formula:
+        """Translate a WHERE condition into a qualification formula."""
+        if isinstance(condition, ComparisonCondition):
+            lhs = self._resolve_reference(condition.lhs, description)
+            rhs: object = condition.rhs
+            if isinstance(rhs, AttributeReference):
+                rhs = self._resolve_reference(rhs, description)
+            return Comparison(lhs, condition.operator, rhs)
+        if isinstance(condition, LogicalCondition):
+            operands = [self.translate_condition(op, description) for op in condition.operands]
+            return And(*operands) if condition.operator == "AND" else Or(*operands)
+        if isinstance(condition, NotCondition):
+            return Not(self.translate_condition(condition.operand, description))
+        raise MQLSemanticError(f"unsupported condition node: {condition!r}")
+
+    def _resolve_reference(
+        self,
+        reference: AttributeReference,
+        description: Union[MoleculeTypeDescription, RecursiveDescription],
+    ) -> AttributeRef:
+        atom_type_names = (
+            description.atom_type_names
+            if isinstance(description, MoleculeTypeDescription)
+            else (description.atom_type_name,)
+        )
+        if reference.atom_type is not None:
+            if reference.atom_type not in atom_type_names:
+                raise MQLSemanticError(
+                    f"atom type {reference.atom_type!r} is not part of the FROM structure"
+                )
+            owner_description = self.database.atyp(reference.atom_type).description
+            if reference.attribute not in owner_description:
+                raise MQLSemanticError(
+                    f"atom type {reference.atom_type!r} has no attribute {reference.attribute!r}"
+                )
+            return AttributeRef(reference.attribute, reference.atom_type)
+        owners = [
+            name
+            for name in atom_type_names
+            if reference.attribute in self.database.atyp(name).description
+        ]
+        if not owners:
+            raise MQLSemanticError(
+                f"attribute {reference.attribute!r} does not occur in the FROM structure"
+            )
+        if len(owners) > 1:
+            raise MQLSemanticError(
+                f"attribute {reference.attribute!r} is ambiguous; qualify it with one of {owners!r}"
+            )
+        return AttributeRef(reference.attribute, owners[0])
+
+    # -------------------------------------------------------- SELECT clause
+
+    def translate_projection(
+        self,
+        query: Query,
+        description: Union[MoleculeTypeDescription, RecursiveDescription],
+    ) -> Optional[Tuple[str, ...]]:
+        """Return the projection atom-type list, or ``None`` for SELECT ALL."""
+        if query.select_all:
+            return None
+        if isinstance(description, RecursiveDescription):
+            raise MQLSemanticError("projection over a RECURSIVE structure is not supported")
+        for name in query.projection:
+            if name not in description.atom_type_names:
+                raise MQLSemanticError(
+                    f"SELECT references {name!r}, which is not part of the FROM structure"
+                )
+        if description.root not in query.projection:
+            raise MQLSemanticError(
+                f"the projection must retain the root atom type {description.root!r}"
+            )
+        return query.projection

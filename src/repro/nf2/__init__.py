@@ -1,0 +1,36 @@
+"""The NF² (non-first-normal-form) baseline: nested relations and their algebra.
+
+The paper positions the molecule algebra as an extension of "the
+non-first-normal-form algebra [SS86] that supports only hierarchical complex
+objects without shared subobjects".  This package implements that baseline —
+relation-valued attributes, the NEST/UNNEST operators, and the NF² variants of
+selection/projection/union/difference — plus the mapping from hierarchical
+molecule types onto nested relations, which makes the "no shared subobjects"
+limitation measurable (shared atoms are *duplicated* when nesting).
+"""
+
+from repro.nf2.algebra import (
+    NF2Algebra,
+    nest,
+    nf2_difference,
+    nf2_project,
+    nf2_select,
+    nf2_union,
+    unnest,
+)
+from repro.nf2.mapping import molecule_type_to_nested, nested_duplication_factor
+from repro.nf2.nested_relation import NestedRelation, NestedSchema
+
+__all__ = [
+    "NF2Algebra",
+    "NestedRelation",
+    "NestedSchema",
+    "molecule_type_to_nested",
+    "nest",
+    "nested_duplication_factor",
+    "nf2_difference",
+    "nf2_project",
+    "nf2_select",
+    "nf2_union",
+    "unnest",
+]

@@ -1,0 +1,189 @@
+"""The NF² algebra: NEST, UNNEST and the lifted set operations ([SS86]).
+
+The two characteristic operators of the nested relational model:
+
+* :func:`nest` groups tuples that agree on the non-nested attributes and
+  collects the grouped attributes into a new relation-valued attribute;
+* :func:`unnest` flattens a relation-valued attribute back into 1NF.
+
+``unnest(nest(R))`` is the identity whenever the nested attribute is not empty
+for any group (the classical partial-inverse property, exercised by the
+property-based tests).  Selection, projection, union and difference are lifted
+from the flat algebra; selection predicates may look inside relation-valued
+attributes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import AlgebraError
+from repro.nf2.nested_relation import NestedRelation, NestedSchema, _freeze_value
+
+_result_counter = itertools.count(1)
+
+
+def _fresh(prefix: str) -> str:
+    return f"{prefix}${next(_result_counter)}"
+
+
+def nest(
+    relation: NestedRelation,
+    attributes: Sequence[str],
+    into: str,
+    name: Optional[str] = None,
+) -> NestedRelation:
+    """NEST: group on the remaining attributes, collecting *attributes* into *into*.
+
+    *attributes* must all be top-level attributes of *relation*; the new
+    relation-valued attribute *into* holds, per group, the sub-tuples over
+    exactly those attributes.
+    """
+    for attribute in attributes:
+        if attribute not in relation.schema.attribute_names:
+            raise AlgebraError(f"cannot nest unknown attribute {attribute!r}")
+    if into in relation.schema.attribute_names:
+        raise AlgebraError(f"nested attribute name {into!r} already exists")
+
+    kept_atomic = tuple(a for a in relation.schema.atomic if a not in attributes)
+    kept_nested = tuple((n, s) for n, s in relation.schema.nested if n not in attributes)
+    sub_atomic = tuple(a for a in relation.schema.atomic if a in attributes)
+    sub_nested = tuple((n, s) for n, s in relation.schema.nested if n in attributes)
+    sub_schema = NestedSchema(sub_atomic, sub_nested)
+    result_schema = NestedSchema(kept_atomic, kept_nested + ((into, sub_schema),))
+
+    groups: Dict[object, Dict[str, object]] = {}
+    for row in relation:
+        group_values = {a: row.get(a) for a in kept_atomic}
+        for nested_name, _ in kept_nested:
+            group_values[nested_name] = row.get(nested_name, [])
+        key = _freeze_value(group_values)
+        bucket = groups.setdefault(key, {**group_values, into: []})
+        sub_row = {a: row.get(a) for a in sub_atomic}
+        for nested_name, _ in sub_nested:
+            sub_row[nested_name] = row.get(nested_name, [])
+        if sub_row not in bucket[into]:
+            bucket[into].append(sub_row)
+
+    return NestedRelation(name or _fresh(f"nest({relation.name})"), result_schema, groups.values())
+
+
+def unnest(
+    relation: NestedRelation,
+    attribute: str,
+    name: Optional[str] = None,
+) -> NestedRelation:
+    """UNNEST: flatten the relation-valued attribute *attribute*.
+
+    Groups whose sub-relation is empty disappear (which is why UNNEST is only
+    a partial inverse of NEST).
+    """
+    if not relation.schema.is_nested(attribute):
+        raise AlgebraError(f"{attribute!r} is not a relation-valued attribute")
+    sub_schema = relation.schema.nested_schema(attribute)
+    kept_nested = tuple((n, s) for n, s in relation.schema.nested if n != attribute)
+    result_schema = NestedSchema(
+        relation.schema.atomic + sub_schema.atomic,
+        kept_nested + sub_schema.nested,
+    )
+    rows: List[Dict[str, object]] = []
+    for row in relation:
+        for sub_row in row.get(attribute, []):
+            flattened = {a: row.get(a) for a in relation.schema.atomic}
+            for nested_name, _ in kept_nested:
+                flattened[nested_name] = row.get(nested_name, [])
+            for key, value in sub_row.items():
+                flattened[key] = value
+            rows.append(flattened)
+    return NestedRelation(name or _fresh(f"unnest({relation.name})"), result_schema, rows)
+
+
+def nf2_select(
+    relation: NestedRelation,
+    predicate: Callable[[Mapping[str, object]], bool],
+    name: Optional[str] = None,
+) -> NestedRelation:
+    """NF² selection: keep nested tuples satisfying *predicate* (which may inspect sub-relations)."""
+    result = NestedRelation(name or _fresh(f"select({relation.name})"), relation.schema)
+    for row in relation:
+        if predicate(row):
+            result.insert(row)
+    return result
+
+
+def nf2_project(
+    relation: NestedRelation,
+    attributes: Sequence[str],
+    name: Optional[str] = None,
+) -> NestedRelation:
+    """NF² projection onto top-level attributes (atomic or relation-valued)."""
+    atomic = tuple(a for a in relation.schema.atomic if a in attributes)
+    nested = tuple((n, s) for n, s in relation.schema.nested if n in attributes)
+    known = set(relation.schema.attribute_names)
+    unknown = [a for a in attributes if a not in known]
+    if unknown:
+        raise AlgebraError(f"cannot project onto unknown attributes {unknown!r}")
+    schema = NestedSchema(atomic, nested)
+    result = NestedRelation(name or _fresh(f"project({relation.name})"), schema)
+    for row in relation:
+        result.insert({a: row.get(a) for a in schema.attribute_names})
+    return result
+
+
+def _check_compatible(left: NestedRelation, right: NestedRelation, operation: str) -> None:
+    if left.schema != right.schema:
+        raise AlgebraError(f"NF² {operation} requires identical nested schemas")
+
+
+def nf2_union(left: NestedRelation, right: NestedRelation, name: Optional[str] = None) -> NestedRelation:
+    """NF² union of two relations with identical nested schemas."""
+    _check_compatible(left, right, "union")
+    result = NestedRelation(name or _fresh(f"union({left.name},{right.name})"), left.schema)
+    for row in left:
+        result.insert(row)
+    for row in right:
+        result.insert(row)
+    return result
+
+
+def nf2_difference(left: NestedRelation, right: NestedRelation, name: Optional[str] = None) -> NestedRelation:
+    """NF² difference of two relations with identical nested schemas."""
+    _check_compatible(left, right, "difference")
+    result = NestedRelation(name or _fresh(f"diff({left.name},{right.name})"), left.schema)
+    right_keys = {
+        _freeze_value({n: row.get(n) for n in right.schema.attribute_names}) for row in right
+    }
+    for row in left:
+        key = _freeze_value({n: row.get(n) for n in left.schema.attribute_names})
+        if key not in right_keys:
+            result.insert(row)
+    return result
+
+
+class NF2Algebra:
+    """Facade bundling the NF² operations (mirrors :class:`RelationalAlgebra`)."""
+
+    def nest(self, relation, attributes, into, name=None) -> NestedRelation:
+        """ν — see :func:`nest`."""
+        return nest(relation, attributes, into, name)
+
+    def unnest(self, relation, attribute, name=None) -> NestedRelation:
+        """μ — see :func:`unnest`."""
+        return unnest(relation, attribute, name)
+
+    def select(self, relation, predicate, name=None) -> NestedRelation:
+        """σ — see :func:`nf2_select`."""
+        return nf2_select(relation, predicate, name)
+
+    def project(self, relation, attributes, name=None) -> NestedRelation:
+        """π — see :func:`nf2_project`."""
+        return nf2_project(relation, attributes, name)
+
+    def union(self, left, right, name=None) -> NestedRelation:
+        """∪ — see :func:`nf2_union`."""
+        return nf2_union(left, right, name)
+
+    def difference(self, left, right, name=None) -> NestedRelation:
+        """− — see :func:`nf2_difference`."""
+        return nf2_difference(left, right, name)

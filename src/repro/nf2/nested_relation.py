@@ -1,0 +1,172 @@
+"""Nested relations: relations with relation-valued attributes ([SS86]).
+
+A :class:`NestedSchema` is a tree: every attribute is either *atomic* or a
+*sub-relation* with its own nested schema.  A :class:`NestedRelation` stores
+tuples whose sub-relation attributes hold (frozen) lists of nested tuples.
+Rows are value-based: two rows with equal atomic values and equal (order-
+insensitive) sub-relation contents are the same row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import AlgebraError, SchemaError
+
+
+@dataclass(frozen=True)
+class NestedSchema:
+    """Schema tree of a nested relation.
+
+    ``atomic`` lists the flat attribute names; ``nested`` maps sub-relation
+    attribute names to their own :class:`NestedSchema`.
+    """
+
+    atomic: Tuple[str, ...]
+    nested: Tuple[Tuple[str, "NestedSchema"], ...] = ()
+
+    def __post_init__(self) -> None:
+        names = list(self.atomic) + [name for name, _ in self.nested]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in nested schema: {names!r}")
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        """All top-level attribute names (atomic first, then nested)."""
+        return self.atomic + tuple(name for name, _ in self.nested)
+
+    def nested_schema(self, name: str) -> "NestedSchema":
+        """Return the sub-schema of nested attribute *name*."""
+        for nested_name, schema in self.nested:
+            if nested_name == name:
+                return schema
+        raise AlgebraError(f"no nested attribute {name!r} in schema")
+
+    def is_nested(self, name: str) -> bool:
+        """``True`` when *name* is a relation-valued attribute."""
+        return any(nested_name == name for nested_name, _ in self.nested)
+
+    def is_flat(self) -> bool:
+        """``True`` when the schema has no relation-valued attribute (1NF)."""
+        return not self.nested
+
+    def depth(self) -> int:
+        """Nesting depth: 1 for a flat schema."""
+        if not self.nested:
+            return 1
+        return 1 + max(schema.depth() for _, schema in self.nested)
+
+    def with_atomic(self, names: Sequence[str]) -> "NestedSchema":
+        """Return a copy whose atomic attributes are *names* (nested kept)."""
+        return NestedSchema(tuple(names), self.nested)
+
+
+def _freeze_value(value: object) -> object:
+    """Recursively freeze a row value so rows can be hashed (lists become tuples)."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((key, _freeze_value(val)) for key, val in value.items()))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        frozen = tuple(_freeze_value(item) for item in value)
+        if isinstance(value, (set, frozenset)):
+            return frozenset(frozen)
+        return frozenset(frozen) if _all_mappings(value) else frozen
+    return value
+
+
+def _all_mappings(value) -> bool:
+    return bool(value) and all(isinstance(item, Mapping) for item in value)
+
+
+class NestedRelation:
+    """A named set of nested tuples over a :class:`NestedSchema`."""
+
+    __slots__ = ("name", "schema", "_rows")
+
+    def __init__(
+        self,
+        name: str,
+        schema: NestedSchema,
+        rows: Iterable[Mapping[str, object]] = (),
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self._rows: Dict[object, Dict[str, object]] = {}
+        for row in rows:
+            self.insert(row)
+
+    def insert(self, row: Mapping[str, object]) -> bool:
+        """Insert a nested tuple (set semantics); returns ``True`` when new."""
+        unknown = set(row) - set(self.schema.attribute_names)
+        if unknown:
+            raise AlgebraError(
+                f"nested tuple has attributes {sorted(unknown)!r} outside the schema"
+            )
+        normalized: Dict[str, object] = {}
+        for attribute in self.schema.atomic:
+            normalized[attribute] = row.get(attribute)
+        for attribute, sub_schema in self.schema.nested:
+            sub_rows = row.get(attribute, [])
+            if not isinstance(sub_rows, (list, tuple)):
+                raise AlgebraError(
+                    f"nested attribute {attribute!r} expects a list of tuples"
+                )
+            normalized[attribute] = [dict(sub_row) for sub_row in sub_rows]
+        key = _freeze_value(normalized)
+        if key in self._rows:
+            return False
+        self._rows[key] = normalized
+        return True
+
+    @property
+    def rows(self) -> Tuple[Dict[str, object], ...]:
+        """All nested tuples (insertion order)."""
+        return tuple(self._rows.values())
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return iter(self._rows.values())
+
+    def __contains__(self, row: object) -> bool:
+        if not isinstance(row, Mapping):
+            return False
+        try:
+            return _freeze_value({name: row.get(name) for name in self.schema.attribute_names}) in self._rows
+        except TypeError:
+            return False
+
+    def flat_tuple_count(self) -> int:
+        """Count the atomic tuples stored, recursing into sub-relations.
+
+        Used to quantify the duplication NF² incurs when representing shared
+        subobjects (each sharing parent stores its own copy).
+        """
+
+        def count_row(row: Mapping[str, object], schema: NestedSchema) -> int:
+            total = 1
+            for attribute, sub_schema in schema.nested:
+                for sub_row in row.get(attribute, []):
+                    total += count_row(sub_row, sub_schema)
+            return total
+
+        return sum(count_row(row, self.schema) for row in self._rows.values())
+
+    def copy(self, name: Optional[str] = None) -> "NestedRelation":
+        """Return a copy of the relation (rows deep-copied at the top level)."""
+        return NestedRelation(name or self.name, self.schema, self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NestedRelation):
+            return NotImplemented
+        return self.schema == other.schema and set(self._rows) == set(other._rows)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"NestedRelation({self.name!r}, atomic={list(self.schema.atomic)!r}, "
+            f"nested={[name for name, _ in self.schema.nested]!r}, rows={len(self)})"
+        )

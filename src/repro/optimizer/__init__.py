@@ -1,0 +1,50 @@
+"""Algebraic query optimization over molecule-algebra plans (§5 outlook).
+
+"We are confident that we can conveniently exploit the algebra to considerably
+simplify and enhance query transformation and query optimization."  This
+package provides that exploitation for the operations the paper defines:
+
+* :mod:`repro.optimizer.plans` — an explicit plan representation (a tree of
+  algebra operations) with an interpreter,
+* :mod:`repro.optimizer.rules` — rewrite rules: restriction push-down into the
+  molecule-type definition (filter root atoms before derivation), structure
+  pruning (drop atom types that neither the projection nor the restriction
+  needs), and restriction merging,
+* :mod:`repro.optimizer.statistics` / :mod:`repro.optimizer.planner` — a
+  simple cost model over occurrence sizes and link degrees, and a planner that
+  applies the rules and picks the cheaper plan.
+"""
+
+from repro.optimizer.planner import Planner, PlanChoice
+from repro.optimizer.plans import (
+    DefinePlan,
+    PlanNode,
+    ProjectPlan,
+    RestrictPlan,
+    execute_plan,
+)
+from repro.optimizer.rules import (
+    RewriteResult,
+    merge_restrictions,
+    prune_structure,
+    push_down_restriction,
+    rewrite,
+)
+from repro.optimizer.statistics import CostModel, DatabaseStatistics
+
+__all__ = [
+    "CostModel",
+    "DatabaseStatistics",
+    "DefinePlan",
+    "PlanChoice",
+    "PlanNode",
+    "Planner",
+    "ProjectPlan",
+    "RestrictPlan",
+    "RewriteResult",
+    "execute_plan",
+    "merge_restrictions",
+    "prune_structure",
+    "push_down_restriction",
+    "rewrite",
+]

@@ -1,0 +1,79 @@
+"""The rule-driven planner: rewrite, cost, choose.
+
+:class:`Planner` takes an initial plan (typically the literal translation of
+an MQL statement: α → Σ → Π), applies the rewrite rules, estimates the cost of
+both variants, and returns a :class:`PlanChoice`.  The E-PERF3 benchmark
+executes both variants and compares the estimated ranking against the measured
+work counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.database import Database
+from repro.optimizer.plans import PlanExecution, PlanNode, describe_plan, execute_plan
+from repro.optimizer.rules import RewriteResult, rewrite
+from repro.optimizer.statistics import CostModel, DatabaseStatistics
+
+
+@dataclass
+class PlanChoice:
+    """The planner's decision: both plan variants with their estimated costs."""
+
+    original: PlanNode
+    optimized: PlanNode
+    original_cost: float
+    optimized_cost: float
+    applied_rules: Tuple[str, ...]
+
+    @property
+    def best(self) -> PlanNode:
+        """The cheaper plan according to the cost model."""
+        return self.optimized if self.optimized_cost <= self.original_cost else self.original
+
+    @property
+    def improvement(self) -> float:
+        """Estimated cost ratio original/optimized (>= 1.0 means the rewrite helps)."""
+        if self.optimized_cost == 0:
+            return float("inf") if self.original_cost > 0 else 1.0
+        return self.original_cost / self.optimized_cost
+
+    def explain(self) -> str:
+        """Render both plans and the cost estimates."""
+        return (
+            "original plan (estimated cost {:.1f}):\n{}\n"
+            "optimized plan (estimated cost {:.1f}, rules: {}):\n{}".format(
+                self.original_cost,
+                describe_plan(self.original, "  "),
+                self.optimized_cost,
+                ", ".join(self.applied_rules) or "none",
+                describe_plan(self.optimized, "  "),
+            )
+        )
+
+
+class Planner:
+    """Applies the rewrite rules and picks the cheaper plan."""
+
+    def __init__(self, database: Database, statistics: Optional[DatabaseStatistics] = None) -> None:
+        self.database = database
+        self.statistics = statistics or DatabaseStatistics.collect(database)
+        self.cost_model = CostModel(self.statistics)
+
+    def optimize(self, plan: PlanNode) -> PlanChoice:
+        """Rewrite *plan* and return the costed :class:`PlanChoice`."""
+        rewritten: RewriteResult = rewrite(plan)
+        return PlanChoice(
+            original=plan,
+            optimized=rewritten.plan,
+            original_cost=self.cost_model.estimate(plan),
+            optimized_cost=self.cost_model.estimate(rewritten.plan),
+            applied_rules=rewritten.applied_rules,
+        )
+
+    def execute_best(self, plan: PlanNode) -> PlanExecution:
+        """Optimize *plan* and execute the chosen variant."""
+        choice = self.optimize(plan)
+        return execute_plan(self.database, choice.best)

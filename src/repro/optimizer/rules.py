@@ -1,0 +1,164 @@
+"""Algebraic rewrite rules over molecule-query plans.
+
+Three rules, all of which preserve the result molecules (their correctness is
+checked by the optimizer tests and the ablation benchmark):
+
+* :func:`merge_restrictions` — ``Σ[f2](Σ[f1](x)) → Σ[f1 AND f2](x)``; avoids
+  one full propagation round-trip.
+* :func:`push_down_restriction` — when the restriction formula only references
+  the *root* atom type of the defining α, evaluate it on root atoms before
+  derivation (``Σ[f](α(...)) → α[root filter f](...)``); molecules that would
+  be filtered out are never derived.
+* :func:`prune_structure` — drop atom types that neither the projection nor
+  any restriction references (and that are not needed to keep the structure
+  coherent); the hierarchical join then has fewer branches to follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.core.molecule import MoleculeTypeDescription
+from repro.core.predicates import And, Formula, conjoin
+from repro.optimizer.plans import DefinePlan, PlanNode, ProjectPlan, RestrictPlan
+
+
+@dataclass
+class RewriteResult:
+    """A rewritten plan plus the names of the rules that fired."""
+
+    plan: PlanNode
+    applied_rules: Tuple[str, ...] = ()
+
+
+def merge_restrictions(plan: PlanNode) -> RewriteResult:
+    """Collapse directly nested restrictions into a single conjunction."""
+    applied: List[str] = []
+
+    def walk(node: PlanNode) -> PlanNode:
+        if isinstance(node, RestrictPlan):
+            child = walk(node.child)
+            if isinstance(child, RestrictPlan):
+                applied.append("merge_restrictions")
+                return RestrictPlan(child.child, And(child.formula, node.formula))
+            return RestrictPlan(child, node.formula)
+        if isinstance(node, ProjectPlan):
+            return ProjectPlan(walk(node.child), node.atom_type_names)
+        return node
+
+    return RewriteResult(walk(plan), tuple(applied))
+
+
+def push_down_restriction(plan: PlanNode) -> RewriteResult:
+    """Move root-only restrictions into the defining α as a root filter."""
+    applied: List[str] = []
+
+    def references_only_root(formula: Formula, description: MoleculeTypeDescription) -> bool:
+        referenced = formula.referenced_atom_types()
+        if not referenced:
+            return False  # unqualified or opaque predicates stay where they are
+        root_bare = description.root.split("@", 1)[0]
+        return all(name.split("@", 1)[0] == root_bare for name in referenced)
+
+    def walk(node: PlanNode) -> PlanNode:
+        if isinstance(node, RestrictPlan):
+            child = walk(node.child)
+            if isinstance(child, DefinePlan) and references_only_root(
+                node.formula, child.description
+            ):
+                applied.append("push_down_restriction")
+                combined = (
+                    node.formula
+                    if child.root_filter is None
+                    else And(child.root_filter, node.formula)
+                )
+                return DefinePlan(child.name, child.description, combined)
+            return RestrictPlan(child, node.formula)
+        if isinstance(node, ProjectPlan):
+            return ProjectPlan(walk(node.child), node.atom_type_names)
+        return node
+
+    return RewriteResult(walk(plan), tuple(applied))
+
+
+def prune_structure(plan: PlanNode) -> RewriteResult:
+    """Remove atom types no projection or restriction needs from the α structure.
+
+    Only applies when the outermost operation is a projection (otherwise the
+    full structure is part of the result and nothing may be dropped).  The
+    pruned structure keeps every atom type on a root-to-needed-type path so it
+    stays coherent.
+    """
+    if not isinstance(plan, ProjectPlan):
+        return RewriteResult(plan, ())
+
+    needed: Set[str] = {name.split("@", 1)[0] for name in plan.atom_type_names}
+
+    def collect_restrictions(node: PlanNode) -> None:
+        if isinstance(node, RestrictPlan):
+            for atom_type in node.formula.referenced_atom_types():
+                needed.add(atom_type.split("@", 1)[0])
+            collect_restrictions(node.child)
+        elif isinstance(node, ProjectPlan):
+            collect_restrictions(node.child)
+        elif isinstance(node, DefinePlan) and node.root_filter is not None:
+            for atom_type in node.root_filter.referenced_atom_types():
+                needed.add(atom_type.split("@", 1)[0])
+
+    collect_restrictions(plan)
+    applied: List[str] = []
+
+    def prune_description(description: MoleculeTypeDescription) -> MoleculeTypeDescription:
+        keep: Set[str] = set()
+        for target in needed:
+            path = _path_to(description, target)
+            keep.update(path)
+        keep.add(description.root)
+        if keep >= set(description.atom_type_names):
+            return description
+        ordered = [name for name in description.atom_type_names if name in keep]
+        applied.append("prune_structure")
+        return description.projected(ordered)
+
+    def walk(node: PlanNode) -> PlanNode:
+        if isinstance(node, DefinePlan):
+            return DefinePlan(node.name, prune_description(node.description), node.root_filter)
+        if isinstance(node, RestrictPlan):
+            return RestrictPlan(walk(node.child), node.formula)
+        if isinstance(node, ProjectPlan):
+            return ProjectPlan(walk(node.child), node.atom_type_names)
+        return node
+
+    return RewriteResult(walk(plan), tuple(applied))
+
+
+def _path_to(description: MoleculeTypeDescription, target_bare: str) -> Set[str]:
+    """Atom types on some root-to-target path (empty when the target is absent)."""
+    target = None
+    for name in description.atom_type_names:
+        if name.split("@", 1)[0] == target_bare:
+            target = name
+            break
+    if target is None:
+        return set()
+    # Walk parents back to the root, accumulating every node on the way.
+    path: Set[str] = {target}
+    frontier = [target]
+    while frontier:
+        current = frontier.pop()
+        for directed in description.parents_of(current):
+            if directed.source not in path:
+                path.add(directed.source)
+                frontier.append(directed.source)
+    return path
+
+
+def rewrite(plan: PlanNode) -> RewriteResult:
+    """Apply all rules in their canonical order: merge, push down, prune."""
+    merged = merge_restrictions(plan)
+    pushed = push_down_restriction(merged.plan)
+    pruned = prune_structure(pushed.plan)
+    return RewriteResult(
+        pruned.plan, merged.applied_rules + pushed.applied_rules + pruned.applied_rules
+    )

@@ -1,0 +1,54 @@
+"""The relational-model baseline the paper compares against.
+
+The MAD model is introduced as "an advancement to the relational model"; the
+paper's motivation section argues that mapping the n:m relationships of the
+geographic application onto the relational model "becomes quite cumbersome,
+since all n:m relationship types have to be modeled by some auxiliary
+relations.  With this, the queries and their processing obviously become more
+complicated and perhaps less efficient."
+
+This package makes that comparison executable:
+
+* :mod:`repro.relational.relation` — relations, tuples, schemas,
+* :mod:`repro.relational.algebra` — the classical relational algebra
+  (selection, projection, cartesian product, join, union, difference, rename),
+* :mod:`repro.relational.mapping` — the MAD→relational mapping that introduces
+  one auxiliary (junction) relation per link type,
+* :mod:`repro.relational.query` — a join-based evaluator that assembles the
+  same complex objects a molecule query returns, counting the intermediate
+  tuples it had to materialize (the E-PERF1 metric).
+"""
+
+from repro.relational.algebra import (
+    RelationalAlgebra,
+    cartesian_product,
+    difference,
+    equijoin,
+    natural_join,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.relational.mapping import RelationalMapping, map_database
+from repro.relational.query import JoinPlan, JoinQueryResult, assemble_complex_objects
+from repro.relational.relation import Relation, RelationSchema
+
+__all__ = [
+    "JoinPlan",
+    "JoinQueryResult",
+    "Relation",
+    "RelationSchema",
+    "RelationalAlgebra",
+    "RelationalMapping",
+    "assemble_complex_objects",
+    "cartesian_product",
+    "difference",
+    "equijoin",
+    "map_database",
+    "natural_join",
+    "project",
+    "rename",
+    "select",
+    "union",
+]

@@ -1,0 +1,288 @@
+"""The classical relational algebra over :class:`~repro.relational.relation.Relation`.
+
+Implements the operations of [Ul80] that the paper cites as the basis the MAD
+model extends: selection, projection, cartesian product, union, difference,
+rename, plus the derived equi-join and natural join (the "hierarchical join"
+of [LK84] used by molecule derivation corresponds to a sequence of equi-joins
+over the auxiliary relations here).
+
+Every operation counts the tuples it materializes in the module-level
+:class:`WorkCounter` when one is passed, so that the E-PERF1 benchmark can
+compare intermediate-result sizes against molecule derivation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import AlgebraError, UnionCompatibilityError
+from repro.relational.relation import Relation, RelationSchema
+
+_result_counter = itertools.count(1)
+
+
+def _fresh(prefix: str) -> str:
+    return f"{prefix}${next(_result_counter)}"
+
+
+@dataclass
+class WorkCounter:
+    """Counts tuples produced by relational operations (benchmark instrumentation)."""
+
+    tuples_produced: int = 0
+    operations: int = 0
+    per_operation: List[Tuple[str, int]] = field(default_factory=list)
+
+    def record(self, operation: str, produced: int) -> None:
+        """Record that *operation* produced *produced* tuples."""
+        self.tuples_produced += produced
+        self.operations += 1
+        self.per_operation.append((operation, produced))
+
+
+def select(
+    relation: Relation,
+    predicate: Callable[[Mapping[str, object]], bool],
+    name: Optional[str] = None,
+    counter: Optional[WorkCounter] = None,
+) -> Relation:
+    """Selection σ: keep the tuples satisfying *predicate*."""
+    result = Relation(name or _fresh(f"select({relation.name})"), relation.schema)
+    for row in relation:
+        if predicate(row):
+            result.insert(row)
+    if counter is not None:
+        counter.record("select", len(result))
+    return result
+
+
+def project(
+    relation: Relation,
+    attributes: Sequence[str],
+    name: Optional[str] = None,
+    counter: Optional[WorkCounter] = None,
+) -> Relation:
+    """Projection π: keep only *attributes* (duplicates eliminated — set semantics)."""
+    schema = relation.schema.project(attributes)
+    result = Relation(name or _fresh(f"project({relation.name})"), schema)
+    for row in relation:
+        result.insert({attribute: row.get(attribute) for attribute in attributes})
+    if counter is not None:
+        counter.record("project", len(result))
+    return result
+
+
+def rename(
+    relation: Relation,
+    mapping: Mapping[str, str],
+    name: Optional[str] = None,
+    counter: Optional[WorkCounter] = None,
+) -> Relation:
+    """Rename ρ: rename attributes through *mapping*."""
+    schema = relation.schema.renamed(mapping)
+    result = Relation(name or _fresh(f"rename({relation.name})"), schema)
+    for row in relation:
+        result.insert({mapping.get(key, key): value for key, value in row.items()})
+    if counter is not None:
+        counter.record("rename", len(result))
+    return result
+
+
+def cartesian_product(
+    left: Relation,
+    right: Relation,
+    name: Optional[str] = None,
+    counter: Optional[WorkCounter] = None,
+) -> Relation:
+    """Cartesian product ×; clashing attribute names are prefixed with the relation name."""
+    clash = set(left.schema.attributes) & set(right.schema.attributes)
+    if clash:
+        right = rename(right, {attr: f"{right.name}.{attr}" for attr in clash})
+    schema = left.schema.merge(right.schema)
+    result = Relation(name or _fresh(f"x({left.name},{right.name})"), schema)
+    for left_row in left:
+        for right_row in right:
+            combined = dict(left_row)
+            combined.update(right_row)
+            result.insert(combined)
+    if counter is not None:
+        counter.record("product", len(result))
+    return result
+
+
+def _check_compatible(left: Relation, right: Relation, operation: str) -> None:
+    if set(left.schema.attributes) != set(right.schema.attributes):
+        raise UnionCompatibilityError(
+            f"{operation} requires union-compatible relations; "
+            f"{left.name!r} has {list(left.schema.attributes)!r}, "
+            f"{right.name!r} has {list(right.schema.attributes)!r}"
+        )
+
+
+def union(
+    left: Relation,
+    right: Relation,
+    name: Optional[str] = None,
+    counter: Optional[WorkCounter] = None,
+) -> Relation:
+    """Union ∪ of two union-compatible relations."""
+    _check_compatible(left, right, "union")
+    result = Relation(name or _fresh(f"union({left.name},{right.name})"), left.schema)
+    for row in left:
+        result.insert(row)
+    for row in right:
+        result.insert({attribute: row.get(attribute) for attribute in left.schema.attributes})
+    if counter is not None:
+        counter.record("union", len(result))
+    return result
+
+
+def difference(
+    left: Relation,
+    right: Relation,
+    name: Optional[str] = None,
+    counter: Optional[WorkCounter] = None,
+) -> Relation:
+    """Difference − of two union-compatible relations."""
+    _check_compatible(left, right, "difference")
+    result = Relation(name or _fresh(f"diff({left.name},{right.name})"), left.schema)
+    right_keys = {
+        tuple(row.get(attribute) for attribute in left.schema.attributes) for row in right
+    }
+    for row in left:
+        key = tuple(row.get(attribute) for attribute in left.schema.attributes)
+        if key not in right_keys:
+            result.insert(row)
+    if counter is not None:
+        counter.record("difference", len(result))
+    return result
+
+
+def intersection(
+    left: Relation,
+    right: Relation,
+    name: Optional[str] = None,
+    counter: Optional[WorkCounter] = None,
+) -> Relation:
+    """Derived intersection ∩ = left − (left − right)."""
+    return difference(left, difference(left, right, counter=counter), name=name, counter=counter)
+
+
+def equijoin(
+    left: Relation,
+    right: Relation,
+    left_attribute: str,
+    right_attribute: str,
+    name: Optional[str] = None,
+    counter: Optional[WorkCounter] = None,
+) -> Relation:
+    """Equi-join on ``left.left_attribute = right.right_attribute`` (hash join).
+
+    Clashing attribute names from the right operand are prefixed with its
+    relation name, except for the join attribute itself which is kept once.
+    """
+    if left_attribute not in left.schema:
+        raise AlgebraError(f"join attribute {left_attribute!r} not in {left.name!r}")
+    if right_attribute not in right.schema:
+        raise AlgebraError(f"join attribute {right_attribute!r} not in {right.name!r}")
+    clash = (set(left.schema.attributes) & set(right.schema.attributes)) - {right_attribute}
+    renamed_right = right
+    if clash:
+        renamed_right = rename(right, {attr: f"{right.name}.{attr}" for attr in clash})
+    right_attrs = [a for a in renamed_right.schema.attributes if a != right_attribute or right_attribute in left.schema.attributes]
+    result_attributes = list(left.schema.attributes) + [
+        a for a in renamed_right.schema.attributes if a not in left.schema.attributes and a != right_attribute
+    ]
+    if right_attribute not in left.schema.attributes and right_attribute not in result_attributes:
+        result_attributes.append(right_attribute)
+    result = Relation(
+        name or _fresh(f"join({left.name},{right.name})"), RelationSchema(tuple(result_attributes))
+    )
+    buckets: Dict[object, List[Mapping[str, object]]] = {}
+    for row in renamed_right:
+        buckets.setdefault(row.get(right_attribute), []).append(row)
+    for left_row in left:
+        for right_row in buckets.get(left_row.get(left_attribute), ()):
+            combined = dict(left_row)
+            for key, value in right_row.items():
+                if key not in combined:
+                    combined[key] = value
+            result.insert(combined)
+    if counter is not None:
+        counter.record("equijoin", len(result))
+    return result
+
+
+def natural_join(
+    left: Relation,
+    right: Relation,
+    name: Optional[str] = None,
+    counter: Optional[WorkCounter] = None,
+) -> Relation:
+    """Natural join ⋈ over all shared attribute names."""
+    shared = [a for a in left.schema.attributes if a in right.schema.attributes]
+    if not shared:
+        return cartesian_product(left, right, name=name, counter=counter)
+    result_attributes = list(left.schema.attributes) + [
+        a for a in right.schema.attributes if a not in left.schema.attributes
+    ]
+    result = Relation(
+        name or _fresh(f"njoin({left.name},{right.name})"), RelationSchema(tuple(result_attributes))
+    )
+    buckets: Dict[Tuple, List[Mapping[str, object]]] = {}
+    for row in right:
+        buckets.setdefault(tuple(row.get(a) for a in shared), []).append(row)
+    for left_row in left:
+        key = tuple(left_row.get(a) for a in shared)
+        for right_row in buckets.get(key, ()):
+            combined = dict(left_row)
+            combined.update({k: v for k, v in right_row.items() if k not in combined})
+            result.insert(combined)
+    if counter is not None:
+        counter.record("natural_join", len(result))
+    return result
+
+
+class RelationalAlgebra:
+    """Facade over the relational operations with a shared work counter."""
+
+    def __init__(self, counter: Optional[WorkCounter] = None) -> None:
+        self.counter = counter or WorkCounter()
+
+    def select(self, relation, predicate, name=None) -> Relation:
+        """σ — see :func:`select`."""
+        return select(relation, predicate, name, self.counter)
+
+    def project(self, relation, attributes, name=None) -> Relation:
+        """π — see :func:`project`."""
+        return project(relation, attributes, name, self.counter)
+
+    def rename(self, relation, mapping, name=None) -> Relation:
+        """ρ — see :func:`rename`."""
+        return rename(relation, mapping, name, self.counter)
+
+    def product(self, left, right, name=None) -> Relation:
+        """× — see :func:`cartesian_product`."""
+        return cartesian_product(left, right, name, self.counter)
+
+    def union(self, left, right, name=None) -> Relation:
+        """∪ — see :func:`union`."""
+        return union(left, right, name, self.counter)
+
+    def difference(self, left, right, name=None) -> Relation:
+        """− — see :func:`difference`."""
+        return difference(left, right, name, self.counter)
+
+    def intersection(self, left, right, name=None) -> Relation:
+        """∩ — see :func:`intersection`."""
+        return intersection(left, right, name, self.counter)
+
+    def equijoin(self, left, right, left_attribute, right_attribute, name=None) -> Relation:
+        """⋈ on explicit attributes — see :func:`equijoin`."""
+        return equijoin(left, right, left_attribute, right_attribute, name, self.counter)
+
+    def natural_join(self, left, right, name=None) -> Relation:
+        """⋈ — see :func:`natural_join`."""
+        return natural_join(left, right, name, self.counter)

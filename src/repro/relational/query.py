@@ -1,0 +1,184 @@
+"""Join-based assembly of complex objects over the relational mapping.
+
+To answer a molecule query on the relational side, the application (or the
+query processor) must join the root entity relation through the chain of
+auxiliary relations down to the leaves and then re-group the flat join result
+into one complex object per root tuple.  :func:`assemble_complex_objects`
+performs exactly that plan and reports how many intermediate tuples were
+materialized — the quantity the E-PERF1 benchmark compares against molecule
+derivation's touched-atom counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.molecule import MoleculeTypeDescription
+from repro.relational.algebra import WorkCounter, equijoin, project, rename, select
+from repro.relational.mapping import RelationalMapping, _endpoint_columns
+from repro.relational.relation import Relation
+
+
+@dataclass
+class JoinPlan:
+    """The join plan derived from a molecule-type description.
+
+    One step per directed link use: join the parent entity relation through
+    the link's auxiliary relation to the child entity relation.
+    """
+
+    root: str
+    steps: Tuple[Tuple[str, str, str], ...]  # (link type, parent, child)
+
+    @classmethod
+    def from_description(cls, description: MoleculeTypeDescription) -> "JoinPlan":
+        """Build the plan by walking the description in topological order."""
+        steps: List[Tuple[str, str, str]] = []
+        for source in description.traversal_order():
+            for directed in description.children_of(source):
+                steps.append((directed.link_type_name, directed.source, directed.target))
+        return cls(description.root, tuple(steps))
+
+    def join_count(self) -> int:
+        """Number of binary joins required (two per step: via the auxiliary relation)."""
+        return 2 * len(self.steps)
+
+
+@dataclass
+class JoinQueryResult:
+    """Result of the relational assembly of complex objects."""
+
+    objects: Tuple[Dict[str, object], ...]
+    counter: WorkCounter
+    plan: JoinPlan
+
+    def intermediate_tuples(self) -> int:
+        """Total tuples materialized by all joins (the paper's implicit cost claim)."""
+        return self.counter.tuples_produced
+
+
+def assemble_complex_objects(
+    mapping: RelationalMapping,
+    description: MoleculeTypeDescription,
+    root_predicate: Optional[Callable[[Mapping[str, object]], bool]] = None,
+    counter: Optional[WorkCounter] = None,
+) -> JoinQueryResult:
+    """Assemble one nested object per qualifying root tuple via joins.
+
+    The algorithm is the textbook one: for every directed link use, equi-join
+    parent ids with the auxiliary relation and then with the child relation,
+    keeping, per parent id, the set of child ids; finally nest the collected
+    children under their roots following the description's structure.  All
+    intermediate join results are counted in *counter*.
+    """
+    counter = counter or WorkCounter()
+    plan = JoinPlan.from_description(description)
+    root_relation = mapping.entity_relations[description.root]
+    if root_predicate is not None:
+        root_relation = select(root_relation, root_predicate, counter=counter)
+
+    # child ids per (edge, parent id)
+    children_of: Dict[Tuple[Tuple[str, str, str], str], Set[str]] = {}
+    # all reachable ids per atom type, starting from the roots
+    reachable: Dict[str, Set[str]] = {description.root: {row["_id"] for row in root_relation}}
+
+    for step in plan.steps:
+        link_name, parent, child = step
+        auxiliary = mapping.auxiliary_relations[link_name]
+        parent_entities = mapping.entity_relations[parent]
+        child_entities = mapping.entity_relations[child]
+        parent_col, child_col = _endpoint_columns(
+            link_name, *_original_endpoints(auxiliary)
+        )
+        # The auxiliary relation's columns are named after the link type's
+        # declared endpoint types; when the molecule traverses the link in the
+        # opposite direction the roles swap.
+        if not parent_col.startswith(parent) and child_col.startswith(parent):
+            parent_col, child_col = child_col, parent_col
+
+        parent_ids = reachable.get(parent, set())
+        parent_id_relation = Relation(f"ids({parent})", ("_id",), [{"_id": pid} for pid in parent_ids])
+        counter.record("materialize_ids", len(parent_id_relation))
+
+        joined_aux = equijoin(parent_id_relation, auxiliary, "_id", parent_col, counter=counter)
+        joined_children = equijoin(
+            joined_aux, child_entities, child_col, "_id", counter=counter
+        )
+
+        bucket_ids: Set[str] = set()
+        for row in joined_children:
+            parent_id = row["_id"]
+            child_id = row.get(child_col)
+            if child_id is None:
+                child_id = row.get(f"{child_entities.name}._id")
+            children_of.setdefault((step, parent_id), set()).add(child_id)
+            bucket_ids.add(child_id)
+        reachable.setdefault(child, set()).update(bucket_ids)
+
+    # Nest the flat join results back into complex objects, one per root tuple.
+    entity_by_id: Dict[str, Dict[str, Dict[str, object]]] = {}
+    for type_name, relation in mapping.entity_relations.items():
+        entity_by_id[type_name] = {row["_id"]: row for row in relation}
+
+    def build(type_name: str, identifier: str, visited: frozenset) -> Dict[str, object]:
+        node = dict(entity_by_id[type_name].get(identifier, {"_id": identifier}))
+        for step in plan.steps:
+            _, parent, child = step
+            if parent != type_name:
+                continue
+            child_ids = children_of.get((step, identifier), set())
+            if child_ids:
+                node.setdefault(child, [])
+                for child_id in sorted(child_ids, key=str):
+                    if child_id in visited:
+                        continue
+                    node[child].append(build(child, child_id, visited | {identifier}))
+        return node
+
+    objects = tuple(
+        build(description.root, row["_id"], frozenset()) for row in root_relation
+    )
+    return JoinQueryResult(objects, counter, plan)
+
+
+def _original_endpoints(auxiliary: Relation) -> Tuple[str, str]:
+    """Recover the endpoint atom-type names from a junction relation's foreign keys."""
+    foreign = auxiliary.schema.foreign_keys
+    if len(foreign) == 2:
+        return (foreign[0][1], foreign[1][1])
+    # Fall back to stripping the "_id" suffix from the column names.
+    first, second = auxiliary.schema.attributes[:2]
+    return (first.rsplit("_", 1)[0], second.rsplit("_", 1)[0])
+
+
+def relational_transitive_closure(
+    mapping: RelationalMapping,
+    link_type_name: str,
+    root_ids: Sequence[str],
+    counter: Optional[WorkCounter] = None,
+) -> Dict[str, Set[str]]:
+    """Iterative (semi-naive) transitive closure over a junction relation.
+
+    The relational counterpart of recursive molecule expansion (E-PERF2): for
+    each root id, repeatedly join the frontier with the auxiliary relation
+    until no new ids appear.
+    """
+    counter = counter or WorkCounter()
+    auxiliary = mapping.auxiliary_relations[link_type_name]
+    first_col, second_col = auxiliary.schema.attributes[:2]
+    auxiliary.build_index(first_col)
+
+    closures: Dict[str, Set[str]] = {}
+    for root in root_ids:
+        seen: Set[str] = set()
+        frontier = {root}
+        while frontier:
+            frontier_relation = Relation("frontier", (first_col,), [{first_col: fid} for fid in frontier])
+            counter.record("materialize_frontier", len(frontier_relation))
+            joined = equijoin(frontier_relation, auxiliary, first_col, first_col, counter=counter)
+            new_ids = {row[second_col] for row in joined} - seen - {root}
+            seen |= new_ids
+            frontier = new_ids
+        closures[root] = seen
+    return closures

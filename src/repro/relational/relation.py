@@ -1,0 +1,177 @@
+"""Flat relations: schemas, tuples and relations (the 1NF baseline).
+
+A :class:`Relation` is a named set of tuples over a :class:`RelationSchema`
+(an ordered list of attribute names with optional primary/foreign key
+metadata).  Tuples are stored as plain ``dict`` rows with set semantics
+(duplicate rows are eliminated), matching the classical relational model of
+[Ul80] the paper builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import AlgebraError, DuplicateNameError, SchemaError
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation schema: attribute names plus key metadata.
+
+    ``primary_key`` names the key attributes; ``foreign_keys`` maps attribute
+    names to ``(relation, attribute)`` targets.  In the relational mapping of
+    a MAD database the foreign keys of the auxiliary relations point at the
+    surrogate keys of the mapped atom relations.
+    """
+
+    attributes: Tuple[str, ...]
+    primary_key: Tuple[str, ...] = ()
+    foreign_keys: Tuple[Tuple[str, str, str], ...] = ()  # (attribute, target rel, target attr)
+
+    def __post_init__(self) -> None:
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(f"duplicate attribute in relation schema: {self.attributes!r}")
+        for key in self.primary_key:
+            if key not in self.attributes:
+                raise SchemaError(f"primary-key attribute {key!r} not in schema")
+        for attribute, _, _ in self.foreign_keys:
+            if attribute not in self.attributes:
+                raise SchemaError(f"foreign-key attribute {attribute!r} not in schema")
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self.attributes
+
+    def project(self, names: Sequence[str]) -> "RelationSchema":
+        """Return the schema restricted to *names* (keys are dropped)."""
+        missing = [name for name in names if name not in self.attributes]
+        if missing:
+            raise AlgebraError(f"cannot project onto unknown attributes {missing!r}")
+        return RelationSchema(tuple(names))
+
+    def merge(self, other: "RelationSchema") -> "RelationSchema":
+        """Concatenate two schemas; clashing names raise (callers rename first)."""
+        clash = set(self.attributes) & set(other.attributes)
+        if clash:
+            raise DuplicateNameError(f"attributes {sorted(clash)!r} occur in both schemas")
+        return RelationSchema(self.attributes + other.attributes)
+
+    def renamed(self, mapping: Mapping[str, str]) -> "RelationSchema":
+        """Return the schema with attributes renamed through *mapping*."""
+        return RelationSchema(tuple(mapping.get(name, name) for name in self.attributes))
+
+
+def _freeze(row: Mapping[str, object], attributes: Sequence[str]) -> Tuple:
+    return tuple(row.get(name) for name in attributes)
+
+
+class Relation:
+    """A named set of tuples over a :class:`RelationSchema` (set semantics)."""
+
+    __slots__ = ("name", "schema", "_rows", "_index")
+
+    def __init__(
+        self,
+        name: str,
+        schema: "RelationSchema | Sequence[str]",
+        rows: Iterable[Mapping[str, object]] = (),
+    ) -> None:
+        if not isinstance(schema, RelationSchema):
+            schema = RelationSchema(tuple(schema))
+        self.name = name
+        self.schema = schema
+        self._rows: Dict[Tuple, Dict[str, object]] = {}
+        self._index: Dict[str, Dict[object, List[Dict[str, object]]]] = {}
+        for row in rows:
+            self.insert(row)
+
+    # ------------------------------------------------------------------ rows
+
+    @property
+    def rows(self) -> Tuple[Dict[str, object], ...]:
+        """All tuples (as dicts), in insertion order."""
+        return tuple(self._rows.values())
+
+    def insert(self, row: Mapping[str, object]) -> bool:
+        """Insert a tuple; unknown attributes raise, duplicates are ignored.
+
+        Returns ``True`` when the tuple was new.
+        """
+        unknown = set(row) - set(self.schema.attributes)
+        if unknown:
+            raise AlgebraError(
+                f"tuple has attributes {sorted(unknown)!r} outside schema of {self.name!r}"
+            )
+        normalized = {name: row.get(name) for name in self.schema.attributes}
+        key = _freeze(normalized, self.schema.attributes)
+        if key in self._rows:
+            return False
+        self._rows[key] = normalized
+        for attribute, buckets in self._index.items():
+            buckets.setdefault(normalized.get(attribute), []).append(normalized)
+        return True
+
+    def insert_many(self, rows: Iterable[Mapping[str, object]]) -> int:
+        """Insert several tuples; returns the number actually added."""
+        return sum(1 for row in rows if self.insert(row))
+
+    def delete(self, predicate) -> int:
+        """Delete the tuples satisfying *predicate*; returns the count removed."""
+        doomed = [key for key, row in self._rows.items() if predicate(row)]
+        for key in doomed:
+            del self._rows[key]
+        if doomed:
+            self._index.clear()
+        return len(doomed)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return iter(self._rows.values())
+
+    def __contains__(self, row: object) -> bool:
+        if not isinstance(row, Mapping):
+            return False
+        return _freeze(row, self.schema.attributes) in self._rows
+
+    # --------------------------------------------------------------- indexes
+
+    def build_index(self, attribute: str) -> None:
+        """Build (or rebuild) a hash index on *attribute* for join acceleration."""
+        if attribute not in self.schema:
+            raise AlgebraError(f"cannot index unknown attribute {attribute!r}")
+        buckets: Dict[object, List[Dict[str, object]]] = {}
+        for row in self._rows.values():
+            buckets.setdefault(row.get(attribute), []).append(row)
+        self._index[attribute] = buckets
+
+    def lookup(self, attribute: str, value: object) -> Tuple[Dict[str, object], ...]:
+        """Return the tuples whose *attribute* equals *value*, via index when present."""
+        if attribute in self._index:
+            return tuple(self._index[attribute].get(value, ()))
+        return tuple(row for row in self._rows.values() if row.get(attribute) == value)
+
+    # ------------------------------------------------------------------ misc
+
+    def copy(self, name: Optional[str] = None) -> "Relation":
+        """Return a copy (fresh row storage)."""
+        return Relation(name or self.name, self.schema, self._rows.values())
+
+    def values_of(self, attribute: str) -> Tuple[object, ...]:
+        """All values of *attribute* across the relation (with duplicates)."""
+        return tuple(row.get(attribute) for row in self._rows.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            set(self.schema.attributes) == set(other.schema.attributes)
+            and set(self._rows) == set(_freeze(row, self.schema.attributes) for row in other)
+        )
+
+    def __hash__(self) -> int:  # relations are mutable; identity hash keeps dict use safe
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, attributes={list(self.schema.attributes)!r}, rows={len(self)})"

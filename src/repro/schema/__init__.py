@@ -1,0 +1,13 @@
+"""Schema layer: DDL-style schema building, the catalog, and integrity validation."""
+
+from repro.schema.builder import SchemaBuilder
+from repro.schema.catalog import Catalog, CatalogEntry
+from repro.schema.validation import ValidationReport, validate_database
+
+__all__ = [
+    "Catalog",
+    "CatalogEntry",
+    "SchemaBuilder",
+    "ValidationReport",
+    "validate_database",
+]

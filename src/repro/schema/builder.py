@@ -1,0 +1,95 @@
+"""A fluent DDL-style schema builder for MAD databases.
+
+The MAD database schema is deliberately "primitive in the sense that it is not
+superposed by some static structures used for complex object definition" —
+only atom types and link types are declared; molecule types are defined
+dynamically in queries.  The builder therefore only covers those two notions,
+plus attribute declarations and cardinality restrictions:
+
+    db = (SchemaBuilder("GEO_DB")
+          .atom_type("state", name="string", hectare="integer")
+          .atom_type("area", area_id="string")
+          .link_type("state-area", "state", "area", cardinality="1:n")
+          .build())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.attributes import AttributeDescription, DataType
+from repro.core.database import Database
+from repro.core.link import Cardinality
+from repro.exceptions import SchemaError
+
+
+class SchemaBuilder:
+    """Collects atom-type and link-type declarations and builds a :class:`Database`."""
+
+    def __init__(self, name: str = "db") -> None:
+        self._name = name
+        self._atom_types: List[Tuple[str, List[AttributeDescription]]] = []
+        self._link_types: List[Tuple[str, str, str, Cardinality]] = []
+        self._docs: Dict[str, str] = {}
+
+    def atom_type(self, type_name: str, /, _doc: str = "", **attributes: "str | DataType | AttributeDescription") -> "SchemaBuilder":
+        """Declare an atom type; keyword arguments map attribute names to data types.
+
+        The atom-type name is positional-only so that an attribute may itself
+        be called ``name`` (as in the geographic example).  A value may also be
+        a prepared :class:`AttributeDescription` to attach enumerated domains
+        or ``required`` flags.
+        """
+        described: List[AttributeDescription] = []
+        for attribute_name, spec in attributes.items():
+            if isinstance(spec, AttributeDescription):
+                described.append(spec if spec.name == attribute_name else spec.renamed(attribute_name))
+            else:
+                described.append(AttributeDescription(attribute_name, spec))
+        self._atom_types.append((type_name, described))
+        if _doc:
+            self._docs[type_name] = _doc
+        return self
+
+    def link_type(
+        self,
+        name: str,
+        first: str,
+        second: str,
+        cardinality: "Cardinality | str" = Cardinality.MANY_TO_MANY,
+        _doc: str = "",
+    ) -> "SchemaBuilder":
+        """Declare a link type between two previously declared atom types."""
+        if isinstance(cardinality, str):
+            try:
+                cardinality = Cardinality(cardinality)
+            except ValueError as exc:
+                raise SchemaError(f"unknown cardinality: {cardinality!r}") from exc
+        self._link_types.append((name, first, second, cardinality))
+        if _doc:
+            self._docs[name] = _doc
+        return self
+
+    def reflexive_link_type(
+        self,
+        name: str,
+        atom_type: str,
+        cardinality: "Cardinality | str" = Cardinality.MANY_TO_MANY,
+        _doc: str = "",
+    ) -> "SchemaBuilder":
+        """Declare a reflexive link type (both endpoints the same atom type)."""
+        return self.link_type(name, atom_type, atom_type, cardinality, _doc)
+
+    @property
+    def documentation(self) -> Dict[str, str]:
+        """Free-form documentation per declared type name."""
+        return dict(self._docs)
+
+    def build(self) -> Database:
+        """Materialize the declarations into a fresh :class:`Database`."""
+        db = Database(self._name)
+        for name, attributes in self._atom_types:
+            db.define_atom_type(name, attributes)
+        for name, first, second, cardinality in self._link_types:
+            db.define_link_type(name, first, second, cardinality=cardinality)
+        return db

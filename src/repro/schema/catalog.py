@@ -1,0 +1,105 @@
+"""A lightweight system catalog over a MAD database.
+
+PRIMA-style systems keep a catalog describing the declared atom types, link
+types, their attributes and statistics; the optimizer and the MQL semantic
+analysis read from it.  The catalog is a read-only projection of the live
+:class:`~repro.core.database.Database`, refreshed on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.database import Database
+from repro.exceptions import UnknownNameError
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One catalog row describing an atom type or a link type."""
+
+    name: str
+    kind: str  # "atom_type" or "link_type"
+    attributes: Tuple[str, ...] = ()
+    connects: Tuple[str, ...] = ()
+    cardinality: Optional[str] = None
+    occurrence_size: int = 0
+
+
+class Catalog:
+    """Catalog of a database's atom types and link types with basic statistics."""
+
+    def __init__(self, database: Database) -> None:
+        self._database = database
+        self._entries: Dict[str, CatalogEntry] = {}
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Re-read the catalog from the underlying database."""
+        self._entries = {}
+        for atom_type in self._database.atom_types:
+            self._entries[atom_type.name] = CatalogEntry(
+                name=atom_type.name,
+                kind="atom_type",
+                attributes=tuple(atom_type.description.names),
+                occurrence_size=len(atom_type),
+            )
+        for link_type in self._database.link_types:
+            self._entries[link_type.name] = CatalogEntry(
+                name=link_type.name,
+                kind="link_type",
+                connects=link_type.atom_type_names,
+                cardinality=link_type.cardinality.value,
+                occurrence_size=len(link_type),
+            )
+
+    def entry(self, name: str) -> CatalogEntry:
+        """Return the catalog entry for *name*; raises when unknown."""
+        try:
+            return self._entries[name]
+        except KeyError as exc:
+            raise UnknownNameError(f"no catalog entry for {name!r}") from exc
+
+    def atom_types(self) -> Tuple[CatalogEntry, ...]:
+        """All atom-type entries."""
+        return tuple(e for e in self._entries.values() if e.kind == "atom_type")
+
+    def link_types(self) -> Tuple[CatalogEntry, ...]:
+        """All link-type entries."""
+        return tuple(e for e in self._entries.values() if e.kind == "link_type")
+
+    def attribute_owner(self, attribute: str) -> Tuple[str, ...]:
+        """Return the atom types that declare *attribute* (for MQL name resolution)."""
+        return tuple(
+            entry.name
+            for entry in self.atom_types()
+            if attribute in entry.attributes
+        )
+
+    def link_types_between(self, first: str, second: str) -> Tuple[CatalogEntry, ...]:
+        """Return the link-type entries connecting *first* and *second*."""
+        wanted = frozenset((first, second))
+        return tuple(
+            entry
+            for entry in self.link_types()
+            if frozenset(entry.connects) == wanted
+        )
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def to_rows(self) -> List[Tuple[str, str, str, int]]:
+        """Render the catalog as printable rows (name, kind, details, size)."""
+        rows = []
+        for entry in self._entries.values():
+            details = (
+                ", ".join(entry.attributes)
+                if entry.kind == "atom_type"
+                else " -- ".join(entry.connects) + f" [{entry.cardinality}]"
+            )
+            rows.append((entry.name, entry.kind, details, entry.occurrence_size))
+        return rows

@@ -1,0 +1,29 @@
+"""Storage substrate: the PRIMA-like two-layer engine (§5).
+
+The paper reports that the PRIMA prototype's "internal architecture shows two
+main components influenced by the construction of the molecule algebra: the
+basic component provides an atom-oriented interface (similar to the
+functionality of atom-type algebra) for the second component that performs
+molecule processing and implements an MQL interface".
+
+This package reproduces that architecture in memory:
+
+* :mod:`repro.storage.atom_store` / :mod:`repro.storage.link_store` — flat
+  stores with identifier lookup and secondary indexes,
+* :mod:`repro.storage.network` — the atom-network adjacency view used for fast
+  link traversal,
+* :mod:`repro.storage.engine` — the two-layer :class:`PrimaEngine`: an
+  atom-oriented interface below, a molecule-processing interface (backed by
+  the molecule algebra and MQL) above.
+
+The substitution from the paper's C/mainframe prototype to pure Python is
+documented in DESIGN.md; the layering and the operation split are preserved.
+"""
+
+from repro.storage.atom_store import AtomStore
+from repro.storage.engine import PrimaEngine
+from repro.storage.index import HashIndex
+from repro.storage.link_store import LinkStore
+from repro.storage.network import AtomNetwork
+
+__all__ = ["AtomNetwork", "AtomStore", "HashIndex", "LinkStore", "PrimaEngine"]

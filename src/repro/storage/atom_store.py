@@ -1,0 +1,106 @@
+"""The atom store: identifier-addressed storage of atoms per atom type.
+
+The lowest layer of the PRIMA-like engine.  Atoms are stored by identifier,
+optionally covered by secondary :class:`~repro.storage.index.HashIndex`
+structures; the store exposes the primitive read operations the atom-oriented
+interface is built from (point lookup, scan, indexed value lookup).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.core.atom import Atom
+from repro.core.attributes import AtomTypeDescription, make_description
+from repro.exceptions import StorageError
+from repro.storage.index import HashIndex
+
+
+class AtomStore:
+    """Stores the atoms of a single atom type and maintains its indexes."""
+
+    def __init__(self, atom_type_name: str, description: "AtomTypeDescription | Mapping | Iterable") -> None:
+        self.atom_type_name = atom_type_name
+        self.description = make_description(description)
+        self._atoms: Dict[str, Atom] = {}
+        self._indexes: Dict[str, HashIndex] = {}
+        self.reads = 0
+        self.writes = 0
+
+    # ----------------------------------------------------------------- write
+
+    def store(self, atom: "Atom | Mapping[str, object]", identifier: Optional[str] = None) -> Atom:
+        """Insert or replace an atom; values are validated against the description."""
+        if not isinstance(atom, Atom):
+            atom = Atom(self.atom_type_name, dict(atom), identifier=identifier)
+        validated = self.description.validate_values(atom.values)
+        stored = Atom(self.atom_type_name, validated, identifier=atom.identifier)
+        self._atoms[stored.identifier] = stored
+        for index in self._indexes.values():
+            index.insert(stored)
+        self.writes += 1
+        return stored
+
+    def delete(self, identifier: str) -> Atom:
+        """Remove and return the atom with *identifier*; raises when missing."""
+        try:
+            atom = self._atoms.pop(identifier)
+        except KeyError as exc:
+            raise StorageError(f"no atom {identifier!r} in store {self.atom_type_name!r}") from exc
+        for index in self._indexes.values():
+            index.remove(identifier)
+        self.writes += 1
+        return atom
+
+    # ------------------------------------------------------------------ read
+
+    def get(self, identifier: str) -> Optional[Atom]:
+        """Point lookup by identifier."""
+        self.reads += 1
+        return self._atoms.get(identifier)
+
+    def scan(self) -> Tuple[Atom, ...]:
+        """Full scan of the store."""
+        self.reads += len(self._atoms)
+        return tuple(self._atoms.values())
+
+    def lookup(self, attribute: str, value: object) -> Tuple[Atom, ...]:
+        """Value lookup, via an index when one exists, otherwise by scanning."""
+        index = self._indexes.get(attribute)
+        if index is not None:
+            identifiers = index.lookup(value)
+            self.reads += len(identifiers)
+            return tuple(self._atoms[i] for i in identifiers if i in self._atoms)
+        return tuple(atom for atom in self.scan() if atom.get(attribute) == value)
+
+    # --------------------------------------------------------------- indexes
+
+    def create_index(self, attribute: str) -> HashIndex:
+        """Create (or return the existing) index on *attribute* and backfill it."""
+        if attribute not in self.description:
+            raise StorageError(
+                f"cannot index unknown attribute {attribute!r} of {self.atom_type_name!r}"
+            )
+        if attribute in self._indexes:
+            return self._indexes[attribute]
+        index = HashIndex(self.atom_type_name, attribute)
+        for atom in self._atoms.values():
+            index.insert(atom)
+        self._indexes[attribute] = index
+        return index
+
+    def has_index(self, attribute: str) -> bool:
+        """``True`` when an index exists on *attribute*."""
+        return attribute in self._indexes
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms.values())
+
+    def __contains__(self, identifier: object) -> bool:
+        return identifier in self._atoms
+
+    def __repr__(self) -> str:
+        return f"AtomStore({self.atom_type_name!r}, atoms={len(self)}, indexes={list(self._indexes)})"

@@ -1,0 +1,226 @@
+"""The PRIMA-like two-layer engine: atom-oriented interface + molecule processing.
+
+The engine mirrors the architecture the paper reports for the PRIMA prototype:
+
+* the **basic component** (:meth:`PrimaEngine.atom_interface` methods:
+  ``store_atom``, ``get_atom``, ``connect``, ``neighbours``, ``lookup``)
+  provides an atom-oriented interface whose functionality corresponds to the
+  atom-type algebra;
+* the **molecule component** (:meth:`PrimaEngine.define_molecule_type`,
+  :meth:`PrimaEngine.query`) performs molecule processing and exposes an MQL
+  interface, implemented directly on top of the molecule algebra.
+
+Internally the engine keeps one :class:`AtomStore` per atom type and one
+:class:`LinkStore` per link type; :meth:`to_database` exports a consistent
+:class:`~repro.core.database.Database` snapshot for the algebra layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.atom import Atom, AtomType
+from repro.core.database import Database
+from repro.core.link import Cardinality, Link, LinkType
+from repro.core.molecule import MoleculeType, MoleculeTypeDescription
+from repro.core.molecule_algebra import molecule_type_definition
+from repro.exceptions import StorageError, UnknownNameError
+from repro.mql.interpreter import MQLInterpreter, QueryResult
+from repro.storage.atom_store import AtomStore
+from repro.storage.link_store import LinkStore
+from repro.storage.network import AtomNetwork
+
+
+class PrimaEngine:
+    """An in-memory, two-layer storage engine for MAD databases."""
+
+    def __init__(self, name: str = "prima") -> None:
+        self.name = name
+        self._atom_stores: Dict[str, AtomStore] = {}
+        self._link_stores: Dict[str, LinkStore] = {}
+        self._cardinalities: Dict[str, Cardinality] = {}
+        self._snapshot: Optional[Database] = None
+
+    # ------------------------------------------------------------------ DDL
+
+    def create_atom_type(self, name: str, description) -> AtomStore:
+        """Create an atom type (backed by an :class:`AtomStore`)."""
+        if name in self._atom_stores or name in self._link_stores:
+            raise StorageError(f"type name {name!r} already in use")
+        store = AtomStore(name, description)
+        self._atom_stores[name] = store
+        self._invalidate()
+        return store
+
+    def create_link_type(
+        self,
+        name: str,
+        first_type: str,
+        second_type: str,
+        cardinality: Cardinality = Cardinality.MANY_TO_MANY,
+    ) -> LinkStore:
+        """Create a link type (backed by a :class:`LinkStore`)."""
+        if name in self._atom_stores or name in self._link_stores:
+            raise StorageError(f"type name {name!r} already in use")
+        for type_name in (first_type, second_type):
+            if type_name not in self._atom_stores:
+                raise UnknownNameError(f"unknown atom type {type_name!r}")
+        store = LinkStore(name, first_type, second_type)
+        self._link_stores[name] = store
+        self._cardinalities[name] = cardinality
+        self._invalidate()
+        return store
+
+    def create_index(self, atom_type_name: str, attribute: str) -> None:
+        """Create a secondary index on ``atom_type_name.attribute``."""
+        self._atom_store(atom_type_name).create_index(attribute)
+
+    # --------------------------------------------- atom-oriented interface
+
+    def store_atom(self, atom_type_name: str, identifier: Optional[str] = None, **values) -> Atom:
+        """Insert (or replace) an atom — basic-component write operation."""
+        atom = self._atom_store(atom_type_name).store(values, identifier=identifier)
+        self._invalidate()
+        return atom
+
+    def get_atom(self, atom_type_name: str, identifier: str) -> Optional[Atom]:
+        """Point lookup — basic-component read operation."""
+        return self._atom_store(atom_type_name).get(identifier)
+
+    def lookup(self, atom_type_name: str, attribute: str, value: object) -> Tuple[Atom, ...]:
+        """Value lookup (indexed when possible) — basic-component read operation."""
+        return self._atom_store(atom_type_name).lookup(attribute, value)
+
+    def scan(self, atom_type_name: str) -> Tuple[Atom, ...]:
+        """Full scan of one atom type."""
+        return self._atom_store(atom_type_name).scan()
+
+    def connect(self, link_type_name: str, first: "Atom | str", second: "Atom | str") -> Link:
+        """Insert a link — basic-component write operation."""
+        store = self._link_store(link_type_name)
+        first_id = first.identifier if isinstance(first, Atom) else first
+        second_id = second.identifier if isinstance(second, Atom) else second
+        link = store.store(first_id, second_id)
+        self._invalidate()
+        return link
+
+    def neighbours(self, link_type_name: str, identifier: str) -> Tuple[str, ...]:
+        """Adjacent atom identifiers through one link type."""
+        return tuple(self._link_store(link_type_name).neighbours(identifier))
+
+    def delete_atom(self, atom_type_name: str, identifier: str) -> int:
+        """Delete an atom and all its incident links; returns the links removed."""
+        self._atom_store(atom_type_name).delete(identifier)
+        removed = 0
+        for store in self._link_stores.values():
+            if atom_type_name in (store.first_type, store.second_type):
+                removed += store.delete_atom(identifier)
+        self._invalidate()
+        return removed
+
+    # --------------------------------------------- molecule-processing layer
+
+    def to_database(self) -> Database:
+        """Export a :class:`Database` snapshot of the current engine contents.
+
+        The snapshot is cached and invalidated on every write, so repeated
+        molecule queries over an unchanged engine reuse it.
+        """
+        if self._snapshot is not None:
+            return self._snapshot
+        db = Database(self.name)
+        for store in self._atom_stores.values():
+            atom_type = AtomType(store.atom_type_name, store.description)
+            for atom in store:
+                atom_type.add(atom)
+            db.add_atom_type(atom_type)
+        for store in self._link_stores.values():
+            link_type = LinkType(
+                store.link_type_name,
+                store.first_type,
+                store.second_type,
+                cardinality=self._cardinalities.get(store.link_type_name, Cardinality.MANY_TO_MANY),
+            )
+            for link in store:
+                first, second = link.given_order
+                link_type.add(Link(store.link_type_name, first, second, store.first_type, store.second_type))
+            db.add_link_type(link_type)
+        self._snapshot = db
+        return db
+
+    def define_molecule_type(
+        self,
+        name: str,
+        atom_type_names: "Sequence[str] | MoleculeTypeDescription",
+        directed_links: Sequence = (),
+    ) -> MoleculeType:
+        """Molecule-type definition (α) over the engine's current contents."""
+        return molecule_type_definition(self.to_database(), name, atom_type_names, directed_links)
+
+    def query(self, statement: str) -> QueryResult:
+        """Execute an MQL statement over the engine's current contents."""
+        return MQLInterpreter(self.to_database()).execute(statement)
+
+    def network(self) -> AtomNetwork:
+        """Return the atom-network view of the current contents."""
+        return AtomNetwork(self.to_database())
+
+    # ------------------------------------------------------------- loading
+
+    @classmethod
+    def from_database(cls, database: Database, name: Optional[str] = None) -> "PrimaEngine":
+        """Bulk-load an engine from an existing database."""
+        engine = cls(name or database.name)
+        for atom_type in database.atom_types:
+            store = engine.create_atom_type(atom_type.name, atom_type.description)
+            for atom in atom_type:
+                store.store(atom)
+        for link_type in database.link_types:
+            store = engine.create_link_type(
+                link_type.name, *link_type.atom_type_names, cardinality=link_type.cardinality
+            )
+            for link in link_type:
+                first, second = link.given_order
+                store.store(first, second)
+        engine._invalidate()
+        return engine
+
+    # ------------------------------------------------------------ statistics
+
+    def statistics(self) -> Dict[str, Dict[str, int]]:
+        """Read/write counters per store (used by the storage tests and benches)."""
+        return {
+            "atoms": {name: len(store) for name, store in self._atom_stores.items()},
+            "links": {name: len(store) for name, store in self._link_stores.items()},
+            "reads": {
+                name: store.reads
+                for name, store in {**self._atom_stores, **self._link_stores}.items()
+            },
+            "writes": {
+                name: store.writes
+                for name, store in {**self._atom_stores, **self._link_stores}.items()
+            },
+        }
+
+    # ---------------------------------------------------------------- helpers
+
+    def _atom_store(self, name: str) -> AtomStore:
+        try:
+            return self._atom_stores[name]
+        except KeyError as exc:
+            raise UnknownNameError(f"unknown atom type {name!r}") from exc
+
+    def _link_store(self, name: str) -> LinkStore:
+        try:
+            return self._link_stores[name]
+        except KeyError as exc:
+            raise UnknownNameError(f"unknown link type {name!r}") from exc
+
+    def _invalidate(self) -> None:
+        self._snapshot = None
+
+    def __repr__(self) -> str:
+        return (
+            f"PrimaEngine({self.name!r}, atom_types={len(self._atom_stores)}, "
+            f"link_types={len(self._link_stores)})"
+        )

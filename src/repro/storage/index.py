@@ -1,0 +1,82 @@
+"""Secondary indexes over atom attributes.
+
+A :class:`HashIndex` maps attribute values to atom identifiers within one atom
+type; it accelerates the atom-oriented interface's value lookups (the
+selective restrictions the optimizer pushes down).  Indexes are maintained
+incrementally by the stores that own them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.core.atom import Atom
+from repro.exceptions import StorageError
+
+
+class HashIndex:
+    """An equality index ``value -> {atom identifiers}`` for one attribute."""
+
+    __slots__ = ("atom_type_name", "attribute", "_buckets", "_entries")
+
+    def __init__(self, atom_type_name: str, attribute: str) -> None:
+        self.atom_type_name = atom_type_name
+        self.attribute = attribute
+        self._buckets: Dict[object, Set[str]] = {}
+        self._entries: Dict[str, object] = {}
+
+    def insert(self, atom: Atom) -> None:
+        """Index *atom* (replacing any previous entry for its identifier)."""
+        if atom.identifier in self._entries:
+            self.remove(atom.identifier)
+        value = self._hashable(atom.get(self.attribute))
+        self._buckets.setdefault(value, set()).add(atom.identifier)
+        self._entries[atom.identifier] = value
+
+    def remove(self, identifier: str) -> None:
+        """Drop the entry for *identifier* (no error when absent)."""
+        value = self._entries.pop(identifier, _MISSING)
+        if value is _MISSING:
+            return
+        bucket = self._buckets.get(value)
+        if bucket is not None:
+            bucket.discard(identifier)
+            if not bucket:
+                del self._buckets[value]
+
+    def lookup(self, value: object) -> FrozenSet[str]:
+        """Return the identifiers whose indexed attribute equals *value*."""
+        return frozenset(self._buckets.get(self._hashable(value), ()))
+
+    def distinct_values(self) -> int:
+        """Number of distinct indexed values (used by the optimizer's statistics)."""
+        return len(self._buckets)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, identifier: object) -> bool:
+        return identifier in self._entries
+
+    @staticmethod
+    def _hashable(value: object) -> object:
+        if isinstance(value, list):
+            return tuple(value)
+        if isinstance(value, dict):
+            return tuple(sorted(value.items()))
+        return value
+
+    def __repr__(self) -> str:
+        return (
+            f"HashIndex({self.atom_type_name}.{self.attribute}, entries={len(self._entries)}, "
+            f"values={len(self._buckets)})"
+        )
+
+
+class _Missing:
+    """Sentinel distinguishing 'no entry' from an indexed ``None`` value."""
+
+    __slots__ = ()
+
+
+_MISSING = _Missing()

@@ -1,0 +1,104 @@
+"""The link store: adjacency-indexed storage of links per link type.
+
+Links are kept both as a set (for containment tests) and as an adjacency map
+``atom identifier -> {links}`` so that the hierarchical join of molecule
+derivation is a constant-time neighbour expansion rather than a scan — the
+storage-level reason molecule processing touches fewer tuples than the
+relational join plan over junction relations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.core.link import Link
+from repro.exceptions import StorageError
+
+
+class LinkStore:
+    """Stores the links of a single link type with bidirectional adjacency."""
+
+    def __init__(self, link_type_name: str, first_type: str, second_type: str) -> None:
+        self.link_type_name = link_type_name
+        self.first_type = first_type
+        self.second_type = second_type
+        self._links: Set[Link] = set()
+        self._adjacency: Dict[str, Set[Link]] = {}
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def is_reflexive(self) -> bool:
+        """``True`` when both endpoint types coincide."""
+        return self.first_type == self.second_type
+
+    # ----------------------------------------------------------------- write
+
+    def store(self, first: str, second: str) -> Link:
+        """Insert the link ``(first, second)`` (idempotent)."""
+        link = Link(self.link_type_name, first, second, self.first_type, self.second_type)
+        if link in self._links:
+            return link
+        self._links.add(link)
+        for identifier in link.identifiers:
+            self._adjacency.setdefault(identifier, set()).add(link)
+        self.writes += 1
+        return link
+
+    def delete(self, link: Link) -> None:
+        """Remove *link* (no error when absent)."""
+        if link not in self._links:
+            return
+        self._links.discard(link)
+        for identifier in link.identifiers:
+            bucket = self._adjacency.get(identifier)
+            if bucket is not None:
+                bucket.discard(link)
+                if not bucket:
+                    del self._adjacency[identifier]
+        self.writes += 1
+
+    def delete_atom(self, identifier: str) -> int:
+        """Remove every link incident to *identifier*; returns the number removed."""
+        links = list(self._adjacency.get(identifier, ()))
+        for link in links:
+            self.delete(link)
+        return len(links)
+
+    # ------------------------------------------------------------------ read
+
+    def neighbours(self, identifier: str) -> FrozenSet[str]:
+        """Identifiers directly linked to *identifier*."""
+        self.reads += 1
+        return frozenset(
+            link.other(identifier) for link in self._adjacency.get(identifier, ())
+        )
+
+    def links_of(self, identifier: str) -> FrozenSet[Link]:
+        """Links incident to *identifier*."""
+        self.reads += 1
+        return frozenset(self._adjacency.get(identifier, ()))
+
+    def scan(self) -> Tuple[Link, ...]:
+        """All links of the store."""
+        self.reads += len(self._links)
+        return tuple(self._links)
+
+    def degree(self, identifier: str) -> int:
+        """Number of links incident to *identifier*."""
+        return len(self._adjacency.get(identifier, ()))
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __iter__(self) -> Iterator[Link]:
+        return iter(self._links)
+
+    def __contains__(self, link: object) -> bool:
+        return link in self._links
+
+    def __repr__(self) -> str:
+        return (
+            f"LinkStore({self.link_type_name!r}, {self.first_type!r} -- {self.second_type!r}, "
+            f"links={len(self)})"
+        )

@@ -1,0 +1,113 @@
+"""Atom networks: the graph view over a whole database.
+
+"In the database all atoms connected by links form meshed structures, called
+atom networks."  :class:`AtomNetwork` materializes that view for analysis and
+reporting: per-atom degree, connected components, reachability, and the
+link-degree statistics reported by the Fig. 1 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.database import Database
+
+
+class AtomNetwork:
+    """An undirected adjacency view over all atoms and links of a database."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._adjacency: Dict[str, Set[str]] = {}
+        self._type_of: Dict[str, str] = {}
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Rebuild the adjacency view from the current database state."""
+        self._adjacency = {}
+        self._type_of = {}
+        for atom_type in self.database.atom_types:
+            for atom in atom_type:
+                self._adjacency.setdefault(atom.identifier, set())
+                self._type_of[atom.identifier] = atom_type.name
+        for link_type in self.database.link_types:
+            for link in link_type:
+                ids = tuple(link.identifiers)
+                first, last = ids[0], ids[-1]
+                self._adjacency.setdefault(first, set()).add(last)
+                self._adjacency.setdefault(last, set()).add(first)
+
+    # ------------------------------------------------------------- structure
+
+    def neighbours(self, identifier: str) -> FrozenSet[str]:
+        """Atoms directly connected to *identifier* through any link type."""
+        return frozenset(self._adjacency.get(identifier, ()))
+
+    def degree(self, identifier: str) -> int:
+        """Number of distinct atoms linked to *identifier*."""
+        return len(self._adjacency.get(identifier, ()))
+
+    def atom_type_of(self, identifier: str) -> Optional[str]:
+        """The atom type of *identifier*, or ``None`` when unknown."""
+        return self._type_of.get(identifier)
+
+    def reachable_from(self, identifier: str, max_hops: Optional[int] = None) -> FrozenSet[str]:
+        """Atoms reachable from *identifier* within *max_hops* links (all hops when None)."""
+        seen = {identifier}
+        frontier = [identifier]
+        hops = 0
+        while frontier and (max_hops is None or hops < max_hops):
+            hops += 1
+            next_frontier: List[str] = []
+            for current in frontier:
+                for neighbour in self._adjacency.get(current, ()):
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        next_frontier.append(neighbour)
+            frontier = next_frontier
+        return frozenset(seen)
+
+    def connected_components(self) -> Tuple[FrozenSet[str], ...]:
+        """The connected components of the atom network (largest first)."""
+        remaining = set(self._adjacency)
+        components: List[FrozenSet[str]] = []
+        while remaining:
+            start = next(iter(remaining))
+            component = self.reachable_from(start)
+            components.append(component)
+            remaining -= component
+        return tuple(sorted(components, key=len, reverse=True))
+
+    # ------------------------------------------------------------ statistics
+
+    def degree_statistics(self) -> Dict[str, Dict[str, float]]:
+        """Per atom type: min / max / mean link degree (the Fig. 1 report)."""
+        per_type: Dict[str, List[int]] = {}
+        for identifier, neighbours in self._adjacency.items():
+            type_name = self._type_of.get(identifier, "?")
+            per_type.setdefault(type_name, []).append(len(neighbours))
+        statistics: Dict[str, Dict[str, float]] = {}
+        for type_name, degrees in per_type.items():
+            statistics[type_name] = {
+                "min": float(min(degrees)),
+                "max": float(max(degrees)),
+                "mean": sum(degrees) / len(degrees),
+                "atoms": float(len(degrees)),
+            }
+        return statistics
+
+    def shared_atom_count(self, left_type: str, right_type: str) -> int:
+        """Atoms linked to atoms of both *left_type* and *right_type*.
+
+        Quantifies subobject sharing potential: e.g. edges linked to both an
+        area and a net are shared between state borders and river courses.
+        """
+        count = 0
+        for identifier, neighbours in self._adjacency.items():
+            neighbour_types = {self._type_of.get(n) for n in neighbours}
+            if left_type in neighbour_types and right_type in neighbour_types:
+                count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self._adjacency)

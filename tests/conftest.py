@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, load_geography
+from repro.core.molecule import MoleculeTypeDescription
+from repro.datasets.geography import mt_state_description, point_neighborhood_description
+
+
+@pytest.fixture()
+def geo_db() -> Database:
+    """A fresh copy of the Brazil geographic database for every test."""
+    return load_geography()
+
+
+@pytest.fixture(scope="session")
+def geo_db_session() -> Database:
+    """A session-wide (read-only) Brazil database for derivation-only tests."""
+    return load_geography()
+
+
+@pytest.fixture()
+def mt_state_desc() -> MoleculeTypeDescription:
+    atom_types, directed_links = mt_state_description()
+    return MoleculeTypeDescription(atom_types, directed_links)
+
+
+@pytest.fixture()
+def point_neighborhood_desc() -> MoleculeTypeDescription:
+    atom_types, directed_links = point_neighborhood_description()
+    return MoleculeTypeDescription(atom_types, directed_links)
+
+
+@pytest.fixture()
+def tiny_db() -> Database:
+    """A tiny two-type database used by the unit tests: authors and books."""
+    db = Database("tiny")
+    db.define_atom_type("author", {"name": "string", "country": "string"})
+    db.define_atom_type("book", {"title": "string", "year": "integer"})
+    db.define_link_type("wrote", "author", "book")
+    a1 = db.insert_atom("author", identifier="a1", name="Codd", country="UK")
+    a2 = db.insert_atom("author", identifier="a2", name="Ullman", country="US")
+    b1 = db.insert_atom("book", identifier="b1", title="Relational Model", year=1970)
+    b2 = db.insert_atom("book", identifier="b2", title="Principles", year=1980)
+    b3 = db.insert_atom("book", identifier="b3", title="Survey", year=1985)
+    db.connect("wrote", a1, b1)
+    db.connect("wrote", a2, b2)
+    db.connect("wrote", a1, b3)
+    db.connect("wrote", a2, b3)  # shared subobject
+    return db

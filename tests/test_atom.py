@@ -1,0 +1,147 @@
+"""Unit tests for atoms and atom types (Definition 1)."""
+
+import pytest
+
+from repro.core.atom import Atom, AtomType, reset_surrogate_counter
+from repro.exceptions import DomainError, IntegrityError, SchemaError
+
+
+class TestAtom:
+    def test_surrogate_identifier_generated(self):
+        reset_surrogate_counter()
+        atom = Atom("state", {"name": "SP"})
+        assert atom.identifier.startswith("state#")
+
+    def test_explicit_identifier_kept(self):
+        atom = Atom("state", {"name": "SP"}, identifier="SP")
+        assert atom.identifier == "SP"
+
+    def test_values_returns_copy(self):
+        atom = Atom("state", {"name": "SP"})
+        values = atom.values
+        values["name"] = "changed"
+        assert atom["name"] == "SP"
+
+    def test_getitem_and_get(self):
+        atom = Atom("state", {"name": "SP"})
+        assert atom["name"] == "SP"
+        assert atom["missing"] is None
+        assert atom.get("missing", "x") == "x"
+
+    def test_with_values_preserves_identity(self):
+        atom = Atom("state", {"name": "SP", "hectare": 10}, identifier="SP")
+        updated = atom.with_values(hectare=20)
+        assert updated.identifier == "SP"
+        assert updated["hectare"] == 20
+        assert atom["hectare"] == 10
+
+    def test_projected_keeps_identity(self):
+        atom = Atom("state", {"name": "SP", "hectare": 10}, identifier="SP")
+        projected = atom.projected(["name"])
+        assert projected.identifier == "SP"
+        assert projected.values == {"name": "SP"}
+
+    def test_concatenated_composite_identity(self):
+        left = Atom("a", {"x": 1}, identifier="a1")
+        right = Atom("b", {"y": 2}, identifier="b1")
+        combined = left.concatenated(right, "ab", ["x", "y"])
+        assert combined.identifier == "a1&b1"
+        assert combined.values == {"x": 1, "y": 2}
+        assert combined.provenance() == ("a1", "b1")
+
+    def test_concatenated_prefixed_names(self):
+        left = Atom("a", {"x": 1}, identifier="a1")
+        right = Atom("b", {"x": 2}, identifier="b1")
+        combined = left.concatenated(right, "ab", ["x", "b.x"])
+        assert combined.values == {"x": 1, "b.x": 2}
+
+    def test_equality_by_identity_and_type(self):
+        assert Atom("a", {"x": 1}, identifier="i") == Atom("a", {"x": 2}, identifier="i")
+        assert Atom("a", {}, identifier="i") != Atom("b", {}, identifier="i")
+
+    def test_hashable(self):
+        atoms = {Atom("a", {}, identifier="i"), Atom("a", {}, identifier="i")}
+        assert len(atoms) == 1
+
+
+class TestAtomType:
+    def test_accessor_functions(self):
+        atom_type = AtomType("state", {"name": "string"})
+        assert atom_type.name == "state"
+        assert atom_type.description.names == ("name",)
+        assert atom_type.occurrence == ()
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            AtomType("", {"x": "integer"})
+
+    def test_add_mapping_creates_atom(self):
+        atom_type = AtomType("state", {"name": "string"})
+        atom = atom_type.add({"name": "SP"})
+        assert atom in atom_type
+        assert len(atom_type) == 1
+
+    def test_insert_keyword_convenience(self):
+        atom_type = AtomType("state", {"name": "string"})
+        atom = atom_type.insert(name="SP", identifier="SP")
+        assert atom.identifier == "SP"
+
+    def test_add_validates_domain(self):
+        atom_type = AtomType("state", {"hectare": "integer"})
+        with pytest.raises(DomainError):
+            atom_type.add({"hectare": "not a number"})
+
+    def test_add_rejects_duplicate_identifier(self):
+        atom_type = AtomType("state", {"name": "string"})
+        atom_type.add({"name": "SP"}, identifier="SP")
+        with pytest.raises(IntegrityError):
+            atom_type.add({"name": "other"}, identifier="SP")
+
+    def test_add_retypes_foreign_atom(self):
+        atom_type = AtomType("state", {"name": "string"})
+        foreign = Atom("other", {"name": "SP"}, identifier="x")
+        stored = atom_type.add(foreign)
+        assert stored.type_name == "state"
+        assert stored.identifier == "x"
+
+    def test_remove_by_identifier_and_object(self):
+        atom_type = AtomType("state", {"name": "string"})
+        atom = atom_type.add({"name": "SP"}, identifier="SP")
+        atom_type.remove("SP")
+        assert len(atom_type) == 0
+        with pytest.raises(IntegrityError):
+            atom_type.remove(atom)
+
+    def test_get_and_contains(self):
+        atom_type = AtomType("state", {"name": "string"})
+        atom = atom_type.add({"name": "SP"}, identifier="SP")
+        assert atom_type.get("SP") == atom
+        assert atom_type.get("missing") is None
+        assert "SP" in atom_type
+        assert atom in atom_type
+
+    def test_iteration_and_identifiers(self):
+        atom_type = AtomType("state", {"name": "string"})
+        atom_type.add({"name": "SP"}, identifier="SP")
+        atom_type.add({"name": "MG"}, identifier="MG")
+        assert {a["name"] for a in atom_type} == {"SP", "MG"}
+        assert set(atom_type.identifiers()) == {"SP", "MG"}
+
+    def test_empty_copy_and_copy(self):
+        atom_type = AtomType("state", {"name": "string"})
+        atom_type.add({"name": "SP"}, identifier="SP")
+        empty = atom_type.empty_copy("other")
+        assert empty.name == "other" and len(empty) == 0
+        clone = atom_type.copy()
+        assert len(clone) == 1
+        clone.remove("SP")
+        assert len(atom_type) == 1  # original untouched
+
+    def test_equality(self):
+        a = AtomType("state", {"name": "string"})
+        b = AtomType("state", {"name": "string"})
+        a.add({"name": "SP"}, identifier="SP")
+        b.add({"name": "SP"}, identifier="SP")
+        assert a == b
+        b.add({"name": "MG"}, identifier="MG")
+        assert a != b

@@ -1,0 +1,183 @@
+"""Unit tests for attribute descriptions, data types and domains (Definition 1 substrate)."""
+
+import pytest
+
+from repro.core.attributes import (
+    AtomTypeDescription,
+    AttributeDescription,
+    DataType,
+    make_description,
+)
+from repro.exceptions import AttributeError_, DomainError, DuplicateNameError
+
+
+class TestDataType:
+    def test_integer_accepts_ints_only(self):
+        assert DataType.INTEGER.accepts(3)
+        assert not DataType.INTEGER.accepts(3.5)
+        assert not DataType.INTEGER.accepts("3")
+        assert not DataType.INTEGER.accepts(True)
+
+    def test_real_accepts_ints_and_floats(self):
+        assert DataType.REAL.accepts(3)
+        assert DataType.REAL.accepts(3.5)
+        assert not DataType.REAL.accepts("3.5")
+
+    def test_string_accepts_strings_only(self):
+        assert DataType.STRING.accepts("hello")
+        assert not DataType.STRING.accepts(5)
+
+    def test_boolean_rejects_ints(self):
+        assert DataType.BOOLEAN.accepts(True)
+        assert not DataType.BOOLEAN.accepts(1)
+
+    def test_point2d_accepts_numeric_pairs(self):
+        assert DataType.POINT2D.accepts((1.0, 2.0))
+        assert not DataType.POINT2D.accepts((1.0,))
+        assert not DataType.POINT2D.accepts(("a", "b"))
+
+    def test_none_accepted_by_every_type(self):
+        for data_type in DataType:
+            assert data_type.accepts(None)
+
+    def test_any_accepts_everything(self):
+        assert DataType.ANY.accepts(object())
+
+    def test_coerce_int_to_real(self):
+        assert DataType.REAL.coerce(3) == 3.0
+        assert isinstance(DataType.REAL.coerce(3), float)
+
+    def test_coerce_list_to_point(self):
+        assert DataType.POINT2D.coerce([1, 2]) == (1, 2)
+
+    def test_coerce_rejects_wrong_value(self):
+        with pytest.raises(DomainError):
+            DataType.INTEGER.coerce("not an int")
+
+
+class TestAttributeDescription:
+    def test_string_data_type_name_resolved(self):
+        attribute = AttributeDescription("hectare", "integer")
+        assert attribute.data_type is DataType.INTEGER
+
+    def test_unknown_data_type_rejected(self):
+        with pytest.raises(AttributeError_):
+            AttributeDescription("x", "quaternion")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(AttributeError_):
+            AttributeDescription("", "string")
+        with pytest.raises(AttributeError_):
+            AttributeDescription("  padded ", "string")
+
+    def test_validate_accepts_domain_member(self):
+        attribute = AttributeDescription("hectare", "integer")
+        assert attribute.validate(100) == 100
+
+    def test_validate_rejects_non_member(self):
+        attribute = AttributeDescription("hectare", "integer")
+        with pytest.raises(DomainError):
+            attribute.validate("a lot")
+
+    def test_enumerated_domain(self):
+        attribute = AttributeDescription("kind", "string", allowed_values=["a", "b"])
+        assert attribute.validate("a") == "a"
+        with pytest.raises(DomainError):
+            attribute.validate("c")
+
+    def test_required_rejects_none(self):
+        attribute = AttributeDescription("name", "string", required=True)
+        with pytest.raises(DomainError):
+            attribute.validate(None)
+
+    def test_optional_accepts_none(self):
+        attribute = AttributeDescription("name", "string")
+        assert attribute.validate(None) is None
+
+    def test_renamed_keeps_type_and_domain(self):
+        attribute = AttributeDescription("kind", "string", allowed_values=["a"])
+        renamed = attribute.renamed("sort")
+        assert renamed.name == "sort"
+        assert renamed.data_type is DataType.STRING
+        assert renamed.allowed_values == frozenset(["a"])
+
+    def test_equality_and_hash(self):
+        a = AttributeDescription("x", "integer")
+        b = AttributeDescription("x", "integer")
+        c = AttributeDescription("x", "string")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestAtomTypeDescription:
+    def test_names_preserve_order(self):
+        description = AtomTypeDescription(["b", "a", "c"])
+        assert description.names == ("b", "a", "c")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(DuplicateNameError):
+            AtomTypeDescription(["a", "a"])
+
+    def test_contains_and_getitem(self):
+        description = AtomTypeDescription([AttributeDescription("x", "integer")])
+        assert "x" in description
+        assert description["x"].data_type is DataType.INTEGER
+        with pytest.raises(AttributeError_):
+            description["missing"]
+
+    def test_get_returns_none_for_missing(self):
+        description = AtomTypeDescription(["x"])
+        assert description.get("missing") is None
+
+    def test_validate_values_fills_missing_with_none(self):
+        description = AtomTypeDescription(["x", "y"])
+        assert description.validate_values({"x": 1}) == {"x": 1, "y": None}
+
+    def test_validate_values_rejects_unknown(self):
+        description = AtomTypeDescription(["x"])
+        with pytest.raises(AttributeError_):
+            description.validate_values({"z": 1})
+
+    def test_project_subset(self):
+        description = AtomTypeDescription(["x", "y", "z"])
+        projected = description.project(["z", "x"])
+        assert projected.names == ("z", "x")
+
+    def test_project_unknown_rejected(self):
+        description = AtomTypeDescription(["x"])
+        with pytest.raises(AttributeError_):
+            description.project(["nope"])
+
+    def test_union_disjoint(self):
+        left = AtomTypeDescription(["x"])
+        right = AtomTypeDescription(["y"])
+        assert left.union(right).names == ("x", "y")
+
+    def test_union_clash_without_prefix_rejected(self):
+        left = AtomTypeDescription(["x"])
+        right = AtomTypeDescription(["x"])
+        with pytest.raises(DuplicateNameError):
+            left.union(right)
+
+    def test_union_clash_with_prefixes(self):
+        left = AtomTypeDescription(["x", "a"])
+        right = AtomTypeDescription(["x", "b"])
+        merged = left.union(right, "left", "right")
+        assert "a" in merged and "b" in merged
+        assert "right.x" in merged.names or "left.x" in merged.names
+
+    def test_equality_is_order_insensitive(self):
+        assert AtomTypeDescription(["a", "b"]) == AtomTypeDescription(["b", "a"])
+
+    def test_make_description_from_mapping(self):
+        description = make_description({"x": "integer", "y": DataType.STRING})
+        assert description["x"].data_type is DataType.INTEGER
+        assert description["y"].data_type is DataType.STRING
+
+    def test_make_description_passthrough(self):
+        original = AtomTypeDescription(["x"])
+        assert make_description(original) is original
+
+    def test_make_description_rejects_bad_item(self):
+        with pytest.raises(AttributeError_):
+            AtomTypeDescription([42])

@@ -1,0 +1,156 @@
+"""Unit tests for databases and the database domain (Definition 3)."""
+
+import pytest
+
+from repro.core.database import Database, formal_specification
+from repro.core.link import Cardinality, LinkType
+from repro.exceptions import (
+    DanglingLinkError,
+    DuplicateNameError,
+    SchemaError,
+    UnknownNameError,
+)
+
+
+class TestDatabaseSchema:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Database("")
+
+    def test_define_atom_type(self):
+        db = Database("db")
+        at = db.define_atom_type("state", {"name": "string"})
+        assert db.has_atom_type("state")
+        assert db.atyp("state") is at
+        assert db.atom_type_names == ("state",)
+
+    def test_duplicate_atom_type_rejected(self):
+        db = Database("db")
+        db.define_atom_type("state", {"name": "string"})
+        with pytest.raises(DuplicateNameError):
+            db.define_atom_type("state", {"name": "string"})
+
+    def test_atyp_unknown_raises(self):
+        db = Database("db")
+        with pytest.raises(UnknownNameError):
+            db.atyp("missing")
+
+    def test_atyp_with_name_collection(self):
+        db = Database("db")
+        db.define_atom_type("a", {"x": "integer"})
+        db.define_atom_type("b", {"x": "integer"})
+        types = db.atyp(["a", "b"])
+        assert tuple(t.name for t in types) == ("a", "b")
+
+    def test_define_link_type_requires_atom_types(self):
+        db = Database("db")
+        db.define_atom_type("a", {"x": "integer"})
+        with pytest.raises(UnknownNameError):
+            db.define_link_type("l", "a", "missing")
+
+    def test_link_and_atom_type_names_share_namespace(self):
+        db = Database("db")
+        db.define_atom_type("a", {"x": "integer"})
+        db.define_atom_type("b", {"x": "integer"})
+        db.define_link_type("a-b", "a", "b")
+        with pytest.raises(DuplicateNameError):
+            db.define_atom_type("a-b", {"x": "integer"})
+        with pytest.raises(DuplicateNameError):
+            db.define_link_type("a", "a", "b")
+
+    def test_ltyp_lookup(self):
+        db = Database("db")
+        db.define_atom_type("a", {"x": "integer"})
+        db.define_link_type("l", "a", "a")
+        assert db.ltyp("l").is_reflexive
+        with pytest.raises(UnknownNameError):
+            db.ltyp("missing")
+
+    def test_link_types_of_and_between(self):
+        db = Database("db")
+        db.define_atom_type("a", {"x": "integer"})
+        db.define_atom_type("b", {"x": "integer"})
+        db.define_link_type("l1", "a", "b")
+        db.define_link_type("l2", "a", "a")
+        assert {lt.name for lt in db.link_types_of("a")} == {"l1", "l2"}
+        assert {lt.name for lt in db.link_types_of("b")} == {"l1"}
+        assert [lt.name for lt in db.link_types_between("a", "b")] == ["l1"]
+        assert [lt.name for lt in db.link_types_between("a", "a")] == ["l2"]
+
+    def test_drop_atom_type_cascades_link_types(self):
+        db = Database("db")
+        db.define_atom_type("a", {"x": "integer"})
+        db.define_atom_type("b", {"x": "integer"})
+        db.define_link_type("l", "a", "b")
+        db.drop_atom_type("b")
+        assert not db.has_atom_type("b")
+        assert not db.has_link_type("l")
+
+    def test_drop_link_type(self):
+        db = Database("db")
+        db.define_atom_type("a", {"x": "integer"})
+        db.define_link_type("l", "a", "a")
+        db.drop_link_type("l")
+        assert not db.has_link_type("l")
+        with pytest.raises(UnknownNameError):
+            db.drop_link_type("l")
+
+
+class TestDatabaseOccurrence:
+    def test_insert_and_find_atom(self, tiny_db):
+        atom = tiny_db.find_atom("a1")
+        assert atom is not None and atom["name"] == "Codd"
+        assert tiny_db.find_atom("nope") is None
+
+    def test_counts_and_statistics(self, tiny_db):
+        assert tiny_db.atom_count() == 5
+        assert tiny_db.link_count() == 4
+        stats = tiny_db.statistics()
+        assert stats["atom_types"]["author"] == 2
+        assert stats["link_types"]["wrote"] == 4
+
+    def test_contains(self, tiny_db):
+        assert "author" in tiny_db
+        assert "wrote" in tiny_db
+        assert "missing" not in tiny_db
+
+    def test_validate_detects_dangling_link(self, tiny_db):
+        tiny_db.ltyp("wrote").connect("a1", "b_missing")
+        assert not tiny_db.is_valid()
+        with pytest.raises(DanglingLinkError):
+            tiny_db.validate()
+
+    def test_copy_is_independent(self, tiny_db):
+        clone = tiny_db.copy()
+        clone.atyp("author").remove("a1")
+        assert tiny_db.atyp("author").get("a1") is not None
+        assert clone.atyp("author").get("a1") is None
+
+    def test_enlarged_shares_originals_and_adds_new(self, tiny_db):
+        from repro.core.atom import AtomType
+
+        extra = AtomType("publisher", {"name": "string"})
+        enlarged = tiny_db.enlarged([extra])
+        assert enlarged.has_atom_type("publisher")
+        assert enlarged.atyp("author") is tiny_db.atyp("author")
+        assert not tiny_db.has_atom_type("publisher")
+
+    def test_enlarged_ignores_name_clash(self, tiny_db):
+        from repro.core.atom import AtomType
+
+        clash = AtomType("author", {"name": "string"})
+        enlarged = tiny_db.enlarged([clash])
+        assert enlarged.atyp("author") is tiny_db.atyp("author")
+
+
+class TestFormalSpecification:
+    def test_specification_mentions_all_types(self, tiny_db):
+        text = formal_specification(tiny_db)
+        assert "author = <" in text
+        assert "book = <" in text
+        assert "wrote = <" in text
+        assert "∈ AT*" in text and "∈ LT*" in text and "∈ DB*" in text
+
+    def test_specification_elides_long_occurrences(self, geo_db):
+        text = formal_specification(geo_db)
+        assert "..." in text

@@ -1,0 +1,163 @@
+"""Dataset loaders and cross-module integration tests (end-to-end scenarios)."""
+
+import pytest
+
+from repro import (
+    MoleculeAlgebra,
+    RecursiveDescription,
+    attr,
+    build_bill_of_materials,
+    build_geography,
+    build_synthetic_network,
+    load_geography,
+    molecule_type_definition,
+    recursive_molecule_type,
+)
+from repro.core.molecule import MoleculeTypeDescription
+from repro.datasets.bill_of_materials import root_parts
+from repro.datasets.geography import mt_state_description, point_neighborhood_description
+from repro.datasets.synthetic import random_molecule_description
+from repro.mql import execute
+from repro.nf2 import molecule_type_to_nested
+from repro.relational import assemble_complex_objects, map_database
+from repro.storage import PrimaEngine
+
+
+class TestGeographyDataset:
+    def test_paper_instance_shape(self):
+        db = load_geography()
+        assert db.is_valid()
+        assert {len(db.atyp(n)) for n in ("state", "river")} == {10, 3}
+        # Shared edges: every Parana border edge is linked to an area and the net.
+        area_edge = db.ltyp("area-edge")
+        net_edge = db.ltyp("net-edge")
+        shared = {
+            identifier
+            for link in net_edge
+            for identifier in link.identifiers
+            if identifier.startswith("e") and area_edge.links_of(identifier)
+        }
+        assert len(shared) >= 5
+
+    def test_scaled_generator_is_valid_and_scales(self):
+        small = build_geography(n_states=5, edges_per_state=3, n_rivers=2)
+        large = build_geography(n_states=20, edges_per_state=3, n_rivers=2)
+        assert small.is_valid() and large.is_valid()
+        assert large.atom_count() > small.atom_count()
+        assert len(large.atyp("state")) == 20
+
+    def test_scaled_generator_has_shared_border_edges(self):
+        db = build_geography(n_states=6, edges_per_state=2, n_rivers=1)
+        descriptions = mt_state_description()
+        molecule_type = molecule_type_definition(
+            db, "mt_state", MoleculeTypeDescription(*descriptions)
+        )
+        assert molecule_type.shared_atoms(), "ring topology must share border edges"
+
+    def test_descriptions_helpers(self):
+        atom_types, links = mt_state_description()
+        assert atom_types[0] == "state"
+        atom_types, links = point_neighborhood_description()
+        assert atom_types[0] == "point"
+
+
+class TestBomAndSyntheticDatasets:
+    def test_bom_shape(self):
+        db = build_bill_of_materials(depth=3, fan_out=2, n_roots=2)
+        assert db.is_valid()
+        assert len(root_parts(db)) == 2
+        levels = {atom["level"] for atom in db.atyp("part")}
+        assert levels == {0, 1, 2, 3}
+
+    def test_bom_sharing(self):
+        shared = build_bill_of_materials(depth=3, fan_out=3, share_every=2)
+        plain = build_bill_of_materials(depth=3, fan_out=3, share_every=0)
+        assert len(shared.atyp("part")) < len(plain.atyp("part"))
+
+    def test_synthetic_network_reproducible(self):
+        a = build_synthetic_network(seed=5)
+        b = build_synthetic_network(seed=5)
+        assert a.atom_count() == b.atom_count()
+        assert a.link_count() == b.link_count()
+        assert a.is_valid()
+
+    def test_random_molecule_description_is_valid(self):
+        db = build_synthetic_network(n_atom_types=5, seed=9)
+        description = random_molecule_description(db, max_types=4, seed=2)
+        molecule_type = molecule_type_definition(db, "random", description)
+        assert len(molecule_type) == len(db.atyp(description.root))
+
+
+class TestEndToEnd:
+    def test_mql_equals_algebra_equals_relational(self, geo_db, mt_state_desc):
+        """The same complex-object query through MQL, the algebra, and relational joins."""
+        mql = execute(geo_db, "SELECT ALL FROM mt_state(state-area-edge-point) WHERE state.hectare > 800;")
+        algebra = MoleculeAlgebra(geo_db)
+        algebra_result = algebra.restrict(
+            algebra.define("mt_state", mt_state_desc), attr("hectare", "state") > 800
+        )
+        mapping = map_database(geo_db)
+        relational = assemble_complex_objects(
+            mapping, mt_state_desc, root_predicate=lambda row: row["hectare"] > 800
+        )
+        roots_mql = {m.root_atom.identifier for m in mql}
+        roots_algebra = {m.root_atom.identifier for m in algebra_result.molecule_type}
+        roots_relational = {obj["_id"] for obj in relational.objects}
+        assert roots_mql == roots_algebra == roots_relational == {"BA", "GO", "MG", "MS"}
+
+    def test_storage_engine_round_trip(self, geo_db):
+        """Database -> engine -> database snapshot preserves counts and queries."""
+        engine = PrimaEngine.from_database(geo_db)
+        snapshot = engine.to_database()
+        assert snapshot.atom_count() == geo_db.atom_count()
+        assert snapshot.link_count() == geo_db.link_count()
+        before = len(engine.query("SELECT ALL FROM state-area;"))
+        engine.store_atom("state", identifier="TO", name="Tocantins", code="TO", hectare=500)
+        after = len(engine.query("SELECT ALL FROM state-area;"))
+        assert after == before + 1
+
+    def test_nested_export_of_query_result(self, geo_db):
+        """MQL result -> NF² nested relation (for hierarchical results)."""
+        result = execute(geo_db, "SELECT ALL FROM state-area-edge;")
+        nested = molecule_type_to_nested(result.molecule_type)
+        assert len(nested) == 10
+
+    def test_recursive_and_flat_queries_on_same_engine(self):
+        bom = build_bill_of_materials(depth=3, fan_out=2, n_roots=1)
+        engine = PrimaEngine.from_database(bom)
+        flat = engine.query("SELECT ALL FROM part;")
+        assert len(flat) == len(bom.atyp("part"))
+        recursive = engine.query("SELECT ALL FROM RECURSIVE part [composition] DOWN WHERE part.level = 0;")
+        assert len(recursive) == 1
+        assert len(recursive.molecules[0]) == len(bom.atyp("part"))
+
+    def test_dynamic_object_definition_requires_no_schema_change(self, geo_db):
+        """The same database answers structurally different molecule queries unchanged."""
+        schema_before = (set(geo_db.atom_type_names), set(geo_db.link_type_names))
+        for statement in (
+            "SELECT ALL FROM state-area-edge-point;",
+            "SELECT ALL FROM point-edge-(area-state,net-river);",
+            "SELECT ALL FROM river-net-edge-point;",
+            "SELECT ALL FROM city-point;",
+        ):
+            result = execute(geo_db, statement)
+            assert len(result) > 0
+        assert (set(geo_db.atom_type_names), set(geo_db.link_type_names)) == schema_before
+
+    def test_insert_then_query_new_molecule(self, geo_db, mt_state_desc):
+        from repro.manipulation import insert_molecule
+
+        insert_molecule(
+            geo_db,
+            mt_state_desc,
+            {
+                "name": "Tocantins",
+                "code": "TO",
+                "hectare": 950,
+                "area": [{"area_id": "a_TO", "kind": "state-border",
+                          "edge": [{"edge_id": "e_TO", "length": 4.0,
+                                    "point": [{"name": "TO-p", "x": 0.0, "y": 0.0}]}]}],
+            },
+        )
+        result = execute(geo_db, "SELECT ALL FROM mt_state(state-area-edge-point) WHERE state.hectare > 900;")
+        assert "TO" in {m.root_atom["code"] for m in result}

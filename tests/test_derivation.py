@@ -1,0 +1,155 @@
+"""Unit tests for molecule derivation: m_dom, contained, total, mv_graph (Definition 6)."""
+
+import pytest
+
+from repro.core.derivation import (
+    contained,
+    derive_molecule,
+    derive_occurrence,
+    hierarchical_join_statistics,
+    is_total,
+    mv_graph,
+    resolve_description,
+    resolve_directed_link,
+)
+from repro.core.graph import DirectedLink
+from repro.core.molecule import Molecule, MoleculeTypeDescription
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture()
+def oeuvre_desc():
+    return MoleculeTypeDescription(["author", "book"], [("wrote", "author", "book")])
+
+
+class TestResolution:
+    def test_resolve_named_link(self, tiny_db):
+        link_type = resolve_directed_link(tiny_db, DirectedLink("wrote", "author", "book"))
+        assert link_type.name == "wrote"
+
+    def test_resolve_anonymous_link(self, tiny_db):
+        link_type = resolve_directed_link(tiny_db, DirectedLink("-", "author", "book"))
+        assert link_type.name == "wrote"
+
+    def test_resolve_anonymous_ambiguous_raises(self, tiny_db):
+        tiny_db.define_link_type("edited", "author", "book")
+        with pytest.raises(SchemaError):
+            resolve_directed_link(tiny_db, DirectedLink("-", "author", "book"))
+
+    def test_resolve_anonymous_missing_raises(self, tiny_db):
+        tiny_db.define_atom_type("publisher", {"name": "string"})
+        with pytest.raises(SchemaError):
+            resolve_directed_link(tiny_db, DirectedLink("-", "author", "publisher"))
+
+    def test_resolve_wrong_endpoints_raises(self, tiny_db):
+        tiny_db.define_atom_type("publisher", {"name": "string"})
+        with pytest.raises(SchemaError):
+            resolve_directed_link(tiny_db, DirectedLink("wrote", "author", "publisher"))
+
+    def test_resolve_description_replaces_anonymous(self, tiny_db):
+        description = MoleculeTypeDescription(["author", "book"], [("-", "author", "book")])
+        resolved = resolve_description(tiny_db, description)
+        assert resolved.directed_links[0].link_type_name == "wrote"
+
+    def test_resolve_description_unchanged_when_named(self, tiny_db, oeuvre_desc):
+        assert resolve_description(tiny_db, oeuvre_desc) is oeuvre_desc
+
+
+class TestDerivation:
+    def test_one_molecule_per_root_atom(self, tiny_db, oeuvre_desc):
+        molecules = derive_occurrence(tiny_db, oeuvre_desc)
+        assert len(molecules) == len(tiny_db.atyp("author"))
+
+    def test_hierarchical_join_collects_children(self, tiny_db, oeuvre_desc):
+        molecules = {m.root_atom.identifier: m for m in derive_occurrence(tiny_db, oeuvre_desc)}
+        codd = molecules["a1"]
+        assert {a["title"] for a in codd.atoms_of_type("book")} == {"Relational Model", "Survey"}
+        ullman = molecules["a2"]
+        assert {a["title"] for a in ullman.atoms_of_type("book")} == {"Principles", "Survey"}
+
+    def test_shared_subobject_appears_in_both_molecules(self, tiny_db, oeuvre_desc):
+        molecules = derive_occurrence(tiny_db, oeuvre_desc)
+        shared = molecules[0].shares_atoms_with(molecules[1])
+        assert "b3" in shared
+
+    def test_links_included(self, tiny_db, oeuvre_desc):
+        molecule = derive_molecule(tiny_db, oeuvre_desc, tiny_db.atyp("author").get("a1"))
+        assert len(molecule.links) == 2
+
+    def test_childless_root_is_single_atom_molecule(self, tiny_db, oeuvre_desc):
+        lonely = tiny_db.insert_atom("author", identifier="a3", name="Nobody", country="--")
+        molecule = derive_molecule(tiny_db, oeuvre_desc, lonely)
+        assert len(molecule) == 1
+        assert len(molecule.links) == 0
+
+    def test_multi_level_derivation(self, geo_db, mt_state_desc):
+        molecules = derive_occurrence(geo_db, mt_state_desc)
+        assert len(molecules) == 10
+        sp = next(m for m in molecules if m.root_atom["code"] == "SP")
+        assert len(sp.atoms_of_type("area")) == 1
+        assert len(sp.atoms_of_type("edge")) >= 3
+        assert len(sp.atoms_of_type("point")) >= 3
+
+    def test_diamond_structure_includes_atom_once(self, geo_db, point_neighborhood_desc):
+        molecules = derive_occurrence(geo_db, point_neighborhood_desc)
+        pn = next(m for m in molecules if m.root_atom["name"] == "pn")
+        identifiers = [a.identifier for a in pn.atoms]
+        assert len(identifiers) == len(set(identifiers))
+
+    def test_statistics(self, geo_db, mt_state_desc):
+        stats = hierarchical_join_statistics(geo_db, mt_state_desc)
+        assert stats["molecules"] == 10
+        assert stats["atoms_touched"] >= stats["distinct_atoms"]
+        assert stats["links_touched"] > 0
+
+
+class TestPredicates:
+    def test_contained_root(self, tiny_db, oeuvre_desc):
+        molecule = derive_molecule(tiny_db, oeuvre_desc, tiny_db.atyp("author").get("a1"))
+        assert contained(tiny_db, oeuvre_desc, molecule, molecule.root_atom)
+
+    def test_contained_child_via_link(self, tiny_db, oeuvre_desc):
+        molecule = derive_molecule(tiny_db, oeuvre_desc, tiny_db.atyp("author").get("a1"))
+        book = tiny_db.atyp("book").get("b1")
+        assert contained(tiny_db, oeuvre_desc, molecule, book)
+
+    def test_not_contained_unreachable_atom(self, tiny_db, oeuvre_desc):
+        molecule = derive_molecule(tiny_db, oeuvre_desc, tiny_db.atyp("author").get("a1"))
+        unrelated = tiny_db.atyp("book").get("b2")  # written only by Ullman
+        assert not contained(tiny_db, oeuvre_desc, molecule, unrelated)
+
+    def test_is_total_for_derived_molecule(self, tiny_db, oeuvre_desc):
+        molecule = derive_molecule(tiny_db, oeuvre_desc, tiny_db.atyp("author").get("a1"))
+        assert is_total(tiny_db, oeuvre_desc, molecule)
+
+    def test_is_total_fails_for_truncated_molecule(self, tiny_db, oeuvre_desc):
+        root = tiny_db.atyp("author").get("a1")
+        truncated = Molecule(root, [root], [], oeuvre_desc)
+        assert not is_total(tiny_db, oeuvre_desc, truncated)
+
+    def test_mv_graph_accepts_derived_molecules(self, geo_db, mt_state_desc):
+        for molecule in derive_occurrence(geo_db, mt_state_desc):
+            ok, reason = mv_graph(geo_db, mt_state_desc, molecule)
+            assert ok, reason
+
+    def test_mv_graph_rejects_foreign_atom_type(self, tiny_db, oeuvre_desc):
+        root = tiny_db.atyp("author").get("a1")
+        alien = tiny_db.insert_atom("author", identifier="alien", name="x", country="y")
+        tiny_db.define_atom_type("publisher", {"name": "string"})
+        foreign = tiny_db.insert_atom("publisher", identifier="p1", name="ACM")
+        molecule = Molecule(root, [root, foreign], [], oeuvre_desc)
+        ok, reason = mv_graph(tiny_db, oeuvre_desc, molecule)
+        assert not ok and "type outside" in reason
+
+    def test_mv_graph_rejects_wrong_root_type(self, tiny_db, oeuvre_desc):
+        book = tiny_db.atyp("book").get("b1")
+        molecule = Molecule(book, [book], [], oeuvre_desc)
+        ok, reason = mv_graph(tiny_db, oeuvre_desc, molecule)
+        assert not ok and "root" in reason
+
+    def test_mv_graph_rejects_incoherent_molecule(self, tiny_db, oeuvre_desc):
+        root = tiny_db.atyp("author").get("a1")
+        stray = tiny_db.atyp("book").get("b2")
+        molecule = Molecule(root, [root, stray], [], oeuvre_desc)
+        ok, reason = mv_graph(tiny_db, oeuvre_desc, molecule)
+        assert not ok

@@ -1,0 +1,241 @@
+"""Unit tests for the ER front-end, the schema layer, and the storage substrate."""
+
+import pytest
+
+from repro.core.link import Cardinality
+from repro.er import ERSchema, EntityType, RelationshipType, er_to_mad, er_to_relational_schemas
+from repro.er.model import geographic_er_schema
+from repro.er.to_mad import er_to_mad_report
+from repro.er.to_relational import auxiliary_relation_count
+from repro.exceptions import (
+    CardinalityError,
+    DuplicateNameError,
+    SchemaError,
+    StorageError,
+    UnknownNameError,
+)
+from repro.schema import Catalog, SchemaBuilder, validate_database
+from repro.storage import AtomNetwork, AtomStore, HashIndex, LinkStore, PrimaEngine
+
+
+class TestERModel:
+    def test_entity_definition(self):
+        entity = EntityType.define("state", name="string", hectare="integer")
+        assert entity.attribute_names == ("name", "hectare")
+
+    def test_relationship_cardinality_validation(self):
+        with pytest.raises(SchemaError):
+            RelationshipType("r", "a", "b", "3:4")
+
+    def test_schema_construction(self):
+        schema = ERSchema("s")
+        schema.add_entity("a", x="integer")
+        schema.add_entity("b", y="integer")
+        schema.add_relationship("r", "a", "b", "n:m")
+        assert schema.entity("a").name == "a"
+        assert schema.relationship("r").is_many_to_many
+        with pytest.raises(DuplicateNameError):
+            schema.add_entity("a")
+        with pytest.raises(UnknownNameError):
+            schema.add_relationship("r2", "a", "missing")
+        with pytest.raises(UnknownNameError):
+            schema.entity("missing")
+
+    def test_geographic_schema_matches_fig1(self):
+        schema = geographic_er_schema()
+        assert len(schema.entity_types) == 7
+        assert len(schema.relationship_types) == 6
+        assert len(schema.many_to_many_relationships()) == 3
+
+    def test_er_to_mad_one_to_one(self):
+        schema = geographic_er_schema()
+        mad = er_to_mad(schema)
+        assert set(mad.atom_type_names) == {e.name for e in schema.entity_types}
+        assert set(mad.link_type_names) == {r.name for r in schema.relationship_types}
+        report = er_to_mad_report(schema, mad)
+        assert all("MISSING" not in kind for kind, _ in report.values())
+
+    def test_er_to_mad_cardinalities(self):
+        schema = geographic_er_schema()
+        mad = er_to_mad(schema, enforce_cardinalities=True)
+        assert mad.ltyp("state-area").cardinality is Cardinality.ONE_TO_MANY
+        assert mad.ltyp("area-edge").cardinality is Cardinality.MANY_TO_MANY
+
+    def test_er_to_relational_junctions(self):
+        schema = geographic_er_schema()
+        relational = er_to_relational_schemas(schema)
+        assert auxiliary_relation_count(schema) == 3
+        assert "area-edge" in relational
+        # 1:n relationships fold into a foreign key on the dependent side.
+        assert any(a.startswith("state-area") for a in relational["area"].attributes)
+
+    def test_reflexive_relationship_to_relational(self):
+        schema = ERSchema("bom")
+        schema.add_entity("part", part_no="string")
+        schema.add_relationship("composition", "part", "part", "n:m")
+        relational = er_to_relational_schemas(schema)
+        assert relational["composition"].attributes == ("part_super_id", "part_sub_id")
+
+
+class TestSchemaLayer:
+    def test_builder_builds_database(self):
+        db = (
+            SchemaBuilder("geo")
+            .atom_type("state", name="string", hectare="integer")
+            .atom_type("area", area_id="string")
+            .link_type("state-area", "state", "area", cardinality="1:n")
+            .build()
+        )
+        assert db.has_atom_type("state")
+        assert db.ltyp("state-area").cardinality is Cardinality.ONE_TO_MANY
+
+    def test_builder_reflexive_and_docs(self):
+        builder = SchemaBuilder("bom").atom_type("part", part_no="string", _doc="a part")
+        builder.reflexive_link_type("composition", "part", _doc="assembly structure")
+        db = builder.build()
+        assert db.ltyp("composition").is_reflexive
+        assert builder.documentation["part"] == "a part"
+
+    def test_builder_unknown_cardinality(self):
+        with pytest.raises(SchemaError):
+            SchemaBuilder("x").atom_type("a", x="integer").link_type("l", "a", "a", "many")
+
+    def test_catalog_entries(self, geo_db):
+        catalog = Catalog(geo_db)
+        assert len(catalog) == 13
+        assert catalog.entry("state").kind == "atom_type"
+        assert catalog.entry("state-area").connects == ("state", "area")
+        assert "hectare" in catalog.entry("state").attributes
+        assert catalog.attribute_owner("hectare") == ("state",)
+        assert catalog.link_types_between("area", "edge")[0].name == "area-edge"
+        with pytest.raises(UnknownNameError):
+            catalog.entry("missing")
+        assert len(catalog.to_rows()) == 13
+
+    def test_catalog_refresh(self, geo_db):
+        catalog = Catalog(geo_db)
+        geo_db.define_atom_type("extra", {"x": "integer"})
+        assert "extra" not in catalog
+        catalog.refresh()
+        assert "extra" in catalog
+
+    def test_validation_detects_cardinality_violation(self):
+        db = (
+            SchemaBuilder("x")
+            .atom_type("a", k="string")
+            .atom_type("b", k="string")
+            .link_type("l", "a", "b")
+            .build()
+        )
+        db.insert_atom("a", identifier="a1", k="x")
+        db.insert_atom("b", identifier="b1", k="x")
+        db.insert_atom("b", identifier="b2", k="y")
+        db.connect("l", "a1", "b1")
+        db.connect("l", "a1", "b2")
+        # Tighten the cardinality after the fact and re-validate.
+        db.ltyp("l").cardinality = Cardinality.ONE_TO_ONE
+        report = validate_database(db)
+        assert not report.is_valid
+        assert any("cardinality" in violation for violation in report.violations)
+
+    def test_validation_ok_for_geo(self, geo_db):
+        report = validate_database(geo_db)
+        assert report.is_valid
+        assert report.checked_atoms == geo_db.atom_count()
+        assert report.checked_links == geo_db.link_count()
+
+
+class TestStorage:
+    def test_hash_index(self):
+        from repro.core.atom import Atom
+
+        index = HashIndex("state", "code")
+        index.insert(Atom("state", {"code": "SP"}, identifier="SP"))
+        index.insert(Atom("state", {"code": "MG"}, identifier="MG"))
+        assert index.lookup("SP") == frozenset({"SP"})
+        assert index.distinct_values() == 2
+        index.insert(Atom("state", {"code": "RJ"}, identifier="SP"))  # re-index same atom
+        assert index.lookup("SP") == frozenset()
+        assert index.lookup("RJ") == frozenset({"SP"})
+        index.remove("SP")
+        assert len(index) == 1
+
+    def test_atom_store_crud_and_indexes(self):
+        store = AtomStore("state", {"code": "string", "hectare": "integer"})
+        store.store({"code": "SP", "hectare": 750}, identifier="SP")
+        store.store({"code": "MG", "hectare": 900}, identifier="MG")
+        assert store.get("SP")["hectare"] == 750
+        store.create_index("code")
+        assert store.has_index("code")
+        assert len(store.lookup("code", "MG")) == 1
+        assert len(store.lookup("hectare", 750)) == 1  # unindexed scan path
+        store.delete("SP")
+        assert store.get("SP") is None
+        with pytest.raises(StorageError):
+            store.delete("SP")
+        with pytest.raises(StorageError):
+            store.create_index("missing")
+
+    def test_link_store_adjacency(self):
+        store = LinkStore("wrote", "author", "book")
+        store.store("a1", "b1")
+        store.store("a1", "b2")
+        assert store.neighbours("a1") == frozenset({"b1", "b2"})
+        assert store.degree("a1") == 2
+        assert len(store.links_of("b1")) == 1
+        assert store.delete_atom("a1") == 2
+        assert len(store) == 0
+
+    def test_engine_two_layers(self, geo_db):
+        engine = PrimaEngine.from_database(geo_db)
+        # Atom-oriented interface.
+        assert engine.get_atom("state", "SP")["name"] == "Sao Paulo"
+        assert len(engine.lookup("state", "code", "MG")) == 1
+        assert "a7" in engine.neighbours("state-area", "SP") or engine.neighbours("state-area", "SP")
+        # Molecule-processing interface.
+        result = engine.query("SELECT ALL FROM state-area WHERE state.hectare > 800;")
+        assert len(result) == 4
+        molecule_type = engine.define_molecule_type(
+            "mt", ["state", "area"], [("state-area", "state", "area")]
+        )
+        assert len(molecule_type) == 10
+
+    def test_engine_snapshot_invalidation(self):
+        engine = PrimaEngine("e")
+        engine.create_atom_type("a", {"x": "integer"})
+        first = engine.to_database()
+        assert engine.to_database() is first  # cached
+        engine.store_atom("a", x=1)
+        assert engine.to_database() is not first  # invalidated by the write
+
+    def test_engine_ddl_errors(self):
+        engine = PrimaEngine("e")
+        engine.create_atom_type("a", {"x": "integer"})
+        with pytest.raises(StorageError):
+            engine.create_atom_type("a", {"x": "integer"})
+        with pytest.raises(UnknownNameError):
+            engine.create_link_type("l", "a", "missing")
+        with pytest.raises(UnknownNameError):
+            engine.scan("missing")
+
+    def test_engine_delete_atom_removes_links(self, geo_db):
+        engine = PrimaEngine.from_database(geo_db)
+        removed = engine.delete_atom("state", "SP")
+        assert removed >= 1
+        assert engine.get_atom("state", "SP") is None
+
+    def test_engine_statistics(self, geo_db):
+        engine = PrimaEngine.from_database(geo_db)
+        engine.scan("state")
+        stats = engine.statistics()
+        assert stats["atoms"]["state"] == 10
+        assert stats["reads"]["state"] >= 10
+
+    def test_atom_network_views(self, geo_db):
+        network = AtomNetwork(geo_db)
+        assert network.degree("SP") >= 1
+        assert "a7" in network.neighbours("SP") or network.neighbours("SP")
+        assert network.atom_type_of("SP") == "state"
+        assert len(network.reachable_from("SP", max_hops=1)) >= 2
+        assert len(network.connected_components()) >= 1
+        assert network.shared_atom_count("area", "net") >= 5

@@ -1,0 +1,164 @@
+"""Smoke tests for the example scripts and edge-case coverage across modules."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import Database, MoleculeAlgebra, attr, molecule_type_definition
+from repro.core.atom import Atom
+from repro.core.molecule import Molecule, MoleculeTypeDescription
+from repro.core.predicates import Comparison, AttributeRef
+from repro.exceptions import (
+    AlgebraError,
+    CardinalityError,
+    DanglingLinkError,
+    DomainError,
+    IntegrityError,
+    MADError,
+    MQLError,
+    MQLSemanticError,
+    MQLSyntaxError,
+    SchemaError,
+    StorageError,
+    TransactionError,
+    UnionCompatibilityError,
+)
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_mad_error(self):
+        for exc_type in (
+            SchemaError,
+            DomainError,
+            IntegrityError,
+            DanglingLinkError,
+            CardinalityError,
+            AlgebraError,
+            UnionCompatibilityError,
+            MQLError,
+            MQLSyntaxError,
+            MQLSemanticError,
+            StorageError,
+            TransactionError,
+        ):
+            assert issubclass(exc_type, MADError)
+
+    def test_syntax_error_carries_position(self):
+        error = MQLSyntaxError("bad token", line=3, column=7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error)
+
+
+@pytest.mark.parametrize(
+    "script",
+    sorted(path.name for path in EXAMPLES_DIR.glob("*.py")),
+)
+def test_example_scripts_run(script, capsys):
+    """Every example under examples/ runs to completion (deliverable b)."""
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+
+
+class TestEmptyAndDegenerateCases:
+    def test_empty_database_molecule_definition(self):
+        db = Database("empty")
+        db.define_atom_type("a", {"x": "integer"})
+        molecule_type = molecule_type_definition(db, "mt", ["a"], [])
+        assert len(molecule_type) == 0
+
+    def test_single_atom_type_molecule(self):
+        db = Database("single")
+        db.define_atom_type("a", {"x": "integer"})
+        db.insert_atom("a", identifier="a1", x=1)
+        molecule_type = molecule_type_definition(db, "mt", ["a"], [])
+        assert len(molecule_type) == 1
+        assert len(molecule_type.occurrence[0]) == 1
+
+    def test_restriction_of_empty_molecule_type(self):
+        db = Database("empty")
+        db.define_atom_type("a", {"x": "integer"})
+        algebra = MoleculeAlgebra(db)
+        molecule_type = algebra.define("mt", ["a"], [])
+        result = algebra.restrict(molecule_type, attr("x") > 0)
+        assert len(result.molecule_type) == 0
+        assert result.database.is_valid()
+
+    def test_molecule_with_no_links_nested_dict(self):
+        atom = Atom("a", {"x": 1}, identifier="a1")
+        description = MoleculeTypeDescription(["a"], [])
+        molecule = Molecule(atom, [atom], [], description)
+        assert molecule.to_nested_dict()["x"] == 1
+
+    def test_comparison_repr_and_molecule_none_handling(self):
+        atom = Atom("a", {"x": None}, identifier="a1")
+        molecule = Molecule(atom, [atom], [])
+        formula = Comparison(AttributeRef("x", "a"), "<", 5)
+        assert not formula.evaluate_molecule(molecule)
+
+    def test_unlinked_types_cannot_form_structure(self):
+        db = Database("d")
+        db.define_atom_type("a", {"x": "integer"})
+        db.define_atom_type("b", {"x": "integer"})
+        with pytest.raises(Exception):
+            molecule_type_definition(db, "mt", ["a", "b"], [("-", "a", "b")])
+
+
+class TestParallelLinkTypes:
+    """Several link types between the same two atom types (allowed by Def. 2)."""
+
+    def build(self):
+        db = Database("flights")
+        db.define_atom_type("city", {"name": "string"})
+        db.define_atom_type("route", {"code": "string"})
+        db.define_link_type("departs", "city", "route")
+        db.define_link_type("arrives", "city", "route")
+        sp = db.insert_atom("city", identifier="SP", name="Sao Paulo")
+        rj = db.insert_atom("city", identifier="RJ", name="Rio")
+        r1 = db.insert_atom("route", identifier="R1", code="SP-RJ")
+        db.connect("departs", sp, r1)
+        db.connect("arrives", rj, r1)
+        return db
+
+    def test_anonymous_link_is_ambiguous(self):
+        db = self.build()
+        with pytest.raises(Exception):
+            molecule_type_definition(db, "mt", ["city", "route"], [("-", "city", "route")])
+
+    def test_named_links_disambiguate(self):
+        db = self.build()
+        departures = molecule_type_definition(
+            db, "departures", ["city", "route"], [("departs", "city", "route")]
+        )
+        arrivals = molecule_type_definition(
+            db, "arrivals", ["city", "route"], [("arrives", "city", "route")]
+        )
+        sp = next(m for m in departures if m.root_atom.identifier == "SP")
+        rj_dep = next(m for m in departures if m.root_atom.identifier == "RJ")
+        assert len(sp.atoms_of_type("route")) == 1
+        assert len(rj_dep.atoms_of_type("route")) == 0
+        rj_arr = next(m for m in arrivals if m.root_atom.identifier == "RJ")
+        assert len(rj_arr.atoms_of_type("route")) == 1
+
+    def test_mql_with_explicit_link_names(self):
+        from repro.mql import execute
+
+        db = self.build()
+        result = execute(db, "SELECT ALL FROM city -[departs]- route WHERE city.name = 'Sao Paulo';")
+        assert len(result) == 1
+        assert len(result.molecules[0].atoms_of_type("route")) == 1
+
+
+class TestFormalSpecificationRoundTrip:
+    def test_specification_of_derived_database(self, tiny_db):
+        from repro.core import formal_specification
+        from repro.core.atom_algebra import restrict
+
+        result = restrict(tiny_db, "book", attr("year") > 1975, name="recent")
+        text = formal_specification(result.database)
+        assert "recent = <" in text
+        assert "wrote~recent" in text

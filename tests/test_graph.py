@@ -1,0 +1,130 @@
+"""Unit tests for type graphs and the md_graph predicate (Definition 5)."""
+
+import pytest
+
+from repro.core.graph import DirectedLink, TypeGraph, md_graph, require_md_graph, root_of
+from repro.exceptions import MoleculeGraphError
+
+
+def edges(*triples):
+    return [DirectedLink(*triple) for triple in triples]
+
+
+class TestDirectedLink:
+    def test_as_tuple_and_equality(self):
+        dl = DirectedLink("l", "a", "b")
+        assert dl.as_tuple() == ("l", "a", "b")
+        assert dl == DirectedLink("l", "a", "b")
+        assert dl != DirectedLink("l", "b", "a")
+
+    def test_reversed(self):
+        dl = DirectedLink("l", "a", "b").reversed()
+        assert (dl.source, dl.target) == ("b", "a")
+
+    def test_hashable(self):
+        assert len({DirectedLink("l", "a", "b"), DirectedLink("l", "a", "b")}) == 1
+
+
+class TestTypeGraph:
+    def chain(self):
+        return TypeGraph(["a", "b", "c"], edges(("l1", "a", "b"), ("l2", "b", "c")))
+
+    def test_children_and_parents(self):
+        graph = self.chain()
+        assert [e.target for e in graph.children_edges("a")] == ["b"]
+        assert [e.source for e in graph.parent_edges("c")] == ["b"]
+        assert graph.children_edges("c") == ()
+
+    def test_roots_and_leaves(self):
+        graph = self.chain()
+        assert graph.roots() == ("a",)
+        assert graph.leaves() == ("c",)
+
+    def test_acyclic_and_coherent(self):
+        graph = self.chain()
+        assert graph.is_acyclic()
+        assert graph.is_coherent()
+
+    def test_cycle_detected(self):
+        graph = TypeGraph(["a", "b"], edges(("l1", "a", "b"), ("l2", "b", "a")))
+        assert not graph.is_acyclic()
+        with pytest.raises(MoleculeGraphError):
+            graph.topological_order()
+
+    def test_disconnected_detected(self):
+        graph = TypeGraph(["a", "b", "c"], edges(("l1", "a", "b")))
+        assert not graph.is_coherent()
+
+    def test_single_node_coherent(self):
+        graph = TypeGraph(["a"], [])
+        assert graph.is_coherent()
+        assert graph.roots() == ("a",)
+
+    def test_topological_order_root_first(self):
+        order = self.chain().topological_order()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_reachable_from(self):
+        graph = TypeGraph(
+            ["a", "b", "c", "d"], edges(("l1", "a", "b"), ("l2", "a", "c"), ("l3", "c", "d"))
+        )
+        assert graph.reachable_from("a") == frozenset({"a", "b", "c", "d"})
+        assert graph.reachable_from("c") == frozenset({"c", "d"})
+
+    def test_subgraph(self):
+        graph = TypeGraph(
+            ["a", "b", "c"], edges(("l1", "a", "b"), ("l2", "b", "c"))
+        )
+        sub = graph.subgraph(["a", "b"])
+        assert sub.nodes == ("a", "b")
+        assert len(sub.edges) == 1
+
+    def test_edge_outside_nodes_rejected(self):
+        with pytest.raises(MoleculeGraphError):
+            TypeGraph(["a"], edges(("l1", "a", "b")))
+
+
+class TestMdGraphPredicate:
+    def test_valid_chain(self):
+        ok, reason = md_graph(["a", "b"], edges(("l", "a", "b")))
+        assert ok, reason
+
+    def test_valid_dag_with_branches(self):
+        ok, _ = md_graph(
+            ["point", "edge", "area", "net"],
+            edges(("e-p", "point", "edge"), ("a-e", "edge", "area"), ("n-e", "edge", "net")),
+        )
+        assert ok
+
+    def test_single_node_valid(self):
+        ok, _ = md_graph(["part"], [])
+        assert ok
+
+    def test_empty_invalid(self):
+        ok, reason = md_graph([], [])
+        assert not ok and "at least one" in reason
+
+    def test_duplicate_nodes_invalid(self):
+        ok, reason = md_graph(["a", "a"], [])
+        assert not ok and "duplicate" in reason
+
+    def test_cycle_invalid(self):
+        ok, reason = md_graph(["a", "b"], edges(("l1", "a", "b"), ("l2", "b", "a")))
+        assert not ok and "cycle" in reason
+
+    def test_disconnected_invalid(self):
+        ok, reason = md_graph(["a", "b"], [])
+        assert not ok and "coherent" in reason
+
+    def test_two_roots_invalid(self):
+        ok, reason = md_graph(
+            ["a", "b", "c"], edges(("l1", "a", "c"), ("l2", "b", "c"))
+        )
+        assert not ok and "root" in reason
+
+    def test_require_md_graph_raises(self):
+        with pytest.raises(MoleculeGraphError):
+            require_md_graph(["a", "b"], [])
+
+    def test_root_of(self):
+        assert root_of(["a", "b"], edges(("l", "a", "b"))) == "a"

@@ -1,0 +1,160 @@
+"""Unit tests for links and link types (Definition 2)."""
+
+import pytest
+
+from repro.core.atom import Atom
+from repro.core.link import Cardinality, Link, LinkType
+from repro.exceptions import CardinalityError, DanglingLinkError, SchemaError
+
+
+class TestLink:
+    def test_unsorted_pair_equality(self):
+        assert Link("l", "a", "b") == Link("l", "b", "a")
+        assert hash(Link("l", "a", "b")) == hash(Link("l", "b", "a"))
+
+    def test_different_link_types_not_equal(self):
+        assert Link("l1", "a", "b") != Link("l2", "a", "b")
+
+    def test_connects_and_other(self):
+        link = Link("l", "a", "b")
+        assert link.connects("a") and link.connects("b")
+        assert link.other("a") == "b"
+        assert link.other("b") == "a"
+        with pytest.raises(DanglingLinkError):
+            link.other("c")
+
+    def test_self_loop_other(self):
+        link = Link("l", "a", "a")
+        assert link.other("a") == "a"
+
+    def test_given_order_preserved(self):
+        link = Link("l", "parent", "child")
+        assert link.given_order == ("parent", "child")
+
+    def test_endpoint_of_type_with_atoms(self):
+        parent = Atom("author", {}, identifier="a1")
+        child = Atom("book", {}, identifier="b1")
+        link = Link("wrote", parent, child)
+        assert link.endpoint_of_type("author") == "a1"
+        assert link.endpoint_of_type("book") == "b1"
+        assert link.endpoint_of_type("missing") is None
+
+
+class TestLinkType:
+    def make(self, cardinality=Cardinality.MANY_TO_MANY):
+        return LinkType("wrote", "author", "book", cardinality=cardinality)
+
+    def test_accessors(self):
+        link_type = self.make()
+        assert link_type.name == "wrote"
+        assert link_type.description == frozenset(("author", "book"))
+        assert link_type.atom_type_names == ("author", "book")
+        assert not link_type.is_reflexive
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            LinkType("", "a", "b")
+
+    def test_reflexive(self):
+        link_type = LinkType("composition", "part", "part")
+        assert link_type.is_reflexive
+        assert link_type.other_type("part") == "part"
+
+    def test_other_type(self):
+        link_type = self.make()
+        assert link_type.other_type("author") == "book"
+        assert link_type.other_type("book") == "author"
+        with pytest.raises(SchemaError):
+            link_type.other_type("missing")
+
+    def test_connects_type(self):
+        link_type = self.make()
+        assert link_type.connects_type("author")
+        assert not link_type.connects_type("publisher")
+
+    def test_connect_and_contains(self):
+        link_type = self.make()
+        link = link_type.connect("a1", "b1")
+        assert link in link_type
+        assert len(link_type) == 1
+
+    def test_connect_idempotent(self):
+        link_type = self.make()
+        link_type.connect("a1", "b1")
+        link_type.connect("b1", "a1")  # unsorted pair — same link
+        assert len(link_type) == 1
+
+    def test_links_of_and_partners_of(self):
+        link_type = self.make()
+        link_type.connect("a1", "b1")
+        link_type.connect("a1", "b2")
+        assert len(link_type.links_of("a1")) == 2
+        assert link_type.partners_of("a1") == frozenset({"b1", "b2"})
+        assert link_type.partners_of("unknown") == frozenset()
+
+    def test_remove_link_and_atom(self):
+        link_type = self.make()
+        link = link_type.connect("a1", "b1")
+        link_type.connect("a1", "b2")
+        link_type.remove(link)
+        assert len(link_type) == 1
+        removed = link_type.remove_atom("a1")
+        assert removed == 1
+        assert len(link_type) == 0
+
+    def test_one_to_one_cardinality_enforced(self):
+        link_type = self.make(Cardinality.ONE_TO_ONE)
+        link_type.connect("a1", "b1")
+        with pytest.raises(CardinalityError):
+            link_type.connect("a1", "b2")
+        with pytest.raises(CardinalityError):
+            link_type.connect("a2", "b1")
+
+    def test_one_to_many_cardinality_enforced(self):
+        link_type = self.make(Cardinality.ONE_TO_MANY)
+        link_type.connect("a1", "b1")
+        link_type.connect("a1", "b2")  # one author, many books — fine
+        with pytest.raises(CardinalityError):
+            link_type.connect("a2", "b1")  # a book may not get a second author
+
+    def test_many_to_many_unrestricted(self):
+        link_type = self.make()
+        link_type.connect("a1", "b1")
+        link_type.connect("a2", "b1")
+        link_type.connect("a1", "b2")
+        assert len(link_type) == 3
+
+    def test_empty_copy_and_copy(self):
+        link_type = self.make()
+        link_type.connect("a1", "b1")
+        empty = link_type.empty_copy("other")
+        assert empty.name == "other" and len(empty) == 0
+        clone = link_type.copy()
+        assert len(clone) == 1
+
+    def test_restricted_to_filters_links(self):
+        link_type = self.make()
+        link_type.connect("a1", "b1")
+        link_type.connect("a2", "b2")
+        restricted = link_type.restricted_to("wrote2", {"a1"}, {"b1", "b2"})
+        assert len(restricted) == 1
+        assert restricted.name == "wrote2"
+
+    def test_ordered_ids_reflexive_uses_given_order(self):
+        link_type = LinkType("composition", "part", "part")
+        link = link_type.connect("super", "sub")
+        assert link_type._ordered_ids(link) == ("super", "sub")
+
+    def test_validate_against_detects_dangling(self):
+        from repro.core.atom import AtomType
+
+        authors = AtomType("author", {"name": "string"})
+        books = AtomType("book", {"title": "string"})
+        authors.add({"name": "x"}, identifier="a1")
+        books.add({"title": "y"}, identifier="b1")
+        link_type = self.make()
+        link_type.connect("a1", "b1")
+        link_type.validate_against(authors, books)  # no error
+        link_type.connect("a1", "b_missing")
+        with pytest.raises(DanglingLinkError):
+            link_type.validate_against(authors, books)

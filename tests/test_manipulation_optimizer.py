@@ -1,0 +1,247 @@
+"""Unit tests for the manipulation facilities and the algebraic optimizer."""
+
+import pytest
+
+from repro import attr, molecule_type_definition
+from repro.core.molecule import MoleculeTypeDescription
+from repro.exceptions import ManipulationError, TransactionError
+from repro.manipulation import (
+    Transaction,
+    delete_molecule,
+    insert_molecule,
+    modify_atom,
+)
+from repro.optimizer import (
+    CostModel,
+    DatabaseStatistics,
+    DefinePlan,
+    Planner,
+    ProjectPlan,
+    RestrictPlan,
+    execute_plan,
+)
+from repro.optimizer.plans import describe_plan, plan_description
+from repro.optimizer.rules import merge_restrictions, prune_structure, push_down_restriction, rewrite
+
+
+@pytest.fixture()
+def oeuvre_desc():
+    return MoleculeTypeDescription(["author", "book"], [("wrote", "author", "book")])
+
+
+class TestInsertMolecule:
+    def test_insert_nested_object(self, tiny_db, oeuvre_desc):
+        molecule = insert_molecule(
+            tiny_db,
+            oeuvre_desc,
+            {"name": "Date", "country": "UK", "book": [{"title": "Intro", "year": 1990}]},
+        )
+        assert len(molecule) == 2
+        assert tiny_db.atyp("author").get(molecule.root_atom.identifier) is not None
+        assert len(tiny_db.ltyp("wrote")) == 5
+
+    def test_insert_with_shared_existing_atom(self, tiny_db, oeuvre_desc):
+        molecule = insert_molecule(
+            tiny_db,
+            oeuvre_desc,
+            {"name": "Date", "country": "UK", "book": [{"_id": "b3"}]},
+        )
+        assert "b3" in molecule.atom_identifiers
+        assert len(tiny_db.atyp("book")) == 3  # no new book created
+
+    def test_insert_unknown_attribute_rejected(self, tiny_db, oeuvre_desc):
+        with pytest.raises(ManipulationError):
+            insert_molecule(tiny_db, oeuvre_desc, {"name": "X", "isbn": "1"})
+
+    def test_insert_single_child_as_mapping(self, tiny_db, oeuvre_desc):
+        molecule = insert_molecule(
+            tiny_db, oeuvre_desc, {"name": "Date", "country": "UK", "book": {"title": "Solo", "year": 2000}}
+        )
+        assert len(molecule.atoms_of_type("book")) == 1
+
+
+class TestDeleteMolecule:
+    def test_delete_exclusive_molecule(self, tiny_db, oeuvre_desc):
+        oeuvre = molecule_type_definition(tiny_db, "oeuvre", oeuvre_desc)
+        ullman = oeuvre.find(name="Ullman")[0]
+        stats = delete_molecule(tiny_db, ullman)
+        # The root and the exclusive book b2 go away; the shared b3 survives.
+        assert stats["atoms_removed"] == 2
+        assert tiny_db.atyp("book").get("b3") is not None
+        assert tiny_db.atyp("author").get("a2") is None
+        assert tiny_db.is_valid()
+
+    def test_delete_cascade_removes_shared(self, tiny_db, oeuvre_desc):
+        oeuvre = molecule_type_definition(tiny_db, "oeuvre", oeuvre_desc)
+        ullman = oeuvre.find(name="Ullman")[0]
+        stats = delete_molecule(tiny_db, ullman, cascade=True)
+        assert stats["atoms_removed"] == 3
+        assert tiny_db.atyp("book").get("b3") is None
+        assert tiny_db.is_valid()
+
+    def test_no_dangling_links_after_delete(self, tiny_db, oeuvre_desc):
+        oeuvre = molecule_type_definition(tiny_db, "oeuvre", oeuvre_desc)
+        delete_molecule(tiny_db, oeuvre.find(name="Codd")[0])
+        tiny_db.validate()
+
+
+class TestModifyAtom:
+    def test_modify_preserves_identity_and_links(self, tiny_db):
+        modify_atom(tiny_db, "book", "b3", year=1986)
+        assert tiny_db.atyp("book").get("b3")["year"] == 1986
+        assert len(tiny_db.ltyp("wrote").links_of("b3")) == 2
+
+    def test_modify_missing_atom(self, tiny_db):
+        with pytest.raises(ManipulationError):
+            modify_atom(tiny_db, "book", "nope", year=2000)
+
+    def test_modify_domain_violation(self, tiny_db):
+        with pytest.raises(ManipulationError):
+            modify_atom(tiny_db, "book", "b1", year="nineteen-seventy")
+        # The atom is still present and unchanged after the failed update.
+        assert tiny_db.atyp("book").get("b1")["year"] == 1970
+
+
+class TestTransactions:
+    def test_commit_keeps_changes(self, tiny_db):
+        with Transaction(tiny_db) as txn:
+            atom = txn.insert_atom("author", name="Date", country="UK")
+            txn.connect("wrote", atom, "b1")
+        assert tiny_db.atyp("author").get(atom.identifier) is not None
+        assert len(tiny_db.ltyp("wrote")) == 5
+
+    def test_rollback_on_exception(self, tiny_db):
+        before_atoms = tiny_db.atom_count()
+        before_links = tiny_db.link_count()
+        with pytest.raises(RuntimeError):
+            with Transaction(tiny_db) as txn:
+                atom = txn.insert_atom("author", name="Date", country="UK")
+                txn.connect("wrote", atom, "b1")
+                raise RuntimeError("boom")
+        assert tiny_db.atom_count() == before_atoms
+        assert tiny_db.link_count() == before_links
+
+    def test_explicit_rollback_of_delete_and_modify(self, tiny_db):
+        txn = Transaction(tiny_db)
+        txn.begin()
+        txn.modify_atom("book", "b1", year=1999)
+        txn.delete_atom("book", "b2")
+        assert tiny_db.atyp("book").get("b2") is None
+        undone = txn.rollback()
+        assert undone == 2
+        assert tiny_db.atyp("book").get("b1")["year"] == 1970
+        assert tiny_db.atyp("book").get("b2") is not None
+        assert len(tiny_db.ltyp("wrote")) == 4
+
+    def test_transaction_misuse(self, tiny_db):
+        txn = Transaction(tiny_db)
+        with pytest.raises(TransactionError):
+            txn.commit()
+        with pytest.raises(TransactionError):
+            txn.insert_atom("author", name="x", country="y")
+        txn.begin()
+        with pytest.raises(TransactionError):
+            txn.begin()
+        with pytest.raises(TransactionError):
+            txn.delete_atom("book", "missing")
+        txn.rollback()
+
+
+class TestOptimizerRules:
+    def plan(self, mt_state_desc):
+        return ProjectPlan(
+            RestrictPlan(DefinePlan("mt_state", mt_state_desc), attr("hectare", "state") > 800),
+            ("state", "area"),
+        )
+
+    def test_merge_restrictions(self, mt_state_desc):
+        nested = RestrictPlan(
+            RestrictPlan(DefinePlan("mt", mt_state_desc), attr("hectare", "state") > 800),
+            attr("code", "state") != "BA",
+        )
+        rewritten = merge_restrictions(nested)
+        assert rewritten.applied_rules == ("merge_restrictions",)
+        assert isinstance(rewritten.plan, RestrictPlan)
+        assert isinstance(rewritten.plan.child, DefinePlan)
+
+    def test_push_down_root_only_restriction(self, mt_state_desc):
+        rewritten = push_down_restriction(
+            RestrictPlan(DefinePlan("mt", mt_state_desc), attr("hectare", "state") > 800)
+        )
+        assert rewritten.applied_rules == ("push_down_restriction",)
+        assert isinstance(rewritten.plan, DefinePlan)
+        assert rewritten.plan.root_filter is not None
+
+    def test_push_down_skips_non_root_restriction(self, mt_state_desc):
+        rewritten = push_down_restriction(
+            RestrictPlan(DefinePlan("mt", mt_state_desc), attr("name", "point") == "pn")
+        )
+        assert rewritten.applied_rules == ()
+        assert isinstance(rewritten.plan, RestrictPlan)
+
+    def test_prune_structure_drops_unneeded_types(self, mt_state_desc):
+        rewritten = prune_structure(self.plan(mt_state_desc))
+        assert "prune_structure" in rewritten.applied_rules
+        description = plan_description(rewritten.plan)
+        assert set(description.atom_type_names) == {"state", "area"}
+
+    def test_prune_keeps_restriction_types(self, mt_state_desc):
+        plan = ProjectPlan(
+            RestrictPlan(DefinePlan("mt", mt_state_desc), attr("length", "edge") > 5),
+            ("state", "area"),
+        )
+        rewritten = prune_structure(plan)
+        description = plan_description(rewritten.plan)
+        assert "edge" in description.atom_type_names
+
+    def test_prune_noop_without_projection(self, mt_state_desc):
+        plan = RestrictPlan(DefinePlan("mt", mt_state_desc), attr("hectare", "state") > 800)
+        assert prune_structure(plan).applied_rules == ()
+
+    def test_rewrites_preserve_results(self, geo_db, mt_state_desc):
+        plan = self.plan(mt_state_desc)
+        rewritten = rewrite(plan)
+        naive = execute_plan(geo_db, plan)
+        optimized = execute_plan(geo_db, rewritten.plan)
+        assert {m.root_atom.identifier for m in naive.molecule_type} == {
+            m.root_atom.identifier for m in optimized.molecule_type
+        }
+        assert optimized.counters.atoms_touched <= naive.counters.atoms_touched
+
+    def test_describe_plan(self, mt_state_desc):
+        text = describe_plan(self.plan(mt_state_desc))
+        assert "Π" in text and "Σ" in text and "α" in text
+
+
+class TestCostModelAndPlanner:
+    def test_statistics_collection(self, geo_db):
+        statistics = DatabaseStatistics.collect(geo_db)
+        assert statistics.atom_counts["state"] == 10
+        assert statistics.link_counts["state-area"] == 10
+        assert statistics.average_fanout("state-area", "state") == 1.0
+        assert 0 < statistics.selectivity(attr("code", "state") == "SP") <= 0.2
+        assert statistics.selectivity(attr("hectare", "state") > 800) == pytest.approx(1 / 3)
+
+    def test_cost_model_prefers_filtered_plan(self, geo_db, mt_state_desc):
+        model = CostModel(DatabaseStatistics.collect(geo_db))
+        naive = RestrictPlan(DefinePlan("mt", mt_state_desc), attr("hectare", "state") > 800)
+        pushed = push_down_restriction(naive).plan
+        assert model.estimate(pushed) < model.estimate(naive)
+
+    def test_planner_choice(self, geo_db, mt_state_desc):
+        planner = Planner(geo_db)
+        plan = ProjectPlan(
+            RestrictPlan(DefinePlan("mt_state", mt_state_desc), attr("hectare", "state") > 800),
+            ("state", "area"),
+        )
+        choice = planner.optimize(plan)
+        assert choice.improvement >= 1.0
+        assert choice.best is choice.optimized
+        assert "push_down_restriction" in choice.applied_rules
+        assert "α" in choice.explain()
+
+    def test_planner_execute_best(self, geo_db, mt_state_desc):
+        planner = Planner(geo_db)
+        plan = RestrictPlan(DefinePlan("mt_state", mt_state_desc), attr("hectare", "state") > 800)
+        execution = planner.execute_best(plan)
+        assert len(execution.molecule_type) == 4

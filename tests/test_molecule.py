@@ -1,0 +1,178 @@
+"""Unit tests for molecules, molecule-type descriptions and molecule types (Definitions 5-7)."""
+
+import pytest
+
+from repro.core.atom import Atom
+from repro.core.graph import DirectedLink
+from repro.core.link import Link
+from repro.core.molecule import Molecule, MoleculeType, MoleculeTypeDescription
+from repro.exceptions import MoleculeGraphError, SchemaError
+
+
+@pytest.fixture()
+def author_desc():
+    return MoleculeTypeDescription(
+        ["author", "book", "chapter"],
+        [("wrote", "author", "book"), ("contains", "book", "chapter")],
+    )
+
+
+def make_molecule():
+    author = Atom("author", {"name": "Codd"}, identifier="a1")
+    book = Atom("book", {"title": "Relational"}, identifier="b1")
+    chapter = Atom("chapter", {"title": "Normal forms"}, identifier="c1")
+    links = [Link("wrote", "a1", "b1"), Link("contains", "b1", "c1")]
+    description = MoleculeTypeDescription(
+        ["author", "book", "chapter"],
+        [("wrote", "author", "book"), ("contains", "book", "chapter")],
+    )
+    return Molecule(author, [author, book, chapter], links, description), author, book, chapter
+
+
+class TestMoleculeTypeDescription:
+    def test_root_and_leaves(self, author_desc):
+        assert author_desc.root == "author"
+        assert author_desc.leaves == ("chapter",)
+
+    def test_children_and_parents(self, author_desc):
+        assert [dl.target for dl in author_desc.children_of("author")] == ["book"]
+        assert [dl.source for dl in author_desc.parents_of("chapter")] == ["book"]
+
+    def test_traversal_order(self, author_desc):
+        order = author_desc.traversal_order()
+        assert order.index("author") < order.index("book") < order.index("chapter")
+
+    def test_link_type_names(self, author_desc):
+        assert author_desc.link_type_names() == ("wrote", "contains")
+
+    def test_invalid_graph_rejected(self):
+        with pytest.raises(MoleculeGraphError):
+            MoleculeTypeDescription(["a", "b"], [])  # not coherent
+
+    def test_accepts_directed_link_objects(self):
+        description = MoleculeTypeDescription(["a", "b"], [DirectedLink("l", "a", "b")])
+        assert description.directed_links[0].link_type_name == "l"
+
+    def test_projected_keeps_root(self, author_desc):
+        projected = author_desc.projected(["author", "book"])
+        assert projected.atom_type_names == ("author", "book")
+        assert len(projected.directed_links) == 1
+
+    def test_projected_must_keep_root(self, author_desc):
+        with pytest.raises(MoleculeGraphError):
+            author_desc.projected(["book", "chapter"])
+
+    def test_projected_unknown_type_rejected(self, author_desc):
+        with pytest.raises(MoleculeGraphError):
+            author_desc.projected(["author", "publisher"])
+
+    def test_renamed(self, author_desc):
+        renamed = author_desc.renamed({"author": "author@x"}, {"wrote": "wrote~x"})
+        assert renamed.root == "author@x"
+        assert renamed.directed_links[0].link_type_name == "wrote~x"
+        # Same graph shape.
+        assert len(renamed.directed_links) == len(author_desc.directed_links)
+
+    def test_equality_order_insensitive(self):
+        a = MoleculeTypeDescription(["x", "y"], [("l", "x", "y")])
+        b = MoleculeTypeDescription(["y", "x"][::-1], [("l", "x", "y")])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestMolecule:
+    def test_component_access(self):
+        molecule, author, book, chapter = make_molecule()
+        assert len(molecule) == 3
+        assert molecule.root_atom == author
+        assert set(molecule.atom_identifiers) == {"a1", "b1", "c1"}
+        assert molecule.atoms_of_type("book") == (book,)
+        assert molecule.atoms_of_type(None) == molecule.atoms
+        assert molecule.get("c1") == chapter
+        assert molecule.get("missing") is None
+
+    def test_atoms_of_type_with_decorated_names(self):
+        author = Atom("author@mt$1", {"name": "Codd"}, identifier="a1")
+        molecule = Molecule(author, [author], [])
+        assert molecule.atoms_of_type("author") == (author,)
+        assert molecule.atoms_of_type("author@other$2") == (author,)
+
+    def test_contains(self):
+        molecule, author, book, _ = make_molecule()
+        assert author in molecule
+        assert "b1" in molecule
+        assert Link("wrote", "a1", "b1") in molecule
+        assert Atom("author", {}, identifier="zz") not in molecule
+
+    def test_root_always_included(self):
+        author = Atom("author", {"name": "x"}, identifier="a9")
+        molecule = Molecule(author, [], [])
+        assert len(molecule) == 1
+
+    def test_shares_atoms_with(self):
+        molecule, author, book, chapter = make_molecule()
+        other_author = Atom("author", {"name": "Ullman"}, identifier="a2")
+        other = Molecule(other_author, [other_author, book], [Link("wrote", "a2", "b1")])
+        assert molecule.shares_atoms_with(other) == frozenset({"b1"})
+
+    def test_projected(self):
+        molecule, author, book, chapter = make_molecule()
+        projected = molecule.projected(
+            molecule.description.projected(["author", "book"])
+        )
+        assert set(projected.atom_identifiers) == {"a1", "b1"}
+        assert all(link.link_type_name == "wrote" for link in projected.links)
+
+    def test_value_signature_equality(self):
+        first, *_ = make_molecule()
+        second, *_ = make_molecule()
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_to_nested_dict_follows_structure(self):
+        molecule, *_ = make_molecule()
+        nested = molecule.to_nested_dict()
+        assert nested["name"] == "Codd"
+        assert nested["book"][0]["title"] == "Relational"
+        assert nested["book"][0]["chapter"][0]["title"] == "Normal forms"
+
+    def test_to_nested_dict_without_description(self):
+        author = Atom("author", {"name": "x"}, identifier="a1")
+        molecule = Molecule(author, [author], [])
+        nested = molecule.to_nested_dict()
+        assert nested["root"]["name"] == "x"
+
+
+class TestMoleculeType:
+    def test_accessors(self, author_desc):
+        molecule, *_ = make_molecule()
+        molecule_type = MoleculeType("oeuvre", author_desc, [molecule])
+        assert molecule_type.name == "oeuvre"
+        assert molecule_type.root_type_name == "author"
+        assert len(molecule_type) == 1
+        assert molecule in molecule_type
+
+    def test_invalid_name_rejected(self, author_desc):
+        with pytest.raises(SchemaError):
+            MoleculeType("", author_desc)
+
+    def test_find_and_molecules_rooted_at(self, author_desc):
+        molecule, *_ = make_molecule()
+        molecule_type = MoleculeType("oeuvre", author_desc, [molecule])
+        assert molecule_type.find(name="Codd") == (molecule,)
+        assert molecule_type.find(name="nobody") == ()
+        assert molecule_type.molecules_rooted_at("a1") == (molecule,)
+
+    def test_shared_atoms_and_counts(self, author_desc):
+        molecule, author, book, chapter = make_molecule()
+        other_author = Atom("author", {"name": "Ullman"}, identifier="a2")
+        other = Molecule(other_author, [other_author, book], [Link("wrote", "a2", "b1")], author_desc)
+        molecule_type = MoleculeType("oeuvre", author_desc, [molecule, other])
+        assert molecule_type.shared_atoms() == {"b1": 2}
+        assert molecule_type.atom_count() == 5
+        assert molecule_type.distinct_atom_count() == 4
+
+    def test_equality(self, author_desc):
+        molecule, *_ = make_molecule()
+        a = MoleculeType("x", author_desc, [molecule])
+        b = MoleculeType("x", author_desc, [molecule])
+        assert a == b

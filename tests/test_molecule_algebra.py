@@ -1,0 +1,233 @@
+"""Unit tests for the molecule algebra α, Σ, Π, X, Ω, Δ, Ψ and prop (Definitions 8-10, Theorems 2-3)."""
+
+import pytest
+
+from repro.core.derivation import mv_graph
+from repro.core.molecule import MoleculeTypeDescription
+from repro.core.molecule_algebra import (
+    MoleculeAlgebra,
+    ResultSet,
+    molecule_difference,
+    molecule_intersection,
+    molecule_product,
+    molecule_projection,
+    molecule_restriction,
+    molecule_type_definition,
+    molecule_union,
+    propagate,
+)
+from repro.core.predicates import attr
+from repro.exceptions import (
+    AlgebraError,
+    MoleculeGraphError,
+    RestrictionError,
+    UnionCompatibilityError,
+    UnknownNameError,
+)
+
+
+@pytest.fixture()
+def oeuvre(tiny_db):
+    return molecule_type_definition(
+        tiny_db, "oeuvre", ["author", "book"], [("wrote", "author", "book")]
+    )
+
+
+class TestDefinition:
+    def test_alpha_names_and_derives(self, tiny_db, oeuvre):
+        assert oeuvre.name == "oeuvre"
+        assert len(oeuvre) == 2
+        assert oeuvre.description.root == "author"
+
+    def test_alpha_accepts_prepared_description(self, tiny_db):
+        description = MoleculeTypeDescription(["author", "book"], [("wrote", "author", "book")])
+        molecule_type = molecule_type_definition(tiny_db, "oeuvre", description)
+        assert len(molecule_type) == 2
+
+    def test_alpha_resolves_anonymous_links(self, tiny_db):
+        molecule_type = molecule_type_definition(
+            tiny_db, "oeuvre", ["author", "book"], [("-", "author", "book")]
+        )
+        assert molecule_type.description.directed_links[0].link_type_name == "wrote"
+
+    def test_alpha_unknown_atom_type_raises(self, tiny_db):
+        with pytest.raises(UnknownNameError):
+            molecule_type_definition(tiny_db, "x", ["author", "missing"], [("-", "author", "missing")])
+
+
+class TestRestriction:
+    def test_keeps_qualifying_molecules(self, tiny_db, oeuvre):
+        result = molecule_restriction(tiny_db, oeuvre, attr("year", "book") < 1975)
+        assert len(result.molecule_type) == 1
+        assert result.molecule_type.occurrence[0].root_atom["name"] == "Codd"
+
+    def test_result_valid_over_enlarged_database(self, tiny_db, oeuvre):
+        result = molecule_restriction(tiny_db, oeuvre, attr("year", "book") < 1975)
+        for molecule in result.molecule_type:
+            ok, reason = mv_graph(result.database, result.molecule_type.description, molecule)
+            assert ok, reason
+
+    def test_original_database_untouched(self, tiny_db, oeuvre):
+        molecule_restriction(tiny_db, oeuvre, attr("year", "book") < 1975)
+        assert len(tiny_db.atom_types) == 2
+        assert len(tiny_db.link_types) == 1
+
+    def test_callable_accepted(self, tiny_db, oeuvre):
+        result = molecule_restriction(tiny_db, oeuvre, lambda m: len(m) > 2)
+        assert len(result.molecule_type) == 2  # both authors have 2 books
+
+    def test_non_formula_rejected(self, tiny_db, oeuvre):
+        with pytest.raises(RestrictionError):
+            molecule_restriction(tiny_db, oeuvre, "year < 1975")
+
+    def test_empty_result(self, tiny_db, oeuvre):
+        result = molecule_restriction(tiny_db, oeuvre, attr("year", "book") > 3000)
+        assert len(result.molecule_type) == 0
+
+    def test_root_condition(self, geo_db, mt_state_desc):
+        mt_state = molecule_type_definition(geo_db, "mt_state", mt_state_desc)
+        result = molecule_restriction(geo_db, mt_state, attr("hectare", "state") > 800)
+        assert {m.root_atom["code"] for m in result.molecule_type} == {"BA", "GO", "MG", "MS"}
+
+    def test_leaf_condition(self, geo_db, point_neighborhood_desc):
+        neighborhood = molecule_type_definition(geo_db, "pn", point_neighborhood_desc)
+        result = molecule_restriction(geo_db, neighborhood, attr("name", "point") == "pn")
+        assert len(result.molecule_type) == 1
+
+
+class TestProjection:
+    def test_projects_structure_and_molecules(self, geo_db, mt_state_desc):
+        mt_state = molecule_type_definition(geo_db, "mt_state", mt_state_desc)
+        result = molecule_projection(geo_db, mt_state, ["state", "area"])
+        assert len(result.molecule_type) == 10
+        for molecule in result.molecule_type:
+            assert len(molecule) == 2  # one state + one area
+
+    def test_projection_must_keep_root(self, geo_db, mt_state_desc):
+        mt_state = molecule_type_definition(geo_db, "mt_state", mt_state_desc)
+        with pytest.raises(MoleculeGraphError):
+            molecule_projection(geo_db, mt_state, ["area", "edge"])
+
+    def test_projection_unknown_type_rejected(self, geo_db, mt_state_desc):
+        mt_state = molecule_type_definition(geo_db, "mt_state", mt_state_desc)
+        with pytest.raises(MoleculeGraphError):
+            molecule_projection(geo_db, mt_state, ["state", "river"])
+
+    def test_projection_accepts_bare_names_on_propagated_types(self, geo_db, mt_state_desc):
+        mt_state = molecule_type_definition(geo_db, "mt_state", mt_state_desc)
+        restricted = molecule_restriction(geo_db, mt_state, attr("hectare", "state") > 800)
+        projected = molecule_projection(
+            restricted.database, restricted.molecule_type, ["state", "area"]
+        )
+        assert len(projected.molecule_type) == 4
+
+
+class TestSetOperations:
+    def test_union_deduplicates(self, tiny_db, oeuvre):
+        result = molecule_union(tiny_db, oeuvre, oeuvre)
+        assert len(result.molecule_type) == len(oeuvre)
+
+    def test_union_of_disjoint_restrictions(self, tiny_db, oeuvre):
+        early = molecule_restriction(tiny_db, oeuvre, attr("year", "book") < 1975)
+        late = molecule_restriction(early.database, oeuvre, attr("year", "book") >= 1980)
+        result = molecule_union(late.database, early.molecule_type, late.molecule_type)
+        assert len(result.molecule_type) == 2
+
+    def test_union_incompatible_structures_rejected(self, tiny_db, oeuvre, geo_db, mt_state_desc):
+        mt_state = molecule_type_definition(geo_db, "mt_state", mt_state_desc)
+        with pytest.raises(UnionCompatibilityError):
+            molecule_union(tiny_db, oeuvre, mt_state)
+
+    def test_difference(self, tiny_db, oeuvre):
+        early = molecule_restriction(tiny_db, oeuvre, attr("year", "book") < 1975)
+        result = molecule_difference(early.database, oeuvre, early.molecule_type)
+        assert len(result.molecule_type) == 1
+        assert result.molecule_type.occurrence[0].root_atom["name"] == "Ullman"
+
+    def test_difference_with_empty_right_operand(self, tiny_db, oeuvre):
+        none = molecule_restriction(tiny_db, oeuvre, attr("year", "book") > 3000)
+        result = molecule_difference(none.database, oeuvre, none.molecule_type)
+        assert len(result.molecule_type) == len(oeuvre)
+
+    def test_intersection_identity(self, tiny_db, oeuvre):
+        early = molecule_restriction(tiny_db, oeuvre, attr("year", "book") < 1975)
+        survey = molecule_restriction(early.database, oeuvre, attr("title", "book") == "Survey")
+        result = molecule_intersection(survey.database, early.molecule_type, survey.molecule_type)
+        # Codd wrote both an early book and the survey — the intersection is Codd.
+        roots = {m.root_atom.identifier for m in result.molecule_type}
+        assert roots == {"a1"}
+
+    def test_self_intersection_is_identity(self, tiny_db, oeuvre):
+        result = molecule_intersection(tiny_db, oeuvre, oeuvre)
+        assert len(result.molecule_type) == len(oeuvre)
+
+
+class TestProduct:
+    def test_pairs_molecules(self, geo_db):
+        states = molecule_type_definition(
+            geo_db, "s", ["state", "area"], [("state-area", "state", "area")]
+        )
+        rivers = molecule_type_definition(
+            geo_db, "r", ["river", "net"], [("river-net", "river", "net")]
+        )
+        result = molecule_product(geo_db, states, rivers)
+        assert len(result.molecule_type) == len(states) * len(rivers)
+
+    def test_product_molecule_contains_both_operands(self, geo_db):
+        states = molecule_type_definition(
+            geo_db, "s", ["state", "area"], [("state-area", "state", "area")]
+        )
+        rivers = molecule_type_definition(
+            geo_db, "r", ["river", "net"], [("river-net", "river", "net")]
+        )
+        result = molecule_product(geo_db, states, rivers)
+        sample = result.molecule_type.occurrence[0]
+        assert len(sample.atoms_of_type("state")) == 1
+        assert len(sample.atoms_of_type("river")) == 1
+
+    def test_product_same_root_rejected(self, tiny_db, oeuvre):
+        with pytest.raises(AlgebraError):
+            molecule_product(tiny_db, oeuvre, oeuvre)
+
+
+class TestPropagation:
+    def test_prop_reproduces_result_set_exactly(self, tiny_db, oeuvre):
+        qualifying = tuple(m for m in oeuvre if m.root_atom.identifier == "a1")
+        result_set = ResultSet("only_codd", oeuvre.description, qualifying)
+        result = propagate(result_set, tiny_db)
+        assert len(result.molecule_type) == 1
+        derived = result.molecule_type.occurrence[0]
+        assert derived.atom_identifiers == qualifying[0].atom_identifiers
+
+    def test_prop_creates_renamed_types(self, tiny_db, oeuvre):
+        result_set = ResultSet("copy", oeuvre.description, tuple(oeuvre))
+        result = propagate(result_set, tiny_db)
+        assert all("@copy" in at.name for at in result.propagated_atom_types)
+        assert all("~copy" in lt.name for lt in result.propagated_link_types)
+        assert result.database.is_valid()
+
+    def test_prop_restricts_occurrences(self, tiny_db, oeuvre):
+        qualifying = tuple(m for m in oeuvre if m.root_atom.identifier == "a1")
+        result_set = ResultSet("only_codd", oeuvre.description, qualifying)
+        result = propagate(result_set, tiny_db)
+        propagated_root = next(
+            at for at in result.propagated_atom_types if at.name.startswith("author@")
+        )
+        assert set(propagated_root.identifiers()) == {"a1"}
+
+
+class TestFacade:
+    def test_chains_thread_database(self, geo_db, mt_state_desc):
+        algebra = MoleculeAlgebra(geo_db)
+        mt_state = algebra.define("mt_state", mt_state_desc)
+        big = algebra.restrict(mt_state, attr("hectare", "state") > 700)
+        projected = algebra.project(big.molecule_type, ["state", "area"])
+        merged = algebra.union(projected.molecule_type, projected.molecule_type)
+        assert len(merged.molecule_type) == len(projected.molecule_type)
+        assert algebra.database.is_valid()
+        assert len(algebra.database.atom_types) > len(geo_db.atom_types)
+
+    def test_result_tuple_unpacking(self, tiny_db, oeuvre):
+        molecule_type, database = molecule_restriction(tiny_db, oeuvre, attr("year", "book") < 1975)
+        assert len(molecule_type) == 1
+        assert database.is_valid()

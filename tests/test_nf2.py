@@ -1,0 +1,218 @@
+"""Unit tests for the NF² baseline: nested relations, NEST/UNNEST, and the molecule mapping."""
+
+import pytest
+
+from repro.core import molecule_type_definition
+from repro.exceptions import AlgebraError
+from repro.nf2 import (
+    NestedRelation,
+    NestedSchema,
+    molecule_type_to_nested,
+    nest,
+    nested_duplication_factor,
+    nf2_difference,
+    nf2_project,
+    nf2_select,
+    nf2_union,
+    unnest,
+)
+from repro.nf2.algebra import NF2Algebra
+
+
+@pytest.fixture()
+def flat():
+    schema = NestedSchema(("state", "edge_id", "length"))
+    return NestedRelation(
+        "borders",
+        schema,
+        [
+            {"state": "SP", "edge_id": "e1", "length": 10.0},
+            {"state": "SP", "edge_id": "e2", "length": 12.0},
+            {"state": "MG", "edge_id": "e2", "length": 12.0},
+            {"state": "MG", "edge_id": "e3", "length": 8.0},
+        ],
+    )
+
+
+class TestNestedSchema:
+    def test_attribute_names_and_depth(self):
+        inner = NestedSchema(("edge_id",))
+        outer = NestedSchema(("state",), (("edges", inner),))
+        assert outer.attribute_names == ("state", "edges")
+        assert outer.depth() == 2
+        assert inner.is_flat() and not outer.is_flat()
+
+    def test_nested_lookup(self):
+        inner = NestedSchema(("edge_id",))
+        outer = NestedSchema(("state",), (("edges", inner),))
+        assert outer.nested_schema("edges") is inner
+        assert outer.is_nested("edges") and not outer.is_nested("state")
+        with pytest.raises(AlgebraError):
+            outer.nested_schema("missing")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(Exception):
+            NestedSchema(("a", "a"))
+
+
+class TestNestedRelation:
+    def test_set_semantics_with_nested_values(self):
+        inner = NestedSchema(("x",))
+        schema = NestedSchema(("k",), (("items", inner),))
+        relation = NestedRelation("r", schema)
+        assert relation.insert({"k": 1, "items": [{"x": 1}, {"x": 2}]})
+        assert not relation.insert({"k": 1, "items": [{"x": 2}, {"x": 1}]})  # same set
+        assert relation.insert({"k": 1, "items": [{"x": 3}]})
+        assert len(relation) == 2
+
+    def test_unknown_attribute_rejected(self, flat):
+        with pytest.raises(AlgebraError):
+            flat.insert({"state": "SP", "bogus": 1})
+
+    def test_nested_attribute_requires_list(self):
+        schema = NestedSchema(("k",), (("items", NestedSchema(("x",))),))
+        relation = NestedRelation("r", schema)
+        with pytest.raises(AlgebraError):
+            relation.insert({"k": 1, "items": {"x": 1}})
+
+    def test_flat_tuple_count(self):
+        schema = NestedSchema(("k",), (("items", NestedSchema(("x",))),))
+        relation = NestedRelation("r", schema, [{"k": 1, "items": [{"x": 1}, {"x": 2}]}])
+        assert relation.flat_tuple_count() == 3
+
+
+class TestNestUnnest:
+    def test_nest_groups_rows(self, flat):
+        nested = nest(flat, ["edge_id", "length"], into="edges")
+        assert len(nested) == 2
+        sp = next(row for row in nested if row["state"] == "SP")
+        assert {edge["edge_id"] for edge in sp["edges"]} == {"e1", "e2"}
+
+    def test_nest_rejects_unknown_or_existing_names(self, flat):
+        with pytest.raises(AlgebraError):
+            nest(flat, ["missing"], into="edges")
+        with pytest.raises(AlgebraError):
+            nest(flat, ["edge_id"], into="state")
+
+    def test_unnest_flattens(self, flat):
+        nested = nest(flat, ["edge_id", "length"], into="edges")
+        flattened = unnest(nested, "edges")
+        assert len(flattened) == 4
+        assert set(flattened.schema.atomic) == {"state", "edge_id", "length"}
+
+    def test_unnest_requires_nested_attribute(self, flat):
+        with pytest.raises(AlgebraError):
+            unnest(flat, "state")
+
+    def test_unnest_nest_round_trip(self, flat):
+        nested = nest(flat, ["edge_id", "length"], into="edges")
+        round_trip = unnest(nested, "edges")
+        original_rows = {tuple(sorted(row.items())) for row in flat}
+        returned_rows = {tuple(sorted(row.items())) for row in round_trip}
+        assert original_rows == returned_rows
+
+    def test_unnest_drops_empty_groups(self):
+        schema = NestedSchema(("k",), (("items", NestedSchema(("x",))),))
+        relation = NestedRelation("r", schema, [{"k": 1, "items": []}, {"k": 2, "items": [{"x": 1}]}])
+        assert len(unnest(relation, "items")) == 1
+
+    def test_shared_subobjects_duplicated_by_nesting(self, flat):
+        nested = nest(flat, ["edge_id", "length"], into="edges")
+        copies = sum(
+            1 for row in nested for edge in row["edges"] if edge["edge_id"] == "e2"
+        )
+        assert copies == 2  # e2 is stored once per owning state
+
+
+class TestLiftedOperations:
+    def test_select_over_nested(self, flat):
+        nested = nest(flat, ["edge_id", "length"], into="edges")
+        long_borders = nf2_select(nested, lambda row: len(row["edges"]) >= 2)
+        assert len(long_borders) == 2
+
+    def test_project(self, flat):
+        nested = nest(flat, ["edge_id", "length"], into="edges")
+        projected = nf2_project(nested, ["state"])
+        assert projected.schema.attribute_names == ("state",)
+        with pytest.raises(AlgebraError):
+            nf2_project(nested, ["missing"])
+
+    def test_union_and_difference(self, flat):
+        nested = nest(flat, ["edge_id", "length"], into="edges")
+        sp_only = nf2_select(nested, lambda row: row["state"] == "SP")
+        assert len(nf2_union(nested, sp_only)) == 2
+        assert len(nf2_difference(nested, sp_only)) == 1
+        with pytest.raises(AlgebraError):
+            nf2_union(nested, flat)
+
+    def test_facade(self, flat):
+        algebra = NF2Algebra()
+        nested = algebra.nest(flat, ["edge_id", "length"], "edges")
+        assert len(algebra.unnest(nested, "edges")) == 4
+        assert len(algebra.select(nested, lambda row: True)) == 2
+        assert len(algebra.project(nested, ["state"])) == 2
+        assert len(algebra.union(nested, nested)) == 2
+        assert len(algebra.difference(nested, nested)) == 0
+
+
+class TestMoleculeMapping:
+    def test_hierarchical_molecule_type_maps(self, geo_db, mt_state_desc):
+        molecule_type = molecule_type_definition(geo_db, "mt_state", mt_state_desc)
+        nested = molecule_type_to_nested(molecule_type)
+        assert len(nested) == len(molecule_type)
+        assert nested.schema.depth() == 4  # state / area / edge / point
+
+    def test_shared_subobjects_are_duplicated(self, geo_db, mt_state_desc):
+        molecule_type = molecule_type_definition(geo_db, "mt_state", mt_state_desc)
+        nested = molecule_type_to_nested(molecule_type)
+        factor = nested_duplication_factor(molecule_type, nested)
+        assert factor > 1.0
+
+    def test_network_structure_rejected_in_strict_mode(self, geo_db, point_neighborhood_desc):
+        # point-neighborhood is a DAG (edge has two parents... actually edge has
+        # one parent; area/net/state/river all single-parent) — build a true DAG:
+        from repro.core.molecule import MoleculeTypeDescription
+
+        diamond = MoleculeTypeDescription(
+            ["point", "edge", "area", "state", "net"],
+            [
+                ("edge-point", "point", "edge"),
+                ("area-edge", "edge", "area"),
+                ("state-area", "area", "state"),
+                ("net-edge", "edge", "net"),
+            ],
+        )
+        molecule_type = molecule_type_definition(geo_db, "pn", diamond)
+        nested = molecule_type_to_nested(molecule_type)  # tree — fine
+        assert len(nested) == len(molecule_type)
+
+    def test_non_hierarchical_structure_raises(self):
+        """A DAG structure (one atom type with two parents) cannot be nested strictly."""
+        from repro.core.database import Database
+        from repro.core.molecule import MoleculeTypeDescription
+
+        db = Database("diamond")
+        for name in ("r", "a", "b", "c"):
+            db.define_atom_type(name, {"k": "string"})
+        db.define_link_type("r-a", "r", "a")
+        db.define_link_type("r-b", "r", "b")
+        db.define_link_type("a-c", "a", "c")
+        db.define_link_type("b-c", "b", "c")
+        root = db.insert_atom("r", identifier="r1", k="r")
+        a = db.insert_atom("a", identifier="a1", k="a")
+        b = db.insert_atom("b", identifier="b1", k="b")
+        c = db.insert_atom("c", identifier="c1", k="c")
+        db.connect("r-a", root, a)
+        db.connect("r-b", root, b)
+        db.connect("a-c", a, c)
+        db.connect("b-c", b, c)
+        diamond = MoleculeTypeDescription(
+            ["r", "a", "b", "c"],
+            [("r-a", "r", "a"), ("r-b", "r", "b"), ("a-c", "a", "c"), ("b-c", "b", "c")],
+        )
+        molecule_type = molecule_type_definition(db, "diamond", diamond)
+        with pytest.raises(AlgebraError):
+            molecule_type_to_nested(molecule_type, strict=True)
+        # Non-strict mode picks one parent per shared atom and succeeds.
+        nested = molecule_type_to_nested(molecule_type, strict=False)
+        assert len(nested) == 1

@@ -1,0 +1,147 @@
+"""Unit tests for qualification formulas and the qual predicate (Definitions 4 and 10)."""
+
+import pytest
+
+from repro.core.atom import Atom
+from repro.core.molecule import Molecule
+from repro.core.predicates import (
+    And,
+    AttributeRef,
+    Comparison,
+    FalseFormula,
+    Not,
+    Or,
+    PredicateFormula,
+    TrueFormula,
+    attr,
+    conjoin,
+    split_conjunction,
+)
+from repro.exceptions import RestrictionError
+
+
+@pytest.fixture()
+def sp():
+    return Atom("state", {"name": "Sao Paulo", "code": "SP", "hectare": 750}, identifier="SP")
+
+
+@pytest.fixture()
+def molecule(sp):
+    edge = Atom("edge", {"edge_id": "e1", "length": 12.0}, identifier="e1")
+    point = Atom("point", {"name": "pn"}, identifier="p1")
+    return Molecule(sp, [sp, edge, point], [])
+
+
+class TestComparisons:
+    def test_attr_builder_operators(self, sp):
+        assert (attr("hectare") > 700).evaluate_atom(sp)
+        assert (attr("hectare") >= 750).evaluate_atom(sp)
+        assert not (attr("hectare") < 700).evaluate_atom(sp)
+        assert (attr("hectare") <= 750).evaluate_atom(sp)
+        assert (attr("code") == "SP").evaluate_atom(sp)
+        assert (attr("code") != "MG").evaluate_atom(sp)
+
+    def test_dotted_shorthand(self, sp):
+        formula = attr("state.code") == "SP"
+        assert formula.lhs.atom_type == "state"
+        assert formula.evaluate_atom(sp)
+
+    def test_type_qualified_mismatch_returns_false(self, sp):
+        formula = attr("code", "river") == "SP"
+        assert not formula.evaluate_atom(sp)
+
+    def test_none_comparisons(self, sp):
+        assert not (attr("missing") > 1).evaluate_atom(sp)
+        assert (attr("missing") != 1).evaluate_atom(sp)
+        assert not (attr("missing") == 1).evaluate_atom(sp)
+
+    def test_incomparable_types_return_false(self, sp):
+        assert not (attr("name") > 5).evaluate_atom(sp)
+
+    def test_attribute_to_attribute_comparison(self, sp):
+        formula = Comparison(AttributeRef("hectare"), ">", AttributeRef("hectare"))
+        assert not formula.evaluate_atom(sp)
+        formula = Comparison(AttributeRef("hectare"), ">=", AttributeRef("hectare"))
+        assert formula.evaluate_atom(sp)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(RestrictionError):
+            Comparison(AttributeRef("x"), "~", 1)
+
+    def test_referenced_attributes(self):
+        formula = attr("name", "point") == "pn"
+        assert formula.referenced_attributes() == (("point", "name"),)
+        assert formula.referenced_atom_types() == ("point",)
+
+
+class TestBooleanConnectives:
+    def test_and_or_not(self, sp):
+        high = attr("hectare") > 700
+        wrong_code = attr("code") == "MG"
+        assert (high & ~wrong_code).evaluate_atom(sp)
+        assert (high | wrong_code).evaluate_atom(sp)
+        assert not (high & wrong_code).evaluate_atom(sp)
+
+    def test_and_requires_two_operands(self):
+        with pytest.raises(RestrictionError):
+            And(TrueFormula())
+        with pytest.raises(RestrictionError):
+            Or(TrueFormula())
+
+    def test_true_false_constants(self, sp, molecule):
+        assert TrueFormula().evaluate_atom(sp)
+        assert TrueFormula().evaluate_molecule(molecule)
+        assert not FalseFormula().evaluate_atom(sp)
+        assert not FalseFormula().evaluate_molecule(molecule)
+
+    def test_referenced_attributes_aggregate(self):
+        formula = (attr("a", "t1") == 1) & (attr("b", "t2") == 2)
+        assert set(formula.referenced_atom_types()) == {"t1", "t2"}
+
+    def test_not_wraps(self, sp):
+        assert Not(FalseFormula()).evaluate_atom(sp)
+        assert Not(attr("code") == "SP").evaluate_atom(sp) is False
+
+
+class TestMoleculeEvaluation:
+    def test_existential_semantics_over_components(self, molecule):
+        assert (attr("name", "point") == "pn").evaluate_molecule(molecule)
+        assert not (attr("name", "point") == "other").evaluate_molecule(molecule)
+
+    def test_unqualified_reference_sees_all_atoms(self, molecule):
+        assert (attr("length") > 10).evaluate_molecule(molecule)
+
+    def test_attribute_to_attribute_over_molecule(self, molecule):
+        formula = Comparison(AttributeRef("hectare", "state"), ">", AttributeRef("length", "edge"))
+        assert formula.evaluate_molecule(molecule)
+
+
+class TestHelpers:
+    def test_predicate_formula_wraps_callable(self, sp, molecule):
+        formula = PredicateFormula(lambda item: True, "<always>")
+        assert formula.evaluate_atom(sp)
+        assert formula.evaluate_molecule(molecule)
+        assert formula.referenced_attributes() == ()
+        assert repr(formula) == "<always>"
+
+    def test_conjoin_empty_and_single(self):
+        assert isinstance(conjoin([]), TrueFormula)
+        single = attr("x") == 1
+        assert conjoin([single]) is single
+        assert isinstance(conjoin([single, attr("y") == 2]), And)
+
+    def test_conjoin_drops_true(self):
+        single = attr("x") == 1
+        assert conjoin([TrueFormula(), single]) is single
+
+    def test_split_conjunction_flattens(self):
+        a, b, c = attr("a") == 1, attr("b") == 2, attr("c") == 3
+        parts = split_conjunction(And(And(a, b), c))
+        assert len(parts) == 3
+        assert split_conjunction(TrueFormula()) == ()
+        assert split_conjunction(a) == (a,)
+
+    def test_repr_round_trip_style(self):
+        formula = (attr("hectare", "state") > 800) & ~(attr("code", "state") == "SP")
+        text = repr(formula)
+        assert "state.hectare" in text and "AND" in text and "NOT" in text

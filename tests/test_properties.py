@@ -1,0 +1,242 @@
+"""Property-based tests (hypothesis) for the algebraic laws and core invariants.
+
+The closure theorems and the standard algebraic identities must hold for *all*
+databases, not only the worked example; these tests generate random databases,
+occurrences and formulas and check the laws on them.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.atom import Atom, AtomType
+from repro.core.atom_algebra import difference, intersection, product, project, restrict, union
+from repro.core.database import Database
+from repro.core.derivation import derive_occurrence, is_total, mv_graph
+from repro.core.graph import DirectedLink, md_graph
+from repro.core.molecule import MoleculeTypeDescription
+from repro.core.molecule_algebra import (
+    molecule_difference,
+    molecule_intersection,
+    molecule_restriction,
+    molecule_type_definition,
+    molecule_union,
+)
+from repro.core.predicates import attr
+from repro.nf2.algebra import nest, unnest
+from repro.nf2.nested_relation import NestedRelation, NestedSchema
+
+# --------------------------------------------------------------------------- strategies
+
+values = st.integers(min_value=0, max_value=20)
+identifiers = st.text(alphabet="abcdefgh", min_size=1, max_size=4)
+
+
+@st.composite
+def small_databases(draw):
+    """A database with two linked atom types and a random occurrence."""
+    db = Database("prop")
+    db.define_atom_type("parent", {"key": "string", "value": "integer"})
+    db.define_atom_type("child", {"key": "string", "value": "integer"})
+    db.define_link_type("pc", "parent", "child")
+    n_parents = draw(st.integers(min_value=1, max_value=6))
+    n_children = draw(st.integers(min_value=0, max_value=8))
+    for i in range(n_parents):
+        db.insert_atom("parent", identifier=f"p{i}", key=f"p{i}", value=draw(values))
+    for i in range(n_children):
+        db.insert_atom("child", identifier=f"c{i}", key=f"c{i}", value=draw(values))
+    if n_children:
+        n_links = draw(st.integers(min_value=0, max_value=n_parents * n_children))
+        for _ in range(n_links):
+            parent = f"p{draw(st.integers(min_value=0, max_value=n_parents - 1))}"
+            child = f"c{draw(st.integers(min_value=0, max_value=n_children - 1))}"
+            db.connect("pc", parent, child)
+    return db
+
+
+thresholds = st.integers(min_value=0, max_value=20)
+
+DESCRIPTION = MoleculeTypeDescription(["parent", "child"], [("pc", "parent", "child")])
+
+relaxed = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# ------------------------------------------------------------------ atom-type algebra
+
+
+@relaxed
+@given(db=small_databases(), threshold=thresholds)
+def test_restriction_is_subset_and_idempotent(db, threshold):
+    formula = attr("value") <= threshold
+    once = restrict(db, "parent", formula)
+    twice = restrict(once.database, once.atom_type, formula)
+    assert set(twice.atom_type.identifiers()) == set(once.atom_type.identifiers())
+    assert set(once.atom_type.identifiers()) <= set(db.atyp("parent").identifiers())
+
+
+@relaxed
+@given(db=small_databases(), threshold=thresholds)
+def test_restriction_partitions_occurrence(db, threshold):
+    low = restrict(db, "parent", attr("value") <= threshold)
+    high = restrict(low.database, "parent", attr("value") > threshold)
+    combined = union(high.database, low.atom_type, high.atom_type)
+    assert set(combined.atom_type.identifiers()) == set(db.atyp("parent").identifiers())
+
+
+@relaxed
+@given(db=small_databases())
+def test_union_commutative_and_idempotent(db):
+    a = restrict(db, "parent", attr("value") <= 10)
+    b = restrict(a.database, "parent", attr("value") >= 5)
+    ab = union(b.database, a.atom_type, b.atom_type)
+    ba = union(ab.database, b.atom_type, a.atom_type)
+    assert set(ab.atom_type.identifiers()) == set(ba.atom_type.identifiers())
+    aa = union(ba.database, a.atom_type, a.atom_type)
+    assert set(aa.atom_type.identifiers()) == set(a.atom_type.identifiers())
+
+
+@relaxed
+@given(db=small_databases())
+def test_difference_and_intersection_laws(db):
+    a = db.atyp("parent")
+    b = restrict(db, "parent", attr("value") <= 10)
+    diff = difference(b.database, a, b.atom_type)
+    inter = intersection(diff.database, a, b.atom_type)
+    # A = (A - B) ∪ (A ∩ B) when B ⊆ A.
+    recombined = union(inter.database, diff.atom_type, inter.atom_type)
+    assert set(recombined.atom_type.identifiers()) == set(a.identifiers())
+    # A - A = ∅
+    empty = difference(recombined.database, a, a)
+    assert len(empty.atom_type) == 0
+
+
+@relaxed
+@given(db=small_databases())
+def test_product_cardinality_and_projection_size(db):
+    result = product(db, "parent", "child")
+    assert len(result.atom_type) == len(db.atyp("parent")) * len(db.atyp("child"))
+    projected = project(result.database, result.atom_type, ["key"])
+    assert len(projected.atom_type) == len(result.atom_type)
+    assert projected.atom_type.description.names == ("key",)
+
+
+@relaxed
+@given(db=small_databases(), threshold=thresholds)
+def test_inherited_links_never_dangle(db, threshold):
+    result = restrict(db, "parent", attr("value") <= threshold)
+    surviving = set(result.atom_type.identifiers())
+    children = set(db.atyp("child").identifiers())
+    for link_type in result.inherited_link_types:
+        for link in link_type:
+            assert link.identifiers <= (surviving | children)
+    assert result.database.is_valid()
+
+
+# ------------------------------------------------------------------ molecule algebra
+
+
+@relaxed
+@given(db=small_databases())
+def test_derived_molecules_satisfy_mv_graph_and_totality(db):
+    molecules = derive_occurrence(db, DESCRIPTION)
+    assert len(molecules) == len(db.atyp("parent"))
+    for molecule in molecules:
+        ok, reason = mv_graph(db, DESCRIPTION, molecule)
+        assert ok, reason
+        assert is_total(db, DESCRIPTION, molecule)
+
+
+@relaxed
+@given(db=small_databases(), threshold=thresholds)
+def test_molecule_restriction_subset_and_complement(db, threshold):
+    molecule_type = molecule_type_definition(db, "mt", DESCRIPTION)
+    low = molecule_restriction(db, molecule_type, attr("value", "parent") <= threshold)
+    high = molecule_restriction(low.database, molecule_type, attr("value", "parent") > threshold)
+    assert len(low.molecule_type) + len(high.molecule_type) == len(molecule_type)
+    merged = molecule_union(high.database, low.molecule_type, high.molecule_type)
+    assert len(merged.molecule_type) == len(molecule_type)
+
+
+@relaxed
+@given(db=small_databases(), threshold=thresholds)
+def test_molecule_intersection_identity_law(db, threshold):
+    molecule_type = molecule_type_definition(db, "mt", DESCRIPTION)
+    subset = molecule_restriction(db, molecule_type, attr("value", "parent") <= threshold)
+    # Ψ(mt, subset) must equal subset (subset ⊆ mt), computed via double difference.
+    inter = molecule_intersection(subset.database, molecule_type, subset.molecule_type)
+    assert {m.root_atom.identifier for m in inter.molecule_type} == {
+        m.root_atom.identifier for m in subset.molecule_type
+    }
+    # Δ(mt, mt) = ∅
+    empty = molecule_difference(inter.database, molecule_type, molecule_type)
+    assert len(empty.molecule_type) == 0
+
+
+@relaxed
+@given(db=small_databases())
+def test_propagation_preserves_molecule_contents(db):
+    molecule_type = molecule_type_definition(db, "mt", DESCRIPTION)
+    result = molecule_restriction(db, molecule_type, attr("value", "parent") >= 0)  # keep all
+    assert len(result.molecule_type) == len(molecule_type)
+    originals = {m.root_atom.identifier: m.atom_identifiers for m in molecule_type}
+    for molecule in result.molecule_type:
+        assert molecule.atom_identifiers == originals[molecule.root_atom.identifier]
+
+
+# ------------------------------------------------------------------------- md_graph
+
+
+@relaxed
+@given(
+    n_nodes=st.integers(min_value=1, max_value=6),
+    extra_edges=st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=5),
+)
+def test_md_graph_accepts_chains_and_rejects_cycles(n_nodes, extra_edges):
+    nodes = [f"t{i}" for i in range(n_nodes)]
+    edges = [DirectedLink(f"l{i}", nodes[i], nodes[i + 1]) for i in range(n_nodes - 1)]
+    ok, reason = md_graph(nodes, edges)
+    assert ok, reason
+    # Adding a back edge to an ancestor must break acyclicity.
+    if n_nodes >= 2:
+        cyclic = edges + [DirectedLink("back", nodes[-1], nodes[0])]
+        ok, _ = md_graph(nodes, cyclic)
+        assert not ok
+
+
+# ------------------------------------------------------------------------------ NF²
+
+
+@relaxed
+@given(
+    rows=st.lists(
+        st.tuples(st.sampled_from(["SP", "MG", "PR"]), identifiers, values),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_nest_unnest_partial_inverse(rows):
+    schema = NestedSchema(("state", "edge_id", "value"))
+    relation = NestedRelation(
+        "r", schema, [{"state": s, "edge_id": e, "value": v} for s, e, v in rows]
+    )
+    nested = nest(relation, ["edge_id", "value"], into="edges")
+    flattened = unnest(nested, "edges")
+    original = {tuple(sorted(row.items())) for row in relation}
+    returned = {tuple(sorted(row.items())) for row in flattened}
+    assert original == returned
+    # Groups never exceed the number of distinct grouping values.
+    assert len(nested) == len({row["state"] for row in relation})
+
+
+@relaxed
+@given(db=small_databases())
+def test_relational_mapping_tuple_conservation(db):
+    from repro.relational import map_database
+
+    mapping = map_database(db)
+    assert mapping.total_tuples() == db.atom_count() + db.link_count()

@@ -1,0 +1,142 @@
+"""Unit tests for recursive molecule types (§5 outlook, [Schö89])."""
+
+import pytest
+
+from repro.core.recursion import (
+    RecursiveDescription,
+    expand_recursive,
+    recursive_molecule_type,
+    transitive_closure_size,
+)
+from repro.datasets.bill_of_materials import build_bill_of_materials, root_parts
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture()
+def bom():
+    return build_bill_of_materials(depth=3, fan_out=2, share_every=0)
+
+
+@pytest.fixture()
+def shared_bom():
+    return build_bill_of_materials(depth=3, fan_out=3, share_every=2)
+
+
+class TestRecursiveDescription:
+    def test_directions(self):
+        RecursiveDescription("part", "composition", "down")
+        RecursiveDescription("part", "composition", "up")
+        with pytest.raises(SchemaError):
+            RecursiveDescription("part", "composition", "sideways")
+
+    def test_unknown_link_type_raises_on_expansion(self, bom):
+        description = RecursiveDescription("part", "uses", "down")
+        root = root_parts(bom)[0]
+        with pytest.raises(Exception):
+            expand_recursive(bom, description, root)
+
+    def test_link_type_must_connect_atom_type(self, bom):
+        bom.define_atom_type("supplier", {"name": "string"})
+        bom.define_link_type("supplies", "supplier", "supplier")
+        with pytest.raises(SchemaError):
+            expand_recursive(bom, RecursiveDescription("part", "supplies", "down"), root_parts(bom)[0])
+
+
+class TestExpansion:
+    def test_full_explosion_size(self, bom):
+        root = root_parts(bom)[0]
+        molecule = expand_recursive(bom, RecursiveDescription("part", "composition", "down"), root)
+        # depth 3, fan-out 2, no sharing: 1 + 2 + 4 + 8 parts.
+        assert len(molecule) == 15
+        assert molecule.depth() == 3
+
+    def test_levels_recorded(self, bom):
+        root = root_parts(bom)[0]
+        molecule = expand_recursive(bom, RecursiveDescription("part", "composition", "down"), root)
+        assert len(molecule.atoms_at_level(0)) == 1
+        assert len(molecule.atoms_at_level(1)) == 2
+        assert len(molecule.atoms_at_level(3)) == 8
+
+    def test_explosion_listing_sorted_by_level(self, bom):
+        root = root_parts(bom)[0]
+        molecule = expand_recursive(bom, RecursiveDescription("part", "composition", "down"), root)
+        levels = [level for level, _ in molecule.explosion()]
+        assert levels == sorted(levels)
+
+    def test_max_depth_truncates(self, bom):
+        root = root_parts(bom)[0]
+        molecule = expand_recursive(
+            bom, RecursiveDescription("part", "composition", "down", max_depth=1), root
+        )
+        assert molecule.depth() == 1
+        assert len(molecule) == 3
+
+    def test_up_direction_gives_where_used(self, bom):
+        parts = bom.atyp("part")
+        leaf = max(parts, key=lambda atom: atom["level"])
+        molecule = expand_recursive(bom, RecursiveDescription("part", "composition", "up"), leaf)
+        # The where-used chain of a leaf climbs straight to the root: one part per level.
+        assert len(molecule) == 4
+        assert {atom["level"] for atom in molecule.atoms} == {0, 1, 2, 3}
+
+    def test_shared_component_reached_once(self, shared_bom):
+        root = root_parts(shared_bom)[0]
+        molecule = expand_recursive(
+            shared_bom, RecursiveDescription("part", "composition", "down"), root
+        )
+        identifiers = [atom.identifier for atom in molecule.atoms]
+        assert len(identifiers) == len(set(identifiers))
+
+    def test_cycle_terminates(self):
+        db = build_bill_of_materials(depth=2, fan_out=2)
+        parts = list(db.atyp("part"))
+        # Introduce a cycle: a leaf becomes the parent of the root.
+        db.ltyp("composition").connect(parts[-1], parts[0])
+        molecule = expand_recursive(
+            db, RecursiveDescription("part", "composition", "down"), parts[0]
+        )
+        assert len(molecule) <= len(parts)
+
+
+class TestRecursiveMoleculeType:
+    def test_one_molecule_per_root_by_default(self, bom):
+        molecule_type = recursive_molecule_type(
+            bom, "explosion", RecursiveDescription("part", "composition", "down")
+        )
+        assert len(molecule_type) == len(bom.atyp("part"))
+
+    def test_explicit_roots(self, bom):
+        roots = root_parts(bom)
+        molecule_type = recursive_molecule_type(
+            bom, "explosion", RecursiveDescription("part", "composition", "down"), roots
+        )
+        assert len(molecule_type) == len(roots)
+
+    def test_leaf_molecules_are_singletons(self, bom):
+        molecule_type = recursive_molecule_type(
+            bom, "explosion", RecursiveDescription("part", "composition", "down")
+        )
+        leaves = [m for m in molecule_type if m.root_atom["level"] == 3]
+        assert leaves and all(len(m) == 1 for m in leaves)
+
+    def test_transitive_closure_size(self, bom):
+        sizes = transitive_closure_size(bom, RecursiveDescription("part", "composition", "down"))
+        root = root_parts(bom)[0]
+        assert sizes[root.identifier] == 14
+        # Leaves reach nothing.
+        assert min(sizes.values()) == 0
+
+    def test_agrees_with_relational_closure(self, shared_bom):
+        from repro.relational import map_database
+        from repro.relational.query import relational_transitive_closure
+
+        roots = root_parts(shared_bom)
+        mapping = map_database(shared_bom)
+        closures = relational_transitive_closure(
+            mapping, "composition", [r.identifier for r in roots]
+        )
+        sizes = transitive_closure_size(
+            shared_bom, RecursiveDescription("part", "composition", "down")
+        )
+        for root in roots:
+            assert len(closures[root.identifier]) == sizes[root.identifier]
