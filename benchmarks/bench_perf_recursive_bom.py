@@ -4,7 +4,9 @@ Compares recursive molecule expansion (parts explosion over the reflexive
 ``composition`` link type) against the iterative relational transitive closure
 over the corresponding junction relation, for growing depth and fan-out, and
 checks that both compute the same closure.  Also exercises the symmetric
-where-used (super-component) view, which needs no extra schema on the MAD side.
+where-used (super-component) view, which needs no extra schema on the MAD
+side, and the same explosion phrased as an MQL ``RECURSIVE`` statement running
+through the streaming plan pipeline.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from conftest import report
 from repro import RecursiveDescription, build_bill_of_materials, recursive_molecule_type
 from repro.core.recursion import expand_recursive
 from repro.datasets.bill_of_materials import root_parts
+from repro.mql import MQLInterpreter
 from repro.relational import map_database
 from repro.relational.query import relational_transitive_closure
 
@@ -82,6 +85,35 @@ def test_perf2_both_views_from_one_link_type(benchmark):
         "E-PERF2: symmetric views over the 'composition' link type",
         [("parts explosion of root", len(explosion.occurrence[0]) - 1),
          ("where-used of deepest leaf", len(where_used.occurrence[0]) - 1)],
+    )
+
+
+@pytest.mark.parametrize("depth,fan_out", [(3, 3), (5, 3)])
+def test_perf2_recursive_mql_through_pipeline(benchmark, depth, fan_out):
+    """The parts explosion as an MQL statement on the plan pipeline.
+
+    The recursive scan streams one expanded molecule per root part and must
+    agree with the relational transitive closure on the explosion size.
+    """
+    db = build_bill_of_materials(depth=depth, fan_out=fan_out, share_every=4)
+    interpreter = MQLInterpreter(db)
+    statement = "SELECT ALL FROM RECURSIVE part [composition] DOWN WHERE part.level = 0;"
+
+    result = benchmark(interpreter.execute, statement)
+
+    roots = root_parts(db)
+    assert len(result) == len(roots)
+    closures = relational_transitive_closure(map_database(db), "composition", [roots[0].identifier])
+    explosion = result.molecule_type.molecules_rooted_at(roots[0].identifier)[0]
+    assert len(closures[roots[0].identifier]) == len(explosion) - 1, (
+        "the piped recursive scan must compute the relational closure"
+    )
+    assert result.counters.molecules_derived == len(db.atyp("part"))
+    report(
+        f"E-PERF2 MQL RECURSIVE via pipeline (depth={depth}, fan_out={fan_out})",
+        [("root explosions", len(result)),
+         ("components reached", len(explosion) - 1),
+         ("atoms touched", result.counters.atoms_touched)],
     )
 
 

@@ -84,6 +84,9 @@ def derive_molecule(
     database: Database,
     description: MoleculeTypeDescription,
     root_atom: Atom,
+    link_types: Optional[Dict[Tuple[str, str, str], LinkType]] = None,
+    links_of=None,
+    on_link_followed=None,
 ) -> Molecule:
     """Derive the single molecule rooted at *root_atom* (hierarchical join).
 
@@ -92,6 +95,12 @@ def derive_molecule(
     the molecule, all atoms of type ``C`` connected through ``lt`` are added
     together with the connecting links.  An atom reachable through several
     parents is included once — molecules are graphs, not trees.
+
+    The streaming executor shares this one implementation, customizing it via
+    the optional hooks: *link_types* pre-resolves the directed uses,
+    *links_of* overrides the per-atom link access (e.g. a cached atom-network
+    adjacency), and *on_link_followed* observes each followed link (work
+    counting).
     """
     component_atoms: Dict[str, Atom] = {root_atom.identifier: root_atom}
     atoms_per_type: Dict[str, Set[str]] = {description.root: {root_atom.identifier}}
@@ -101,17 +110,27 @@ def derive_molecule(
         if not parent_ids:
             continue
         for directed in description.children_of(type_name):
-            link_type = resolve_directed_link(database, directed)
+            if link_types is not None:
+                link_type = link_types[directed.as_tuple()]
+            else:
+                link_type = resolve_directed_link(database, directed)
             child_type = database.atyp(directed.target)
             bucket = atoms_per_type.setdefault(directed.target, set())
             for parent_id in parent_ids:
-                for link in link_type.links_of(parent_id):
+                links = (
+                    links_of(link_type, parent_id)
+                    if links_of is not None
+                    else link_type.links_of(parent_id)
+                )
+                for link in links:
                     child_id = link.other(parent_id)
                     child_atom = child_type.get(child_id)
                     if child_atom is None:
                         # The partner belongs to the other endpoint type of a
                         # reflexive or differently-directed use; skip it.
                         continue
+                    if on_link_followed is not None:
+                        on_link_followed(link)
                     component_links.add(link)
                     if child_id not in component_atoms:
                         component_atoms[child_id] = child_atom

@@ -17,6 +17,13 @@ This construction is what makes the molecule algebra *closed* (Theorem 3):
 the result of every operation is again a molecule type over a database of the
 database domain, so operations can be concatenated arbitrarily — e.g. the
 derived intersection ``Ψ(mt1, mt2) = Δ(mt1, Δ(mt1, mt2))``.
+
+The operation-specific phase of every function is a thin wrapper over a
+single-node streaming plan from :mod:`repro.engine.physical` (a
+``MoleculeScan`` for α, a ``Restrict``/``Project``/set operator over a
+``MoleculeSource`` for the rest), so the algebra and the plan pipeline share
+one evaluation engine; only the materializing phases 2–3 (``prop`` + α over
+the enlarged database) are specific to the algebra.
 """
 
 from __future__ import annotations
@@ -27,14 +34,15 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.atom import Atom, AtomType
 from repro.core.database import Database
-from repro.core.derivation import derive_occurrence, resolve_description
+from repro.core.derivation import resolve_description
 from repro.core.graph import DirectedLink
 from repro.core.link import Link, LinkType
 from repro.core.molecule import Molecule, MoleculeType, MoleculeTypeDescription
 from repro.core.predicates import Formula, PredicateFormula
+from repro.engine import physical as _physical
+from repro.engine.logical import canonical_structure
 from repro.exceptions import (
     AlgebraError,
-    MoleculeGraphError,
     RestrictionError,
     UnionCompatibilityError,
 )
@@ -101,9 +109,10 @@ def molecule_type_definition(
         description = MoleculeTypeDescription(list(description), list(directed_links))
     for type_name in description.atom_type_names:
         database.atyp(type_name)  # raises UnknownNameError when missing
-    description = resolve_description(database, description)
-    molecules = derive_occurrence(database, description)
-    return MoleculeType(name, description, molecules)
+    scan = _physical.MoleculeScan(name, description)
+    context = _physical.ExecutionContext(database)
+    molecules = tuple(scan.execute(context))
+    return MoleculeType(name, scan.describe(context), molecules)
 
 
 # ------------------------------------------------------------------------ prop
@@ -142,7 +151,14 @@ def propagate(result_set: ResultSet, database: Database) -> MoleculeOperationRes
             link_index.setdefault(link.link_type_name.split("~", 1)[0], []).append(link)
             link_index.setdefault(link.link_type_name, []).append(link)
         for directed in rsd.directed_links:
-            for link in link_index.get(directed.link_type_name, ()):
+            # Match by the directed use's full name first; fall back to the
+            # base link-type name so molecules stemming from a *differently*
+            # propagated operand (e.g. the right side of a union) keep their
+            # links through re-propagation.
+            links = link_index.get(directed.link_type_name)
+            if links is None:
+                links = link_index.get(directed.link_type_name.split("~", 1)[0], ())
+            for link in links:
                 links_per_directed[directed.as_tuple()].add(link)
 
     # Build the renamed atom types C'.
@@ -212,7 +228,8 @@ def molecule_restriction(
     if not isinstance(formula, Formula):
         raise RestrictionError(f"not a qualification formula: {formula!r}")
     result_name = name or f"restr({molecule_type.name})"
-    qualifying = tuple(m for m in molecule_type if formula.evaluate_molecule(m))
+    operator = _physical.Restrict(_physical.MoleculeSource(molecule_type), formula)
+    qualifying = tuple(operator.execute(_physical.ExecutionContext(database)))
     result_set = ResultSet(result_name, molecule_type.description, qualifying)
     return propagate(result_set, database)
 
@@ -232,22 +249,13 @@ def molecule_projection(
     a valid molecule structure (coherent, single-rooted).  Each molecule is
     cut down to its atoms of the retained types and the links between them.
     """
-    description = molecule_type.description
-    resolved_names: List[str] = []
-    for requested in atom_type_names:
-        match = None
-        for present in description.atom_type_names:
-            if present == requested or present.split("@", 1)[0] == requested:
-                match = present
-                break
-        if match is None:
-            raise MoleculeGraphError(
-                f"atom type {requested!r} is not part of molecule type {molecule_type.name!r}"
-            )
-        resolved_names.append(match)
-    projected_description = description.projected(resolved_names)
     result_name = name or f"proj({molecule_type.name})"
-    projected = tuple(m.projected(projected_description) for m in molecule_type)
+    operator = _physical.Project(
+        _physical.MoleculeSource(molecule_type), atom_type_names, owner=molecule_type.name
+    )
+    context = _physical.ExecutionContext(database)
+    projected_description = operator.describe(context)  # raises on unknown/root loss
+    projected = tuple(operator.execute(context))
     result_set = ResultSet(result_name, projected_description, projected)
     return propagate(result_set, database)
 
@@ -256,30 +264,37 @@ def molecule_projection(
 
 
 def _check_compatible(first: MoleculeType, second: MoleculeType, operation: str) -> None:
-    """Union/difference compatibility: identical graph structure over the same base types."""
+    """Union/difference compatibility: identical graph structure over the same base types.
 
-    def canonical(description: MoleculeTypeDescription) -> Tuple:
-        strip = lambda name: name.split("@", 1)[0]  # noqa: E731 - tiny local helper
-        nodes = frozenset(strip(name) for name in description.atom_type_names)
-        edges = frozenset(
-            (dl.link_type_name.split("~", 1)[0], strip(dl.source), strip(dl.target))
-            for dl in description.directed_links
-        )
-        return (nodes, edges)
-
-    if canonical(first.description) != canonical(second.description):
+    The physical set operators re-check compatibility for the planner path;
+    this algebra-level check exists besides it because only here are the
+    operand *names* available for the error message.
+    """
+    if canonical_structure(first.description) != canonical_structure(second.description):
         raise UnionCompatibilityError(
             f"molecule-type {operation} requires structurally identical descriptions; "
             f"{first.name!r} and {second.name!r} differ"
         )
 
 
-def _molecule_value_key(molecule: Molecule) -> Tuple:
-    """Value-based identity of a molecule: root identity plus component identities."""
-    return (
-        molecule.root_atom.identifier,
-        frozenset(molecule.atom_identifiers),
+#: Value-based identity of a molecule (root identity plus component identities).
+_molecule_value_key = _physical.molecule_value_key
+
+
+def _stream_set_operation(
+    database: Database,
+    operator_class,
+    first: MoleculeType,
+    second: MoleculeType,
+    result_name: str,
+) -> MoleculeOperationResult:
+    """Run one streaming set operator over the operand occurrences, then propagate."""
+    operator = operator_class(
+        _physical.MoleculeSource(first), _physical.MoleculeSource(second)
     )
+    merged = tuple(operator.execute(_physical.ExecutionContext(database)))
+    result_set = ResultSet(result_name, first.description, merged)
+    return propagate(result_set, database)
 
 
 def molecule_union(
@@ -290,17 +305,9 @@ def molecule_union(
 ) -> MoleculeOperationResult:
     """Molecule-type union ``Ω(mt1, mt2)`` over structurally identical types."""
     _check_compatible(first, second, "union")
-    result_name = name or f"union({first.name},{second.name})"
-    seen: Set[Tuple] = set()
-    merged: List[Molecule] = []
-    for molecule in tuple(first) + tuple(second):
-        key = _molecule_value_key(molecule)
-        if key in seen:
-            continue
-        seen.add(key)
-        merged.append(molecule)
-    result_set = ResultSet(result_name, first.description, tuple(merged))
-    return propagate(result_set, database)
+    return _stream_set_operation(
+        database, _physical.Union, first, second, name or f"union({first.name},{second.name})"
+    )
 
 
 def molecule_difference(
@@ -311,11 +318,9 @@ def molecule_difference(
 ) -> MoleculeOperationResult:
     """Molecule-type difference ``Δ(mt1, mt2)``: molecules of mt1 not present in mt2."""
     _check_compatible(first, second, "difference")
-    result_name = name or f"diff({first.name},{second.name})"
-    removed = {_molecule_value_key(molecule) for molecule in second}
-    kept = tuple(m for m in first if _molecule_value_key(m) not in removed)
-    result_set = ResultSet(result_name, first.description, kept)
-    return propagate(result_set, database)
+    return _stream_set_operation(
+        database, _physical.Difference, first, second, name or f"diff({first.name},{second.name})"
+    )
 
 
 def molecule_intersection(
@@ -324,10 +329,18 @@ def molecule_intersection(
     second: MoleculeType,
     name: Optional[str] = None,
 ) -> MoleculeOperationResult:
-    """Derived intersection ``Ψ(mt1, mt2) = Δ(mt1, Δ(mt1, mt2))`` (paper, §3.2)."""
-    inner = molecule_difference(database, first, second)
-    return molecule_difference(
-        inner.database, first, inner.molecule_type, name=name or f"intersect({first.name},{second.name})"
+    """Derived intersection ``Ψ(mt1, mt2) = Δ(mt1, Δ(mt1, mt2))`` (paper, §3.2).
+
+    Evaluated in a single streaming pass (value-key semi-join), which is
+    set-theoretically identical to the double difference.
+    """
+    _check_compatible(first, second, "intersection")
+    return _stream_set_operation(
+        database,
+        _physical.Intersection,
+        first,
+        second,
+        name or f"intersect({first.name},{second.name})",
     )
 
 

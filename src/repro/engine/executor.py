@@ -1,0 +1,132 @@
+"""Compilation of logical plans into physical operators, and their execution.
+
+:func:`compile_plan` maps each logical node onto its streaming counterpart
+(α → :class:`~repro.engine.physical.MoleculeScan`, Σ →
+:class:`~repro.engine.physical.Restrict`, …).  :class:`Executor` binds a
+database plus its access structures (index pool, atom network) and runs plans,
+materializing only the final result as a
+:class:`~repro.core.molecule.MoleculeType`.
+
+The executor itself applies **no** rewrites — optimization is the planner's
+job (:mod:`repro.optimizer.planner`), which rewrites and costs the same
+logical IR and hands the chosen variant to :func:`Executor.run`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+from repro.core.database import Database
+from repro.core.molecule import Molecule, MoleculeType
+from repro.engine.logical import (
+    DefinePlan,
+    PlanNode,
+    ProjectPlan,
+    RecursivePlan,
+    RestrictPlan,
+    SetOpPlan,
+    plan_name,
+)
+from repro.engine.physical import (
+    Difference,
+    ExecutionContext,
+    ExecutionCounters,
+    IndexPool,
+    Intersection,
+    MoleculeScan,
+    PhysicalOperator,
+    Project,
+    RecursiveScan,
+    Restrict,
+    Union,
+)
+
+
+def compile_plan(plan: PlanNode) -> PhysicalOperator:
+    """Translate a logical plan into a tree of pull-based physical operators."""
+    if isinstance(plan, DefinePlan):
+        return MoleculeScan(plan.name, plan.description, plan.root_filter)
+    if isinstance(plan, RecursivePlan):
+        return RecursiveScan(plan.name, plan.description, plan.formula)
+    if isinstance(plan, RestrictPlan):
+        return Restrict(compile_plan(plan.child), plan.formula)
+    if isinstance(plan, ProjectPlan):
+        return Project(compile_plan(plan.child), plan.atom_type_names, owner=plan_name(plan.child))
+    if isinstance(plan, SetOpPlan):
+        left = compile_plan(plan.left)
+        right = compile_plan(plan.right)
+        operator = {"UNION": Union, "DIFFERENCE": Difference, "INTERSECT": Intersection}[
+            plan.operator
+        ]
+        return operator(left, right)
+    raise TypeError(f"unknown plan node: {plan!r}")
+
+
+@dataclass
+class ExecutionResult:
+    """The materialized outcome of running one plan."""
+
+    molecule_type: MoleculeType
+    database: Database
+    counters: ExecutionCounters = field(default_factory=ExecutionCounters)
+
+    def __len__(self) -> int:
+        return len(self.molecule_type)
+
+    def __iter__(self) -> Iterator[Molecule]:
+        return iter(self.molecule_type)
+
+
+class Executor:
+    """Runs logical plans over one database with shared access structures.
+
+    The executor consults an :class:`IndexPool` for pushed-down equality
+    filters and an optional atom network for link traversal.  The default
+    pool does **not** cache transient indexes — a bare :class:`Database` may
+    be mutated between runs and the executor has no invalidation hook.
+    Callers that can guarantee an immutable database (the storage engine
+    binds one pool per snapshot) pass a pool with transient builds enabled.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        indexes: Optional[IndexPool] = None,
+        network=None,
+    ) -> None:
+        self.database = database
+        self.indexes = (
+            indexes if indexes is not None else IndexPool(database, build_transient=False)
+        )
+        self.network = network
+
+    def context(self, counters: Optional[ExecutionCounters] = None) -> ExecutionContext:
+        """A fresh execution context sharing the executor's access structures."""
+        return ExecutionContext(self.database, counters, self.indexes, self.network)
+
+    def stream(
+        self, plan: PlanNode, context: Optional[ExecutionContext] = None
+    ) -> Iterator[Molecule]:
+        """Execute *plan* lazily, yielding result molecules as they are produced."""
+        ctx = context or self.context()
+        return compile_plan(plan).execute(ctx)
+
+    def run(self, plan: PlanNode, context: Optional[ExecutionContext] = None) -> ExecutionResult:
+        """Execute *plan* and materialize the result molecule type."""
+        ctx = context or self.context()
+        operator = compile_plan(plan)
+        molecules: Tuple[Molecule, ...] = tuple(operator.execute(ctx))
+        description = operator.describe(ctx)
+        molecule_type = MoleculeType(plan_name(plan), description, molecules)
+        return ExecutionResult(molecule_type, self.database, ctx.counters)
+
+
+def run_plan(
+    database: Database,
+    plan: PlanNode,
+    indexes: Optional[IndexPool] = None,
+    network=None,
+) -> ExecutionResult:
+    """One-call convenience: compile and run *plan* over *database*."""
+    return Executor(database, indexes=indexes, network=network).run(plan)

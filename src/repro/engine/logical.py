@@ -1,0 +1,181 @@
+"""The logical plan IR shared by MQL translation and the optimizer.
+
+A logical plan is a small tree of algebra operations — the "sound basis to
+express the semantics" of MQL made explicit.  The same node types serve three
+consumers:
+
+* :class:`~repro.mql.translator.QueryTranslator` produces a literal plan from
+  an MQL statement (α for the FROM clause, Σ for WHERE, Π for SELECT, Ω/Δ/Ψ
+  for set operations between query blocks);
+* :mod:`repro.optimizer.rules` rewrites plans (restriction push-down,
+  structure pruning, restriction merging) and
+  :mod:`repro.optimizer.statistics` costs them;
+* :mod:`repro.engine.executor` compiles plans into the pull-based physical
+  operators of :mod:`repro.engine.physical`.
+
+Node types:
+
+* :class:`DefinePlan` — the molecule-type definition α, optionally with a
+  *root filter*: a qualification evaluated on root atoms **before** molecule
+  derivation (the result of restriction push-down);
+* :class:`RestrictPlan` — the molecule-type restriction Σ;
+* :class:`ProjectPlan` — the molecule-type projection Π;
+* :class:`RecursivePlan` — a recursive molecule-type definition (§5 outlook),
+  optionally restricted;
+* :class:`SetOpPlan` — Ω (UNION), Δ (DIFFERENCE) or the derived Ψ (INTERSECT)
+  between two sub-plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from repro.core.molecule import MoleculeTypeDescription
+from repro.core.predicates import Formula
+from repro.core.recursion import RecursiveDescription
+from repro.exceptions import MoleculeGraphError
+
+
+@dataclass(frozen=True)
+class DefinePlan:
+    """α — molecule-type definition, optionally pre-filtering the root atoms."""
+
+    name: str
+    description: MoleculeTypeDescription
+    root_filter: Optional[Formula] = None
+
+
+@dataclass(frozen=True)
+class RestrictPlan:
+    """Σ — molecule-type restriction applied to a child plan's result."""
+
+    child: "PlanNode"
+    formula: Formula
+
+
+@dataclass(frozen=True)
+class ProjectPlan:
+    """Π — molecule-type projection applied to a child plan's result."""
+
+    child: "PlanNode"
+    atom_type_names: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RecursivePlan:
+    """α_rec — recursive molecule-type definition, optionally restricted."""
+
+    name: str
+    description: RecursiveDescription
+    formula: Optional[Formula] = None
+
+
+@dataclass(frozen=True)
+class SetOpPlan:
+    """Ω / Δ / Ψ between two sub-plans (operator: UNION | DIFFERENCE | INTERSECT)."""
+
+    operator: str
+    left: "PlanNode"
+    right: "PlanNode"
+    name: Optional[str] = None
+
+
+PlanNode = Union[DefinePlan, RestrictPlan, ProjectPlan, RecursivePlan, SetOpPlan]
+
+SET_OPERATION_SYMBOLS = {"UNION": "Ω", "DIFFERENCE": "Δ", "INTERSECT": "Ψ"}
+
+
+def describe_plan(plan: PlanNode, indent: str = "") -> str:
+    """Render a plan as an indented, human-readable algebra expression."""
+    if isinstance(plan, DefinePlan):
+        suffix = f" [root filter: {plan.root_filter!r}]" if plan.root_filter is not None else ""
+        return f"{indent}α {plan.name}({', '.join(plan.description.atom_type_names)}){suffix}"
+    if isinstance(plan, RestrictPlan):
+        return f"{indent}Σ [{plan.formula!r}]\n" + describe_plan(plan.child, indent + "  ")
+    if isinstance(plan, ProjectPlan):
+        return (
+            f"{indent}Π [{', '.join(plan.atom_type_names)}]\n"
+            + describe_plan(plan.child, indent + "  ")
+        )
+    if isinstance(plan, RecursivePlan):
+        suffix = f" [restr: {plan.formula!r}]" if plan.formula is not None else ""
+        return (
+            f"{indent}α_rec {plan.name}[{plan.description.atom_type_name} via "
+            f"{plan.description.link_type_name} {plan.description.direction}]{suffix}"
+        )
+    if isinstance(plan, SetOpPlan):
+        symbol = SET_OPERATION_SYMBOLS[plan.operator]
+        return (
+            f"{indent}{symbol} ({plan.operator.lower()})\n"
+            + describe_plan(plan.left, indent + "  ")
+            + "\n"
+            + describe_plan(plan.right, indent + "  ")
+        )
+    raise TypeError(f"unknown plan node: {plan!r}")
+
+
+def plan_description(plan: PlanNode) -> MoleculeTypeDescription:
+    """Return the molecule-type description a plan ultimately derives from.
+
+    For Σ/Π chains this descends to the defining α; for set operations the
+    left operand is representative (union compatibility makes both sides
+    structurally identical).
+    """
+    if isinstance(plan, DefinePlan):
+        return plan.description
+    if isinstance(plan, RecursivePlan):
+        return MoleculeTypeDescription([plan.description.atom_type_name], [])
+    if isinstance(plan, SetOpPlan):
+        return plan_description(plan.left)
+    return plan_description(plan.child)
+
+
+def plan_name(plan: PlanNode) -> str:
+    """The name of a plan's result molecule type (inherited through Σ and Π)."""
+    if isinstance(plan, (DefinePlan, RecursivePlan)):
+        return plan.name
+    if isinstance(plan, SetOpPlan):
+        if plan.name is not None:
+            return plan.name
+        return f"{plan.operator.lower()}({plan_name(plan.left)},{plan_name(plan.right)})"
+    return plan_name(plan.child)
+
+
+def resolve_projection_names(
+    description: MoleculeTypeDescription,
+    atom_type_names: Sequence[str],
+    owner: Optional[str] = None,
+) -> Tuple[str, ...]:
+    """Resolve projection names against *description*, accepting bare names.
+
+    Propagated atom types carry decorated names ("state@mt$3"); a projection
+    may reference them by the original bare name.  Unknown names raise
+    :class:`MoleculeGraphError` exactly like molecule-type projection does;
+    *owner* (the projected type's name) is included in the message when known.
+    """
+    resolved: List[str] = []
+    for requested in atom_type_names:
+        match = None
+        for present in description.atom_type_names:
+            if present == requested or present.split("@", 1)[0] == requested:
+                match = present
+                break
+        if match is None:
+            subject = (
+                f"molecule type {owner!r}" if owner else "the plan's molecule structure"
+            )
+            raise MoleculeGraphError(f"atom type {requested!r} is not part of {subject}")
+        resolved.append(match)
+    return tuple(resolved)
+
+
+def canonical_structure(description: MoleculeTypeDescription) -> Tuple[FrozenSet, FrozenSet]:
+    """Structure signature modulo propagation renaming (union compatibility)."""
+    strip = lambda name: name.split("@", 1)[0]  # noqa: E731 - tiny local helper
+    nodes = frozenset(strip(name) for name in description.atom_type_names)
+    edges = frozenset(
+        (dl.link_type_name.split("~", 1)[0], strip(dl.source), strip(dl.target))
+        for dl in description.directed_links
+    )
+    return (nodes, edges)

@@ -1,0 +1,422 @@
+"""Pull-based (Volcano-style) physical operators over molecule streams.
+
+Every operator is a generator source: :meth:`PhysicalOperator.execute` yields
+result molecules one at a time, pulling from its children on demand.  Nothing
+is propagated or re-derived between operators — intermediate molecule sets are
+never materialized, which is what makes plan pipelines cheap compared to the
+literal algebra evaluation (each molecule-algebra operation materializes its
+result set into an enlarged database, see
+:mod:`repro.core.molecule_algebra`).
+
+Operators:
+
+* :class:`MoleculeScan` — the molecule-type definition α as an access path:
+  iterates the root occurrence (through a :class:`~repro.storage.index.HashIndex`
+  equality lookup when the pushed-down root filter permits) and performs the
+  hierarchical join by traversing atom-network neighbours link type by link
+  type;
+* :class:`RecursiveScan` — recursive molecule expansion (§5 outlook);
+* :class:`MoleculeSource` — adapter yielding an already-derived molecule type
+  (used by the thin molecule-algebra wrappers);
+* :class:`Restrict` / :class:`Project` — streaming Σ and Π;
+* :class:`Union` / :class:`Difference` / :class:`Intersection` — streaming set
+  operations with value-based molecule identity.
+
+Work is accounted in :class:`ExecutionCounters`, which the optimizer
+benchmarks compare across plan variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.atom import Atom
+from repro.core.database import Database
+from repro.core.derivation import derive_molecule, resolve_description, resolve_directed_link
+from repro.core.link import Link, LinkType
+from repro.core.molecule import Molecule, MoleculeType, MoleculeTypeDescription
+from repro.core.predicates import AttributeRef, Comparison, Formula, split_conjunction
+from repro.core.recursion import RecursiveDescription, expand_recursive
+from repro.engine.logical import canonical_structure, resolve_projection_names
+from repro.exceptions import UnionCompatibilityError
+
+
+@dataclass
+class ExecutionCounters:
+    """Work counters collected while executing a plan."""
+
+    molecules_derived: int = 0
+    atoms_touched: int = 0
+    restrictions_evaluated: int = 0
+    links_followed: int = 0
+    index_lookups: int = 0
+    atoms_indexed: int = 0
+
+
+def molecule_value_key(molecule: Molecule) -> Tuple:
+    """Value-based identity of a molecule: root identity plus component identities."""
+    return (
+        molecule.root_atom.identifier,
+        frozenset(molecule.atom_identifiers),
+    )
+
+
+class IndexPool:
+    """Secondary-index access for the executor, lazily built over a database.
+
+    The pool answers equality lookups ``(atom type, attribute, value) -> atom
+    identifiers``.  When *build_transient* is set, missing indexes are built
+    on first use from the database occurrence and **cached for the pool's
+    lifetime** — which is only sound when the database cannot change under
+    the pool (the storage engine guarantees this by binding each pool to one
+    immutable snapshot and discarding it on writes).  Ephemeral executors
+    over a live :class:`~repro.core.database.Database` must leave
+    *build_transient* off, falling back to filtered scans.
+    """
+
+    def __init__(self, database: Database, build_transient: bool = True) -> None:
+        self.database = database
+        self.build_transient = build_transient
+        self._indexes: Dict[Tuple[str, str], object] = {}
+
+    def lookup(
+        self,
+        atom_type_name: str,
+        attribute: str,
+        value: object,
+        counters: Optional[ExecutionCounters] = None,
+    ) -> Optional[FrozenSet[str]]:
+        """Return matching atom identifiers, or ``None`` when no index is usable.
+
+        Building a transient index is a full pass over the type's occurrence;
+        it is charged to ``counters.atoms_indexed`` so moved work stays
+        visible in plan comparisons.
+        """
+        key = (atom_type_name, attribute)
+        index = self._indexes.get(key)
+        if index is None:
+            if not self.build_transient or not self.database.has_atom_type(atom_type_name):
+                return None
+            from repro.storage.index import HashIndex  # deferred: avoids a package cycle
+
+            index = HashIndex(atom_type_name, attribute)
+            for atom in self.database.atyp(atom_type_name):
+                index.insert(atom)
+                if counters is not None:
+                    counters.atoms_indexed += 1
+            self._indexes[key] = index
+        return index.lookup(value)
+
+
+class ExecutionContext:
+    """Per-execution state: the database, work counters and access structures.
+
+    *indexes* is an optional :class:`IndexPool`; *network* an optional
+    :class:`~repro.storage.network.AtomNetwork` whose typed adjacency
+    (``links_via``) replaces per-link-type lookups when present — the storage
+    engine shares its cached network across queries this way.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        counters: Optional[ExecutionCounters] = None,
+        indexes: Optional[IndexPool] = None,
+        network=None,
+    ) -> None:
+        self.database = database
+        self.counters = counters or ExecutionCounters()
+        self.indexes = indexes
+        self.network = network
+
+    def links_via(self, link_type: LinkType, identifier: str) -> Sequence[Link]:
+        """The links of *link_type* incident to *identifier* (neighbour traversal)."""
+        if self.network is not None:
+            links = self.network.links_via(link_type.name, identifier)
+            if links is not None:
+                return links
+        return link_type.links_of(identifier)
+
+
+class PhysicalOperator:
+    """Base class of the pull-based operators."""
+
+    def describe(self, ctx: ExecutionContext) -> MoleculeTypeDescription:
+        """The (resolved) description of the molecules this operator yields."""
+        raise NotImplementedError
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Molecule]:
+        """Yield the result molecules, pulling from children on demand."""
+        raise NotImplementedError
+
+
+class MoleculeScan(PhysicalOperator):
+    """α as an access path: derive one molecule per qualifying root atom.
+
+    When a root filter is present, its equality conjuncts are answered through
+    the context's index pool where possible, so only the matching root atoms
+    are visited; the remaining conjuncts are evaluated per candidate.  The
+    hierarchical join follows the molecule structure root-first, traversing
+    the atom network neighbour lists of each link type.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        description: MoleculeTypeDescription,
+        root_filter: Optional[Formula] = None,
+    ) -> None:
+        self.name = name
+        self.description = description
+        self.root_filter = root_filter
+        self._resolved: Optional[MoleculeTypeDescription] = None
+        self._resolved_for: Optional[Database] = None
+
+    def describe(self, ctx: ExecutionContext) -> MoleculeTypeDescription:
+        # Resolution is memoized per database: execute(), Executor.run() and
+        # set-operator compatibility checks all describe the same scan.
+        if self._resolved is None or self._resolved_for is not ctx.database:
+            self._resolved = resolve_description(ctx.database, self.description)
+            self._resolved_for = ctx.database
+        return self._resolved
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Molecule]:
+        description = self.describe(ctx)
+        link_types = {
+            directed.as_tuple(): resolve_directed_link(ctx.database, directed)
+            for directed in description.directed_links
+        }
+        for root_atom in self._root_atoms(ctx, description):
+            molecule = self._derive(ctx, description, link_types, root_atom)
+            ctx.counters.molecules_derived += 1
+            ctx.counters.atoms_touched += len(molecule)
+            yield molecule
+
+    # ------------------------------------------------------------ root access
+
+    def _root_atoms(self, ctx: ExecutionContext, description: MoleculeTypeDescription):
+        root_type = ctx.database.atyp(description.root)
+        if self.root_filter is None:
+            yield from root_type
+            return
+        candidates = self._indexed_candidates(ctx, description, root_type)
+        for atom in candidates if candidates is not None else root_type:
+            ctx.counters.restrictions_evaluated += 1
+            if self.root_filter.evaluate_atom(atom):
+                yield atom
+
+    def _indexed_candidates(
+        self, ctx: ExecutionContext, description: MoleculeTypeDescription, root_type
+    ) -> Optional[List[Atom]]:
+        """Root atoms matching an indexable equality conjunct, or ``None``."""
+        if ctx.indexes is None:
+            return None
+        root_bare = description.root.split("@", 1)[0]
+        for conjunct in split_conjunction(self.root_filter):
+            if not isinstance(conjunct, Comparison) or conjunct.op not in ("=", "=="):
+                continue
+            if isinstance(conjunct.rhs, AttributeRef):
+                continue
+            lhs_type = conjunct.lhs.atom_type
+            if lhs_type is not None and lhs_type.split("@", 1)[0] != root_bare:
+                continue
+            identifiers = ctx.indexes.lookup(
+                description.root, conjunct.lhs.attribute, conjunct.rhs, ctx.counters
+            )
+            if identifiers is None:
+                identifiers = ctx.indexes.lookup(
+                    root_bare, conjunct.lhs.attribute, conjunct.rhs, ctx.counters
+                )
+            if identifiers is None:
+                continue
+            ctx.counters.index_lookups += 1
+            atoms = [root_type.get(identifier) for identifier in sorted(identifiers)]
+            return [atom for atom in atoms if atom is not None]
+        return None
+
+    # ------------------------------------------------------ hierarchical join
+
+    def _derive(
+        self,
+        ctx: ExecutionContext,
+        description: MoleculeTypeDescription,
+        link_types: Dict[Tuple[str, str, str], LinkType],
+        root_atom: Atom,
+    ) -> Molecule:
+        def count_link(_link: Link) -> None:
+            ctx.counters.links_followed += 1
+
+        return derive_molecule(
+            ctx.database,
+            description,
+            root_atom,
+            link_types=link_types,
+            links_of=ctx.links_via,
+            on_link_followed=count_link,
+        )
+
+
+class RecursiveScan(PhysicalOperator):
+    """Recursive molecule expansion over a (typically reflexive) link type."""
+
+    def __init__(
+        self,
+        name: str,
+        description: RecursiveDescription,
+        formula: Optional[Formula] = None,
+    ) -> None:
+        self.name = name
+        self.description = description
+        self.formula = formula
+
+    def describe(self, ctx: ExecutionContext) -> MoleculeTypeDescription:
+        return MoleculeTypeDescription([self.description.atom_type_name], [])
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Molecule]:
+        base_description = self.describe(ctx)
+        for root_atom in ctx.database.atyp(self.description.atom_type_name):
+            molecule = expand_recursive(ctx.database, self.description, root_atom)
+            molecule.description = base_description
+            ctx.counters.molecules_derived += 1
+            ctx.counters.atoms_touched += len(molecule)
+            if self.formula is not None:
+                ctx.counters.restrictions_evaluated += 1
+                if not self.formula.evaluate_molecule(molecule):
+                    continue
+            yield molecule
+
+
+class MoleculeSource(PhysicalOperator):
+    """Adapter streaming an already-derived molecule type into a pipeline."""
+
+    def __init__(self, molecule_type: MoleculeType) -> None:
+        self.molecule_type = molecule_type
+
+    def describe(self, ctx: ExecutionContext) -> MoleculeTypeDescription:
+        return self.molecule_type.description
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Molecule]:
+        return iter(self.molecule_type)
+
+
+class Restrict(PhysicalOperator):
+    """Streaming Σ: forward the molecules satisfying the qualification."""
+
+    def __init__(self, child: PhysicalOperator, formula: Formula) -> None:
+        self.child = child
+        self.formula = formula
+
+    def describe(self, ctx: ExecutionContext) -> MoleculeTypeDescription:
+        return self.child.describe(ctx)
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Molecule]:
+        for molecule in self.child.execute(ctx):
+            ctx.counters.restrictions_evaluated += 1
+            if self.formula.evaluate_molecule(molecule):
+                yield molecule
+
+
+class Project(PhysicalOperator):
+    """Streaming Π: cut each molecule down to the retained atom types.
+
+    *owner* names the projected molecule type in validation errors.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        atom_type_names: Sequence[str],
+        owner: Optional[str] = None,
+    ) -> None:
+        self.child = child
+        self.atom_type_names = tuple(atom_type_names)
+        self.owner = owner
+
+    def describe(self, ctx: ExecutionContext) -> MoleculeTypeDescription:
+        child_description = self.child.describe(ctx)
+        resolved = resolve_projection_names(
+            child_description, self.atom_type_names, self.owner
+        )
+        return child_description.projected(resolved)
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Molecule]:
+        projected_description = self.describe(ctx)
+        for molecule in self.child.execute(ctx):
+            yield molecule.projected(projected_description)
+
+
+class _BinarySetOperator(PhysicalOperator):
+    """Common shape of the streaming set operations.
+
+    :meth:`execute` checks union compatibility eagerly — before the caller
+    first pulls — then delegates to the subclass's :meth:`_stream` generator.
+    """
+
+    operation = "set operation"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
+        self.left = left
+        self.right = right
+
+    def describe(self, ctx: ExecutionContext) -> MoleculeTypeDescription:
+        return self.left.describe(ctx)
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Molecule]:
+        if canonical_structure(self.left.describe(ctx)) != canonical_structure(
+            self.right.describe(ctx)
+        ):
+            raise UnionCompatibilityError(
+                f"molecule-type {self.operation} requires structurally identical "
+                "descriptions; the operand structures differ"
+            )
+        return self._stream(ctx)
+
+    def _stream(self, ctx: ExecutionContext) -> Iterator[Molecule]:
+        raise NotImplementedError
+
+
+class Union(_BinarySetOperator):
+    """Streaming Ω: left molecules first, then unseen right molecules."""
+
+    operation = "union"
+
+    def _stream(self, ctx: ExecutionContext) -> Iterator[Molecule]:
+        seen: Set[Tuple] = set()
+        for molecule in self.left.execute(ctx):
+            key = molecule_value_key(molecule)
+            if key not in seen:
+                seen.add(key)
+                yield molecule
+        for molecule in self.right.execute(ctx):
+            key = molecule_value_key(molecule)
+            if key not in seen:
+                seen.add(key)
+                yield molecule
+
+
+class Difference(_BinarySetOperator):
+    """Streaming Δ: left molecules whose value is absent from the right side."""
+
+    operation = "difference"
+
+    def _stream(self, ctx: ExecutionContext) -> Iterator[Molecule]:
+        removed = {molecule_value_key(m) for m in self.right.execute(ctx)}
+        for molecule in self.left.execute(ctx):
+            if molecule_value_key(molecule) not in removed:
+                yield molecule
+
+
+class Intersection(_BinarySetOperator):
+    """Streaming Ψ — by the paper's identity Ψ(mt1,mt2) = Δ(mt1, Δ(mt1,mt2))."""
+
+    operation = "intersection"
+
+    def _stream(self, ctx: ExecutionContext) -> Iterator[Molecule]:
+        kept = {molecule_value_key(m) for m in self.right.execute(ctx)}
+        seen: Set[Tuple] = set()
+        for molecule in self.left.execute(ctx):
+            key = molecule_value_key(molecule)
+            if key in kept and key not in seen:
+                seen.add(key)
+                yield molecule

@@ -15,13 +15,18 @@ The two statements of the paper work verbatim::
     FROM point - edge - (area - state, net - river)
     WHERE point.name = 'pn';
 
-Pipeline: :func:`tokenize` → :func:`parse` → :class:`QueryTranslator` →
-:class:`MQLInterpreter` (or the one-call convenience :func:`execute`).
+Pipeline: :func:`tokenize` → :func:`parse` → :class:`QueryTranslator` (logical
+plan) → :class:`~repro.optimizer.planner.Planner` (rewrite + cost) →
+:class:`~repro.engine.executor.Executor` (streaming evaluation), driven by
+:class:`MQLInterpreter` (or the one-call convenience :func:`execute`).  Pass
+``optimize=False`` for the literal, materializing α→Σ→Π evaluation, or prefix
+a statement with ``EXPLAIN`` to see the planner's choice without executing.
 """
 
 from repro.mql.ast_nodes import (
     AttributeReference,
     ComparisonCondition,
+    ExplainStatement,
     FromClause,
     LogicalCondition,
     NotCondition,
@@ -34,11 +39,12 @@ from repro.mql.ast_nodes import (
 from repro.mql.interpreter import MQLInterpreter, QueryResult, execute
 from repro.mql.lexer import Token, TokenType, tokenize
 from repro.mql.parser import parse
-from repro.mql.translator import QueryTranslator, structure_to_description
+from repro.mql.translator import QueryTranslator, structure_to_description, to_logical_plan
 
 __all__ = [
     "AttributeReference",
     "ComparisonCondition",
+    "ExplainStatement",
     "FromClause",
     "LogicalCondition",
     "MQLInterpreter",
@@ -55,5 +61,6 @@ __all__ = [
     "execute",
     "parse",
     "structure_to_description",
+    "to_logical_plan",
     "tokenize",
 ]

@@ -127,5 +127,12 @@ class SetOperation:
     right: object
 
 
-#: Any parse result: a single query block or a tree of set operations.
+#: Any executable parse result: a single query block or a tree of set operations.
 Statement = Union[Query, SetOperation]
+
+
+@dataclass(frozen=True)
+class ExplainStatement:
+    """``EXPLAIN <statement>`` — report the optimizer's plan choice, do not execute."""
+
+    statement: Statement

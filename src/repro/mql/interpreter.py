@@ -1,20 +1,29 @@
 """Execution of MQL statements over a MAD database.
 
-The interpreter wires the translated pieces to the molecule algebra exactly as
-chapter 4 describes: "the whole molecule-type definition is expressed in the
-FROM clause", "molecule restriction in MQL is expressed within the WHERE
-clause, and molecule projection is accomplished within the SELECT clause".
-Set operations between query blocks map onto Ω, Δ and Ψ.
+Every statement is translated into the logical plan IR (the literal α → Σ → Π
+translation of chapter 4: "the whole molecule-type definition is expressed in
+the FROM clause", "molecule restriction in MQL is expressed within the WHERE
+clause, and molecule projection is accomplished within the SELECT clause";
+set operations between query blocks map onto Ω, Δ and Ψ).  By default the
+plan is handed to the rule-driven planner and the chosen variant runs on the
+streaming executor — every MQL statement is optimized, and intermediate
+molecule sets are never materialized.
+
+The ``optimize=False`` escape hatch executes the literal translation through
+the materializing molecule-algebra operations instead (each step propagates
+its result set into an enlarged database, exactly as Definitions 8–10
+prescribe); the parity tests assert both paths return identical molecule
+sets.  ``EXPLAIN <statement>`` reports the planner's choice without
+executing.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.database import Database
-from repro.core.molecule import Molecule, MoleculeType, MoleculeTypeDescription
+from repro.core.molecule import Molecule, MoleculeType
 from repro.core.molecule_algebra import (
     molecule_difference,
     molecule_intersection,
@@ -24,12 +33,14 @@ from repro.core.molecule_algebra import (
     molecule_union,
 )
 from repro.core.recursion import RecursiveDescription, recursive_molecule_type
+from repro.engine.executor import Executor, compile_plan
+from repro.engine.logical import describe_plan, plan_name
+from repro.engine.physical import ExecutionCounters
 from repro.exceptions import MQLSemanticError
-from repro.mql.ast_nodes import Query, SetOperation, Statement
+from repro.mql.ast_nodes import ExplainStatement, Query, SetOperation, Statement
 from repro.mql.parser import parse
-from repro.mql.translator import QueryTranslator
-
-_anonymous_counter = itertools.count(1)
+from repro.mql.translator import QueryTranslator, next_anonymous_name
+from repro.optimizer.planner import PlanChoice, Planner
 
 
 @dataclass
@@ -41,14 +52,27 @@ class QueryResult:
     molecule_type:
         The result molecule type (the statement's value in the algebra).
     database:
-        The database after all propagation steps (the enlarged ``DB'``).
+        The database the result is valid over.  The streaming pipeline leaves
+        the database unchanged; the literal (``optimize=False``) path returns
+        the enlarged ``DB'`` produced by result propagation.
     statement:
         The parsed AST, kept for explain-style reporting.
+    counters:
+        Work counters of the streaming execution (``None`` on the literal
+        path, which accounts no work).
+    plan_choice:
+        The planner's costed decision (``None`` on the literal path).
+    explanation:
+        For ``EXPLAIN`` statements: :meth:`PlanChoice.explain` output; the
+        statement itself is not executed and the molecule set is empty.
     """
 
     molecule_type: MoleculeType
     database: Database
     statement: Optional[Statement] = None
+    counters: Optional[ExecutionCounters] = None
+    plan_choice: Optional[PlanChoice] = None
+    explanation: Optional[str] = None
 
     @property
     def molecules(self) -> Tuple[Molecule, ...]:
@@ -67,32 +91,100 @@ class QueryResult:
 
 
 class MQLInterpreter:
-    """Executes MQL statements against a database using the molecule algebra."""
+    """Executes MQL statements against a database through the plan pipeline.
 
-    def __init__(self, database: Database) -> None:
+    The interpreter owns a :class:`~repro.optimizer.planner.Planner` (with
+    statistics collected once from the database) and an
+    :class:`~repro.engine.executor.Executor` whose access structures are
+    reused across statements.  Both can be supplied by a storage engine to
+    share its secondary indexes and cached atom network.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        optimize: bool = True,
+        executor: Optional[Executor] = None,
+        planner: Optional[Planner] = None,
+    ) -> None:
         self.database = database
+        self.optimize = optimize
+        self.executor = executor or Executor(database)
+        self._planner = planner
+
+    @property
+    def planner(self) -> Planner:
+        """The planner, created lazily: statistics collection is a full
+        database pass and is skipped entirely on the literal path."""
+        if self._planner is None:
+            self._planner = Planner(self.database, executor=self.executor)
+        return self._planner
 
     # ---------------------------------------------------------------- public
 
-    def execute(self, statement: "str | Statement") -> QueryResult:
+    def execute(
+        self, statement: "str | Statement | ExplainStatement", optimize: Optional[bool] = None
+    ) -> QueryResult:
         """Parse (when given text) and execute an MQL statement."""
         ast = parse(statement) if isinstance(statement, str) else statement
+        if isinstance(ast, ExplainStatement):
+            return self._explain_result(ast)
+        if self.optimize if optimize is None else optimize:
+            return self._execute_planned(ast)
         molecule_type, database = self._execute_statement(ast, self.database)
         return QueryResult(molecule_type, database, ast)
+
+    def plan(self, statement: "str | Statement") -> PlanChoice:
+        """Translate *statement* and return the planner's costed choice."""
+        ast = parse(statement) if isinstance(statement, str) else statement
+        if isinstance(ast, ExplainStatement):
+            ast = ast.statement
+        logical = QueryTranslator(self.database).translate_statement(ast)
+        return self.planner.optimize(logical)
 
     def explain(self, statement: "str | Statement") -> List[str]:
         """Return the algebra-operation plan for *statement* without executing it.
 
-        The plan lists one line per algebra operation in execution order —
-        this is the "sound basis to express the semantics" of MQL made
-        visible, and it is what the optimizer rewrites.
+        The plan lists one line per algebra operation — this is the "sound
+        basis to express the semantics" of MQL made visible (the literal
+        logical plan, before any rewriting); it is what the optimizer
+        rewrites.
         """
         ast = parse(statement) if isinstance(statement, str) else statement
-        lines: List[str] = []
-        self._explain_statement(ast, lines)
-        return lines
+        if isinstance(ast, ExplainStatement):
+            ast = ast.statement
+        logical = QueryTranslator(self.database).translate_statement(ast)
+        return describe_plan(logical).splitlines()
 
-    # -------------------------------------------------------------- internal
+    # ------------------------------------------------------ planned pipeline
+
+    def _execute_planned(self, statement: Statement) -> QueryResult:
+        choice = self.plan(statement)
+        result = self.executor.run(choice.best)
+        return QueryResult(
+            result.molecule_type,
+            result.database,
+            statement,
+            counters=result.counters,
+            plan_choice=choice,
+        )
+
+    def _explain_result(self, ast: ExplainStatement) -> QueryResult:
+        choice = self.plan(ast.statement)
+        # The empty result carries the plan's *output* schema (post-projection),
+        # which the compiled operator reports — not the defining α structure.
+        operator = compile_plan(choice.best)
+        description = operator.describe(self.executor.context())
+        empty = MoleculeType(plan_name(choice.best), description, ())
+        return QueryResult(
+            empty,
+            self.database,
+            ast.statement,
+            plan_choice=choice,
+            explanation=choice.explain(),
+        )
+
+    # ------------------------------------------------- literal algebra path
 
     def _execute_statement(
         self, statement: Statement, database: Database
@@ -114,7 +206,7 @@ class MQLInterpreter:
     def _execute_query(self, query: Query, database: Database) -> Tuple[MoleculeType, Database]:
         translator = QueryTranslator(database)
         description = translator.translate_from(query.from_clause)
-        name = query.from_clause.molecule_name or f"mql_result{next(_anonymous_counter)}"
+        name = query.from_clause.molecule_name or next_anonymous_name()
 
         if isinstance(description, RecursiveDescription):
             molecule_type = recursive_molecule_type(database, name, description)
@@ -137,36 +229,10 @@ class MQLInterpreter:
             molecule_type, database = projected.molecule_type, projected.database
         return molecule_type, database
 
-    def _explain_statement(self, statement: Statement, lines: List[str], indent: str = "") -> None:
-        if isinstance(statement, SetOperation):
-            symbol = {"UNION": "Ω", "DIFFERENCE": "Δ", "INTERSECT": "Ψ"}[statement.operator]
-            lines.append(f"{indent}{symbol} ({statement.operator.lower()})")
-            self._explain_statement(statement.left, lines, indent + "  ")
-            self._explain_statement(statement.right, lines, indent + "  ")
-            return
-        query = statement
-        translator = QueryTranslator(self.database)
-        description = translator.translate_from(query.from_clause)
-        if isinstance(description, RecursiveDescription):
-            lines.append(
-                f"{indent}α_rec [{description.atom_type_name} via {description.link_type_name} "
-                f"{description.direction}] (recursive molecule-type definition)"
-            )
-        else:
-            structure = ", ".join(
-                f"<{dl.link_type_name},{dl.source},{dl.target}>" for dl in description.directed_links
-            )
-            lines.append(
-                f"{indent}α [{query.from_clause.molecule_name or 'anonymous'}, "
-                f"{{{structure}}}] ({', '.join(description.atom_type_names)})"
-            )
-        if query.where is not None:
-            formula = translator.translate_condition(query.where, description)
-            lines.append(f"{indent}Σ [restr: {formula!r}]")
-        if not query.select_all:
-            lines.append(f"{indent}Π [{', '.join(query.projection)}]")
-
-
-def execute(database: Database, statement: "str | Statement") -> QueryResult:
+def execute(
+    database: Database,
+    statement: "str | Statement | ExplainStatement",
+    optimize: bool = True,
+) -> QueryResult:
     """One-call convenience: execute *statement* against *database*."""
-    return MQLInterpreter(database).execute(statement)
+    return MQLInterpreter(database, optimize=optimize).execute(statement)

@@ -16,6 +16,7 @@ from typing import Iterator, List, Tuple
 from repro.exceptions import MQLSyntaxError
 
 KEYWORDS = {
+    "EXPLAIN",
     "SELECT",
     "ALL",
     "FROM",

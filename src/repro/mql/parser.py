@@ -2,6 +2,7 @@
 
 Grammar (EBNF)::
 
+    input       := ["EXPLAIN"] statement
     statement   := query (("UNION" | "DIFFERENCE" | "INTERSECT") query)* [";"]
     query       := "SELECT" select_list "FROM" from_clause ["WHERE" condition]
     select_list := "ALL" | ident ("," ident)*
@@ -32,6 +33,7 @@ from repro.exceptions import MQLSyntaxError
 from repro.mql.ast_nodes import (
     AttributeReference,
     ComparisonCondition,
+    ExplainStatement,
     FromClause,
     LogicalCondition,
     NotCondition,
@@ -81,6 +83,11 @@ class _Parser:
         return False
 
     # ------------------------------------------------------------- statement
+
+    def parse_input(self) -> "Statement | ExplainStatement":
+        if self.accept_keyword("EXPLAIN"):
+            return ExplainStatement(self.parse_statement())
+        return self.parse_statement()
 
     def parse_statement(self) -> Statement:
         left: Statement = self.parse_query()
@@ -250,7 +257,7 @@ class _Parser:
         return AttributeReference(str(first.value))
 
 
-def parse(text: "str | List[Token]") -> Statement:
+def parse(text: "str | List[Token]") -> "Statement | ExplainStatement":
     """Parse an MQL statement (source text or a prepared token list) into an AST."""
     tokens = tokenize(text) if isinstance(text, str) else text
-    return _Parser(tokens).parse_statement()
+    return _Parser(tokens).parse_input()

@@ -1,4 +1,4 @@
-"""Translation of MQL ASTs into molecule-algebra artifacts.
+"""Translation of MQL ASTs into molecule-algebra artifacts and logical plans.
 
 The FROM-clause structure path becomes a :class:`MoleculeTypeDescription`
 (i.e. the ``C`` and ``G`` arguments of the molecule-type definition α); the
@@ -7,11 +7,17 @@ for the molecule-type restriction Σ; the SELECT projection list becomes the
 atom-type list of the molecule-type projection Π.  Semantic checks (unknown
 atom types, ambiguous attributes, projections losing the root) are raised as
 :class:`~repro.exceptions.MQLSemanticError`.
+
+:meth:`QueryTranslator.translate_statement` assembles these pieces into the
+logical plan IR of :mod:`repro.engine.logical` (the literal α → Σ → Π
+translation, with Ω/Δ/Ψ between query blocks), which the planner rewrites and
+the streaming executor runs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+import itertools
+from typing import List, Optional, Tuple, Union
 
 from repro.core.database import Database
 from repro.core.graph import DirectedLink
@@ -25,6 +31,14 @@ from repro.core.predicates import (
     Or,
 )
 from repro.core.recursion import RecursiveDescription
+from repro.engine.logical import (
+    DefinePlan,
+    PlanNode,
+    ProjectPlan,
+    RecursivePlan,
+    RestrictPlan,
+    SetOpPlan,
+)
 from repro.exceptions import MoleculeGraphError, MQLSemanticError
 from repro.mql.ast_nodes import (
     AttributeReference,
@@ -34,10 +48,19 @@ from repro.mql.ast_nodes import (
     NotCondition,
     Query,
     RecursiveStructure,
+    SetOperation,
+    Statement,
     StructureBranch,
     StructureNode,
     StructurePath,
 )
+
+_anonymous_counter = itertools.count(1)
+
+
+def next_anonymous_name() -> str:
+    """The next anonymous result-type name, shared by every translation path."""
+    return f"mql_result{next(_anonymous_counter)}"
 
 
 def structure_to_description(path: StructurePath) -> MoleculeTypeDescription:
@@ -105,6 +128,45 @@ class QueryTranslator:
 
     def __init__(self, database: Database) -> None:
         self.database = database
+
+    # --------------------------------------------------------- logical plans
+
+    def translate_statement(self, statement: Statement) -> PlanNode:
+        """Translate a statement into its literal logical plan (α → Σ → Π).
+
+        Set operations become :class:`SetOpPlan` nodes over the translated
+        query blocks; all semantic checks run here, before any execution.
+        """
+        if isinstance(statement, SetOperation):
+            return SetOpPlan(
+                statement.operator,
+                self.translate_statement(statement.left),
+                self.translate_statement(statement.right),
+            )
+        if not isinstance(statement, Query):
+            raise MQLSemanticError(f"cannot translate {statement!r}")
+        return self.translate_query(statement)
+
+    def translate_query(self, query: Query) -> PlanNode:
+        """Translate one SELECT-FROM-WHERE block into a logical plan."""
+        description = self.translate_from(query.from_clause)
+        name = query.from_clause.molecule_name or next_anonymous_name()
+        if isinstance(description, RecursiveDescription):
+            if not query.select_all:
+                raise MQLSemanticError("projection over a RECURSIVE structure is not supported")
+            formula = (
+                self.translate_condition(query.where, description)
+                if query.where is not None
+                else None
+            )
+            return RecursivePlan(name, description, formula)
+        plan: PlanNode = DefinePlan(name, description)
+        if query.where is not None:
+            plan = RestrictPlan(plan, self.translate_condition(query.where, description))
+        projection = self.translate_projection(query, description)
+        if projection is not None:
+            plan = ProjectPlan(plan, tuple(projection))
+        return plan
 
     # ---------------------------------------------------------- FROM clause
 
@@ -224,3 +286,8 @@ class QueryTranslator:
                 f"the projection must retain the root atom type {description.root!r}"
             )
         return query.projection
+
+
+def to_logical_plan(database: Database, statement: Statement) -> PlanNode:
+    """One-call convenience: translate a parsed *statement* into a logical plan."""
+    return QueryTranslator(database).translate_statement(statement)

@@ -4,8 +4,9 @@
 simplify and enhance query transformation and query optimization."  This
 package provides that exploitation for the operations the paper defines:
 
-* :mod:`repro.optimizer.plans` — an explicit plan representation (a tree of
-  algebra operations) with an interpreter,
+* :mod:`repro.optimizer.plans` — the explicit plan representation (the shared
+  logical IR of :mod:`repro.engine.logical`) plus :func:`execute_plan`, which
+  runs a plan on the streaming executor,
 * :mod:`repro.optimizer.rules` — rewrite rules: restriction push-down into the
   molecule-type definition (filter root atoms before derivation), structure
   pruning (drop atom types that neither the projection nor the restriction
@@ -18,9 +19,13 @@ package provides that exploitation for the operations the paper defines:
 from repro.optimizer.planner import Planner, PlanChoice
 from repro.optimizer.plans import (
     DefinePlan,
+    ExecutionCounters,
+    PlanExecution,
     PlanNode,
     ProjectPlan,
+    RecursivePlan,
     RestrictPlan,
+    SetOpPlan,
     execute_plan,
 )
 from repro.optimizer.rules import (
@@ -36,12 +41,16 @@ __all__ = [
     "CostModel",
     "DatabaseStatistics",
     "DefinePlan",
+    "ExecutionCounters",
     "PlanChoice",
+    "PlanExecution",
     "PlanNode",
     "Planner",
     "ProjectPlan",
+    "RecursivePlan",
     "RestrictPlan",
     "RewriteResult",
+    "SetOpPlan",
     "execute_plan",
     "merge_restrictions",
     "prune_structure",

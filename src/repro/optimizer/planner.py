@@ -2,7 +2,9 @@
 
 :class:`Planner` takes an initial plan (typically the literal translation of
 an MQL statement: α → Σ → Π), applies the rewrite rules, estimates the cost of
-both variants, and returns a :class:`PlanChoice`.  The E-PERF3 benchmark
+both variants, and returns a :class:`PlanChoice`.  The chosen variant runs on
+the streaming executor (:mod:`repro.engine.executor`) — this is the pipeline
+behind ``MQLInterpreter`` and ``PrimaEngine.query``.  The E-PERF3 benchmark
 executes both variants and compares the estimated ranking against the measured
 work counters.
 """
@@ -13,7 +15,8 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.core.database import Database
-from repro.optimizer.plans import PlanExecution, PlanNode, describe_plan, execute_plan
+from repro.engine.executor import Executor
+from repro.optimizer.plans import PlanExecution, PlanNode, describe_plan
 from repro.optimizer.rules import RewriteResult, rewrite
 from repro.optimizer.statistics import CostModel, DatabaseStatistics
 
@@ -55,16 +58,58 @@ class PlanChoice:
 
 
 class Planner:
-    """Applies the rewrite rules and picks the cheaper plan."""
+    """Applies the rewrite rules and picks the cheaper plan.
 
-    def __init__(self, database: Database, statistics: Optional[DatabaseStatistics] = None) -> None:
+    When an :class:`~repro.engine.executor.Executor` is supplied its access
+    structures (index pool, atom network) are reused for execution; otherwise
+    a transient executor over *database* is created on demand.
+
+    Statistics are collected lazily, on the first optimization where a
+    rewrite rule actually fired (costing identical plans decides nothing),
+    and are **not** refreshed afterwards: a planner reused across mutations
+    of a live database keeps ranking on the original distribution.  Results
+    stay correct either way; the storage engine avoids even the ranking
+    drift by discarding its planner on every write.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        statistics: Optional[DatabaseStatistics] = None,
+        executor: Optional[Executor] = None,
+    ) -> None:
         self.database = database
-        self.statistics = statistics or DatabaseStatistics.collect(database)
-        self.cost_model = CostModel(self.statistics)
+        self._statistics = statistics
+        self._cost_model: Optional[CostModel] = None
+        self.executor = executor
+
+    @property
+    def statistics(self) -> DatabaseStatistics:
+        """Occurrence statistics, collected from the database on first use."""
+        if self._statistics is None:
+            self._statistics = DatabaseStatistics.collect(self.database)
+        return self._statistics
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The cost model over :attr:`statistics` (also lazily created)."""
+        if self._cost_model is None:
+            self._cost_model = CostModel(self.statistics)
+        return self._cost_model
 
     def optimize(self, plan: PlanNode) -> PlanChoice:
         """Rewrite *plan* and return the costed :class:`PlanChoice`."""
         rewritten: RewriteResult = rewrite(plan)
+        if not rewritten.applied_rules:
+            # No rule fired: both variants are the same plan, so collecting
+            # statistics and estimating costs would decide nothing.
+            return PlanChoice(
+                original=plan,
+                optimized=rewritten.plan,
+                original_cost=0.0,
+                optimized_cost=0.0,
+                applied_rules=(),
+            )
         return PlanChoice(
             original=plan,
             optimized=rewritten.plan,
@@ -74,6 +119,7 @@ class Planner:
         )
 
     def execute_best(self, plan: PlanNode) -> PlanExecution:
-        """Optimize *plan* and execute the chosen variant."""
+        """Optimize *plan* and execute the chosen variant on the executor."""
         choice = self.optimize(plan)
-        return execute_plan(self.database, choice.best)
+        executor = self.executor or Executor(self.database)
+        return executor.run(choice.best)

@@ -1,134 +1,59 @@
 """Plan representation for molecule-algebra queries.
 
-A plan is a small tree of operations, mirroring the algebra expressions that
-MQL translates into:
+The plan node types live in :mod:`repro.engine.logical` — the optimizer
+rewrites and costs the **same** IR that the MQL translator produces and the
+streaming executor runs; this module re-exports them for the optimizer's
+public API and keeps the :func:`execute_plan` entry point used by the
+E-PERF3 benchmark:
 
 * :class:`DefinePlan` — the molecule-type definition α, optionally with a
-  *root filter*: a qualification evaluated on root atoms **before** molecule
-  derivation (the result of restriction push-down);
+  *root filter* (the result of restriction push-down);
 * :class:`RestrictPlan` — the molecule-type restriction Σ;
-* :class:`ProjectPlan` — the molecule-type projection Π.
+* :class:`ProjectPlan` — the molecule-type projection Π;
+* :class:`RecursivePlan` / :class:`SetOpPlan` — recursive definitions and the
+  set operations between query blocks.
 
-:func:`execute_plan` evaluates a plan over a database and returns the result
-molecule type together with execution counters (molecules derived, atoms
-touched), which the E-PERF3 benchmark compares across plan variants.
+:func:`execute_plan` compiles a plan onto the pull-based operators of
+:mod:`repro.engine.physical` and runs it, returning the result molecule type
+together with the execution counters (molecules derived, atoms touched) that
+the benchmarks compare across plan variants.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple, Union
-
 from repro.core.database import Database
-from repro.core.derivation import derive_molecule, resolve_description
-from repro.core.molecule import MoleculeType, MoleculeTypeDescription
-from repro.core.molecule_algebra import (
-    molecule_projection,
-    molecule_restriction,
-    molecule_type_definition,
+from repro.engine.executor import ExecutionResult, run_plan
+from repro.engine.logical import (
+    DefinePlan,
+    PlanNode,
+    ProjectPlan,
+    RecursivePlan,
+    RestrictPlan,
+    SetOpPlan,
+    describe_plan,
+    plan_description,
 )
-from repro.core.predicates import Formula
+from repro.engine.physical import ExecutionCounters
+
+__all__ = [
+    "DefinePlan",
+    "ExecutionCounters",
+    "PlanExecution",
+    "PlanNode",
+    "ProjectPlan",
+    "RecursivePlan",
+    "RestrictPlan",
+    "SetOpPlan",
+    "describe_plan",
+    "execute_plan",
+    "plan_description",
+]
 
 
-@dataclass(frozen=True)
-class DefinePlan:
-    """α — molecule-type definition, optionally pre-filtering the root atoms."""
-
-    name: str
-    description: MoleculeTypeDescription
-    root_filter: Optional[Formula] = None
-
-
-@dataclass(frozen=True)
-class RestrictPlan:
-    """Σ — molecule-type restriction applied to a child plan's result."""
-
-    child: "PlanNode"
-    formula: Formula
-
-
-@dataclass(frozen=True)
-class ProjectPlan:
-    """Π — molecule-type projection applied to a child plan's result."""
-
-    child: "PlanNode"
-    atom_type_names: Tuple[str, ...]
-
-
-PlanNode = Union[DefinePlan, RestrictPlan, ProjectPlan]
-
-
-@dataclass
-class ExecutionCounters:
-    """Work counters collected while executing a plan."""
-
-    molecules_derived: int = 0
-    atoms_touched: int = 0
-    restrictions_evaluated: int = 0
-
-
-@dataclass
-class PlanExecution:
-    """The outcome of :func:`execute_plan`."""
-
-    molecule_type: MoleculeType
-    database: Database
-    counters: ExecutionCounters = field(default_factory=ExecutionCounters)
-
-
-def describe_plan(plan: PlanNode, indent: str = "") -> str:
-    """Render a plan as an indented, human-readable algebra expression."""
-    if isinstance(plan, DefinePlan):
-        suffix = f" [root filter: {plan.root_filter!r}]" if plan.root_filter is not None else ""
-        return f"{indent}α {plan.name}({', '.join(plan.description.atom_type_names)}){suffix}"
-    if isinstance(plan, RestrictPlan):
-        return (
-            f"{indent}Σ [{plan.formula!r}]\n" + describe_plan(plan.child, indent + "  ")
-        )
-    if isinstance(plan, ProjectPlan):
-        return (
-            f"{indent}Π [{', '.join(plan.atom_type_names)}]\n"
-            + describe_plan(plan.child, indent + "  ")
-        )
-    raise TypeError(f"unknown plan node: {plan!r}")
-
-
-def plan_description(plan: PlanNode) -> MoleculeTypeDescription:
-    """Return the molecule-type description a plan ultimately derives from."""
-    if isinstance(plan, DefinePlan):
-        return plan.description
-    return plan_description(plan.child)
+#: The outcome of :func:`execute_plan` — the executor's result, unrepackaged.
+PlanExecution = ExecutionResult
 
 
 def execute_plan(database: Database, plan: PlanNode) -> PlanExecution:
-    """Evaluate *plan* over *database*."""
-    counters = ExecutionCounters()
-    molecule_type, database = _execute(database, plan, counters)
-    return PlanExecution(molecule_type, database, counters)
-
-
-def _execute(database: Database, plan: PlanNode, counters: ExecutionCounters):
-    if isinstance(plan, DefinePlan):
-        description = resolve_description(database, plan.description)
-        root_type = database.atyp(description.root)
-        molecules = []
-        for root_atom in root_type:
-            if plan.root_filter is not None:
-                counters.restrictions_evaluated += 1
-                if not plan.root_filter.evaluate_atom(root_atom):
-                    continue
-            molecule = derive_molecule(database, description, root_atom)
-            counters.molecules_derived += 1
-            counters.atoms_touched += len(molecule)
-            molecules.append(molecule)
-        return MoleculeType(plan.name, description, molecules), database
-    if isinstance(plan, RestrictPlan):
-        child_type, database = _execute(database, plan.child, counters)
-        counters.restrictions_evaluated += len(child_type)
-        result = molecule_restriction(database, child_type, plan.formula)
-        return result.molecule_type, result.database
-    if isinstance(plan, ProjectPlan):
-        child_type, database = _execute(database, plan.child, counters)
-        result = molecule_projection(database, child_type, list(plan.atom_type_names))
-        return result.molecule_type, result.database
-    raise TypeError(f"unknown plan node: {plan!r}")
+    """Evaluate *plan* over *database* through the streaming executor."""
+    return run_plan(database, plan)

@@ -1,27 +1,38 @@
 """Algebraic rewrite rules over molecule-query plans.
 
 Three rules, all of which preserve the result molecules (their correctness is
-checked by the optimizer tests and the ablation benchmark):
+checked by the optimizer tests, the executor/algebra parity tests and the
+ablation benchmark):
 
 * :func:`merge_restrictions` — ``Σ[f2](Σ[f1](x)) → Σ[f1 AND f2](x)``; avoids
-  one full propagation round-trip.
+  one full pass over the intermediate molecule stream.
 * :func:`push_down_restriction` — when the restriction formula only references
   the *root* atom type of the defining α, evaluate it on root atoms before
   derivation (``Σ[f](α(...)) → α[root filter f](...)``); molecules that would
-  be filtered out are never derived.
+  be filtered out are never derived, and the scan can answer equality filters
+  through a secondary index.
 * :func:`prune_structure` — drop atom types that neither the projection nor
   any restriction references (and that are not needed to keep the structure
   coherent); the hierarchical join then has fewer branches to follow.
+
+All rules recurse through set operations (each side of Ω/Δ/Ψ is rewritten
+independently) and leave recursive definitions untouched.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Set, Tuple
 
 from repro.core.molecule import MoleculeTypeDescription
-from repro.core.predicates import And, Formula, conjoin
-from repro.optimizer.plans import DefinePlan, PlanNode, ProjectPlan, RestrictPlan
+from repro.core.predicates import And, Formula
+from repro.engine.logical import (
+    DefinePlan,
+    PlanNode,
+    ProjectPlan,
+    RestrictPlan,
+    SetOpPlan,
+)
 
 
 @dataclass
@@ -45,6 +56,8 @@ def merge_restrictions(plan: PlanNode) -> RewriteResult:
             return RestrictPlan(child, node.formula)
         if isinstance(node, ProjectPlan):
             return ProjectPlan(walk(node.child), node.atom_type_names)
+        if isinstance(node, SetOpPlan):
+            return SetOpPlan(node.operator, walk(node.left), walk(node.right), node.name)
         return node
 
     return RewriteResult(walk(plan), tuple(applied))
@@ -77,6 +90,8 @@ def push_down_restriction(plan: PlanNode) -> RewriteResult:
             return RestrictPlan(child, node.formula)
         if isinstance(node, ProjectPlan):
             return ProjectPlan(walk(node.child), node.atom_type_names)
+        if isinstance(node, SetOpPlan):
+            return SetOpPlan(node.operator, walk(node.left), walk(node.right), node.name)
         return node
 
     return RewriteResult(walk(plan), tuple(applied))
@@ -85,11 +100,20 @@ def push_down_restriction(plan: PlanNode) -> RewriteResult:
 def prune_structure(plan: PlanNode) -> RewriteResult:
     """Remove atom types no projection or restriction needs from the α structure.
 
-    Only applies when the outermost operation is a projection (otherwise the
-    full structure is part of the result and nothing may be dropped).  The
+    Only applies when the outermost operation of a query block is a projection
+    (otherwise the full structure is part of the result and nothing may be
+    dropped).  Set operations are pruned side by side — pruning never changes
+    the post-projection structure, so union compatibility is preserved.  The
     pruned structure keeps every atom type on a root-to-needed-type path so it
     stays coherent.
     """
+    if isinstance(plan, SetOpPlan):
+        left = prune_structure(plan.left)
+        right = prune_structure(plan.right)
+        return RewriteResult(
+            SetOpPlan(plan.operator, left.plan, right.plan, plan.name),
+            left.applied_rules + right.applied_rules,
+        )
     if not isinstance(plan, ProjectPlan):
         return RewriteResult(plan, ())
 
@@ -155,10 +179,13 @@ def _path_to(description: MoleculeTypeDescription, target_bare: str) -> Set[str]
 
 
 def rewrite(plan: PlanNode) -> RewriteResult:
-    """Apply all rules in their canonical order: merge, push down, prune."""
+    """Apply all rules in their canonical order: merge, push down, prune.
+
+    A rule firing in several places (e.g. on both sides of a union) is
+    reported once.
+    """
     merged = merge_restrictions(plan)
     pushed = push_down_restriction(merged.plan)
     pruned = prune_structure(pushed.plan)
-    return RewriteResult(
-        pruned.plan, merged.applied_rules + pushed.applied_rules + pruned.applied_rules
-    )
+    applied = merged.applied_rules + pushed.applied_rules + pruned.applied_rules
+    return RewriteResult(pruned.plan, tuple(dict.fromkeys(applied)))

@@ -12,13 +12,20 @@ benchmark runs — which is all a rule-driven planner needs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.core.database import Database
-from repro.core.derivation import resolve_directed_link
 from repro.core.molecule import MoleculeTypeDescription
 from repro.core.predicates import Comparison, Formula
-from repro.optimizer.plans import DefinePlan, PlanNode, ProjectPlan, RestrictPlan
+from repro.engine.logical import (
+    DefinePlan,
+    PlanNode,
+    ProjectPlan,
+    RecursivePlan,
+    RestrictPlan,
+    SetOpPlan,
+    plan_description,
+)
 
 #: Default selectivity assumed for a predicate whose selectivity cannot be estimated.
 DEFAULT_SELECTIVITY = 0.25
@@ -123,10 +130,29 @@ class CostModel:
             description = _description_of(plan.child)
             kept = len(plan.atom_type_names) / max(1, len(description.atom_type_names))
             return child_cost + child_cardinality * kept, child_cardinality
+        if isinstance(plan, RecursivePlan):
+            # Coarse proxy: one pass over the recursion type's atoms and links.
+            # The true work is the sum of closure sizes over all roots, but no
+            # rewrite rule alters recursive nodes, so both costed variants
+            # carry the identical node and only relative ranking matters.
+            atoms = float(self.statistics.atom_counts.get(plan.description.atom_type_name, 0))
+            links = float(self.statistics.link_counts.get(plan.description.link_type_name, 0))
+            cardinality = atoms
+            if plan.formula is not None:
+                cardinality *= self.statistics.selectivity(plan.formula)
+            return atoms + links, cardinality
+        if isinstance(plan, SetOpPlan):
+            left_cost, left_cardinality = self._estimate(plan.left)
+            right_cost, right_cardinality = self._estimate(plan.right)
+            # Value-key hashing: one pass over each operand stream.
+            cost = left_cost + right_cost + left_cardinality + right_cardinality
+            if plan.operator == "UNION":
+                return cost, left_cardinality + right_cardinality
+            if plan.operator == "DIFFERENCE":
+                return cost, left_cardinality
+            return cost, min(left_cardinality, right_cardinality)
         raise TypeError(f"unknown plan node: {plan!r}")
 
 
 def _description_of(plan: PlanNode) -> MoleculeTypeDescription:
-    if isinstance(plan, DefinePlan):
-        return plan.description
-    return _description_of(plan.child)
+    return plan_description(plan)

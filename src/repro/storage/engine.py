@@ -8,16 +8,20 @@ The engine mirrors the architecture the paper reports for the PRIMA prototype:
   atom-type algebra;
 * the **molecule component** (:meth:`PrimaEngine.define_molecule_type`,
   :meth:`PrimaEngine.query`) performs molecule processing and exposes an MQL
-  interface, implemented directly on top of the molecule algebra.
+  interface: statements are translated to logical plans, optimized by the
+  rule-driven planner, and run on the streaming executor — which reuses the
+  engine's secondary indexes and its cached atom network as access paths.
 
 Internally the engine keeps one :class:`AtomStore` per atom type and one
 :class:`LinkStore` per link type; :meth:`to_database` exports a consistent
-:class:`~repro.core.database.Database` snapshot for the algebra layers.
+:class:`~repro.core.database.Database` snapshot for the algebra layers.  The
+snapshot, the atom network and the query interpreter are all cached together
+and invalidated on every write.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.atom import Atom, AtomType
 from repro.core.database import Database
@@ -25,10 +29,13 @@ from repro.core.link import Cardinality, Link, LinkType
 from repro.core.molecule import MoleculeType, MoleculeTypeDescription
 from repro.core.molecule_algebra import molecule_type_definition
 from repro.exceptions import StorageError, UnknownNameError
-from repro.mql.interpreter import MQLInterpreter, QueryResult
 from repro.storage.atom_store import AtomStore
 from repro.storage.link_store import LinkStore
 from repro.storage.network import AtomNetwork
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.mql.interpreter import MQLInterpreter, QueryResult
+    from repro.optimizer.planner import PlanChoice
 
 
 class PrimaEngine:
@@ -40,6 +47,8 @@ class PrimaEngine:
         self._link_stores: Dict[str, LinkStore] = {}
         self._cardinalities: Dict[str, Cardinality] = {}
         self._snapshot: Optional[Database] = None
+        self._network: Optional[AtomNetwork] = None
+        self._interpreter: Optional["MQLInterpreter"] = None
 
     # ------------------------------------------------------------------ DDL
 
@@ -157,13 +166,49 @@ class PrimaEngine:
         """Molecule-type definition (α) over the engine's current contents."""
         return molecule_type_definition(self.to_database(), name, atom_type_names, directed_links)
 
-    def query(self, statement: str) -> QueryResult:
-        """Execute an MQL statement over the engine's current contents."""
-        return MQLInterpreter(self.to_database()).execute(statement)
+    def query(self, statement: str, optimize: bool = True) -> "QueryResult":
+        """Execute an MQL statement over the engine's current contents.
+
+        Statements run through the planner → streaming-executor pipeline by
+        default; ``optimize=False`` executes the literal α→Σ→Π translation
+        through the materializing molecule algebra instead.
+        """
+        return self.interpreter().execute(statement, optimize=optimize)
+
+    def plan(self, statement: str) -> "PlanChoice":
+        """Return the planner's costed plan choice for *statement*.
+
+        Mirrors :meth:`MQLInterpreter.plan`; for a rendered report execute an
+        ``EXPLAIN`` statement through :meth:`query` instead.
+        """
+        return self.interpreter().plan(statement)
+
+    def interpreter(self) -> "MQLInterpreter":
+        """The cached MQL interpreter bound to the engine's access structures.
+
+        The interpreter's executor answers pushed-down equality filters
+        through hash indexes built (on demand, then cached) from the same
+        snapshot it queries, and traverses the cached atom network during the
+        hierarchical join.  All caches are invalidated on writes; the live
+        store indexes are deliberately *not* shared, so an interpreter held
+        across writes keeps consistent snapshot semantics.
+        """
+        if self._interpreter is None:
+            from repro.engine.executor import Executor, IndexPool
+            from repro.mql.interpreter import MQLInterpreter
+
+            database = self.to_database()
+            executor = Executor(
+                database, indexes=IndexPool(database), network=self.network()
+            )
+            self._interpreter = MQLInterpreter(database, executor=executor)
+        return self._interpreter
 
     def network(self) -> AtomNetwork:
-        """Return the atom-network view of the current contents."""
-        return AtomNetwork(self.to_database())
+        """Return the (cached) atom-network view of the current contents."""
+        if self._network is None:
+            self._network = AtomNetwork(self.to_database())
+        return self._network
 
     # ------------------------------------------------------------- loading
 
@@ -218,6 +263,8 @@ class PrimaEngine:
 
     def _invalidate(self) -> None:
         self._snapshot = None
+        self._network = None
+        self._interpreter = None
 
     def __repr__(self) -> str:
         return (

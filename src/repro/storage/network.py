@@ -8,40 +8,76 @@ link-degree statistics reported by the Fig. 1 benchmark.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.database import Database
+from repro.core.link import Link
 
 
 class AtomNetwork:
-    """An undirected adjacency view over all atoms and links of a database."""
+    """An undirected adjacency view over all atoms and links of a database.
+
+    Besides the untyped adjacency, the network keeps a per-link-type incidence
+    map (:meth:`links_via` / :meth:`neighbours_via`), which the streaming
+    executor uses as its neighbour-traversal access path during the
+    hierarchical join: the storage engine shares one cached network across all
+    queries over an unchanged database.
+    """
 
     def __init__(self, database: Database) -> None:
         self.database = database
         self._adjacency: Dict[str, Set[str]] = {}
         self._type_of: Dict[str, str] = {}
+        self._links_by_type: Dict[str, Dict[str, Sequence[Link]]] = {}
         self.refresh()
 
     def refresh(self) -> None:
         """Rebuild the adjacency view from the current database state."""
         self._adjacency = {}
         self._type_of = {}
+        self._links_by_type = {}
         for atom_type in self.database.atom_types:
             for atom in atom_type:
                 self._adjacency.setdefault(atom.identifier, set())
                 self._type_of[atom.identifier] = atom_type.name
         for link_type in self.database.link_types:
+            incidence = self._links_by_type.setdefault(link_type.name, {})
             for link in link_type:
                 ids = tuple(link.identifiers)
                 first, last = ids[0], ids[-1]
                 self._adjacency.setdefault(first, set()).add(last)
                 self._adjacency.setdefault(last, set()).add(first)
+                incidence.setdefault(first, []).append(link)
+                if last != first:
+                    incidence.setdefault(last, []).append(link)
+        # Freeze the incidence lists so links_via can hand them out without
+        # copying on the hierarchical-join hot path.
+        for incidence in self._links_by_type.values():
+            for identifier, links in incidence.items():
+                incidence[identifier] = tuple(links)
 
     # ------------------------------------------------------------- structure
 
     def neighbours(self, identifier: str) -> FrozenSet[str]:
         """Atoms directly connected to *identifier* through any link type."""
         return frozenset(self._adjacency.get(identifier, ()))
+
+    def links_via(self, link_type_name: str, identifier: str) -> Optional[Tuple[Link, ...]]:
+        """The links of *link_type_name* incident to *identifier*.
+
+        Returns ``None`` when the link type is not part of this network (the
+        caller should fall back to the link type's own incidence lists), and
+        an empty tuple when the atom simply has no such links.
+        """
+        incidence = self._links_by_type.get(link_type_name)
+        if incidence is None:
+            return None
+        return incidence.get(identifier, ())
+
+    def neighbours_via(self, link_type_name: str, identifier: str) -> FrozenSet[str]:
+        """Atoms connected to *identifier* through *link_type_name* links."""
+        links = self.links_via(link_type_name, identifier) or ()
+        return frozenset(link.other(identifier) for link in links)
 
     def degree(self, identifier: str) -> int:
         """Number of distinct atoms linked to *identifier*."""
