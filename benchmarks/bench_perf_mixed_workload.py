@@ -1,0 +1,172 @@
+"""E-PERF4 — mixed read/write workloads: incremental maintenance vs. rebuild.
+
+Interleaves molecule queries with MQL DML (INSERT / MODIFY / DELETE) over a
+scaled geography, comparing the engine's two cache-maintenance strategies:
+
+* ``incremental`` (default) — every write is folded into the cached
+  snapshot, hash indexes, atom network and planner statistics;
+* ``rebuild`` — the historical invalidate-everything behaviour: each write
+  discards all caches and the next query re-exports the snapshot, rebuilds
+  the network and re-creates the interpreter.
+
+Shape checks: both modes return identical query results; in steady state the
+incremental engine performs **zero** full rebuilds (build counters stay at 1
+after warm-up) and beats the rebuild engine's wall-clock.
+
+Run standalone to emit ``BENCH_mixed_workload.json``::
+
+    python benchmarks/bench_perf_mixed_workload.py [--quick] [-o OUT.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+if __name__ == "__main__":  # standalone: make src/ importable without install
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets.geography import build_geography
+from repro.storage.engine import PrimaEngine
+
+#: One workload round: two selective queries, an insert, a modify, a delete.
+QUERY_STATEMENTS = (
+    "SELECT ALL FROM state-area WHERE state.code = 'S1';",
+    "SELECT ALL FROM state-area-edge WHERE state.hectare > 500;",
+)
+
+
+def run_mixed_workload(engine: PrimaEngine, rounds: int) -> Dict[str, object]:
+    """Drive *rounds* of interleaved query/insert/modify/delete statements."""
+    sizes: List[int] = []
+    started = time.perf_counter()
+    for index in range(rounds):
+        code = f"W{index}"
+        engine.query(
+            "INSERT state - area VALUES "
+            f"{{name: 'w{index}', code: '{code}', hectare: {600 + index}, "
+            f"area: {{area_id: 'aw{index}', kind: 'state-border'}}}};"
+        )
+        for statement in QUERY_STATEMENTS:
+            sizes.append(len(engine.query(statement)))
+        engine.query(
+            f"MODIFY state FROM state - area SET hectare = {100 + index} "
+            f"WHERE state.code = '{code}';"
+        )
+        sizes.append(len(engine.query(f"SELECT ALL FROM state-area WHERE state.code = '{code}';")))
+        engine.query(f"DELETE FROM state - area WHERE state.code = '{code}';")
+    elapsed = time.perf_counter() - started
+    return {
+        "elapsed_seconds": elapsed,
+        "statements": rounds * (3 + len(QUERY_STATEMENTS) + 1),
+        "result_sizes": sizes,
+        "maintenance": engine.maintenance_statistics(),
+    }
+
+
+def build_engine(mode: str, n_states: int) -> PrimaEngine:
+    database = build_geography(n_states=n_states, edges_per_state=5, n_rivers=4)
+    engine = PrimaEngine.from_database(database, maintenance=mode)
+    engine.query("SELECT ALL FROM state-area WHERE state.code = 'S1';")  # warm caches
+    return engine
+
+
+def compare_modes(rounds: int, n_states: int) -> Dict[str, object]:
+    """Run the workload under both maintenance modes and compare."""
+    runs: Dict[str, Dict[str, object]] = {}
+    for mode in ("incremental", "rebuild"):
+        engine = build_engine(mode, n_states)
+        runs[mode] = run_mixed_workload(engine, rounds)
+    incremental, rebuild = runs["incremental"], runs["rebuild"]
+    return {
+        "experiment": "E-PERF4 mixed read/write workload",
+        "rounds": rounds,
+        "n_states": n_states,
+        "incremental": incremental,
+        "rebuild": rebuild,
+        "speedup": rebuild["elapsed_seconds"] / max(incremental["elapsed_seconds"], 1e-9),
+        "results_identical": incremental["result_sizes"] == rebuild["result_sizes"],
+    }
+
+
+# ------------------------------------------------------------- shape checks
+
+
+def test_perf4_incremental_steady_state_has_zero_rebuilds():
+    """After warm-up, a mixed workload causes no snapshot/network/index rebuilds."""
+    engine = build_engine("incremental", n_states=10)
+    run_mixed_workload(engine, rounds=5)
+    report = engine.maintenance_statistics()
+    assert report["snapshot_builds"] == 1
+    assert report["network_builds"] == 1
+    assert report["interpreter_builds"] == 1
+    assert report["network_rebuilds"] == 1  # the constructor pass only
+    assert report["index_generation"] == report["generation"]
+    assert report["events_applied"] > 0
+
+
+def test_perf4_rebuild_mode_rebuilds_per_write():
+    """The baseline pays one full cache rebuild per write burst."""
+    engine = build_engine("rebuild", n_states=10)
+    run_mixed_workload(engine, rounds=5)
+    report = engine.maintenance_statistics()
+    assert report["snapshot_builds"] > 5
+
+
+def test_perf4_modes_return_identical_results():
+    comparison = compare_modes(rounds=4, n_states=10)
+    assert comparison["results_identical"]
+
+
+def test_perf4_incremental_beats_rebuild_wall_clock():
+    comparison = compare_modes(rounds=8, n_states=25)
+    assert comparison["results_identical"]
+    assert comparison["speedup"] > 1.0, (
+        "incremental maintenance should beat invalidate-everything: "
+        f"speedup={comparison['speedup']:.2f}"
+    )
+
+
+# --------------------------------------------------------------- standalone
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small workload (CI smoke: a few seconds)"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_mixed_workload.json",
+        help="path of the JSON report (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    rounds, n_states = (8, 20) if args.quick else (40, 60)
+    comparison = compare_modes(rounds=rounds, n_states=n_states)
+    Path(args.output).write_text(json.dumps(comparison, indent=2) + "\n")
+    incremental = comparison["incremental"]
+    rebuild = comparison["rebuild"]
+    print(f"E-PERF4 mixed workload — {rounds} rounds over {comparison['n_states']} states")
+    print(
+        f"  incremental: {incremental['elapsed_seconds']:.3f}s, "
+        f"builds={incremental['maintenance']['snapshot_builds']}, "
+        f"events={incremental['maintenance']['events_applied']}"
+    )
+    print(
+        f"  rebuild:     {rebuild['elapsed_seconds']:.3f}s, "
+        f"builds={rebuild['maintenance']['snapshot_builds']}"
+    )
+    print(f"  speedup: {comparison['speedup']:.2f}x, identical={comparison['results_identical']}")
+    print(f"  report written to {args.output}")
+    if not comparison["results_identical"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

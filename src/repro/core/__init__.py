@@ -27,6 +27,7 @@ from repro.core.atom_algebra import (
 )
 from repro.core.attributes import AttributeDescription, AtomTypeDescription, DataType
 from repro.core.database import Database, formal_specification
+from repro.core.events import ChangeEmitter, ChangeEvent
 from repro.core.derivation import (
     derive_molecule,
     derive_occurrence,
@@ -83,6 +84,8 @@ __all__ = [
     "AttributeRef",
     "Cardinality",
     "Comparison",
+    "ChangeEmitter",
+    "ChangeEvent",
     "Database",
     "DataType",
     "DirectedLink",

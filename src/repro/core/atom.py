@@ -17,6 +17,13 @@ import itertools
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 from repro.core.attributes import AtomTypeDescription, make_description
+from repro.core.events import (
+    ATOM_DELETED,
+    ATOM_INSERTED,
+    ATOM_MODIFIED,
+    ChangeEmitter,
+    ChangeEvent,
+)
 from repro.exceptions import DuplicateNameError, IntegrityError, SchemaError
 
 _atom_counter = itertools.count(1)
@@ -138,7 +145,7 @@ class AtomType:
     :attr:`name`, :attr:`description` and :attr:`occurrence` properties.
     """
 
-    __slots__ = ("_name", "_description", "_atoms", "_by_identifier")
+    __slots__ = ("_name", "_description", "_atoms", "_by_identifier", "_emitter")
 
     def __init__(
         self,
@@ -152,8 +159,20 @@ class AtomType:
         self._description = make_description(description)
         self._atoms: Dict[str, Atom] = {}
         self._by_identifier = self._atoms  # alias, kept for readability
+        self._emitter: Optional[ChangeEmitter] = None
         for atom in atoms:
             self.add(atom)
+
+    @property
+    def events(self) -> ChangeEmitter:
+        """The type's change emitter (created on first access)."""
+        if self._emitter is None:
+            self._emitter = ChangeEmitter()
+        return self._emitter
+
+    def _emit(self, kind: str, atom: Atom, previous: Optional[Atom] = None) -> None:
+        if self._emitter is not None and len(self._emitter):
+            self._emitter.emit(ChangeEvent(kind, self._name, atom=atom, previous=previous))
 
     # -- accessor functions of Definition 1 --------------------------------
 
@@ -192,21 +211,42 @@ class AtomType:
         validated = self._description.validate_values(atom.values)
         stored = Atom(self._name, validated, identifier=atom.identifier)
         self._atoms[stored.identifier] = stored
+        self._emit(ATOM_INSERTED, stored)
         return stored
 
     def insert(self, identifier: Optional[str] = None, **values: object) -> Atom:
         """Convenience wrapper: create and add an atom from keyword values."""
         return self.add(values, identifier=identifier)
 
+    def replace(self, atom: Atom) -> Atom:
+        """Replace an existing atom's values in place, preserving its identity.
+
+        The occurrence position is kept (no remove/re-add churn) and a single
+        ``atom_modified`` event is emitted, which is what lets subscribers
+        maintain derived structures without touching the atom's links.
+        """
+        previous = self._atoms.get(atom.identifier)
+        if previous is None:
+            raise IntegrityError(
+                f"atom {atom.identifier!r} is not part of atom type {self._name!r}"
+            )
+        validated = self._description.validate_values(atom.values)
+        stored = Atom(self._name, validated, identifier=atom.identifier)
+        self._atoms[stored.identifier] = stored
+        self._emit(ATOM_MODIFIED, stored, previous=previous)
+        return stored
+
     def remove(self, atom: "Atom | str") -> Atom:
         """Remove an atom (by object or identifier) from the occurrence."""
         identifier = atom.identifier if isinstance(atom, Atom) else atom
         try:
-            return self._atoms.pop(identifier)
+            removed = self._atoms.pop(identifier)
         except KeyError as exc:
             raise IntegrityError(
                 f"atom {identifier!r} is not part of atom type {self._name!r}"
             ) from exc
+        self._emit(ATOM_DELETED, removed)
+        return removed
 
     def get(self, identifier: str) -> Optional[Atom]:
         """Return the atom with *identifier*, or ``None``."""

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, 
 
 from repro.core.atom import Atom, AtomType
 from repro.core.attributes import AtomTypeDescription
+from repro.core.events import ChangeEvent, Listener
 from repro.core.link import Cardinality, Link, LinkType
 from repro.exceptions import (
     DanglingLinkError,
@@ -47,6 +48,34 @@ class Database:
         self.name = name
         self._atom_types: Dict[str, AtomType] = {}
         self._link_types: Dict[str, LinkType] = {}
+        self._listeners: List[Listener] = []
+
+    # --------------------------------------------------------- change events
+
+    def subscribe(self, listener: Listener) -> None:
+        """Attach *listener* to every (current and future) type's change events.
+
+        The listener receives one :class:`~repro.core.events.ChangeEvent` per
+        occurrence-level mutation — atom inserted/deleted/modified, link
+        connected/disconnected — in mutation order.  This is the hook the
+        storage engine uses to maintain its snapshot, indexes and atom network
+        incrementally instead of rebuilding them on every write.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+        for atom_type in self._atom_types.values():
+            atom_type.events.subscribe(listener)
+        for link_type in self._link_types.values():
+            link_type.events.subscribe(listener)
+
+    def unsubscribe(self, listener: Listener) -> None:
+        """Detach *listener* from this database's types (no error when absent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+        for atom_type in self._atom_types.values():
+            atom_type.events.unsubscribe(listener)
+        for link_type in self._link_types.values():
+            link_type.events.unsubscribe(listener)
 
     # ------------------------------------------------------------------ AT
 
@@ -79,6 +108,8 @@ class Database:
                 f"name {atom_type.name!r} already used by a link type"
             )
         self._atom_types[atom_type.name] = atom_type
+        for listener in self._listeners:
+            atom_type.events.subscribe(listener)
         return atom_type
 
     def atyp(self, name: "str | Iterable[str]") -> "AtomType | Tuple[AtomType, ...]":
@@ -148,6 +179,8 @@ class Database:
                     f"link type {link_type.name!r} references unknown atom type {type_name!r}"
                 )
         self._link_types[link_type.name] = link_type
+        for listener in self._listeners:
+            link_type.events.subscribe(listener)
         return link_type
 
     def ltyp(self, name: "str | Iterable") -> "LinkType | Tuple[LinkType, ...]":

@@ -19,6 +19,12 @@ import enum
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
 
 from repro.core.atom import Atom, AtomType
+from repro.core.events import (
+    LINK_CONNECTED,
+    LINK_DISCONNECTED,
+    ChangeEmitter,
+    ChangeEvent,
+)
 from repro.exceptions import CardinalityError, DanglingLinkError, SchemaError
 
 
@@ -142,7 +148,15 @@ class LinkType:
         Optional :class:`Cardinality` restriction, enforced by :meth:`add`.
     """
 
-    __slots__ = ("_name", "_first_type", "_second_type", "_links", "_by_atom", "cardinality")
+    __slots__ = (
+        "_name",
+        "_first_type",
+        "_second_type",
+        "_links",
+        "_by_atom",
+        "cardinality",
+        "_emitter",
+    )
 
     def __init__(
         self,
@@ -160,8 +174,20 @@ class LinkType:
         self.cardinality = cardinality
         self._links: Set[Link] = set()
         self._by_atom: Dict[str, Set[Link]] = {}
+        self._emitter: Optional[ChangeEmitter] = None
         for link in links:
             self.add(link)
+
+    @property
+    def events(self) -> ChangeEmitter:
+        """The type's change emitter (created on first access)."""
+        if self._emitter is None:
+            self._emitter = ChangeEmitter()
+        return self._emitter
+
+    def _emit(self, kind: str, link: Link) -> None:
+        if self._emitter is not None and len(self._emitter):
+            self._emitter.emit(ChangeEvent(kind, self._name, link=link))
 
     # -- accessor functions of Definition 2 --------------------------------
 
@@ -231,6 +257,7 @@ class LinkType:
         self._links.add(link)
         for identifier in link.identifiers:
             self._by_atom.setdefault(identifier, set()).add(link)
+        self._emit(LINK_CONNECTED, link)
         return link
 
     def connect(self, first: "Atom | str", second: "Atom | str") -> Link:
@@ -265,6 +292,7 @@ class LinkType:
                 bucket.discard(link)
                 if not bucket:
                     del self._by_atom[identifier]
+        self._emit(LINK_DISCONNECTED, link)
 
     def remove_atom(self, identifier: str) -> int:
         """Remove every link incident to atom *identifier*; return the count removed."""

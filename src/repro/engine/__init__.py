@@ -20,16 +20,22 @@ run through the streaming pipeline.
 from repro.engine.executor import (
     ExecutionResult,
     Executor,
+    WriteExecutionResult,
     compile_plan,
+    compile_write_plan,
     run_plan,
 )
 from repro.engine.logical import (
     DefinePlan,
+    DeleteMolecules,
+    InsertMolecule,
+    ModifyAtoms,
     PlanNode,
     ProjectPlan,
     RecursivePlan,
     RestrictPlan,
     SetOpPlan,
+    WritePlanNode,
     canonical_structure,
     describe_plan,
     plan_description,
@@ -50,10 +56,23 @@ from repro.engine.physical import (
     Union,
     molecule_value_key,
 )
+from repro.engine.write import (
+    DeleteMoleculesOp,
+    InsertMoleculeOp,
+    ModifyAtomsOp,
+    WriteOperator,
+    WriteSummary,
+)
 
 __all__ = [
     "DefinePlan",
+    "DeleteMolecules",
+    "DeleteMoleculesOp",
     "Difference",
+    "InsertMolecule",
+    "InsertMoleculeOp",
+    "ModifyAtoms",
+    "ModifyAtomsOp",
     "ExecutionContext",
     "ExecutionCounters",
     "ExecutionResult",
@@ -72,8 +91,13 @@ __all__ = [
     "RestrictPlan",
     "SetOpPlan",
     "Union",
+    "WriteExecutionResult",
+    "WriteOperator",
+    "WritePlanNode",
+    "WriteSummary",
     "canonical_structure",
     "compile_plan",
+    "compile_write_plan",
     "describe_plan",
     "molecule_value_key",
     "plan_description",

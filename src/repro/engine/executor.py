@@ -21,11 +21,15 @@ from repro.core.database import Database
 from repro.core.molecule import Molecule, MoleculeType
 from repro.engine.logical import (
     DefinePlan,
+    DeleteMolecules,
+    InsertMolecule,
+    ModifyAtoms,
     PlanNode,
     ProjectPlan,
     RecursivePlan,
     RestrictPlan,
     SetOpPlan,
+    WritePlanNode,
     plan_name,
 )
 from repro.engine.physical import (
@@ -40,6 +44,13 @@ from repro.engine.physical import (
     RecursiveScan,
     Restrict,
     Union,
+)
+from repro.engine.write import (
+    DeleteMoleculesOp,
+    InsertMoleculeOp,
+    ModifyAtomsOp,
+    WriteOperator,
+    WriteSummary,
 )
 
 
@@ -63,12 +74,44 @@ def compile_plan(plan: PlanNode) -> PhysicalOperator:
     raise TypeError(f"unknown plan node: {plan!r}")
 
 
+def compile_write_plan(plan: WritePlanNode) -> WriteOperator:
+    """Translate a logical write plan into its physical write operator.
+
+    The qualifying-read source of δ/μ nodes is compiled through
+    :func:`compile_plan`, so index-backed root access and atom-network
+    traversal serve the write path exactly as they serve queries.
+    """
+    if isinstance(plan, InsertMolecule):
+        return InsertMoleculeOp(plan.name, plan.description, plan.data)
+    if isinstance(plan, DeleteMolecules):
+        return DeleteMoleculesOp(compile_plan(plan.source), plan.cascade)
+    if isinstance(plan, ModifyAtoms):
+        return ModifyAtomsOp(compile_plan(plan.source), plan.atom_type_name, plan.updates)
+    raise TypeError(f"unknown write plan node: {plan!r}")
+
+
 @dataclass
 class ExecutionResult:
     """The materialized outcome of running one plan."""
 
     molecule_type: MoleculeType
     database: Database
+    counters: ExecutionCounters = field(default_factory=ExecutionCounters)
+
+    def __len__(self) -> int:
+        return len(self.molecule_type)
+
+    def __iter__(self) -> Iterator[Molecule]:
+        return iter(self.molecule_type)
+
+
+@dataclass
+class WriteExecutionResult:
+    """The outcome of running one write plan: affected molecules plus counts."""
+
+    molecule_type: MoleculeType
+    database: Database
+    summary: WriteSummary
     counters: ExecutionCounters = field(default_factory=ExecutionCounters)
 
     def __len__(self) -> int:
@@ -120,6 +163,33 @@ class Executor:
         description = operator.describe(ctx)
         molecule_type = MoleculeType(plan_name(plan), description, molecules)
         return ExecutionResult(molecule_type, self.database, ctx.counters)
+
+    def run_write(
+        self,
+        plan: "WritePlanNode | WriteOperator",
+        context: Optional[ExecutionContext] = None,
+    ) -> WriteExecutionResult:
+        """Execute a write plan atomically and report the affected molecules.
+
+        The whole statement runs inside one undo-logged
+        :class:`~repro.manipulation.transactions.Transaction`: any failure —
+        a domain violation on a later child, a cardinality error, a broken
+        source stream — rolls back every mutation already applied, so a DML
+        statement either happens completely or not at all.
+        """
+        from repro.manipulation.transactions import Transaction  # deferred: cycle
+
+        ctx = context or self.context()
+        operator = plan if isinstance(plan, WriteOperator) else compile_write_plan(plan)
+        txn = Transaction(self.database)
+        txn.begin()
+        try:
+            molecule_type, summary = operator.apply(ctx, txn)
+        except BaseException:
+            txn.rollback()
+            raise
+        txn.commit()
+        return WriteExecutionResult(molecule_type, self.database, summary, ctx.counters)
 
 
 def run_plan(

@@ -24,12 +24,23 @@ Node types:
   optionally restricted;
 * :class:`SetOpPlan` — Ω (UNION), Δ (DIFFERENCE) or the derived Ψ (INTERSECT)
   between two sub-plans.
+
+DML statements compile to **write plans** — a write node on top of an
+ordinary read plan, so the planner optimizes the qualifying read exactly like
+a query:
+
+* :class:`InsertMolecule` — ι: insert one complex object (nested data)
+  following a molecule-type description;
+* :class:`DeleteMolecules` — δ: delete every molecule streamed by the
+  *source* read plan (shared subobjects survive unless *cascade*);
+* :class:`ModifyAtoms` — μ: update the attributes of the target atom type's
+  atoms within every molecule streamed by the *source* read plan.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import FrozenSet, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.molecule import MoleculeTypeDescription
 from repro.core.predicates import Formula
@@ -83,6 +94,50 @@ class SetOpPlan:
 
 PlanNode = Union[DefinePlan, RestrictPlan, ProjectPlan, RecursivePlan, SetOpPlan]
 
+
+@dataclass(frozen=True, eq=False)
+class InsertMolecule:
+    """ι — insert one complex object following a molecule-type description.
+
+    *data* is the nested-dictionary form also accepted by the manipulation
+    facilities: top-level keys are root attributes, child atom-type names map
+    to nested objects (or lists of them), ``"_id"`` references an existing
+    atom to create a shared subobject.
+    """
+
+    name: str
+    description: MoleculeTypeDescription
+    data: Mapping[str, object]
+
+
+@dataclass(frozen=True, eq=False)
+class DeleteMolecules:
+    """δ — delete every molecule produced by the qualifying read *source*.
+
+    Without *cascade* only atoms exclusive to a deleted molecule are removed
+    (shared subobjects survive); with *cascade* every component atom goes.
+    """
+
+    source: PlanNode
+    cascade: bool = False
+
+
+@dataclass(frozen=True, eq=False)
+class ModifyAtoms:
+    """μ — update attributes of *atom_type_name* atoms in qualifying molecules.
+
+    *updates* is an ordered tuple of ``(attribute, value)`` pairs applied to
+    every atom of the target type occurring in a molecule streamed by
+    *source*; atom identity (and hence every link) is preserved.
+    """
+
+    source: PlanNode
+    atom_type_name: str
+    updates: Tuple[Tuple[str, object], ...]
+
+
+WritePlanNode = Union[InsertMolecule, DeleteMolecules, ModifyAtoms]
+
 SET_OPERATION_SYMBOLS = {"UNION": "Ω", "DIFFERENCE": "Δ", "INTERSECT": "Ψ"}
 
 
@@ -111,6 +166,20 @@ def describe_plan(plan: PlanNode, indent: str = "") -> str:
             + describe_plan(plan.left, indent + "  ")
             + "\n"
             + describe_plan(plan.right, indent + "  ")
+        )
+    if isinstance(plan, InsertMolecule):
+        return (
+            f"{indent}ι insert {plan.name}"
+            f"({', '.join(plan.description.atom_type_names)})"
+        )
+    if isinstance(plan, DeleteMolecules):
+        suffix = " [cascade]" if plan.cascade else ""
+        return f"{indent}δ delete{suffix}\n" + describe_plan(plan.source, indent + "  ")
+    if isinstance(plan, ModifyAtoms):
+        assignments = ", ".join(f"{attr} = {value!r}" for attr, value in plan.updates)
+        return (
+            f"{indent}μ modify {plan.atom_type_name} [{assignments}]\n"
+            + describe_plan(plan.source, indent + "  ")
         )
     raise TypeError(f"unknown plan node: {plan!r}")
 

@@ -29,7 +29,7 @@ benchmarks compare across plan variants.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.atom import Atom
 from repro.core.database import Database
@@ -69,16 +69,22 @@ class IndexPool:
     identifiers``.  When *build_transient* is set, missing indexes are built
     on first use from the database occurrence and **cached for the pool's
     lifetime** — which is only sound when the database cannot change under
-    the pool (the storage engine guarantees this by binding each pool to one
-    immutable snapshot and discarding it on writes).  Ephemeral executors
-    over a live :class:`~repro.core.database.Database` must leave
-    *build_transient* off, falling back to filtered scans.
+    the pool, or when every change is folded in through :meth:`apply_event`
+    (the storage engine does the latter: it subscribes to its snapshot's
+    change events and keeps the pool's :attr:`generation` in lock-step with
+    its own, so a coherent pool never needs rebuilding on writes).  Ephemeral
+    executors over a live, unobserved :class:`~repro.core.database.Database`
+    must leave *build_transient* off, falling back to filtered scans.
     """
 
     def __init__(self, database: Database, build_transient: bool = True) -> None:
         self.database = database
         self.build_transient = build_transient
         self._indexes: Dict[Tuple[str, str], object] = {}
+        #: Write generation this pool is coherent with (stamped by the owner).
+        self.generation = 0
+        #: Number of full index builds performed (a full occurrence pass each).
+        self.builds = 0
 
     def lookup(
         self,
@@ -106,7 +112,27 @@ class IndexPool:
                 if counters is not None:
                     counters.atoms_indexed += 1
             self._indexes[key] = index
+            self.builds += 1
         return index.lookup(value)
+
+    def apply_event(self, event, generation: Optional[int] = None) -> None:
+        """Fold one atom-level change event into every matching cached index.
+
+        ``HashIndex.insert`` replaces a previous entry for the same
+        identifier, so insertions and modifications share one path.  Link
+        events carry no indexed values and are ignored.  When *generation* is
+        given the pool is stamped coherent with that write generation.
+        """
+        if event.atom is not None:
+            for (type_name, _attribute), index in self._indexes.items():
+                if type_name.split("@", 1)[0] != event.type_name:
+                    continue
+                if event.kind == "atom_deleted":
+                    index.remove(event.atom.identifier)
+                else:  # atom_inserted / atom_modified
+                    index.insert(event.atom)
+        if generation is not None:
+            self.generation = generation
 
 
 class ExecutionContext:
@@ -130,7 +156,7 @@ class ExecutionContext:
         self.indexes = indexes
         self.network = network
 
-    def links_via(self, link_type: LinkType, identifier: str) -> Sequence[Link]:
+    def links_via(self, link_type: LinkType, identifier: str) -> "Iterable[Link]":
         """The links of *link_type* incident to *identifier* (neighbour traversal)."""
         if self.network is not None:
             links = self.network.links_via(link_type.name, identifier)

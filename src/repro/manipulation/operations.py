@@ -3,7 +3,13 @@
 The paper demands "powerful manipulation facilities" alongside dynamic object
 definition.  Because molecules are derived — not stored — objects, molecule
 manipulation decomposes into atom and link manipulation that keeps the atom
-networks consistent:
+networks consistent.  Since the write pipeline landed, these functions are
+thin wrappers over single-node **write plans**: each builds the corresponding
+physical write operator (:mod:`repro.engine.write`) and executes it through
+:meth:`~repro.engine.executor.Executor.run_write`, inside an undo-logged
+:class:`~repro.manipulation.transactions.Transaction` — so every operation is
+atomic, and a failure halfway through a sweep (e.g. an integrity error on a
+later child of an insert) leaves no orphan atoms or dangling links behind.
 
 * :func:`insert_molecule` inserts a nested-dictionary object following a
   molecule-type description, creating the atoms and the connecting links in
@@ -13,16 +19,23 @@ networks consistent:
   atoms that are shared with other molecules unless asked to cascade;
 * :func:`modify_atom` updates attribute values in place, preserving the atom's
   identity so all links (and hence all molecules containing it) stay valid.
+
+MQL's ``INSERT`` / ``DELETE`` / ``MODIFY`` statements run the same operators
+(with a planner-optimized qualifying read for δ/μ), so the two entry points
+produce identical database states — the DML parity tests assert exactly that.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Mapping
 
 from repro.core.atom import Atom
 from repro.core.database import Database
-from repro.core.derivation import derive_occurrence, resolve_description
-from repro.core.molecule import Molecule, MoleculeTypeDescription
+from repro.core.derivation import resolve_description
+from repro.core.molecule import Molecule, MoleculeType, MoleculeTypeDescription
+from repro.engine.executor import Executor
+from repro.engine.physical import MoleculeSource
+from repro.engine.write import DeleteMoleculesOp, InsertMoleculeOp, ModifyAtomsOp
 from repro.exceptions import ManipulationError
 
 
@@ -40,41 +53,13 @@ def insert_molecule(
     instead of creating a new one.
 
     Returns the freshly derived molecule rooted at the inserted root atom.
+    The sweep is transactional: a failure on any child rolls back every atom
+    and link created so far.
     """
     description = resolve_description(database, description)
-
-    def insert_node(type_name: str, node: Mapping[str, object]) -> Atom:
-        atom_type = database.atyp(type_name)
-        child_type_names = {dl.target for dl in description.children_of(type_name)}
-        identifier = node.get("_id")
-        if identifier is not None and atom_type.get(str(identifier)) is not None:
-            atom = atom_type.get(str(identifier))
-        else:
-            values = {
-                key: value
-                for key, value in node.items()
-                if key not in child_type_names and key != "_id"
-            }
-            unknown = set(values) - set(atom_type.description.names)
-            if unknown:
-                raise ManipulationError(
-                    f"unknown attributes {sorted(unknown)!r} for atom type {type_name!r}"
-                )
-            atom = atom_type.add(values, identifier=str(identifier) if identifier is not None else None)
-        for directed in description.children_of(type_name):
-            children = node.get(directed.target, [])
-            if isinstance(children, Mapping):
-                children = [children]
-            link_type = database.ltyp(directed.link_type_name)
-            for child_node in children:
-                child_atom = insert_node(directed.target, child_node)
-                link_type.connect(atom, child_atom)
-        return atom
-
-    root_atom = insert_node(description.root, data)
-    from repro.core.derivation import derive_molecule  # local import avoids a cycle at module load
-
-    return derive_molecule(database, description, root_atom)
+    operator = InsertMoleculeOp("inserted", description, data)
+    result = Executor(database).run_write(operator)
+    return result.molecule_type.occurrence[0]
 
 
 def delete_molecule(
@@ -92,39 +77,15 @@ def delete_molecule(
 
     Returns counters ``{"atoms_removed": ..., "links_removed": ..., "atoms_kept": ...}``.
     """
-    component_ids = set(molecule.atom_identifiers)
-    removable: Set[str] = set()
-    for atom in molecule.atoms:
-        if cascade:
-            removable.add(atom.identifier)
-            continue
-        external = False
-        for link_type in database.link_types:
-            for link in link_type.links_of(atom.identifier):
-                if link.other(atom.identifier) not in component_ids:
-                    external = True
-                    break
-            if external:
-                break
-        if not external and atom.identifier != molecule.root_atom.identifier:
-            removable.add(atom.identifier)
-    # The root atom always goes away: the molecule is identified by it.
-    removable.add(molecule.root_atom.identifier)
-
-    links_removed = 0
-    for identifier in removable:
-        for link_type in database.link_types:
-            links_removed += link_type.remove_atom(identifier)
-    atoms_removed = 0
-    for atom_type in database.atom_types:
-        for identifier in list(removable):
-            if identifier in atom_type:
-                atom_type.remove(identifier)
-                atoms_removed += 1
+    source = MoleculeSource(
+        MoleculeType("delete_source", molecule.description, (molecule,))
+    )
+    result = Executor(database).run_write(DeleteMoleculesOp(source, cascade))
+    summary = result.summary
     return {
-        "atoms_removed": atoms_removed,
-        "links_removed": links_removed,
-        "atoms_kept": len(component_ids) - atoms_removed,
+        "atoms_removed": summary.atoms_removed,
+        "links_removed": summary.links_removed,
+        "atoms_kept": summary.atoms_kept,
     }
 
 
@@ -145,11 +106,13 @@ def modify_atom(
     atom = atom_type.get(identifier)
     if atom is None:
         raise ManipulationError(f"no atom {identifier!r} in atom type {atom_type_name!r}")
-    merged = atom.values
-    merged.update(updates)
-    try:
-        validated = atom_type.description.validate_values(merged)
-    except Exception as exc:
-        raise ManipulationError(f"invalid update for atom {identifier!r}: {exc}") from exc
-    atom_type.remove(identifier)
-    return atom_type.add(Atom(atom_type_name, validated, identifier=identifier))
+    source = MoleculeSource(
+        MoleculeType(
+            "modify_source",
+            MoleculeTypeDescription([atom.type_name], []),
+            (Molecule(atom, (atom,), ()),),
+        )
+    )
+    operator = ModifyAtomsOp(source, atom_type_name, tuple(updates.items()))
+    Executor(database).run_write(operator)
+    return atom_type.get(identifier)

@@ -15,7 +15,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 from repro.core.atom import Atom
 from repro.core.database import Database
 from repro.core.link import Link
-from repro.exceptions import TransactionError
+from repro.exceptions import ManipulationError, TransactionError
 
 
 class TransactionLog:
@@ -102,9 +102,23 @@ class Transaction:
 
     def insert_atom(self, atom_type_name: str, identifier: Optional[str] = None, **values) -> Atom:
         """Insert an atom, recording its removal as the undo action."""
+        return self.insert_atom_values(atom_type_name, values, identifier=identifier)
+
+    def insert_atom_values(
+        self,
+        atom_type_name: str,
+        values: Mapping[str, object],
+        identifier: Optional[str] = None,
+    ) -> Atom:
+        """Keyword-collision-free variant of :meth:`insert_atom`.
+
+        The write operators pass user-supplied attribute mappings through
+        here, where an attribute named ``identifier`` cannot clash with the
+        parameter of the ``**values`` convenience form.
+        """
         self._require_active()
         atom_type = self.database.atyp(atom_type_name)
-        atom = atom_type.add(values, identifier=identifier)
+        atom = atom_type.add(dict(values), identifier=identifier)
         self.log.record(lambda: atom_type.remove(atom.identifier))
         return atom
 
@@ -131,27 +145,67 @@ class Transaction:
         return atom
 
     def connect(self, link_type_name: str, first: "Atom | str", second: "Atom | str") -> Link:
-        """Insert a link, recording its removal as the undo action."""
+        """Insert a link, recording its removal as the undo action.
+
+        Connecting an already-linked pair is a no-op (links are sets), so no
+        undo action is recorded for it — a rollback must not take away a link
+        that existed before the transaction.
+        """
+        link = self.connect_new(link_type_name, first, second)
+        if link is None:
+            # Already linked: LinkType.add is idempotent and returns a link
+            # carrying the type's endpoint types, without emitting an event.
+            return self.database.ltyp(link_type_name).connect(first, second)
+        return link
+
+    def connect_new(
+        self, link_type_name: str, first: "Atom | str", second: "Atom | str"
+    ) -> Optional[Link]:
+        """Insert a link with undo logging; ``None`` when it already existed.
+
+        This is the canonical logged-connect protocol: pre-existing links
+        (e.g. a shared subobject re-reached through another parent) survive a
+        rollback because no undo action is recorded for them.  The return
+        value tells callers whether a link was actually created.
+        """
         self._require_active()
         link_type = self.database.ltyp(link_type_name)
+        probe = Link(link_type_name, first, second)
+        if probe in link_type:
+            return None
         link = link_type.connect(first, second)
         self.log.record(lambda: link_type.remove(link))
         return link
 
     def modify_atom(self, atom_type_name: str, identifier: str, **updates) -> Atom:
-        """Modify an atom's values, recording restoration of the old values."""
+        """Modify an atom's values in place, recording restoration of the old atom."""
+        return self.modify_atom_values(atom_type_name, identifier, updates)
+
+    def modify_atom_values(
+        self, atom_type_name: str, identifier: str, updates: Mapping[str, object]
+    ) -> Atom:
+        """Keyword-collision-free variant of :meth:`modify_atom`.
+
+        The replacement preserves the atom's identity (links stay valid) and
+        raises :class:`ManipulationError` when an update violates the
+        attribute domain — in which case nothing has been changed.  The write
+        operators pass user-supplied attribute mappings through here, where
+        an attribute named ``identifier`` cannot clash with the parameters of
+        the ``**updates`` convenience form.
+        """
         self._require_active()
         atom_type = self.database.atyp(atom_type_name)
         old = atom_type.get(identifier)
         if old is None:
             raise TransactionError(f"no atom {identifier!r} in {atom_type_name!r}")
-        from repro.manipulation.operations import modify_atom as _modify
-
-        new_atom = _modify(self.database, atom_type_name, identifier, **updates)
-
-        def undo() -> None:
-            atom_type.remove(identifier)
-            atom_type.add(old)
-
-        self.log.record(undo)
+        merged = old.values
+        merged.update(updates)
+        try:
+            validated = atom_type.description.validate_values(merged)
+        except Exception as exc:
+            raise ManipulationError(
+                f"invalid update for atom {identifier!r}: {exc}"
+            ) from exc
+        new_atom = atom_type.replace(Atom(atom_type_name, validated, identifier=identifier))
+        self.log.record(lambda: atom_type.replace(old))
         return new_atom

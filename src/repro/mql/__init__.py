@@ -24,11 +24,15 @@ a statement with ``EXPLAIN`` to see the planner's choice without executing.
 """
 
 from repro.mql.ast_nodes import (
+    Assignment,
     AttributeReference,
     ComparisonCondition,
+    DeleteStatement,
     ExplainStatement,
     FromClause,
+    InsertStatement,
     LogicalCondition,
+    ModifyStatement,
     NotCondition,
     Query,
     RecursiveStructure,
@@ -42,11 +46,15 @@ from repro.mql.parser import parse
 from repro.mql.translator import QueryTranslator, structure_to_description, to_logical_plan
 
 __all__ = [
+    "Assignment",
     "AttributeReference",
     "ComparisonCondition",
+    "DeleteStatement",
     "ExplainStatement",
     "FromClause",
+    "InsertStatement",
     "LogicalCondition",
+    "ModifyStatement",
     "MQLInterpreter",
     "NotCondition",
     "Query",

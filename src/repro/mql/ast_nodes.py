@@ -10,13 +10,17 @@ operations between blocks:
   (the dash-path notation of the paper), or a :class:`RecursiveStructure`;
 * conditions — :class:`ComparisonCondition`, :class:`LogicalCondition`,
   :class:`NotCondition` over :class:`AttributeReference` and literals;
-* :class:`SetOperation` — UNION / DIFFERENCE / INTERSECT of two queries.
+* :class:`SetOperation` — UNION / DIFFERENCE / INTERSECT of two queries;
+* DML — :class:`InsertStatement` (structure plus a nested object literal),
+  :class:`DeleteStatement` and :class:`ModifyStatement`, both of which carry a
+  full molecule query (FROM structure + WHERE condition) as their qualifying
+  read.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -127,12 +131,63 @@ class SetOperation:
     right: object
 
 
-#: Any executable parse result: a single query block or a tree of set operations.
-Statement = Union[Query, SetOperation]
+@dataclass(frozen=True, eq=False)
+class InsertStatement:
+    """``INSERT <structure> VALUES {…}`` — create one complex object.
+
+    The nested object literal mirrors the manipulation API's nested-dictionary
+    form: child atom-type names map to an object or a parenthesized list of
+    objects; ``_id`` references an existing atom (shared subobject).
+    """
+
+    from_clause: FromClause
+    data: Mapping[str, object]
 
 
 @dataclass(frozen=True)
+class DeleteStatement:
+    """``DELETE [CASCADE] [name] FROM <structure> [WHERE …]`` — remove molecules.
+
+    The from/where pair forms a full molecule query: the planner optimizes the
+    qualifying read before any mutation happens.
+    """
+
+    from_clause: FromClause
+    where: Optional[object] = None
+    cascade: bool = False
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One ``attribute = literal`` pair of a MODIFY … SET list."""
+
+    attribute: AttributeReference
+    value: object
+
+
+@dataclass(frozen=True)
+class ModifyStatement:
+    """``MODIFY <atom type> FROM <structure> SET a = v, … [WHERE …]``.
+
+    Updates the target atom type's atoms within every qualifying molecule;
+    identity is preserved, so links and containing molecules stay valid.
+    """
+
+    target: str
+    from_clause: FromClause
+    assignments: Tuple[Assignment, ...]
+    where: Optional[object] = None
+
+
+#: Any executable parse result: a single query block or a tree of set operations.
+Statement = Union[Query, SetOperation]
+
+#: The three data-manipulation statements.
+DMLStatement = Union[InsertStatement, DeleteStatement, ModifyStatement]
+
+
+@dataclass(frozen=True, eq=False)
 class ExplainStatement:
     """``EXPLAIN <statement>`` — report the optimizer's plan choice, do not execute."""
 
-    statement: Statement
+    statement: "Statement | DMLStatement"

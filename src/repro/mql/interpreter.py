@@ -19,7 +19,7 @@ executing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.database import Database
@@ -34,10 +34,27 @@ from repro.core.molecule_algebra import (
 )
 from repro.core.recursion import RecursiveDescription, recursive_molecule_type
 from repro.engine.executor import Executor, compile_plan
-from repro.engine.logical import describe_plan, plan_name
+from repro.engine.logical import (
+    DeleteMolecules,
+    InsertMolecule,
+    ModifyAtoms,
+    WritePlanNode,
+    describe_plan,
+    plan_name,
+)
 from repro.engine.physical import ExecutionCounters
+from repro.engine.write import WriteSummary
 from repro.exceptions import MQLSemanticError
-from repro.mql.ast_nodes import ExplainStatement, Query, SetOperation, Statement
+from repro.mql.ast_nodes import (
+    DeleteStatement,
+    DMLStatement,
+    ExplainStatement,
+    InsertStatement,
+    ModifyStatement,
+    Query,
+    SetOperation,
+    Statement,
+)
 from repro.mql.parser import parse
 from repro.mql.translator import QueryTranslator, next_anonymous_name
 from repro.optimizer.planner import PlanChoice, Planner
@@ -65,19 +82,30 @@ class QueryResult:
     explanation:
         For ``EXPLAIN`` statements: :meth:`PlanChoice.explain` output; the
         statement itself is not executed and the molecule set is empty.
+    write_summary:
+        For DML statements: the affected-count report of the write plan
+        (molecules affected, atoms/links inserted, removed, modified).
     """
 
     molecule_type: MoleculeType
     database: Database
-    statement: Optional[Statement] = None
+    statement: "Optional[Statement | DMLStatement]" = None
     counters: Optional[ExecutionCounters] = None
     plan_choice: Optional[PlanChoice] = None
     explanation: Optional[str] = None
+    write_summary: Optional[WriteSummary] = None
 
     @property
     def molecules(self) -> Tuple[Molecule, ...]:
         """The result molecules."""
         return self.molecule_type.occurrence
+
+    @property
+    def affected_count(self) -> int:
+        """Molecules affected by a DML statement (result size for queries)."""
+        if self.write_summary is not None:
+            return self.write_summary.molecules_affected
+        return len(self.molecule_type)
 
     def __len__(self) -> int:
         return len(self.molecule_type)
@@ -120,29 +148,62 @@ class MQLInterpreter:
             self._planner = Planner(self.database, executor=self.executor)
         return self._planner
 
+    def apply_event(self, event) -> None:
+        """Fold one database change event into the planner's statistics.
+
+        The public maintenance hook the storage engine drives on every
+        write; a no-op until the planner (and its statistics) exist.
+        """
+        if self._planner is not None:
+            self._planner.apply_event(event)
+
     # ---------------------------------------------------------------- public
 
     def execute(
-        self, statement: "str | Statement | ExplainStatement", optimize: Optional[bool] = None
+        self,
+        statement: "str | Statement | DMLStatement | ExplainStatement",
+        optimize: Optional[bool] = None,
     ) -> QueryResult:
-        """Parse (when given text) and execute an MQL statement."""
+        """Parse (when given text) and execute an MQL statement.
+
+        DML statements (INSERT / DELETE / MODIFY) run atomically: the whole
+        statement is applied inside an undo-logged transaction, and any
+        failure rolls back every mutation already made.
+        """
         ast = parse(statement) if isinstance(statement, str) else statement
-        if isinstance(ast, ExplainStatement):
+        explain = isinstance(ast, ExplainStatement)
+        inner = ast.statement if explain else ast
+        if isinstance(inner, (InsertStatement, DeleteStatement, ModifyStatement)):
+            return self._execute_dml(
+                inner,
+                explain=explain,
+                optimize=self.optimize if optimize is None else optimize,
+            )
+        if explain:
             return self._explain_result(ast)
         if self.optimize if optimize is None else optimize:
-            return self._execute_planned(ast)
-        molecule_type, database = self._execute_statement(ast, self.database)
-        return QueryResult(molecule_type, database, ast)
+            return self._execute_planned(inner)
+        molecule_type, database = self._execute_statement(inner, self.database)
+        return QueryResult(molecule_type, database, inner)
 
-    def plan(self, statement: "str | Statement") -> PlanChoice:
-        """Translate *statement* and return the planner's costed choice."""
+    def plan(self, statement: "str | Statement | DMLStatement") -> PlanChoice:
+        """Translate *statement* and return the planner's costed choice.
+
+        For DELETE/MODIFY the choice covers the *qualifying read* (the write
+        node itself has no plan alternatives); INSERT has no read sub-plan.
+        """
         ast = parse(statement) if isinstance(statement, str) else statement
         if isinstance(ast, ExplainStatement):
             ast = ast.statement
+        if isinstance(ast, (InsertStatement, DeleteStatement, ModifyStatement)):
+            write_plan = QueryTranslator(self.database).translate_dml(ast)
+            if isinstance(write_plan, InsertMolecule):
+                raise MQLSemanticError("INSERT has no qualifying read plan to optimize")
+            return self.planner.optimize(write_plan.source)
         logical = QueryTranslator(self.database).translate_statement(ast)
         return self.planner.optimize(logical)
 
-    def explain(self, statement: "str | Statement") -> List[str]:
+    def explain(self, statement: "str | Statement | DMLStatement") -> List[str]:
         """Return the algebra-operation plan for *statement* without executing it.
 
         The plan lists one line per algebra operation — this is the "sound
@@ -153,7 +214,10 @@ class MQLInterpreter:
         ast = parse(statement) if isinstance(statement, str) else statement
         if isinstance(ast, ExplainStatement):
             ast = ast.statement
-        logical = QueryTranslator(self.database).translate_statement(ast)
+        translator = QueryTranslator(self.database)
+        if isinstance(ast, (InsertStatement, DeleteStatement, ModifyStatement)):
+            return describe_plan(translator.translate_dml(ast)).splitlines()
+        logical = translator.translate_statement(ast)
         return describe_plan(logical).splitlines()
 
     # ------------------------------------------------------ planned pipeline
@@ -167,6 +231,53 @@ class MQLInterpreter:
             statement,
             counters=result.counters,
             plan_choice=choice,
+        )
+
+    # --------------------------------------------------------- write pipeline
+
+    def _execute_dml(
+        self, statement: DMLStatement, explain: bool, optimize: bool
+    ) -> QueryResult:
+        """Plan (and unless *explain*, execute) one DML statement atomically."""
+        plan = QueryTranslator(self.database).translate_dml(statement)
+        choice: Optional[PlanChoice] = None
+        if optimize and isinstance(plan, (DeleteMolecules, ModifyAtoms)):
+            choice = self.planner.optimize(plan.source)
+            plan = replace(plan, source=choice.best)
+        if explain:
+            return self._explain_write(statement, plan, choice)
+        result = self.executor.run_write(plan)
+        return QueryResult(
+            result.molecule_type,
+            self.database,
+            statement,
+            counters=result.counters,
+            plan_choice=choice,
+            write_summary=result.summary,
+        )
+
+    def _explain_write(
+        self,
+        statement: DMLStatement,
+        plan: WritePlanNode,
+        choice: Optional[PlanChoice],
+    ) -> QueryResult:
+        """Report a write plan (and its optimized qualifying read) without executing."""
+        explanation = describe_plan(plan)
+        if choice is not None:
+            explanation += "\nqualifying read — " + choice.explain()
+        if isinstance(plan, InsertMolecule):
+            empty = MoleculeType(plan.name, plan.description, ())
+        else:
+            operator = compile_plan(plan.source)
+            description = operator.describe(self.executor.context())
+            empty = MoleculeType(plan_name(plan.source), description, ())
+        return QueryResult(
+            empty,
+            self.database,
+            statement,
+            plan_choice=choice,
+            explanation=explanation,
         )
 
     def _explain_result(self, ast: ExplainStatement) -> QueryResult:

@@ -32,6 +32,12 @@ KEYWORDS = {
     "UP",
     "TRUE",
     "FALSE",
+    "INSERT",
+    "VALUES",
+    "DELETE",
+    "MODIFY",
+    "SET",
+    "CASCADE",
 }
 
 
@@ -47,6 +53,9 @@ class TokenType(enum.Enum):
     DASH = "dash"  # the structure separator '-'
     LPAREN = "lparen"
     RPAREN = "rparen"
+    LBRACE = "lbrace"  # { } delimit nested object literals (INSERT ... VALUES)
+    RBRACE = "rbrace"
+    COLON = "colon"  # key/value separator inside object literals
     COMMA = "comma"
     DOT = "dot"
     SEMICOLON = "semicolon"
@@ -168,6 +177,9 @@ def tokenize(text: str) -> List[Token]:
             "-": TokenType.DASH,
             "(": TokenType.LPAREN,
             ")": TokenType.RPAREN,
+            "{": TokenType.LBRACE,
+            "}": TokenType.RBRACE,
+            ":": TokenType.COLON,
             ",": TokenType.COMMA,
             ".": TokenType.DOT,
             ";": TokenType.SEMICOLON,

@@ -2,7 +2,7 @@
 
 Grammar (EBNF)::
 
-    input       := ["EXPLAIN"] statement
+    input       := ["EXPLAIN"] (statement | insert | delete | modify)
     statement   := query (("UNION" | "DIFFERENCE" | "INTERSECT") query)* [";"]
     query       := "SELECT" select_list "FROM" from_clause ["WHERE" condition]
     select_list := "ALL" | ident ("," ident)*
@@ -10,6 +10,14 @@ Grammar (EBNF)::
     recursive   := "RECURSIVE" ident [bracket_name] ["DOWN" | "UP"] [number]
     path        := node ("-" [bracket_name "-"] node)*
     node        := ident | "(" path ("," path)* ")"
+    insert      := "INSERT" from_clause "VALUES" object [";"]
+    delete      := "DELETE" ["CASCADE"] [ident] "FROM" from_clause
+                   ["WHERE" condition] [";"]
+    modify      := "MODIFY" ident "FROM" from_clause
+                   "SET" assignment ("," assignment)* ["WHERE" condition] [";"]
+    assignment  := attr_ref "=" literal
+    object      := "{" [pair ("," pair)*] "}"
+    pair        := ident ":" (literal | object | "(" object ("," object)* ")")
     condition   := or_expr
     or_expr     := and_expr ("OR" and_expr)*
     and_expr    := not_expr ("AND" not_expr)*
@@ -17,7 +25,7 @@ Grammar (EBNF)::
     primary     := "(" condition ")" | comparison
     comparison  := attr_ref op (literal | attr_ref)
     attr_ref    := ident ["." ident]
-    literal     := string | number | "TRUE" | "FALSE"
+    literal     := ["-"] number | string | "TRUE" | "FALSE"
 
 The ambiguity between a parenthesized *structure branch group* and the
 parenthesized *structure of a named molecule type* is resolved by look-ahead:
@@ -31,11 +39,16 @@ from typing import List, Optional, Tuple, Union
 
 from repro.exceptions import MQLSyntaxError
 from repro.mql.ast_nodes import (
+    Assignment,
     AttributeReference,
     ComparisonCondition,
+    DeleteStatement,
+    DMLStatement,
     ExplainStatement,
     FromClause,
+    InsertStatement,
     LogicalCondition,
+    ModifyStatement,
     NotCondition,
     Query,
     RecursiveStructure,
@@ -84,9 +97,19 @@ class _Parser:
 
     # ------------------------------------------------------------- statement
 
-    def parse_input(self) -> "Statement | ExplainStatement":
+    def parse_input(self) -> "Statement | DMLStatement | ExplainStatement":
         if self.accept_keyword("EXPLAIN"):
-            return ExplainStatement(self.parse_statement())
+            return ExplainStatement(self.parse_any_statement())
+        return self.parse_any_statement()
+
+    def parse_any_statement(self) -> "Statement | DMLStatement":
+        token = self.peek()
+        if token.is_keyword("INSERT"):
+            return self.parse_insert()
+        if token.is_keyword("DELETE"):
+            return self.parse_delete()
+        if token.is_keyword("MODIFY"):
+            return self.parse_modify()
         return self.parse_statement()
 
     def parse_statement(self) -> Statement:
@@ -99,6 +122,11 @@ class _Parser:
             operator = self.advance().value
             right = self.parse_query()
             left = SetOperation(str(operator), left, right)
+        self._finish()
+        return left
+
+    def _finish(self) -> None:
+        """Consume an optional trailing semicolon and require end of input."""
         if self.peek().type is TokenType.SEMICOLON:
             self.advance()
         token = self.peek()
@@ -106,7 +134,6 @@ class _Parser:
             raise MQLSyntaxError(
                 f"unexpected trailing input {token.value!r}", token.line, token.column
             )
-        return left
 
     def parse_query(self) -> Query:
         self.expect(TokenType.KEYWORD, "SELECT")
@@ -126,6 +153,121 @@ class _Parser:
         if self.accept_keyword("WHERE"):
             where = self.parse_condition()
         return Query(select_all, projection, from_clause, where)
+
+    # ------------------------------------------------------------------- DML
+
+    def parse_insert(self) -> InsertStatement:
+        self.expect(TokenType.KEYWORD, "INSERT")
+        from_clause = self.parse_from_clause()
+        self.expect(TokenType.KEYWORD, "VALUES")
+        data = self.parse_object()
+        self._finish()
+        return InsertStatement(from_clause, data)
+
+    def parse_delete(self) -> DeleteStatement:
+        self.expect(TokenType.KEYWORD, "DELETE")
+        cascade = self.accept_keyword("CASCADE")
+        molecule_name: Optional[str] = None
+        if self.peek().type is TokenType.IDENT and self.peek(1).is_keyword("FROM"):
+            molecule_name = str(self.advance().value)
+        self.expect(TokenType.KEYWORD, "FROM")
+        from_clause = self.parse_from_clause()
+        if molecule_name is not None and from_clause.molecule_name is None:
+            from_clause = FromClause(from_clause.structure, molecule_name)
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_condition()
+        self._finish()
+        return DeleteStatement(from_clause, where, cascade)
+
+    def parse_modify(self) -> ModifyStatement:
+        self.expect(TokenType.KEYWORD, "MODIFY")
+        target = str(self.expect(TokenType.IDENT).value)
+        self.expect(TokenType.KEYWORD, "FROM")
+        from_clause = self.parse_from_clause()
+        self.expect(TokenType.KEYWORD, "SET")
+        assignments = [self.parse_assignment()]
+        while self.peek().type is TokenType.COMMA:
+            self.advance()
+            assignments.append(self.parse_assignment())
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_condition()
+        self._finish()
+        return ModifyStatement(target, from_clause, tuple(assignments), where)
+
+    def parse_assignment(self) -> Assignment:
+        lhs = self.parse_attribute_reference()
+        operator = self.expect(TokenType.OPERATOR)
+        if operator.value != "=":
+            raise MQLSyntaxError(
+                f"SET expects '=', found {operator.value!r}", operator.line, operator.column
+            )
+        return Assignment(lhs, self.parse_literal())
+
+    # -------------------------------------------------------- object literals
+
+    def parse_object(self) -> dict:
+        """Parse ``{key: value, ...}`` into a plain nested dictionary."""
+        self.expect(TokenType.LBRACE)
+        data: dict = {}
+        if self.peek().type is TokenType.RBRACE:
+            self.advance()
+            return data
+        while True:
+            key_token = self.peek()
+            if key_token.type is TokenType.IDENT:
+                key = str(self.advance().value)
+            elif key_token.type is TokenType.KEYWORD:
+                # Attribute names may collide with keywords (e.g. "set").
+                key = str(self.advance().value).lower()
+            else:
+                raise MQLSyntaxError(
+                    f"expected an attribute or atom-type name, found {key_token.value!r}",
+                    key_token.line,
+                    key_token.column,
+                )
+            self.expect(TokenType.COLON)
+            data[key] = self.parse_object_value()
+            if self.peek().type is TokenType.COMMA:
+                self.advance()
+                continue
+            break
+        self.expect(TokenType.RBRACE)
+        return data
+
+    def parse_object_value(self) -> object:
+        token = self.peek()
+        if token.type is TokenType.LBRACE:
+            return self.parse_object()
+        if token.type is TokenType.LPAREN:
+            # A parenthesized list of child objects: (obj, obj, ...).
+            self.advance()
+            children = [self.parse_object()]
+            while self.peek().type is TokenType.COMMA:
+                self.advance()
+                children.append(self.parse_object())
+            self.expect(TokenType.RPAREN)
+            return children
+        return self.parse_literal()
+
+    def parse_literal(self) -> object:
+        token = self.peek()
+        if token.type is TokenType.DASH:
+            self.advance()
+            number = self.expect(TokenType.NUMBER)
+            return -number.value  # type: ignore[operator]
+        if token.type in (TokenType.STRING, TokenType.NUMBER):
+            return self.advance().value
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return True
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return False
+        raise MQLSyntaxError(
+            f"expected a literal, found {token.value!r}", token.line, token.column
+        )
 
     # ----------------------------------------------------------- FROM clause
 
@@ -230,22 +372,17 @@ class _Parser:
         operator_token = self.expect(TokenType.OPERATOR)
         rhs: object
         token = self.peek()
-        if token.type is TokenType.STRING or token.type is TokenType.NUMBER:
-            rhs = self.advance().value
-        elif token.is_keyword("TRUE"):
-            self.advance()
-            rhs = True
-        elif token.is_keyword("FALSE"):
-            self.advance()
-            rhs = False
-        elif token.type is TokenType.IDENT:
+        if token.type is TokenType.IDENT:
             rhs = self.parse_attribute_reference()
         else:
-            raise MQLSyntaxError(
-                f"expected a literal or attribute reference, found {token.value!r}",
-                token.line,
-                token.column,
-            )
+            try:
+                rhs = self.parse_literal()
+            except MQLSyntaxError:
+                raise MQLSyntaxError(
+                    f"expected a literal or attribute reference, found {token.value!r}",
+                    token.line,
+                    token.column,
+                ) from None
         return ComparisonCondition(lhs, str(operator_token.value), rhs)
 
     def parse_attribute_reference(self) -> AttributeReference:

@@ -17,7 +17,7 @@ the streaming executor runs.
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Tuple, Union
+from typing import List, Mapping, Optional, Tuple, Union
 
 from repro.core.database import Database
 from repro.core.graph import DirectedLink
@@ -33,18 +33,27 @@ from repro.core.predicates import (
 from repro.core.recursion import RecursiveDescription
 from repro.engine.logical import (
     DefinePlan,
+    DeleteMolecules,
+    InsertMolecule,
+    ModifyAtoms,
     PlanNode,
     ProjectPlan,
     RecursivePlan,
     RestrictPlan,
     SetOpPlan,
+    WritePlanNode,
+    plan_description,
 )
 from repro.exceptions import MoleculeGraphError, MQLSemanticError
 from repro.mql.ast_nodes import (
     AttributeReference,
     ComparisonCondition,
+    DeleteStatement,
+    DMLStatement,
     FromClause,
+    InsertStatement,
     LogicalCondition,
+    ModifyStatement,
     NotCondition,
     Query,
     RecursiveStructure,
@@ -167,6 +176,93 @@ class QueryTranslator:
         if projection is not None:
             plan = ProjectPlan(plan, tuple(projection))
         return plan
+
+    # ------------------------------------------------------------------- DML
+
+    def translate_dml(self, statement: DMLStatement) -> WritePlanNode:
+        """Translate a DML statement into its logical write plan.
+
+        ``DELETE``/``MODIFY`` wrap a full molecule query (``SELECT ALL FROM …
+        WHERE …``) as their qualifying-read *source* — the planner optimizes
+        that read exactly like any query before the write node consumes it.
+        """
+        if isinstance(statement, InsertStatement):
+            if isinstance(statement.from_clause.structure, RecursiveStructure):
+                raise MQLSemanticError("INSERT over a RECURSIVE structure is not supported")
+            description = self.translate_from(statement.from_clause)
+            name = statement.from_clause.molecule_name or next_anonymous_name()
+            self._check_insert_data(description, statement.data, description.root)
+            return InsertMolecule(name, description, statement.data)
+        if isinstance(statement, DeleteStatement):
+            source = self.translate_query(
+                Query(True, (), statement.from_clause, statement.where)
+            )
+            return DeleteMolecules(source, statement.cascade)
+        if isinstance(statement, ModifyStatement):
+            source = self.translate_query(
+                Query(True, (), statement.from_clause, statement.where)
+            )
+            # plan_description reads the structure off the translated source
+            # plan, so the FROM clause is resolved exactly once.
+            structure_names = plan_description(source).atom_type_names
+            if statement.target not in structure_names:
+                raise MQLSemanticError(
+                    f"MODIFY target {statement.target!r} is not part of the FROM structure"
+                )
+            updates = tuple(
+                (self._resolve_assignment(assignment, statement.target), assignment.value)
+                for assignment in statement.assignments
+            )
+            return ModifyAtoms(source, statement.target, updates)
+        raise MQLSemanticError(f"cannot translate {statement!r}")
+
+    def _resolve_assignment(self, assignment, target: str) -> str:
+        """Check one SET assignment against the target atom type; return the attribute."""
+        reference = assignment.attribute
+        if reference.atom_type is not None and reference.atom_type != target:
+            raise MQLSemanticError(
+                f"SET references {reference.atom_type!r}, but the MODIFY target is {target!r}"
+            )
+        owner_description = self.database.atyp(target).description
+        if reference.attribute not in owner_description:
+            raise MQLSemanticError(
+                f"atom type {target!r} has no attribute {reference.attribute!r}"
+            )
+        return reference.attribute
+
+    def _check_insert_data(
+        self,
+        description: MoleculeTypeDescription,
+        node: "Mapping | object",
+        type_name: str,
+    ) -> None:
+        """Semantic checks over a nested INSERT object, before any execution.
+
+        Attribute keys must belong to the node's atom type, child keys to the
+        structure; unknown keys are rejected here so a malformed statement
+        never starts mutating.
+        """
+        if not isinstance(node, Mapping):
+            raise MQLSemanticError(
+                f"INSERT value for {type_name!r} must be an object, got {node!r}"
+            )
+        child_names = {dl.target for dl in description.children_of(type_name)}
+        attribute_names = set(self.database.atyp(type_name).description.names)
+        for key, value in node.items():
+            if key == "_id":
+                continue
+            if key in child_names:
+                children = [value] if isinstance(value, Mapping) else value
+                if not isinstance(children, (list, tuple)):
+                    raise MQLSemanticError(
+                        f"INSERT children under {key!r} must be objects, got {value!r}"
+                    )
+                for child in children:
+                    self._check_insert_data(description, child, key)
+            elif key not in attribute_names:
+                raise MQLSemanticError(
+                    f"unknown attribute or child type {key!r} for atom type {type_name!r}"
+                )
 
     # ---------------------------------------------------------- FROM clause
 

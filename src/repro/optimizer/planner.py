@@ -65,11 +65,13 @@ class Planner:
     a transient executor over *database* is created on demand.
 
     Statistics are collected lazily, on the first optimization where a
-    rewrite rule actually fired (costing identical plans decides nothing),
-    and are **not** refreshed afterwards: a planner reused across mutations
-    of a live database keeps ranking on the original distribution.  Results
-    stay correct either way; the storage engine avoids even the ranking
-    drift by discarding its planner on every write.
+    rewrite rule actually fired (costing identical plans decides nothing).
+    Afterwards they can be maintained incrementally through
+    :meth:`apply_event` — the storage engine subscribes its planner to the
+    snapshot's change events, so occurrence counts stay exact across writes
+    (per-attribute distinct-value counts keep their collected values, an
+    approximation that only shapes selectivity guesses).  Results stay
+    correct either way: ranking drift can never change what a plan returns.
     """
 
     def __init__(
@@ -96,6 +98,17 @@ class Planner:
         if self._cost_model is None:
             self._cost_model = CostModel(self.statistics)
         return self._cost_model
+
+    def apply_event(self, event) -> None:
+        """Fold one change event into the collected statistics.
+
+        A no-op before the first collection (there is nothing to maintain
+        yet).  The storage engine feeds every write through here, so a
+        planner held across mutations keeps ranking on exact occurrence
+        counts instead of drifting — without ever re-scanning the database.
+        """
+        if self._statistics is not None:
+            self._statistics.apply_event(event)
 
     def optimize(self, plan: PlanNode) -> PlanChoice:
         """Rewrite *plan* and return the costed :class:`PlanChoice`."""

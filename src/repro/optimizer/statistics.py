@@ -52,6 +52,28 @@ class DatabaseStatistics:
             statistics.link_counts[link_type.name] = len(link_type)
         return statistics
 
+    def apply_event(self, event) -> None:
+        """Fold one change event into the occurrence counts.
+
+        Atom/link counts (the inputs of the fan-out and cardinality
+        estimates) stay exact; per-attribute distinct-value counts are left
+        as collected — they only shape selectivity guesses, and drifting
+        there changes rankings, never results.  This is what lets a planner
+        survive writes without re-scanning the database.
+        """
+        if event.kind == "atom_inserted":
+            self.atom_counts[event.type_name] = self.atom_counts.get(event.type_name, 0) + 1
+        elif event.kind == "atom_deleted":
+            self.atom_counts[event.type_name] = max(
+                0, self.atom_counts.get(event.type_name, 0) - 1
+            )
+        elif event.kind == "link_connected":
+            self.link_counts[event.type_name] = self.link_counts.get(event.type_name, 0) + 1
+        elif event.kind == "link_disconnected":
+            self.link_counts[event.type_name] = max(
+                0, self.link_counts.get(event.type_name, 0) - 1
+            )
+
     def average_fanout(self, link_type_name: str, source_type: str) -> float:
         """Average number of links per source atom for *link_type_name*."""
         links = self.link_counts.get(link_type_name.split("~", 1)[0], self.link_counts.get(link_type_name, 0))

@@ -11,20 +11,42 @@ The engine mirrors the architecture the paper reports for the PRIMA prototype:
   interface: statements are translated to logical plans, optimized by the
   rule-driven planner, and run on the streaming executor — which reuses the
   engine's secondary indexes and its cached atom network as access paths.
+  MQL DML statements (INSERT / DELETE / MODIFY) run through the same
+  pipeline: the write plan mutates the snapshot database atomically, and the
+  engine mirrors every change back into its stores.
 
 Internally the engine keeps one :class:`AtomStore` per atom type and one
 :class:`LinkStore` per link type; :meth:`to_database` exports a consistent
-:class:`~repro.core.database.Database` snapshot for the algebra layers.  The
-snapshot, the atom network and the query interpreter are all cached together
-and invalidated on every write.
+:class:`~repro.core.database.Database` snapshot for the algebra layers.
+
+**Cache maintenance.**  The snapshot, the atom network, the hash-index pool
+and the planner statistics are cached together and — in the default
+``incremental`` mode — maintained *in place* on every write: the engine
+subscribes to the snapshot's change events and folds each atom/link delta
+into the cached structures, bumping a :attr:`generation` counter that the
+executor's index pool is stamped with (a pool whose generation matches the
+engine's is coherent by construction).  The ``rebuild`` mode restores the
+historical invalidate-everything behaviour — every write discards all caches
+and the next read rebuilds them from the stores; the mixed-workload benchmark
+compares the two.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from repro.core.atom import Atom, AtomType
 from repro.core.database import Database
+from repro.core.events import (
+    ATOM_DELETED,
+    ATOM_INSERTED,
+    ATOM_MODIFIED,
+    LINK_CONNECTED,
+    LINK_DISCONNECTED,
+    ChangeEvent,
+    Listener,
+)
 from repro.core.link import Cardinality, Link, LinkType
 from repro.core.molecule import MoleculeType, MoleculeTypeDescription
 from repro.core.molecule_algebra import molecule_type_definition
@@ -34,21 +56,51 @@ from repro.storage.link_store import LinkStore
 from repro.storage.network import AtomNetwork
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.engine.physical import IndexPool
     from repro.mql.interpreter import MQLInterpreter, QueryResult
     from repro.optimizer.planner import PlanChoice
 
+#: The two cache-maintenance strategies.
+INCREMENTAL = "incremental"
+REBUILD = "rebuild"
+
 
 class PrimaEngine:
-    """An in-memory, two-layer storage engine for MAD databases."""
+    """An in-memory, two-layer storage engine for MAD databases.
 
-    def __init__(self, name: str = "prima") -> None:
+    *maintenance* selects the cache strategy: ``"incremental"`` (default)
+    folds every write into the cached snapshot, atom network, hash indexes
+    and planner statistics; ``"rebuild"`` invalidates everything on each
+    write and rebuilds lazily — the pre-write-pipeline behaviour, kept as
+    the benchmark baseline.
+    """
+
+    def __init__(self, name: str = "prima", maintenance: str = INCREMENTAL) -> None:
+        if maintenance not in (INCREMENTAL, REBUILD):
+            raise StorageError(
+                f"unknown maintenance mode {maintenance!r}; use 'incremental' or 'rebuild'"
+            )
         self.name = name
+        self.maintenance = maintenance
         self._atom_stores: Dict[str, AtomStore] = {}
         self._link_stores: Dict[str, LinkStore] = {}
         self._cardinalities: Dict[str, Cardinality] = {}
         self._snapshot: Optional[Database] = None
         self._network: Optional[AtomNetwork] = None
         self._interpreter: Optional["MQLInterpreter"] = None
+        self._index_pool: Optional["IndexPool"] = None
+        self._dirty = False
+        self._mirroring = False
+        #: Monotonic write generation; cached access structures are stamped
+        #: with the generation they are coherent with.
+        self.generation = 0
+        self._stats: Dict[str, int] = {
+            "snapshot_builds": 0,
+            "network_builds": 0,
+            "interpreter_builds": 0,
+            "invalidations": 0,
+            "events_applied": 0,
+        }
 
     # ------------------------------------------------------------------ DDL
 
@@ -88,8 +140,17 @@ class PrimaEngine:
 
     def store_atom(self, atom_type_name: str, identifier: Optional[str] = None, **values) -> Atom:
         """Insert (or replace) an atom — basic-component write operation."""
-        atom = self._atom_store(atom_type_name).store(values, identifier=identifier)
-        self._invalidate()
+        store = self._atom_store(atom_type_name)
+        atom = store.store(values, identifier=identifier)
+        if self._maintainable():
+            with self._mirror():
+                atom_type = self._snapshot.atyp(atom_type_name)
+                if atom_type.get(atom.identifier) is None:
+                    atom_type.add(atom)
+                else:
+                    atom_type.replace(atom)
+        else:
+            self._after_write()
         return atom
 
     def get_atom(self, atom_type_name: str, identifier: str) -> Optional[Atom]:
@@ -105,12 +166,28 @@ class PrimaEngine:
         return self._atom_store(atom_type_name).scan()
 
     def connect(self, link_type_name: str, first: "Atom | str", second: "Atom | str") -> Link:
-        """Insert a link — basic-component write operation."""
+        """Insert a link — basic-component write operation.
+
+        Cardinality restrictions live on the snapshot's link types, not the
+        stores; when the mirror rejects the link the store write is undone
+        before re-raising, so store and snapshot can never diverge.
+        """
         store = self._link_store(link_type_name)
         first_id = first.identifier if isinstance(first, Atom) else first
         second_id = second.identifier if isinstance(second, Atom) else second
+        probe = Link(link_type_name, first_id, second_id, store.first_type, store.second_type)
+        existed = probe in store
         link = store.store(first_id, second_id)
-        self._invalidate()
+        if self._maintainable():
+            try:
+                with self._mirror():
+                    self._snapshot.ltyp(link_type_name).connect(first_id, second_id)
+            except Exception:
+                if not existed:
+                    store.delete(link)
+                raise
+        else:
+            self._after_write()
         return link
 
     def neighbours(self, link_type_name: str, identifier: str) -> Tuple[str, ...]:
@@ -124,7 +201,15 @@ class PrimaEngine:
         for store in self._link_stores.values():
             if atom_type_name in (store.first_type, store.second_type):
                 removed += store.delete_atom(identifier)
-        self._invalidate()
+        if self._maintainable():
+            with self._mirror():
+                for link_type in self._snapshot.link_types_of(atom_type_name):
+                    link_type.remove_atom(identifier)
+                atom_type = self._snapshot.atyp(atom_type_name)
+                if atom_type.get(identifier) is not None:
+                    atom_type.remove(identifier)
+        else:
+            self._after_write()
         return removed
 
     # --------------------------------------------- molecule-processing layer
@@ -132,9 +217,13 @@ class PrimaEngine:
     def to_database(self) -> Database:
         """Export a :class:`Database` snapshot of the current engine contents.
 
-        The snapshot is cached and invalidated on every write, so repeated
-        molecule queries over an unchanged engine reuse it.
+        The snapshot is cached; in incremental mode it is maintained in place
+        across writes (the engine subscribes to its change events), so
+        repeated molecule queries over a mutating engine never re-export.
+        Mutations applied directly to the snapshot — e.g. by MQL DML write
+        plans or the manipulation API — are mirrored back into the stores.
         """
+        self._check_dirty()
         if self._snapshot is not None:
             return self._snapshot
         db = Database(self.name)
@@ -154,7 +243,9 @@ class PrimaEngine:
                 first, second = link.given_order
                 link_type.add(Link(store.link_type_name, first, second, store.first_type, store.second_type))
             db.add_link_type(link_type)
+        db.subscribe(self._listener_for(db))
         self._snapshot = db
+        self._stats["snapshot_builds"] += 1
         return db
 
     def define_molecule_type(
@@ -171,7 +262,10 @@ class PrimaEngine:
 
         Statements run through the planner → streaming-executor pipeline by
         default; ``optimize=False`` executes the literal α→Σ→Π translation
-        through the materializing molecule algebra instead.
+        through the materializing molecule algebra instead.  DML statements
+        (INSERT / DELETE / MODIFY) execute atomically against the snapshot;
+        every change is mirrored into the stores and folded into the cached
+        access structures.
         """
         return self.interpreter().execute(statement, optimize=optimize)
 
@@ -189,33 +283,159 @@ class PrimaEngine:
         The interpreter's executor answers pushed-down equality filters
         through hash indexes built (on demand, then cached) from the same
         snapshot it queries, and traverses the cached atom network during the
-        hierarchical join.  All caches are invalidated on writes; the live
-        store indexes are deliberately *not* shared, so an interpreter held
-        across writes keeps consistent snapshot semantics.
+        hierarchical join.  In incremental mode writes are folded into those
+        structures in place; in rebuild mode any write discards them and this
+        method rebuilds everything on its next call.
         """
+        self._check_dirty()
         if self._interpreter is None:
             from repro.engine.executor import Executor, IndexPool
             from repro.mql.interpreter import MQLInterpreter
 
             database = self.to_database()
+            self._index_pool = IndexPool(database)
+            self._index_pool.generation = self.generation
             executor = Executor(
-                database, indexes=IndexPool(database), network=self.network()
+                database, indexes=self._index_pool, network=self.network()
             )
             self._interpreter = MQLInterpreter(database, executor=executor)
+            self._stats["interpreter_builds"] += 1
         return self._interpreter
 
     def network(self) -> AtomNetwork:
-        """Return the (cached) atom-network view of the current contents."""
+        """Return the (cached, incrementally maintained) atom-network view."""
+        self._check_dirty()
         if self._network is None:
             self._network = AtomNetwork(self.to_database())
+            self._stats["network_builds"] += 1
         return self._network
+
+    # -------------------------------------------------- cache maintenance
+
+    def _maintainable(self) -> bool:
+        """``True`` when a write can be folded into a live snapshot in place."""
+        return (
+            self.maintenance == INCREMENTAL
+            and not self._dirty
+            and self._snapshot is not None
+        )
+
+    @contextmanager
+    def _mirror(self):
+        """Mark snapshot mutations that originated from a store write.
+
+        Inside the guard, :meth:`_on_change` skips the store mirror (the
+        store was already written) but still maintains the derived caches.
+        """
+        self._mirroring = True
+        try:
+            yield
+        finally:
+            self._mirroring = False
+
+    def _listener_for(self, snapshot: Database) -> Listener:
+        """A change listener that remembers which snapshot it watches.
+
+        Snapshots are never unsubscribed: a write through a *stale* handle
+        (one the engine has since discarded) must still reach the stores —
+        it just degrades to invalidate-on-next-read instead of incremental
+        maintenance, because the current caches never saw it.
+        """
+
+        def listener(event: ChangeEvent, _source: Database = snapshot) -> None:
+            self._on_change(event, _source)
+
+        return listener
+
+    def _on_change(self, event: ChangeEvent, source: Database) -> None:
+        """Fold one snapshot change event into stores and cached structures."""
+        self.generation += 1
+        self._stats["events_applied"] += 1
+        if not self._mirroring:
+            self._mirror_to_stores(event)
+        if source is not self._snapshot or self.maintenance == REBUILD:
+            # Stale-handle write, or the invalidate-everything baseline:
+            # the stores are up to date, the caches are not — defer the
+            # teardown to the next read so a running DML statement keeps
+            # its snapshot.
+            self._dirty = True
+            return
+        if self._network is not None:
+            self._network.apply_event(event)
+        if self._index_pool is not None:
+            self._index_pool.apply_event(event, generation=self.generation)
+        if self._interpreter is not None:
+            self._interpreter.apply_event(event)
+
+    def _mirror_to_stores(self, event: ChangeEvent) -> None:
+        """Replay a snapshot-originated mutation on the backing stores."""
+        if event.kind in (ATOM_INSERTED, ATOM_MODIFIED):
+            store = self._atom_stores.get(event.type_name)
+            if store is not None:
+                store.store(event.atom)
+        elif event.kind == ATOM_DELETED:
+            store = self._atom_stores.get(event.type_name)
+            if store is not None and event.atom.identifier in store:
+                store.delete(event.atom.identifier)
+        elif event.kind == LINK_CONNECTED:
+            store = self._link_stores.get(event.type_name)
+            if store is not None:
+                first, second = event.link.given_order
+                store.store(first, second)
+        elif event.kind == LINK_DISCONNECTED:
+            store = self._link_stores.get(event.type_name)
+            if store is not None:
+                store.delete(event.link)
+
+    def _after_write(self) -> None:
+        """Account a store write that has no live snapshot to maintain."""
+        self.generation += 1
+        if self.maintenance == REBUILD:
+            self._dirty = True
+
+    def _check_dirty(self) -> None:
+        """Tear down invalidated caches before serving a read."""
+        if self._dirty:
+            self._invalidate()
+            self._dirty = False
+
+    def _invalidate(self) -> None:
+        """Discard every cached access structure (DDL and rebuild mode).
+
+        The discarded snapshot deliberately stays subscribed: writes through
+        a stale handle keep reaching the stores (see :meth:`_listener_for`).
+        """
+        self._snapshot = None
+        self._network = None
+        self._interpreter = None
+        self._index_pool = None
+        self._stats["invalidations"] += 1
+
+    def maintenance_statistics(self) -> Dict[str, int]:
+        """Build/rebuild counters plus the current write generation.
+
+        ``snapshot_builds`` / ``network_builds`` / ``interpreter_builds``
+        count full (re)constructions — in incremental steady state they stay
+        at 1 while ``events_applied`` grows; ``index_generation`` equals
+        ``generation`` whenever the executor's index pool is coherent.
+        """
+        report = dict(self._stats)
+        report["generation"] = self.generation
+        report["network_rebuilds"] = self._network.rebuilds if self._network is not None else 0
+        report["index_builds"] = self._index_pool.builds if self._index_pool is not None else 0
+        report["index_generation"] = (
+            self._index_pool.generation if self._index_pool is not None else 0
+        )
+        return report
 
     # ------------------------------------------------------------- loading
 
     @classmethod
-    def from_database(cls, database: Database, name: Optional[str] = None) -> "PrimaEngine":
+    def from_database(
+        cls, database: Database, name: Optional[str] = None, maintenance: str = INCREMENTAL
+    ) -> "PrimaEngine":
         """Bulk-load an engine from an existing database."""
-        engine = cls(name or database.name)
+        engine = cls(name or database.name, maintenance=maintenance)
         for atom_type in database.atom_types:
             store = engine.create_atom_type(atom_type.name, atom_type.description)
             for atom in atom_type:
@@ -261,13 +481,8 @@ class PrimaEngine:
         except KeyError as exc:
             raise UnknownNameError(f"unknown link type {name!r}") from exc
 
-    def _invalidate(self) -> None:
-        self._snapshot = None
-        self._network = None
-        self._interpreter = None
-
     def __repr__(self) -> str:
         return (
             f"PrimaEngine({self.name!r}, atom_types={len(self._atom_stores)}, "
-            f"link_types={len(self._link_stores)})"
+            f"link_types={len(self._link_stores)}, maintenance={self.maintenance!r})"
         )

@@ -8,9 +8,17 @@ link-degree statistics reported by the Fig. 1 benchmark.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.database import Database
+from repro.core.events import (
+    ATOM_DELETED,
+    ATOM_INSERTED,
+    ATOM_MODIFIED,
+    LINK_CONNECTED,
+    LINK_DISCONNECTED,
+    ChangeEvent,
+)
 from repro.core.link import Link
 
 
@@ -22,17 +30,26 @@ class AtomNetwork:
     executor uses as its neighbour-traversal access path during the
     hierarchical join: the storage engine shares one cached network across all
     queries over an unchanged database.
+
+    The view is maintainable **incrementally**: :meth:`apply_event` folds one
+    occurrence-level change event into the adjacency and incidence maps, so
+    the storage engine never rebuilds the network on writes (:attr:`rebuilds`
+    counts the full :meth:`refresh` passes that did happen).
     """
 
     def __init__(self, database: Database) -> None:
         self.database = database
         self._adjacency: Dict[str, Set[str]] = {}
         self._type_of: Dict[str, str] = {}
-        self._links_by_type: Dict[str, Dict[str, Sequence[Link]]] = {}
+        # Incidence buckets are sets — O(1) under incremental link maintenance
+        # and the same unordered semantics LinkType.links_of hands out.
+        self._links_by_type: Dict[str, Dict[str, Set[Link]]] = {}
+        self.rebuilds = 0
         self.refresh()
 
     def refresh(self) -> None:
         """Rebuild the adjacency view from the current database state."""
+        self.rebuilds += 1
         self._adjacency = {}
         self._type_of = {}
         self._links_by_type = {}
@@ -47,14 +64,67 @@ class AtomNetwork:
                 first, last = ids[0], ids[-1]
                 self._adjacency.setdefault(first, set()).add(last)
                 self._adjacency.setdefault(last, set()).add(first)
-                incidence.setdefault(first, []).append(link)
+                incidence.setdefault(first, set()).add(link)
                 if last != first:
-                    incidence.setdefault(last, []).append(link)
-        # Freeze the incidence lists so links_via can hand them out without
-        # copying on the hierarchical-join hot path.
+                    incidence.setdefault(last, set()).add(link)
+
+    # ------------------------------------------------- incremental maintenance
+
+    def apply_event(self, event: ChangeEvent) -> None:
+        """Fold one change event into the adjacency/incidence view.
+
+        Link events must arrive in mutation order (links are disconnected
+        before their endpoint atoms are deleted — every write path in the
+        system does this), which keeps the view exact without rescans.
+        Atom modifications are no-ops: identity and links are preserved.
+        """
+        if event.kind == ATOM_INSERTED:
+            self._adjacency.setdefault(event.atom.identifier, set())
+            self._type_of[event.atom.identifier] = event.type_name
+        elif event.kind == ATOM_DELETED:
+            identifier = event.atom.identifier
+            for neighbour in self._adjacency.pop(identifier, ()):
+                bucket = self._adjacency.get(neighbour)
+                if bucket is not None:
+                    bucket.discard(identifier)
+            self._type_of.pop(identifier, None)
+        elif event.kind == LINK_CONNECTED:
+            link = event.link
+            ids = tuple(link.identifiers)
+            first, last = ids[0], ids[-1]
+            self._adjacency.setdefault(first, set()).add(last)
+            self._adjacency.setdefault(last, set()).add(first)
+            incidence = self._links_by_type.setdefault(event.type_name, {})
+            for identifier in {first, last}:
+                incidence.setdefault(identifier, set()).add(link)
+        elif event.kind == LINK_DISCONNECTED:
+            link = event.link
+            ids = tuple(link.identifiers)
+            first, last = ids[0], ids[-1]
+            incidence = self._links_by_type.get(event.type_name, {})
+            for identifier in {first, last}:
+                bucket = incidence.get(identifier)
+                if bucket is not None:
+                    bucket.discard(link)
+                    if not bucket:
+                        del incidence[identifier]
+            if first != last and not self._still_connected(first, last):
+                bucket = self._adjacency.get(first)
+                if bucket is not None:
+                    bucket.discard(last)
+                bucket = self._adjacency.get(last)
+                if bucket is not None:
+                    bucket.discard(first)
+        elif event.kind != ATOM_MODIFIED:  # pragma: no cover - future kinds
+            self.refresh()
+
+    def _still_connected(self, first: str, last: str) -> bool:
+        """``True`` when any remaining link (of any type) joins *first* and *last*."""
         for incidence in self._links_by_type.values():
-            for identifier, links in incidence.items():
-                incidence[identifier] = tuple(links)
+            for link in incidence.get(first, ()):
+                if link.other(first) == last:
+                    return True
+        return False
 
     # ------------------------------------------------------------- structure
 
@@ -62,12 +132,13 @@ class AtomNetwork:
         """Atoms directly connected to *identifier* through any link type."""
         return frozenset(self._adjacency.get(identifier, ()))
 
-    def links_via(self, link_type_name: str, identifier: str) -> Optional[Tuple[Link, ...]]:
-        """The links of *link_type_name* incident to *identifier*.
+    def links_via(self, link_type_name: str, identifier: str) -> "Optional[Iterable[Link]]":
+        """The links of *link_type_name* incident to *identifier* (unordered).
 
         Returns ``None`` when the link type is not part of this network (the
         caller should fall back to the link type's own incidence lists), and
-        an empty tuple when the atom simply has no such links.
+        an empty collection when the atom simply has no such links.  The
+        returned bucket is the live one — callers iterate, never mutate.
         """
         incidence = self._links_by_type.get(link_type_name)
         if incidence is None:

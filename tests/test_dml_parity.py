@@ -1,0 +1,236 @@
+"""DML parity: MQL statements and the programmatic manipulation API must
+produce byte-identical database states.
+
+Both entry points run the same physical write operators inside the same
+undo-logged transaction machinery, so after equivalent operation sequences
+the two databases must agree *exactly* — same atom identifiers, same values,
+same link pairs.  States are compared through a canonical JSON serialization
+(the "byte-identical" check), with the surrogate-identifier counter reset
+before each side so generated identifiers line up.
+
+Covers the geography and bill-of-materials datasets plus hypothesis sweeps
+of random insert/delete/modify interleavings.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.atom import reset_surrogate_counter
+from repro.core.database import Database
+from repro.core.molecule import MoleculeTypeDescription
+from repro.core.molecule_algebra import molecule_type_definition
+from repro.core.recursion import RecursiveDescription, recursive_molecule_type
+from repro.datasets.bill_of_materials import build_bill_of_materials
+from repro.datasets.geography import load_geography
+from repro.manipulation import delete_molecule, insert_molecule, modify_atom
+from repro.mql import execute
+
+
+def canonical_state(db: Database) -> str:
+    """A canonical, byte-comparable serialization of a database's occurrence."""
+    state = {
+        "atoms": {
+            atom_type.name: {
+                atom.identifier: {k: repr(v) for k, v in sorted(atom.values.items())}
+                for atom in atom_type
+            }
+            for atom_type in db.atom_types
+        },
+        "links": {
+            link_type.name: sorted(
+                "--".join(sorted(link.identifiers)) for link in link_type
+            )
+            for link_type in db.link_types
+        },
+    }
+    return json.dumps(state, sort_keys=True)
+
+
+OEUVRE = MoleculeTypeDescription(["author", "book"], [("wrote", "author", "book")])
+
+
+def build_library() -> Database:
+    db = Database("lib")
+    db.define_atom_type("author", {"name": "string", "country": "string"})
+    db.define_atom_type("book", {"title": "string", "year": "integer"})
+    db.define_link_type("wrote", "author", "book")
+    a1 = db.insert_atom("author", identifier="a1", name="Codd", country="UK")
+    a2 = db.insert_atom("author", identifier="a2", name="Ullman", country="US")
+    b1 = db.insert_atom("book", identifier="b1", title="Relational Model", year=1970)
+    b2 = db.insert_atom("book", identifier="b2", title="Principles", year=1980)
+    b3 = db.insert_atom("book", identifier="b3", title="Survey", year=1985)
+    db.connect("wrote", a1, b1)
+    db.connect("wrote", a2, b2)
+    db.connect("wrote", a1, b3)
+    db.connect("wrote", a2, b3)
+    return db
+
+
+class TestGeographyParity:
+    def test_insert_parity(self):
+        data = {
+            "name": "Tocantins",
+            "code": "TO",
+            "hectare": 500,
+            "area": [{"area_id": "a_to", "kind": "state-border"}],
+        }
+        reset_surrogate_counter()
+        via_mql = load_geography()
+        execute(
+            via_mql,
+            "INSERT state - area VALUES {name: 'Tocantins', code: 'TO', hectare: 500, "
+            "area: {area_id: 'a_to', kind: 'state-border'}};",
+        )
+        reset_surrogate_counter()
+        via_api = load_geography()
+        insert_molecule(
+            via_api,
+            MoleculeTypeDescription(["state", "area"], [("state-area", "state", "area")]),
+            data,
+        )
+        assert canonical_state(via_mql) == canonical_state(via_api)
+
+    @pytest.mark.parametrize("cascade", [False, True])
+    def test_delete_parity(self, cascade):
+        via_mql = load_geography()
+        keyword = "CASCADE " if cascade else ""
+        execute(
+            via_mql,
+            f"DELETE {keyword}FROM state - area - edge - point WHERE state.code = 'SP';",
+        )
+        via_api = load_geography()
+        description = MoleculeTypeDescription(
+            ["state", "area", "edge", "point"],
+            [
+                ("state-area", "state", "area"),
+                ("area-edge", "area", "edge"),
+                ("edge-point", "edge", "point"),
+            ],
+        )
+        mt = molecule_type_definition(via_api, "mt_state", description)
+        for molecule in mt.find(code="SP"):
+            delete_molecule(via_api, molecule, cascade=cascade)
+        assert canonical_state(via_mql) == canonical_state(via_api)
+
+    def test_modify_parity(self):
+        via_mql = load_geography()
+        execute(via_mql, "MODIFY state FROM state - area SET hectare = 42 WHERE hectare > 700;")
+        via_api = load_geography()
+        for atom in [a for a in via_api.atyp("state") if a["hectare"] > 700]:
+            modify_atom(via_api, "state", atom.identifier, hectare=42)
+        assert canonical_state(via_mql) == canonical_state(via_api)
+
+
+class TestBillOfMaterialsParity:
+    def test_recursive_delete_parity(self):
+        via_mql = build_bill_of_materials(depth=2, fan_out=2, n_roots=2, share_every=2)
+        execute(
+            via_mql,
+            "DELETE FROM RECURSIVE part [composition] DOWN WHERE part.part_no = 'P00001';",
+        )
+        via_api = build_bill_of_materials(depth=2, fan_out=2, n_roots=2, share_every=2)
+        description = RecursiveDescription("part", "composition", "down", None)
+        mt = recursive_molecule_type(via_api, "assembly", description)
+        for molecule in mt:
+            if molecule.root_atom["part_no"] == "P00001":
+                delete_molecule(via_api, molecule)
+        assert canonical_state(via_mql) == canonical_state(via_api)
+
+    def test_recursive_modify_parity(self):
+        via_mql = build_bill_of_materials(depth=3, fan_out=2, n_roots=1)
+        execute(
+            via_mql,
+            "MODIFY part FROM RECURSIVE part [composition] DOWN SET cost = 1.5 "
+            "WHERE part.level = 1;",
+        )
+        via_api = build_bill_of_materials(depth=3, fan_out=2, n_roots=1)
+        description = RecursiveDescription("part", "composition", "down", None)
+        mt = recursive_molecule_type(via_api, "assembly", description)
+        seen = set()
+        for molecule in mt:
+            # WHERE has existential semantics: a molecule qualifies when some
+            # component atom satisfies the comparison.
+            if not any(atom["level"] == 1 for atom in molecule.atoms):
+                continue
+            for atom in molecule.atoms:
+                if atom.identifier not in seen:
+                    seen.add(atom.identifier)
+                    modify_atom(via_api, "part", atom.identifier, cost=1.5)
+        assert canonical_state(via_mql) == canonical_state(via_api)
+
+
+# ----------------------------------------------------------- hypothesis sweep
+
+NAMES = ["Date", "Gray", "Stonebraker", "Chen"]
+
+operation = st.one_of(
+    st.tuples(st.just("insert"), st.sampled_from(NAMES), st.integers(0, 3)),
+    st.tuples(st.just("delete"), st.sampled_from(NAMES + ["Codd", "Ullman"]), st.booleans()),
+    st.tuples(
+        st.just("modify"), st.sampled_from(NAMES + ["Codd", "Ullman"]), st.integers(1990, 1995)
+    ),
+)
+
+
+def apply_via_mql(db: Database, op) -> None:
+    kind, name, arg = op
+    if kind == "insert":
+        books = ", ".join(
+            "{title: '%s-%d', year: %d}" % (name, i, 2000 + i) for i in range(arg)
+        )
+        values = "{name: '%s', country: 'XX'%s}" % (
+            name,
+            ", book: (%s)" % books if books else "",
+        )
+        execute(db, f"INSERT author - book VALUES {values};")
+    elif kind == "delete":
+        keyword = "CASCADE " if arg else ""
+        execute(db, f"DELETE {keyword}FROM author - book WHERE author.name = '{name}';")
+    else:
+        execute(
+            db,
+            f"MODIFY book FROM author - book SET year = {arg} WHERE author.name = '{name}';",
+        )
+
+
+def apply_via_api(db: Database, op) -> None:
+    kind, name, arg = op
+    if kind == "insert":
+        data = {
+            "name": name,
+            "country": "XX",
+            "book": [{"title": f"{name}-{i}", "year": 2000 + i} for i in range(arg)],
+        }
+        insert_molecule(db, OEUVRE, data)
+    elif kind == "delete":
+        mt = molecule_type_definition(db, "oeuvre", OEUVRE)
+        for molecule in mt.find(name=name):
+            delete_molecule(db, molecule, cascade=arg)
+    else:
+        mt = molecule_type_definition(db, "oeuvre", OEUVRE)
+        seen = set()
+        for molecule in mt.find(name=name):
+            for atom in molecule.atoms_of_type("book"):
+                if atom.identifier not in seen:
+                    seen.add(atom.identifier)
+                    modify_atom(db, "book", atom.identifier, year=arg)
+
+
+class TestRandomInterleavings:
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=st.lists(operation, min_size=1, max_size=8))
+    def test_random_dml_sequences_agree(self, ops):
+        reset_surrogate_counter()
+        via_mql = build_library()
+        for op in ops:
+            apply_via_mql(via_mql, op)
+        reset_surrogate_counter()
+        via_api = build_library()
+        for op in ops:
+            apply_via_api(via_api, op)
+        assert canonical_state(via_mql) == canonical_state(via_api)
+        via_mql.validate()

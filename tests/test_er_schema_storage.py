@@ -200,13 +200,25 @@ class TestStorage:
         )
         assert len(molecule_type) == 10
 
-    def test_engine_snapshot_invalidation(self):
+    def test_engine_snapshot_maintained_incrementally(self):
         engine = PrimaEngine("e")
         engine.create_atom_type("a", {"x": "integer"})
         first = engine.to_database()
         assert engine.to_database() is first  # cached
         engine.store_atom("a", x=1)
+        # Incremental maintenance keeps the same snapshot object, updated in
+        # place — no re-export on writes.
+        assert engine.to_database() is first
+        assert len(first.atyp("a")) == 1
+
+    def test_engine_snapshot_invalidation_in_rebuild_mode(self):
+        engine = PrimaEngine("e", maintenance="rebuild")
+        engine.create_atom_type("a", {"x": "integer"})
+        first = engine.to_database()
+        assert engine.to_database() is first  # cached
+        engine.store_atom("a", x=1)
         assert engine.to_database() is not first  # invalidated by the write
+        assert len(engine.to_database().atyp("a")) == 1
 
     def test_engine_ddl_errors(self):
         engine = PrimaEngine("e")

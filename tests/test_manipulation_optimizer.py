@@ -121,6 +121,17 @@ class TestTransactions:
         assert tiny_db.atom_count() == before_atoms
         assert tiny_db.link_count() == before_links
 
+    def test_connect_existing_link_survives_rollback_and_stays_typed(self, tiny_db):
+        """Re-connecting a linked pair records no undo and returns a typed link."""
+        with pytest.raises(RuntimeError):
+            with Transaction(tiny_db) as txn:
+                link = txn.connect("wrote", "a1", "b1")  # pre-existing
+                assert link.endpoint_of_type("author") == "a1"
+                assert link.endpoint_of_type("book") == "b1"
+                raise RuntimeError("boom")
+        # The rollback must not have removed the pre-existing link.
+        assert "b1" in tiny_db.ltyp("wrote").partners_of("a1")
+
     def test_explicit_rollback_of_delete_and_modify(self, tiny_db):
         txn = Transaction(tiny_db)
         txn.begin()

@@ -1,0 +1,322 @@
+"""MQL DML: grammar, translation, atomic execution and EXPLAIN reporting.
+
+Covers the three manipulation statements of the write pipeline:
+
+* ``INSERT <structure> VALUES {…}`` — nested object literals, shared
+  subobjects via ``_id``, semantic rejection of unknown keys;
+* ``DELETE [CASCADE] [name] FROM <structure> [WHERE …]`` — the qualifying
+  read is a full molecule query the planner optimizes;
+* ``MODIFY <atom type> FROM <structure> SET … [WHERE …]`` — in-place updates
+  preserving atom identity.
+
+Every statement is atomic: a failure halfway through (the partial-insert
+regression of the write-pipeline issue) must leave no orphan atoms or
+dangling links.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.bill_of_materials import build_bill_of_materials
+from repro.exceptions import MADError, ManipulationError, MQLSemanticError, MQLSyntaxError
+from repro.mql import execute, parse
+from repro.mql.ast_nodes import (
+    DeleteStatement,
+    ExplainStatement,
+    InsertStatement,
+    ModifyStatement,
+)
+from repro.storage.engine import PrimaEngine
+
+
+class TestDMLParsing:
+    def test_parse_insert(self):
+        ast = parse(
+            "INSERT author - book VALUES {name: 'Date', country: 'UK', "
+            "book: {title: 'Intro', year: 1990}};"
+        )
+        assert isinstance(ast, InsertStatement)
+        assert ast.data["name"] == "Date"
+        assert ast.data["book"] == {"title": "Intro", "year": 1990}
+
+    def test_parse_insert_child_list_and_literals(self):
+        ast = parse(
+            "INSERT author - book VALUES {name: 'D', active: TRUE, balance: -2.5, "
+            "book: ({title: 'A', year: 1}, {_id: 'b3'})};"
+        )
+        assert ast.data["active"] is True
+        assert ast.data["balance"] == -2.5
+        assert ast.data["book"] == [{"title": "A", "year": 1}, {"_id": "b3"}]
+
+    def test_parse_insert_named_structure(self):
+        ast = parse("INSERT oeuvre(author - book) VALUES {name: 'X'};")
+        assert ast.from_clause.molecule_name == "oeuvre"
+
+    def test_parse_delete_with_molecule_name_and_cascade(self):
+        ast = parse("DELETE CASCADE oeuvre FROM author - book WHERE author.name = 'X';")
+        assert isinstance(ast, DeleteStatement)
+        assert ast.cascade is True
+        assert ast.from_clause.molecule_name == "oeuvre"
+        assert ast.where is not None
+
+    def test_parse_modify(self):
+        ast = parse(
+            "MODIFY book FROM author - book SET year = 2001, title = 'New' "
+            "WHERE author.name = 'Codd';"
+        )
+        assert isinstance(ast, ModifyStatement)
+        assert ast.target == "book"
+        assert [(a.attribute.attribute, a.value) for a in ast.assignments] == [
+            ("year", 2001),
+            ("title", "New"),
+        ]
+
+    def test_modify_attribute_named_identifier(self):
+        """Regression: attribute names colliding with parameter names work."""
+        from repro.core.database import Database
+
+        db = Database("docs")
+        db.define_atom_type("doc", {"identifier": "string", "body": "string"})
+        db.atyp("doc").add({"identifier": "X", "body": "b"}, identifier="d1")
+        result = execute(db, "MODIFY doc FROM doc SET identifier = 'Z';")
+        assert result.write_summary.atoms_modified == 1
+        assert db.atyp("doc").get("d1")["identifier"] == "Z"
+
+    def test_negative_literals_in_where_and_set(self, tiny_db):
+        """Regression: the WHERE grammar accepts the same literals as SET."""
+        execute(tiny_db, "MODIFY book FROM author - book SET year = -5 WHERE year = -1;")
+        execute(tiny_db, "MODIFY book FROM author - book SET year = 3 WHERE year = -5;")
+        result = execute(tiny_db, "SELECT ALL FROM author - book WHERE book.year = 3;")
+        assert len(result) == 0  # no book ever had year -1, so nothing changed
+
+    def test_parse_explain_dml(self):
+        ast = parse("EXPLAIN DELETE FROM author - book WHERE author.name = 'X';")
+        assert isinstance(ast, ExplainStatement)
+        assert isinstance(ast.statement, DeleteStatement)
+
+    def test_syntax_errors(self):
+        with pytest.raises(MQLSyntaxError):
+            parse("INSERT author - book {name: 'X'};")  # missing VALUES
+        with pytest.raises(MQLSyntaxError):
+            parse("INSERT author VALUES {name 'X'};")  # missing colon
+        with pytest.raises(MQLSyntaxError):
+            parse("MODIFY book FROM author - book SET year > 2001;")  # not '='
+        with pytest.raises(MQLSyntaxError):
+            parse("DELETE author - book;")  # missing FROM
+
+    def test_semantic_errors(self, tiny_db):
+        with pytest.raises(MQLSemanticError):
+            execute(tiny_db, "INSERT author - book VALUES {isbn: '1'};")
+        with pytest.raises(MQLSemanticError):
+            execute(tiny_db, "MODIFY state FROM author - book SET name = 'X';")
+        with pytest.raises(MQLSemanticError):
+            execute(tiny_db, "MODIFY book FROM author - book SET publisher = 'P';")
+        with pytest.raises(MQLSemanticError):
+            execute(tiny_db, "DELETE FROM nowhere - book;")
+
+
+class TestDMLExecution:
+    def test_insert_round_trip(self, tiny_db):
+        result = execute(
+            tiny_db,
+            "INSERT author - book VALUES {name: 'Date', country: 'UK', "
+            "book: {title: 'Intro', year: 1990}};",
+        )
+        assert result.write_summary.operation == "insert"
+        assert result.write_summary.atoms_inserted == 2
+        assert result.write_summary.links_inserted == 1
+        assert result.affected_count == 1
+        molecule = result.molecules[0]
+        assert molecule.root_atom["name"] == "Date"
+        assert len(tiny_db.atyp("author")) == 3
+        follow_up = execute(tiny_db, "SELECT ALL FROM author - book WHERE author.name = 'Date';")
+        assert len(follow_up) == 1
+
+    def test_insert_shared_subobject(self, tiny_db):
+        execute(
+            tiny_db,
+            "INSERT author - book VALUES {name: 'Date', country: 'UK', book: {_id: 'b3'}};",
+        )
+        assert len(tiny_db.atyp("book")) == 3  # b3 reused, not copied
+        assert len(tiny_db.ltyp("wrote").links_of("b3")) == 3
+
+    def test_delete_keeps_shared_subobjects(self, tiny_db):
+        result = execute(tiny_db, "DELETE FROM author - book WHERE author.name = 'Ullman';")
+        assert result.write_summary.molecules_affected == 1
+        assert result.write_summary.atoms_removed == 2  # a2 and exclusive b2
+        assert result.write_summary.atoms_kept == 1  # shared b3 survives
+        assert tiny_db.atyp("book").get("b3") is not None
+        assert tiny_db.atyp("author").get("a2") is None
+        tiny_db.validate()
+
+    def test_delete_cascade(self, tiny_db):
+        execute(tiny_db, "DELETE CASCADE FROM author - book WHERE author.name = 'Ullman';")
+        assert tiny_db.atyp("book").get("b3") is None
+        tiny_db.validate()
+
+    def test_delete_without_where_deletes_all(self, tiny_db):
+        result = execute(tiny_db, "DELETE FROM author - book;")
+        assert result.write_summary.molecules_affected == 2
+        assert len(tiny_db.atyp("author")) == 0
+        assert len(tiny_db.ltyp("wrote")) == 0
+
+    def test_modify_preserves_identity_and_links(self, tiny_db):
+        result = execute(
+            tiny_db,
+            "MODIFY book FROM author - book SET year = 1986 WHERE author.name = 'Codd';",
+        )
+        # Codd wrote b1 and the shared b3; both belong to the qualifying molecule.
+        assert result.write_summary.atoms_modified == 2
+        assert tiny_db.atyp("book").get("b1")["year"] == 1986
+        assert tiny_db.atyp("book").get("b3")["year"] == 1986
+        assert len(tiny_db.ltyp("wrote").links_of("b3")) == 2
+
+    def test_modify_shared_atom_updated_once(self, tiny_db):
+        result = execute(tiny_db, "MODIFY book FROM author - book SET year = 2000;")
+        # b3 occurs in both molecules but is modified exactly once.
+        assert result.write_summary.atoms_modified == 3
+        assert result.write_summary.molecules_affected == 2
+
+    def test_recursive_delete_and_modify(self):
+        bom = build_bill_of_materials(depth=2, fan_out=2, n_roots=2)
+        execute(
+            bom,
+            "MODIFY part FROM RECURSIVE part [composition] DOWN SET cost = 1.0 "
+            "WHERE part.part_no = 'P00001';",
+        )
+        # The whole sub-assembly of P00001 was updated, other roots untouched.
+        touched = [a for a in bom.atyp("part") if a["cost"] == 1.0]
+        assert len(touched) == 7
+        result = execute(
+            bom,
+            "DELETE FROM RECURSIVE part [composition] DOWN WHERE part.part_no = 'P00001';",
+        )
+        assert result.write_summary.molecules_affected == 1
+        assert bom.atyp("part").get("P00001") is None
+        bom.validate()
+
+
+class TestDMLAtomicity:
+    def test_partial_insert_rolls_back_completely(self, tiny_db):
+        """Regression: a failed insert must leave no orphan atoms or links.
+
+        The first child is valid and gets created; the second violates the
+        ``year`` integer domain at execution time (the statement is
+        semantically well-formed), which must undo the root, the first child
+        and every link.
+        """
+        atoms_before = tiny_db.atom_count()
+        links_before = tiny_db.link_count()
+        with pytest.raises(MADError):
+            execute(
+                tiny_db,
+                "INSERT author - book VALUES {name: 'Date', country: 'UK', "
+                "book: ({title: 'Good', year: 1990}, {title: 'Bad', year: 'not-a-year'})};",
+            )
+        assert tiny_db.atom_count() == atoms_before
+        assert tiny_db.link_count() == links_before
+        tiny_db.validate()
+
+    def test_partial_insert_rolls_back_on_programmatic_api(self, tiny_db):
+        """The manipulation API rides the same undo log (satellite regression)."""
+        from repro.core.molecule import MoleculeTypeDescription
+        from repro.manipulation import insert_molecule
+
+        description = MoleculeTypeDescription(
+            ["author", "book"], [("wrote", "author", "book")]
+        )
+        atoms_before = tiny_db.atom_count()
+        links_before = tiny_db.link_count()
+        with pytest.raises(MADError):
+            insert_molecule(
+                tiny_db,
+                description,
+                {
+                    "name": "Date",
+                    "country": "UK",
+                    "book": [
+                        {"title": "Good", "year": 1990},
+                        {"title": "Bad", "year": "not-a-year"},
+                    ],
+                },
+            )
+        assert tiny_db.atom_count() == atoms_before
+        assert tiny_db.link_count() == links_before
+        tiny_db.validate()
+
+    def test_failed_modify_changes_nothing(self, tiny_db):
+        with pytest.raises(ManipulationError):
+            execute(tiny_db, "MODIFY book FROM author - book SET year = 'NaN';")
+        assert tiny_db.atyp("book").get("b1")["year"] == 1970
+        assert tiny_db.atyp("book").get("b2")["year"] == 1980
+
+
+class TestDMLExplain:
+    def test_explain_delete_reports_optimized_read(self, tiny_db):
+        atoms_before = tiny_db.atom_count()
+        result = execute(
+            tiny_db, "EXPLAIN DELETE FROM author - book WHERE author.name = 'Codd';"
+        )
+        assert "δ delete" in result.explanation
+        assert "push_down_restriction" in result.explanation
+        assert "root filter" in result.explanation
+        # EXPLAIN must not execute: nothing deleted, empty result.
+        assert tiny_db.atom_count() == atoms_before
+        assert len(result) == 0
+        assert result.plan_choice is not None
+
+    def test_explain_insert_and_modify(self, tiny_db):
+        insert = execute(tiny_db, "EXPLAIN INSERT author - book VALUES {name: 'X'};")
+        assert "ι insert" in insert.explanation
+        modify = execute(
+            tiny_db,
+            "EXPLAIN MODIFY book FROM author - book SET year = 1 WHERE author.name = 'Codd';",
+        )
+        assert "μ modify" in modify.explanation
+        assert modify.plan_choice is not None
+
+
+class TestEngineDML:
+    """All three DML statements round-trip through ``PrimaEngine.query``."""
+
+    @pytest.fixture()
+    def prima(self, geo_db):
+        return PrimaEngine.from_database(geo_db)
+
+    def test_insert_reaches_the_stores(self, prima):
+        result = prima.query(
+            "INSERT state - area VALUES {name: 'Tocantins', code: 'TO', hectare: 500, "
+            "area: {area_id: 'a_to', kind: 'state-border'}};"
+        )
+        assert result.write_summary.atoms_inserted == 2
+        assert len(prima.lookup("state", "code", "TO")) == 1
+        assert len(prima.query("SELECT ALL FROM state-area WHERE state.code = 'TO';")) == 1
+
+    def test_delete_reaches_the_stores(self, prima):
+        before = len(prima.scan("state"))
+        result = prima.query("DELETE FROM state - area WHERE state.code = 'RJ';")
+        assert result.write_summary.molecules_affected == 1
+        assert len(prima.scan("state")) == before - 1
+        assert len(prima.lookup("state", "code", "RJ")) == 0
+
+    def test_modify_reaches_the_stores(self, prima):
+        prima.query("MODIFY state FROM state - area SET hectare = 901 WHERE state.code = 'SP';")
+        assert prima.lookup("state", "code", "SP")[0]["hectare"] == 901
+
+    def test_explain_delete_on_engine(self, prima):
+        result = prima.query("EXPLAIN DELETE FROM state - area WHERE state.code = 'SP';")
+        assert "δ delete" in result.explanation
+        assert "optimized plan" in result.explanation
+        assert len(prima.lookup("state", "code", "SP")) == 1  # not executed
+
+    def test_dml_rollback_keeps_engine_coherent(self, prima):
+        atoms_before = prima.to_database().atom_count()
+        with pytest.raises(MADError):
+            prima.query(
+                "INSERT state - area VALUES {name: 'Bad', code: 'XX', "
+                "hectare: 'not-an-integer'};"
+            )
+        assert prima.to_database().atom_count() == atoms_before
+        assert len(prima.lookup("state", "code", "XX")) == 0
+        assert prima.to_database().is_valid()
