@@ -65,6 +65,12 @@ from repro.core.predicates import (
     conjoin,
     split_conjunction,
 )
+from repro.core.versions import (
+    DatabaseView,
+    Snapshot,
+    VersionChain,
+    VersioningState,
+)
 from repro.core.recursion import (
     RecursiveDescription,
     RecursiveMolecule,
@@ -101,11 +107,15 @@ __all__ = [
     "Not",
     "Or",
     "PredicateFormula",
+    "DatabaseView",
     "RecursiveDescription",
     "RecursiveMolecule",
     "ResultSet",
     "TrueFormula",
+    "Snapshot",
     "TypeGraph",
+    "VersionChain",
+    "VersioningState",
     "attr",
     "conjoin",
     "derive_molecule",

@@ -24,6 +24,7 @@ from repro.core.events import (
     ChangeEmitter,
     ChangeEvent,
 )
+from repro.core.versions import ABSENT, VersionChain, VersioningState
 from repro.exceptions import DuplicateNameError, IntegrityError, SchemaError
 
 _atom_counter = itertools.count(1)
@@ -145,7 +146,15 @@ class AtomType:
     :attr:`name`, :attr:`description` and :attr:`occurrence` properties.
     """
 
-    __slots__ = ("_name", "_description", "_atoms", "_by_identifier", "_emitter")
+    __slots__ = (
+        "_name",
+        "_description",
+        "_atoms",
+        "_by_identifier",
+        "_emitter",
+        "_versioning",
+        "_versions",
+    )
 
     def __init__(
         self,
@@ -160,6 +169,8 @@ class AtomType:
         self._atoms: Dict[str, Atom] = {}
         self._by_identifier = self._atoms  # alias, kept for readability
         self._emitter: Optional[ChangeEmitter] = None
+        self._versioning: Optional[VersioningState] = None
+        self._versions: Dict[str, VersionChain] = {}
         for atom in atoms:
             self.add(atom)
 
@@ -170,9 +181,78 @@ class AtomType:
             self._emitter = ChangeEmitter()
         return self._emitter
 
-    def _emit(self, kind: str, atom: Atom, previous: Optional[Atom] = None) -> None:
+    def _emit(
+        self,
+        kind: str,
+        atom: Atom,
+        previous: Optional[Atom] = None,
+        generation: Optional[int] = None,
+    ) -> None:
         if self._emitter is not None and len(self._emitter):
-            self._emitter.emit(ChangeEvent(kind, self._name, atom=atom, previous=previous))
+            self._emitter.emit(
+                ChangeEvent(
+                    kind, self._name, atom=atom, previous=previous, generation=generation
+                )
+            )
+
+    # -- versioning ----------------------------------------------------------
+
+    def attach_versioning(self, state: VersioningState) -> None:
+        """Tie this type's mutations to a database's version clock.
+
+        Every subsequent mutation ticks the clock; while the state is
+        *recording* (at least one pin active) the pre- and post-states are
+        kept in per-identifier copy-on-write version chains, which
+        :meth:`repro.core.versions.AtomTypeView` resolves for pinned readers.
+        """
+        self._versioning = state
+
+    def _version_mutation(self, identifier: str, payload: object, base: object) -> Optional[int]:
+        """Stamp one head mutation; record it in the version chain if pinned."""
+        state = self._versioning
+        if state is None:
+            return None
+        generation = state.tick()
+        if state.recording:
+            chain = self._versions.get(identifier)
+            if chain is None:
+                chain = VersionChain(base)
+                self._versions[identifier] = chain
+            chain.record(generation, payload)
+        return generation
+
+    def truncate_versions(self, horizon: Optional[int]) -> Tuple[int, int]:
+        """Garbage-collect version chains; returns ``(live, collected)`` entries.
+
+        *horizon* is the oldest generation any pinned reader may still
+        resolve (``None`` means no reader is pinned — all history goes).  A
+        chain whose single remaining entry matches the head state is dropped
+        entirely: it can never disagree with an unversioned read.
+        """
+        if horizon is None:
+            collected = sum(len(chain) for chain in self._versions.values())
+            self._versions.clear()
+            return 0, collected
+        collected = 0
+        live = 0
+        dead = []
+        for identifier, chain in self._versions.items():
+            collected += chain.truncate(horizon)
+            if len(chain) == 1:
+                payload = chain.head()
+                head = self._atoms.get(identifier)
+                if (payload is ABSENT and head is None) or payload is head:
+                    dead.append(identifier)
+                    collected += 1
+                    continue
+            live += len(chain)
+        for identifier in dead:
+            del self._versions[identifier]
+        return live, collected
+
+    def version_statistics(self) -> Tuple[int, int]:
+        """``(chains, entries)`` currently held for this type."""
+        return len(self._versions), sum(len(chain) for chain in self._versions.values())
 
     # -- accessor functions of Definition 1 --------------------------------
 
@@ -211,7 +291,8 @@ class AtomType:
         validated = self._description.validate_values(atom.values)
         stored = Atom(self._name, validated, identifier=atom.identifier)
         self._atoms[stored.identifier] = stored
-        self._emit(ATOM_INSERTED, stored)
+        generation = self._version_mutation(stored.identifier, stored, ABSENT)
+        self._emit(ATOM_INSERTED, stored, generation=generation)
         return stored
 
     def insert(self, identifier: Optional[str] = None, **values: object) -> Atom:
@@ -233,7 +314,8 @@ class AtomType:
         validated = self._description.validate_values(atom.values)
         stored = Atom(self._name, validated, identifier=atom.identifier)
         self._atoms[stored.identifier] = stored
-        self._emit(ATOM_MODIFIED, stored, previous=previous)
+        generation = self._version_mutation(stored.identifier, stored, previous)
+        self._emit(ATOM_MODIFIED, stored, previous=previous, generation=generation)
         return stored
 
     def remove(self, atom: "Atom | str") -> Atom:
@@ -245,7 +327,8 @@ class AtomType:
             raise IntegrityError(
                 f"atom {identifier!r} is not part of atom type {self._name!r}"
             ) from exc
-        self._emit(ATOM_DELETED, removed)
+        generation = self._version_mutation(identifier, ABSENT, removed)
+        self._emit(ATOM_DELETED, removed, generation=generation)
         return removed
 
     def get(self, identifier: str) -> Optional[Atom]:

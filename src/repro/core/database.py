@@ -22,10 +22,12 @@ from repro.core.atom import Atom, AtomType
 from repro.core.attributes import AtomTypeDescription
 from repro.core.events import ChangeEvent, Listener
 from repro.core.link import Cardinality, Link, LinkType
+from repro.core.versions import DatabaseView, Snapshot, VersioningState
 from repro.exceptions import (
     DanglingLinkError,
     DuplicateNameError,
     SchemaError,
+    StorageError,
     UnknownNameError,
 )
 
@@ -49,6 +51,7 @@ class Database:
         self._atom_types: Dict[str, AtomType] = {}
         self._link_types: Dict[str, LinkType] = {}
         self._listeners: List[Listener] = []
+        self._versioning: Optional[VersioningState] = None
 
     # --------------------------------------------------------- change events
 
@@ -76,6 +79,95 @@ class Database:
             atom_type.events.unsubscribe(listener)
         for link_type in self._link_types.values():
             link_type.events.unsubscribe(listener)
+
+    # ----------------------------------------------------- versioning / MVCC
+
+    @property
+    def versioning(self) -> Optional[VersioningState]:
+        """The database's concurrency state, or ``None`` until enabled."""
+        return self._versioning
+
+    def enable_versioning(self, start_generation: int = 0) -> VersioningState:
+        """Switch on multi-version concurrency control (idempotent).
+
+        Attaches a shared :class:`~repro.core.versions.VersioningState` —
+        generation clock, pin registry, commit log — to every current and
+        future atom/link type.  From this point each mutation is stamped with
+        a generation, and while any reader pins a generation the pre-states
+        are retained in copy-on-write version chains, so
+        :meth:`at` can serve reads as of that generation.
+        """
+        if self._versioning is None:
+            self._versioning = VersioningState(start_generation)
+        for atom_type in self._atom_types.values():
+            atom_type.attach_versioning(self._versioning)
+        for link_type in self._link_types.values():
+            link_type.attach_versioning(self._versioning)
+        return self._versioning
+
+    def at(self, snapshot: Snapshot) -> DatabaseView:
+        """A read-only view of this database as of *snapshot*.
+
+        Schema lookups resolve live (DDL is not versioned); occurrence reads
+        resolve through the version chains, so the executor and the molecule
+        derivation read the state the snapshot pinned.
+        """
+        return DatabaseView(self, snapshot)
+
+    def pin(self, generation: Optional[int] = None) -> int:
+        """Pin *generation* (default: current) against garbage collection."""
+        if self._versioning is None:
+            raise StorageError("versioning is not enabled on this database")
+        return self._versioning.pin(generation)
+
+    def release_pin(self, generation: int) -> None:
+        """Release one pin and garbage-collect now-unreachable versions."""
+        if self._versioning is None:
+            return
+        self._versioning.release(generation)
+        self.collect_versions()
+
+    def collect_versions(self) -> Dict[str, object]:
+        """Truncate version chains past the oldest pin; returns GC statistics."""
+        state = self._versioning
+        if state is None:
+            return {
+                "versions_live": 0,
+                "versions_collected": 0,
+                "oldest_pinned_generation": None,
+            }
+        horizon = state.truncation_horizon()
+        live = 0
+        for atom_type in self._atom_types.values():
+            kept, collected = atom_type.truncate_versions(horizon)
+            live += kept
+            state.versions_collected += collected
+        for link_type in self._link_types.values():
+            kept, collected = link_type.truncate_versions(horizon)
+            live += kept
+            state.versions_collected += collected
+        state.prune_commit_log()
+        return {
+            "versions_live": live,
+            "versions_collected": state.versions_collected,
+            "oldest_pinned_generation": horizon,
+        }
+
+    def version_statistics(self) -> Dict[str, object]:
+        """Live version-chain and pin statistics (without collecting)."""
+        state = self._versioning
+        live = 0
+        if state is not None:
+            for registry in (self._atom_types, self._link_types):
+                for type_object in registry.values():
+                    _chains, entries = type_object.version_statistics()
+                    live += entries
+        return {
+            "versions_live": live,
+            "versions_collected": state.versions_collected if state else 0,
+            "oldest_pinned_generation": state.oldest_pinned() if state else None,
+            "pins_active": state.pins_active if state else 0,
+        }
 
     # ------------------------------------------------------------------ AT
 
@@ -110,6 +202,8 @@ class Database:
         self._atom_types[atom_type.name] = atom_type
         for listener in self._listeners:
             atom_type.events.subscribe(listener)
+        if self._versioning is not None:
+            atom_type.attach_versioning(self._versioning)
         return atom_type
 
     def atyp(self, name: "str | Iterable[str]") -> "AtomType | Tuple[AtomType, ...]":
@@ -181,6 +275,8 @@ class Database:
         self._link_types[link_type.name] = link_type
         for listener in self._listeners:
             link_type.events.subscribe(listener)
+        if self._versioning is not None:
+            link_type.attach_versioning(self._versioning)
         return link_type
 
     def ltyp(self, name: "str | Iterable") -> "LinkType | Tuple[LinkType, ...]":

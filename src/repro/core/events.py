@@ -60,6 +60,10 @@ class ChangeEvent:
     atom: "Optional[Atom]" = None
     link: "Optional[Link]" = None
     previous: "Optional[Atom]" = None
+    #: Version-clock stamp of the mutation (``None`` when the owning
+    #: database has no versioning enabled).  Listeners that maintain
+    #: generation-stamped caches synchronize on it.
+    generation: "Optional[int]" = None
 
     def __repr__(self) -> str:
         subject = self.atom.identifier if self.atom is not None else self.link

@@ -25,6 +25,7 @@ from repro.core.events import (
     ChangeEmitter,
     ChangeEvent,
 )
+from repro.core.versions import ABSENT, PRESENT, VersionChain, VersioningState
 from repro.exceptions import CardinalityError, DanglingLinkError, SchemaError
 
 
@@ -156,6 +157,9 @@ class LinkType:
         "_by_atom",
         "cardinality",
         "_emitter",
+        "_versioning",
+        "_versions",
+        "_historic_by_atom",
     )
 
     def __init__(
@@ -175,6 +179,9 @@ class LinkType:
         self._links: Set[Link] = set()
         self._by_atom: Dict[str, Set[Link]] = {}
         self._emitter: Optional[ChangeEmitter] = None
+        self._versioning: Optional[VersioningState] = None
+        self._versions: Dict[Link, VersionChain] = {}
+        self._historic_by_atom: Dict[str, Set[Link]] = {}
         for link in links:
             self.add(link)
 
@@ -185,9 +192,73 @@ class LinkType:
             self._emitter = ChangeEmitter()
         return self._emitter
 
-    def _emit(self, kind: str, link: Link) -> None:
+    def _emit(self, kind: str, link: Link, generation: Optional[int] = None) -> None:
         if self._emitter is not None and len(self._emitter):
-            self._emitter.emit(ChangeEvent(kind, self._name, link=link))
+            self._emitter.emit(
+                ChangeEvent(kind, self._name, link=link, generation=generation)
+            )
+
+    # -- versioning ----------------------------------------------------------
+
+    def attach_versioning(self, state: VersioningState) -> None:
+        """Tie this type's mutations to a database's version clock.
+
+        While the state is *recording* (a pin is active) connect/disconnect
+        history is kept per link — :class:`repro.core.versions.LinkTypeView`
+        resolves it so pinned readers traverse the occurrence as of their
+        snapshot.
+        """
+        self._versioning = state
+
+    def _version_mutation(self, link: Link, payload: object, base: object) -> Optional[int]:
+        """Stamp one head mutation; record it in the version chain if pinned."""
+        state = self._versioning
+        if state is None:
+            return None
+        generation = state.tick()
+        if state.recording:
+            chain = self._versions.get(link)
+            if chain is None:
+                chain = VersionChain(base)
+                self._versions[link] = chain
+            chain.record(generation, payload)
+            for identifier in link.identifiers:
+                self._historic_by_atom.setdefault(identifier, set()).add(link)
+        return generation
+
+    def truncate_versions(self, horizon: Optional[int]) -> Tuple[int, int]:
+        """Garbage-collect link version chains; returns ``(live, collected)``."""
+        if horizon is None:
+            collected = sum(len(chain) for chain in self._versions.values())
+            self._versions.clear()
+            self._historic_by_atom.clear()
+            return 0, collected
+        collected = 0
+        live = 0
+        dead = []
+        for link, chain in self._versions.items():
+            collected += chain.truncate(horizon)
+            if len(chain) == 1:
+                payload = chain.head()
+                at_head = link in self._links
+                if (payload is PRESENT) == at_head:
+                    dead.append(link)
+                    collected += 1
+                    continue
+            live += len(chain)
+        for link in dead:
+            del self._versions[link]
+            for identifier in link.identifiers:
+                bucket = self._historic_by_atom.get(identifier)
+                if bucket is not None:
+                    bucket.discard(link)
+                    if not bucket:
+                        del self._historic_by_atom[identifier]
+        return live, collected
+
+    def version_statistics(self) -> Tuple[int, int]:
+        """``(chains, entries)`` currently held for this type."""
+        return len(self._versions), sum(len(chain) for chain in self._versions.values())
 
     # -- accessor functions of Definition 2 --------------------------------
 
@@ -257,7 +328,8 @@ class LinkType:
         self._links.add(link)
         for identifier in link.identifiers:
             self._by_atom.setdefault(identifier, set()).add(link)
-        self._emit(LINK_CONNECTED, link)
+        generation = self._version_mutation(link, PRESENT, ABSENT)
+        self._emit(LINK_CONNECTED, link, generation=generation)
         return link
 
     def connect(self, first: "Atom | str", second: "Atom | str") -> Link:
@@ -292,7 +364,8 @@ class LinkType:
                 bucket.discard(link)
                 if not bucket:
                     del self._by_atom[identifier]
-        self._emit(LINK_DISCONNECTED, link)
+        generation = self._version_mutation(link, ABSENT, PRESENT)
+        self._emit(LINK_DISCONNECTED, link, generation=generation)
 
     def remove_atom(self, identifier: str) -> int:
         """Remove every link incident to atom *identifier*; return the count removed."""

@@ -144,9 +144,23 @@ class Executor:
         )
         self.network = network
 
-    def context(self, counters: Optional[ExecutionCounters] = None) -> ExecutionContext:
-        """A fresh execution context sharing the executor's access structures."""
-        return ExecutionContext(self.database, counters, self.indexes, self.network)
+    def context(
+        self,
+        counters: Optional[ExecutionCounters] = None,
+        snapshot=None,
+    ) -> ExecutionContext:
+        """A fresh execution context sharing the executor's access structures.
+
+        With *snapshot* (a :class:`~repro.core.versions.Snapshot`) the context
+        reads through a pinned :meth:`Database.at` view instead: the head's
+        index pool and atom network are bypassed — they are maintained at the
+        head generation and would leak post-snapshot state into the read.
+        """
+        if snapshot is None:
+            return ExecutionContext(self.database, counters, self.indexes, self.network)
+        return ExecutionContext(
+            self.database.at(snapshot), counters, None, None, snapshot=snapshot
+        )
 
     def stream(
         self, plan: PlanNode, context: Optional[ExecutionContext] = None
@@ -168,25 +182,42 @@ class Executor:
         self,
         plan: "WritePlanNode | WriteOperator",
         context: Optional[ExecutionContext] = None,
+        txn=None,
     ) -> WriteExecutionResult:
         """Execute a write plan atomically and report the affected molecules.
 
-        The whole statement runs inside one undo-logged
+        Without *txn* the statement runs inside its own auto-committed
         :class:`~repro.manipulation.transactions.Transaction`: any failure —
         a domain violation on a later child, a cardinality error, a broken
         source stream — rolls back every mutation already applied, so a DML
-        statement either happens completely or not at all.
+        statement either happens completely or not at all.  On a versioned
+        database the commit additionally performs first-committer-wins
+        conflict detection.
+
+        With *txn* (an active session transaction, e.g. MQL ``BEGIN WORK``)
+        the statement runs inside it under a savepoint: a failing statement
+        is undone back to its own start, the surrounding transaction stays
+        active, and nothing is published until the session commits.
         """
         from repro.manipulation.transactions import Transaction  # deferred: cycle
 
         ctx = context or self.context()
         operator = plan if isinstance(plan, WriteOperator) else compile_write_plan(plan)
+        if txn is not None:
+            mark = txn.savepoint()
+            try:
+                molecule_type, summary = operator.apply(ctx, txn)
+            except BaseException:
+                txn.rollback_to(mark)
+                raise
+            return WriteExecutionResult(molecule_type, self.database, summary, ctx.counters)
         txn = Transaction(self.database)
         txn.begin()
         try:
             molecule_type, summary = operator.apply(ctx, txn)
         except BaseException:
-            txn.rollback()
+            if txn.is_active:
+                txn.rollback()
             raise
         txn.commit()
         return WriteExecutionResult(molecule_type, self.database, summary, ctx.counters)

@@ -150,11 +150,15 @@ class ExecutionContext:
         counters: Optional[ExecutionCounters] = None,
         indexes: Optional[IndexPool] = None,
         network=None,
+        snapshot=None,
     ) -> None:
         self.database = database
         self.counters = counters or ExecutionCounters()
         self.indexes = indexes
         self.network = network
+        #: The pinned :class:`~repro.core.versions.Snapshot` when *database*
+        #: is a generation-stamped view, ``None`` for head execution.
+        self.snapshot = snapshot
 
     def links_via(self, link_type: LinkType, identifier: str) -> "Iterable[Link]":
         """The links of *link_type* incident to *identifier* (neighbour traversal)."""

@@ -213,16 +213,13 @@ class DeleteMoleculesOp(WriteOperator):
         stored = atom_type.get(identifier)
         if stored is None:
             return
+        # Each removal goes through the transaction so it carries a conflict
+        # key (first-committer-wins detection) besides its undo action.
         for link_type in ctx.database.link_types:
             for link in link_type.links_of(identifier):
-                first, second = link.given_order
-                txn.log.record(
-                    lambda lt=link_type, f=first, s=second: lt.connect(f, s)
-                )
-                link_type.remove(link)
+                txn.disconnect(link_type.name, link)
                 summary.links_removed += 1
-        atom_type.remove(identifier)
-        txn.log.record(lambda at=atom_type, a=stored: at.add(a))
+        txn.remove_atom_only(atom_type, stored)
         summary.atoms_removed += 1
         ctx.counters.atoms_touched += 1
 

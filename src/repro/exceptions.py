@@ -102,5 +102,16 @@ class TransactionError(MADError):
     """A transaction was used incorrectly (e.g. commit without begin)."""
 
 
+class TransactionConflictError(TransactionError):
+    """A concurrent transaction won a write-write race (first committer wins).
+
+    Raised eagerly when a transaction writes an atom or link that another
+    *active* transaction has already written, or that a transaction committed
+    after this one began; also raised at commit when the commit-log
+    re-validation detects such an overlap.  The losing transaction is rolled
+    back completely — it leaves no partial state.
+    """
+
+
 class ManipulationError(MADError):
     """An insert/delete/modify operation violates the model's rules."""

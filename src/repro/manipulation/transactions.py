@@ -1,21 +1,44 @@
-"""Minimal transaction support: an undo log over atom and link manipulation.
+"""Transactions: write-sets, first-committer-wins commits, and undo logging.
 
 The paper's manipulation facilities presume that a complex-object update is
-applied atomically.  :class:`Transaction` provides that at the library level:
-operations performed through it are recorded in an undo log and rolled back as
-a unit on :meth:`Transaction.rollback` (or when the ``with`` block exits with
-an exception).  This is deliberately a logical undo log, not a full
-concurrency-control subsystem — the paper does not describe one.
+applied atomically; since the MVCC change this module also makes *interleaved*
+transactions safe.  A :class:`Transaction` over a database with versioning
+enabled (see :meth:`repro.core.database.Database.enable_versioning`) carries:
+
+* a **write-set** of conflict keys — one per atom or link the transaction
+  wrote.  Before every write the key is checked against the write-sets of all
+  other *active* transactions and against the database's **commit log**
+  (commits newer than this transaction's start); either overlap raises
+  :class:`~repro.exceptions.TransactionConflictError` immediately, and the
+  commit-log check is repeated at :meth:`commit` — **first committer wins**,
+  the loser is rolled back completely and leaves no partial state.
+* an optional pinned :class:`~repro.core.versions.Snapshot` (session
+  transactions, e.g. MQL ``BEGIN WORK``): reads through the snapshot see the
+  database as of ``begin`` *plus* this transaction's own writes (the write
+  generations are tracked in the snapshot's ``own`` set — including the
+  compensating generations of partial rollbacks).
+* the **undo log** of callables, demoted to the intra-statement rollback
+  mechanism: :meth:`savepoint`/:meth:`rollback_to` undo a failed statement
+  inside a longer transaction, and :meth:`rollback` undoes everything.
+
+On a database without versioning the transaction degrades to the historical
+pure undo-log behaviour (no conflict detection, no snapshot).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
 
-from repro.core.atom import Atom
+from repro.core.atom import Atom, AtomType
 from repro.core.database import Database
-from repro.core.link import Link
-from repro.exceptions import ManipulationError, TransactionError
+from repro.core.link import Link, LinkType
+from repro.core.versions import Snapshot, WriteKey, atom_key, link_key
+from repro.exceptions import (
+    ManipulationError,
+    TransactionConflictError,
+    TransactionError,
+)
 
 
 class TransactionLog:
@@ -30,8 +53,12 @@ class TransactionLog:
 
     def undo_all(self) -> int:
         """Run all undo actions in reverse order; returns the number executed."""
+        return self.undo_to(0)
+
+    def undo_to(self, mark: int) -> int:
+        """Undo back to *mark* (a former length); returns the number executed."""
         count = 0
-        while self._undo:
+        while len(self._undo) > mark:
             action = self._undo.pop()
             action()
             count += 1
@@ -55,12 +82,27 @@ class Transaction:
             area = txn.insert_atom("area", area_id="a_new")
             txn.connect("state-area", state, area)
             # leaving the block commits; an exception rolls everything back
+
+    With *pin_snapshot* the transaction pins the begin-time generation and
+    exposes :attr:`snapshot` — the repeatable-read visibility MQL sessions
+    use (``BEGIN WORK``).  Requires versioning to be enabled on the database.
     """
 
-    def __init__(self, database: Database) -> None:
+    def __init__(self, database: Database, pin_snapshot: bool = False) -> None:
         self.database = database
         self.log = TransactionLog()
         self._active = False
+        self._pin_snapshot = pin_snapshot
+        self._state = None  # the database's VersioningState while active
+        self._pinned_generation: Optional[int] = None
+        #: Generation the transaction began at (conflict-detection baseline).
+        self.start_generation = 0
+        #: Conflict keys of every atom/link this transaction wrote.
+        self.write_keys: Set[WriteKey] = set()
+        #: Generations produced by this transaction's writes (and undos).
+        self._own_generations: Set[int] = set()
+        #: Repeatable-read snapshot (session transactions only).
+        self.snapshot: Optional[Snapshot] = None
 
     # ------------------------------------------------------------- lifecycle
 
@@ -71,32 +113,135 @@ class Transaction:
     def __exit__(self, exc_type, exc, traceback) -> bool:
         if exc_type is None:
             self.commit()
-        else:
+        elif self._active:
             self.rollback()
         return False
 
     def begin(self) -> None:
-        """Start the transaction."""
+        """Start the transaction (registers it for conflict detection)."""
         if self._active:
             raise TransactionError("transaction already active")
         self._active = True
+        state = self.database.versioning
+        self._state = state
+        if state is not None:
+            self.start_generation = state.generation
+            state.active_transactions.add(self)
+            if self._pin_snapshot:
+                self._pinned_generation = self.database.pin(state.generation)
+                self.snapshot = state.make_snapshot(own=self._own_generations)
+        elif self._pin_snapshot:
+            raise TransactionError(
+                "snapshot transactions require versioning; call "
+                "Database.enable_versioning() first"
+            )
 
     def commit(self) -> None:
-        """Make all changes permanent."""
+        """Publish all changes; first committer wins on conflicting write-sets.
+
+        Re-validates the write-set against the commit log: if any key was
+        committed by another transaction after this one began, every change
+        is undone and :class:`TransactionConflictError` is raised — the
+        transaction leaves no partial state.
+        """
         self._require_active()
+        state = self._state
+        if state is not None:
+            conflicting = state.committed_after(self.start_generation, self.write_keys)
+            if conflicting is not None:
+                with self._tracked():
+                    self.log.undo_all()
+                self._finish()
+                raise TransactionConflictError(
+                    f"{conflicting!r} was committed by a concurrent transaction "
+                    "after this one began (first committer wins)"
+                )
+            state.record_commit(self.write_keys)
         self.log.clear()
-        self._active = False
+        self._finish()
 
     def rollback(self) -> int:
         """Undo all changes made through this transaction; returns the undo count."""
         self._require_active()
-        undone = self.log.undo_all()
-        self._active = False
+        with self._tracked():
+            undone = self.log.undo_all()
+        self._finish()
         return undone
+
+    def _finish(self) -> None:
+        self._active = False
+        state = self._state
+        if state is not None:
+            state.active_transactions.discard(self)
+            state.prune_commit_log()
+            if self._pinned_generation is not None:
+                self.database.release_pin(self._pinned_generation)
+                self._pinned_generation = None
+            elif not state.recording:
+                # Last transaction out with no reader pinned: the chains
+                # recorded for mid-flight pin safety are unreachable now.
+                self.database.collect_versions()
 
     def _require_active(self) -> None:
         if not self._active:
             raise TransactionError("no active transaction")
+
+    @property
+    def is_active(self) -> bool:
+        """``True`` between ``begin`` and ``commit``/``rollback``."""
+        return self._active
+
+    @property
+    def own_generations(self) -> Set[int]:
+        """The write generations this transaction has produced so far.
+
+        Consulted by :meth:`VersioningState.make_snapshot` so snapshots taken
+        while this transaction is still active exclude its uncommitted
+        writes (no dirty reads).
+        """
+        return self._own_generations
+
+    # ------------------------------------------------------------ savepoints
+
+    def savepoint(self) -> int:
+        """Mark the current undo position (statement boundary)."""
+        return len(self.log)
+
+    def rollback_to(self, mark: int) -> int:
+        """Undo back to *mark* — intra-statement rollback; the transaction
+        stays active.  Compensating write generations join the transaction's
+        ``own`` set so a pinned session snapshot sees the restored state."""
+        self._require_active()
+        with self._tracked():
+            return self.log.undo_to(mark)
+
+    # -------------------------------------------------- write-set bookkeeping
+
+    def _claim(self, key: WriteKey) -> None:
+        """Check *key* against concurrent writers, then add it to the write-set."""
+        if self._state is not None:
+            self._state.check_write(key, self)
+            self.write_keys.add(key)
+
+    def _record_key(self, key: WriteKey) -> None:
+        """Add *key* without a conflict check (freshly created objects)."""
+        if self._state is not None:
+            self.write_keys.add(key)
+
+    @contextmanager
+    def _tracked(self):
+        """Collect the generations ticked inside the block into ``own``."""
+        state = self._state
+        if state is None:
+            yield
+            return
+        before = state.generation
+        try:
+            yield
+        finally:
+            after = state.generation
+            if after > before:
+                self._own_generations.update(range(before + 1, after + 1))
 
     # ------------------------------------------------------------ operations
 
@@ -118,7 +263,12 @@ class Transaction:
         """
         self._require_active()
         atom_type = self.database.atyp(atom_type_name)
-        atom = atom_type.add(dict(values), identifier=identifier)
+        if identifier is not None:
+            # Re-creating a known identifier races with concurrent writers.
+            self._claim(atom_key(atom_type.name, identifier))
+        with self._tracked():
+            atom = atom_type.add(dict(values), identifier=identifier)
+        self._record_key(atom_key(atom_type.name, atom.identifier))
         self.log.record(lambda: atom_type.remove(atom.identifier))
         return atom
 
@@ -130,11 +280,20 @@ class Transaction:
         if atom is None:
             raise TransactionError(f"no atom {identifier!r} in {atom_type_name!r}")
         removed_links: List[Tuple[str, Tuple[str, str]]] = []
+        incident: List[Tuple[LinkType, Link]] = []
         for link_type in self.database.link_types_of(atom_type_name):
             for link in link_type.links_of(identifier):
+                incident.append((link_type, link))
+        # Claim every key before the first mutation: a conflict must abort
+        # the operation without partial effects.
+        self._claim(atom_key(atom_type.name, identifier))
+        for link_type, link in incident:
+            self._claim(link_key(link_type.name, link.identifiers))
+        with self._tracked():
+            for link_type, link in incident:
                 removed_links.append((link_type.name, link.given_order))
                 link_type.remove(link)
-        atom_type.remove(identifier)
+            atom_type.remove(identifier)
 
         def undo() -> None:
             atom_type.add(atom)
@@ -173,9 +332,39 @@ class Transaction:
         probe = Link(link_type_name, first, second)
         if probe in link_type:
             return None
-        link = link_type.connect(first, second)
+        self._claim(link_key(link_type.name, probe.identifiers))
+        with self._tracked():
+            link = link_type.connect(first, second)
         self.log.record(lambda: link_type.remove(link))
         return link
+
+    def disconnect(self, link_type_name: str, link: Link) -> None:
+        """Remove one link, recording its re-connection as the undo action.
+
+        Used by the delete write operator so every individual link removal
+        carries its own conflict key and undo entry.
+        """
+        self._require_active()
+        link_type = self.database.ltyp(link_type_name)
+        if link not in link_type:
+            return
+        self._claim(link_key(link_type.name, link.identifiers))
+        first, second = link.given_order
+        with self._tracked():
+            link_type.remove(link)
+        self.log.record(lambda lt=link_type, f=first, s=second: lt.connect(f, s))
+
+    def remove_atom_only(self, atom_type: AtomType, stored: Atom) -> None:
+        """Remove *stored* from its occurrence (links must already be gone).
+
+        The low-level primitive of the delete write operator: claims the
+        conflict key, removes and records re-insertion as the undo action.
+        """
+        self._require_active()
+        self._claim(atom_key(atom_type.name, stored.identifier))
+        with self._tracked():
+            atom_type.remove(stored.identifier)
+        self.log.record(lambda at=atom_type, a=stored: at.add(a))
 
     def modify_atom(self, atom_type_name: str, identifier: str, **updates) -> Atom:
         """Modify an atom's values in place, recording restoration of the old atom."""
@@ -206,6 +395,8 @@ class Transaction:
             raise ManipulationError(
                 f"invalid update for atom {identifier!r}: {exc}"
             ) from exc
-        new_atom = atom_type.replace(Atom(atom_type_name, validated, identifier=identifier))
+        self._claim(atom_key(atom_type.name, identifier))
+        with self._tracked():
+            new_atom = atom_type.replace(Atom(atom_type_name, validated, identifier=identifier))
         self.log.record(lambda: atom_type.replace(old))
         return new_atom

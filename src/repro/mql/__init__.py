@@ -39,6 +39,7 @@ from repro.mql.ast_nodes import (
     SetOperation,
     StructureBranch,
     StructureNode,
+    TransactionStatement,
 )
 from repro.mql.interpreter import MQLInterpreter, QueryResult, execute
 from repro.mql.lexer import Token, TokenType, tokenize
@@ -66,6 +67,7 @@ __all__ = [
     "StructureNode",
     "Token",
     "TokenType",
+    "TransactionStatement",
     "execute",
     "parse",
     "structure_to_description",

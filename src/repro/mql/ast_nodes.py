@@ -179,6 +179,20 @@ class ModifyStatement:
     where: Optional[object] = None
 
 
+@dataclass(frozen=True)
+class TransactionStatement:
+    """``BEGIN WORK`` / ``COMMIT WORK`` / ``ROLLBACK WORK``.
+
+    Scopes an interpreter session as one transaction: between BEGIN and
+    COMMIT every query reads the snapshot pinned at BEGIN (plus the session's
+    own writes — repeatable reads), DML statements accumulate in one
+    write-set, and COMMIT publishes them under first-committer-wins conflict
+    detection.  The ``WORK`` keyword is optional, as in SQL-89.
+    """
+
+    action: str  # "BEGIN" | "COMMIT" | "ROLLBACK"
+
+
 #: Any executable parse result: a single query block or a tree of set operations.
 Statement = Union[Query, SetOperation]
 

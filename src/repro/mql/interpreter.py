@@ -44,7 +44,8 @@ from repro.engine.logical import (
 )
 from repro.engine.physical import ExecutionCounters
 from repro.engine.write import WriteSummary
-from repro.exceptions import MQLSemanticError
+from repro.exceptions import MQLSemanticError, TransactionConflictError, TransactionError
+from repro.manipulation.transactions import Transaction
 from repro.mql.ast_nodes import (
     DeleteStatement,
     DMLStatement,
@@ -54,6 +55,7 @@ from repro.mql.ast_nodes import (
     Query,
     SetOperation,
     Statement,
+    TransactionStatement,
 )
 from repro.mql.parser import parse
 from repro.mql.translator import QueryTranslator, next_anonymous_name
@@ -87,9 +89,9 @@ class QueryResult:
         (molecules affected, atoms/links inserted, removed, modified).
     """
 
-    molecule_type: MoleculeType
+    molecule_type: Optional[MoleculeType]
     database: Database
-    statement: "Optional[Statement | DMLStatement]" = None
+    statement: "Optional[Statement | DMLStatement | TransactionStatement]" = None
     counters: Optional[ExecutionCounters] = None
     plan_choice: Optional[PlanChoice] = None
     explanation: Optional[str] = None
@@ -98,6 +100,8 @@ class QueryResult:
     @property
     def molecules(self) -> Tuple[Molecule, ...]:
         """The result molecules."""
+        if self.molecule_type is None:
+            return ()
         return self.molecule_type.occurrence
 
     @property
@@ -105,17 +109,17 @@ class QueryResult:
         """Molecules affected by a DML statement (result size for queries)."""
         if self.write_summary is not None:
             return self.write_summary.molecules_affected
-        return len(self.molecule_type)
+        return len(self)
 
     def __len__(self) -> int:
-        return len(self.molecule_type)
+        return len(self.molecule_type) if self.molecule_type is not None else 0
 
     def __iter__(self):
-        return iter(self.molecule_type)
+        return iter(self.molecule_type if self.molecule_type is not None else ())
 
     def to_dicts(self) -> List[Dict[str, object]]:
         """Render every result molecule as a nested dictionary."""
-        return [molecule.to_nested_dict() for molecule in self.molecule_type]
+        return [molecule.to_nested_dict() for molecule in self]
 
 
 class MQLInterpreter:
@@ -139,6 +143,8 @@ class MQLInterpreter:
         self.optimize = optimize
         self.executor = executor or Executor(database)
         self._planner = planner
+        #: Active session transaction (``BEGIN WORK`` … ``COMMIT WORK``).
+        self._session: Optional[Transaction] = None
 
     @property
     def planner(self) -> Planner:
@@ -161,18 +167,37 @@ class MQLInterpreter:
 
     def execute(
         self,
-        statement: "str | Statement | DMLStatement | ExplainStatement",
+        statement: "str | Statement | DMLStatement | ExplainStatement | TransactionStatement",
         optimize: Optional[bool] = None,
+        at=None,
     ) -> QueryResult:
         """Parse (when given text) and execute an MQL statement.
 
-        DML statements (INSERT / DELETE / MODIFY) run atomically: the whole
-        statement is applied inside an undo-logged transaction, and any
-        failure rolls back every mutation already made.
+        DML statements (INSERT / DELETE / MODIFY) run atomically: outside a
+        session transaction the whole statement is applied inside its own
+        undo-logged, auto-committed transaction; inside ``BEGIN WORK`` …
+        ``COMMIT WORK`` it runs under a savepoint of the session transaction
+        and is published only at ``COMMIT WORK`` (first committer wins).
+
+        *at* (a :class:`~repro.core.versions.Snapshot`) pins the read to a
+        generation — the storage engine's ``snapshot_at`` handles pass it.
+        Inside a session transaction queries default to the snapshot pinned
+        at ``BEGIN WORK`` plus the session's own writes (repeatable reads).
+        Two deliberate boundaries: the literal ``optimize=False`` path
+        materializes against the head and is rejected while a snapshot is in
+        play (no silently inconsistent reads), and the *qualifying read* of
+        a DML statement always runs at the head — deletions must observe
+        every concurrent-committed link to never leave dangling references,
+        and any overlap with a concurrent writer's keys aborts via
+        first-committer-wins anyway.
         """
         ast = parse(statement) if isinstance(statement, str) else statement
+        if isinstance(ast, TransactionStatement):
+            return self._execute_transaction_statement(ast)
         explain = isinstance(ast, ExplainStatement)
         inner = ast.statement if explain else ast
+        if isinstance(inner, TransactionStatement):
+            raise MQLSemanticError("transaction statements cannot be EXPLAINed")
         if isinstance(inner, (InsertStatement, DeleteStatement, ModifyStatement)):
             return self._execute_dml(
                 inner,
@@ -181,10 +206,55 @@ class MQLInterpreter:
             )
         if explain:
             return self._explain_result(ast)
+        snapshot = at if at is not None else self._session_snapshot()
         if self.optimize if optimize is None else optimize:
-            return self._execute_planned(inner)
+            return self._execute_planned(inner, snapshot=snapshot)
+        if snapshot is not None:
+            raise MQLSemanticError(
+                "the literal (optimize=False) path materializes against the "
+                "head and cannot serve a pinned snapshot; use the planned "
+                "pipeline for repeatable reads"
+            )
         molecule_type, database = self._execute_statement(inner, self.database)
         return QueryResult(molecule_type, database, inner)
+
+    # --------------------------------------------------- session transactions
+
+    @property
+    def in_transaction(self) -> bool:
+        """``True`` while a ``BEGIN WORK`` session transaction is active."""
+        return self._session is not None and self._session.is_active
+
+    def _session_snapshot(self):
+        if self._session is not None and self._session.is_active:
+            return self._session.snapshot
+        return None
+
+    def _execute_transaction_statement(self, statement: TransactionStatement) -> QueryResult:
+        action = statement.action
+        if action == "BEGIN":
+            if self.in_transaction:
+                raise TransactionError("a transaction is already active in this session")
+            # Versioning is enabled on demand: from here on mutations are
+            # stamped, and the session's pin makes them recorded.
+            self.database.enable_versioning()
+            txn = Transaction(self.database, pin_snapshot=True)
+            txn.begin()
+            self._session = txn
+        elif action in ("COMMIT", "ROLLBACK"):
+            txn = self._session
+            if txn is None or not txn.is_active:
+                raise TransactionError(f"{action} WORK without an active transaction")
+            self._session = None
+            if action == "COMMIT":
+                txn.commit()  # raises TransactionConflictError when it loses
+            else:
+                txn.rollback()
+        else:  # pragma: no cover - the parser only produces the three actions
+            raise MQLSemanticError(f"unknown transaction statement {action!r}")
+        return QueryResult(
+            None, self.database, statement, explanation=f"{action} WORK"
+        )
 
     def plan(self, statement: "str | Statement | DMLStatement") -> PlanChoice:
         """Translate *statement* and return the planner's costed choice.
@@ -195,6 +265,8 @@ class MQLInterpreter:
         ast = parse(statement) if isinstance(statement, str) else statement
         if isinstance(ast, ExplainStatement):
             ast = ast.statement
+        if isinstance(ast, TransactionStatement):
+            raise MQLSemanticError("transaction statements have no plan")
         if isinstance(ast, (InsertStatement, DeleteStatement, ModifyStatement)):
             write_plan = QueryTranslator(self.database).translate_dml(ast)
             if isinstance(write_plan, InsertMolecule):
@@ -222,12 +294,13 @@ class MQLInterpreter:
 
     # ------------------------------------------------------ planned pipeline
 
-    def _execute_planned(self, statement: Statement) -> QueryResult:
+    def _execute_planned(self, statement: Statement, snapshot=None) -> QueryResult:
         choice = self.plan(statement)
-        result = self.executor.run(choice.best)
+        context = self.executor.context(snapshot=snapshot) if snapshot is not None else None
+        result = self.executor.run(choice.best, context=context)
         return QueryResult(
             result.molecule_type,
-            result.database,
+            self.database,
             statement,
             counters=result.counters,
             plan_choice=choice,
@@ -246,7 +319,17 @@ class MQLInterpreter:
             plan = replace(plan, source=choice.best)
         if explain:
             return self._explain_write(statement, plan, choice)
-        result = self.executor.run_write(plan)
+        txn = self._session if self.in_transaction else None
+        try:
+            result = self.executor.run_write(plan, txn=txn)
+        except TransactionConflictError:
+            # The session lost a write-write race: snapshot-isolation dooms
+            # the whole transaction, not just the statement.
+            if txn is not None:
+                self._session = None
+                if txn.is_active:
+                    txn.rollback()
+            raise
         return QueryResult(
             result.molecule_type,
             self.database,
@@ -262,10 +345,19 @@ class MQLInterpreter:
         plan: WritePlanNode,
         choice: Optional[PlanChoice],
     ) -> QueryResult:
-        """Report a write plan (and its optimized qualifying read) without executing."""
+        """Report a write plan (and its optimized qualifying read) without executing.
+
+        ``EXPLAIN DELETE``/``EXPLAIN MODIFY`` report the planner's choice for
+        the qualifying read; ``EXPLAIN INSERT`` and ``EXPLAIN MODIFY``
+        additionally report the validation and cardinality checks the write
+        operator will run.
+        """
         explanation = describe_plan(plan)
         if choice is not None:
             explanation += "\nqualifying read — " + choice.explain()
+        checks = self._write_validation_report(plan)
+        if checks:
+            explanation += "\nwill validate —\n" + "\n".join("  " + line for line in checks)
         if isinstance(plan, InsertMolecule):
             empty = MoleculeType(plan.name, plan.description, ())
         else:
@@ -279,6 +371,55 @@ class MQLInterpreter:
             plan_choice=choice,
             explanation=explanation,
         )
+
+    def _write_validation_report(self, plan: WritePlanNode) -> List[str]:
+        """The validation/cardinality checks a write plan will run, one per line."""
+        from repro.core.derivation import resolve_description  # deferred: cycle
+
+        lines: List[str] = []
+        if isinstance(plan, InsertMolecule):
+            description = resolve_description(self.database, plan.description)
+            for type_name in description.traversal_order():
+                bare = type_name.split("@", 1)[0]
+                if not self.database.has_atom_type(bare):
+                    continue
+                attributes = ", ".join(self.database.atyp(bare).description.names)
+                lines.append(f"domain check {bare}({attributes})")
+            for directed in description.directed_links:
+                name = directed.link_type_name.split("~", 1)[0]
+                if not self.database.has_link_type(name):
+                    continue
+                link_type = self.database.ltyp(name)
+                lines.append(
+                    f"cardinality check {name} ({link_type.cardinality.value}) "
+                    f"{directed.source.split('@', 1)[0]} - {directed.target.split('@', 1)[0]}"
+                )
+            shared = self._shared_subobject_references(plan.data)
+            for reference in shared:
+                lines.append(f"shared subobject: reuse existing atom _id={reference!r}")
+        elif isinstance(plan, ModifyAtoms):
+            target = plan.atom_type_name.split("@", 1)[0]
+            if self.database.has_atom_type(target):
+                description = self.database.atyp(target).description
+                for attribute, value in plan.updates:
+                    lines.append(f"domain check {target}.{attribute} = {value!r}")
+                lines.append(f"identity preserved: links of {target} atoms stay valid")
+        return lines
+
+    @staticmethod
+    def _shared_subobject_references(data: "Mapping | Sequence") -> List[object]:
+        """Collect every ``_id`` reference in a nested INSERT object literal."""
+        found: List[object] = []
+        if isinstance(data, dict):
+            for key, value in data.items():
+                if key == "_id":
+                    found.append(value)
+                else:
+                    found.extend(MQLInterpreter._shared_subobject_references(value))
+        elif isinstance(data, (list, tuple)):
+            for item in data:
+                found.extend(MQLInterpreter._shared_subobject_references(item))
+        return found
 
     def _explain_result(self, ast: ExplainStatement) -> QueryResult:
         choice = self.plan(ast.statement)

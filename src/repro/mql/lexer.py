@@ -38,6 +38,10 @@ KEYWORDS = {
     "MODIFY",
     "SET",
     "CASCADE",
+    "BEGIN",
+    "COMMIT",
+    "ROLLBACK",
+    "WORK",
 }
 
 

@@ -3,6 +3,8 @@
 Grammar (EBNF)::
 
     input       := ["EXPLAIN"] (statement | insert | delete | modify)
+                   | transaction
+    transaction := ("BEGIN" | "COMMIT" | "ROLLBACK") ["WORK"] [";"]
     statement   := query (("UNION" | "DIFFERENCE" | "INTERSECT") query)* [";"]
     query       := "SELECT" select_list "FROM" from_clause ["WHERE" condition]
     select_list := "ALL" | ident ("," ident)*
@@ -57,6 +59,7 @@ from repro.mql.ast_nodes import (
     StructureBranch,
     StructureNode,
     StructurePath,
+    TransactionStatement,
 )
 from repro.mql.lexer import Token, TokenType, tokenize
 
@@ -102,7 +105,7 @@ class _Parser:
             return ExplainStatement(self.parse_any_statement())
         return self.parse_any_statement()
 
-    def parse_any_statement(self) -> "Statement | DMLStatement":
+    def parse_any_statement(self) -> "Statement | DMLStatement | TransactionStatement":
         token = self.peek()
         if token.is_keyword("INSERT"):
             return self.parse_insert()
@@ -110,7 +113,15 @@ class _Parser:
             return self.parse_delete()
         if token.is_keyword("MODIFY"):
             return self.parse_modify()
+        if token.type is TokenType.KEYWORD and token.value in ("BEGIN", "COMMIT", "ROLLBACK"):
+            return self.parse_transaction()
         return self.parse_statement()
+
+    def parse_transaction(self) -> TransactionStatement:
+        action = str(self.advance().value)
+        self.accept_keyword("WORK")
+        self._finish()
+        return TransactionStatement(action)
 
     def parse_statement(self) -> Statement:
         left: Statement = self.parse_query()

@@ -21,9 +21,9 @@ documented in DESIGN.md; the layering and the operation split are preserved.
 """
 
 from repro.storage.atom_store import AtomStore
-from repro.storage.engine import PrimaEngine
+from repro.storage.engine import PrimaEngine, SnapshotHandle
 from repro.storage.index import HashIndex
 from repro.storage.link_store import LinkStore
 from repro.storage.network import AtomNetwork
 
-__all__ = ["AtomNetwork", "AtomStore", "HashIndex", "LinkStore", "PrimaEngine"]
+__all__ = ["AtomNetwork", "AtomStore", "HashIndex", "LinkStore", "PrimaEngine", "SnapshotHandle"]

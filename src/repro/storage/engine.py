@@ -50,6 +50,7 @@ from repro.core.events import (
 from repro.core.link import Cardinality, Link, LinkType
 from repro.core.molecule import MoleculeType, MoleculeTypeDescription
 from repro.core.molecule_algebra import molecule_type_definition
+from repro.core.versions import Snapshot
 from repro.exceptions import StorageError, UnknownNameError
 from repro.storage.atom_store import AtomStore
 from repro.storage.link_store import LinkStore
@@ -63,6 +64,14 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
 #: The two cache-maintenance strategies.
 INCREMENTAL = "incremental"
 REBUILD = "rebuild"
+
+#: MVCC statistics reported while no snapshot (and hence no version clock) exists.
+NO_VERSION_STATISTICS: Dict[str, object] = {
+    "versions_live": 0,
+    "versions_collected": 0,
+    "oldest_pinned_generation": None,
+    "pins_active": 0,
+}
 
 
 class PrimaEngine:
@@ -244,6 +253,10 @@ class PrimaEngine:
                 link_type.add(Link(store.link_type_name, first, second, store.first_type, store.second_type))
             db.add_link_type(link_type)
         db.subscribe(self._listener_for(db))
+        # The snapshot carries the MVCC state: its version clock continues
+        # the engine's write generation, so event stamps and the engine's
+        # counter stay in lock-step.
+        db.enable_versioning(start_generation=self.generation)
         self._snapshot = db
         self._stats["snapshot_builds"] += 1
         return db
@@ -265,7 +278,10 @@ class PrimaEngine:
         through the materializing molecule algebra instead.  DML statements
         (INSERT / DELETE / MODIFY) execute atomically against the snapshot;
         every change is mirrored into the stores and folded into the cached
-        access structures.
+        access structures.  ``BEGIN WORK`` / ``COMMIT WORK`` / ``ROLLBACK
+        WORK`` scope the engine's interpreter session as one transaction with
+        repeatable reads and first-committer-wins conflict detection; for
+        pinned read-only views see :meth:`snapshot_at`.
         """
         return self.interpreter().execute(statement, optimize=optimize)
 
@@ -307,8 +323,37 @@ class PrimaEngine:
         self._check_dirty()
         if self._network is None:
             self._network = AtomNetwork(self.to_database())
+            self._network.generation = self.generation
             self._stats["network_builds"] += 1
         return self._network
+
+    # --------------------------------------------------- snapshots and MVCC
+
+    def snapshot_at(self, generation: Optional[int] = None) -> "SnapshotHandle":
+        """Pin a generation and return a handle for repeatable reads.
+
+        The handle's :meth:`SnapshotHandle.query` runs MQL against the
+        pinned generation: concurrent committed DML (through this engine or
+        any transaction on its snapshot) is invisible until the handle is
+        released, while a fresh ``engine.query`` continues to see the head.
+        Pinning is refcounted; releasing the last pin on a generation lets
+        the garbage collector truncate the version chains behind it.
+
+        *generation* defaults to the current write generation.  Pinning an
+        older generation is only exact while some other pin has kept its
+        versions alive — history behind the oldest pin is collected.
+        """
+        database = self.to_database()
+        interpreter = self.interpreter()
+        state = database.versioning
+        pinned = database.pin(state.generation if generation is None else generation)
+        return SnapshotHandle(database, interpreter, state.make_snapshot(pinned))
+
+    def collect_versions(self) -> Dict[str, object]:
+        """Run version-chain garbage collection; returns the GC statistics."""
+        if self._snapshot is None:
+            return dict(NO_VERSION_STATISTICS)
+        return self._snapshot.collect_versions()
 
     # -------------------------------------------------- cache maintenance
 
@@ -349,19 +394,30 @@ class PrimaEngine:
 
     def _on_change(self, event: ChangeEvent, source: Database) -> None:
         """Fold one snapshot change event into stores and cached structures."""
-        self.generation += 1
+        # The snapshot's version clock stamps every event; the engine counter
+        # follows it (max() also absorbs stale-handle writes whose discarded
+        # snapshot still ticks its own, older clock).
+        self.generation = max(self.generation + 1, event.generation or 0)
         self._stats["events_applied"] += 1
         if not self._mirroring:
             self._mirror_to_stores(event)
-        if source is not self._snapshot or self.maintenance == REBUILD:
-            # Stale-handle write, or the invalidate-everything baseline:
-            # the stores are up to date, the caches are not — defer the
-            # teardown to the next read so a running DML statement keeps
-            # its snapshot.
+        if source is not self._snapshot:
+            # Stale-handle write: the stores are up to date, the caches never
+            # saw it — defer the teardown to the next read.
+            self._dirty = True
+            return
+        if self.maintenance == REBUILD and not self._session_active():
+            # The invalidate-everything baseline — but never while a BEGIN
+            # WORK session holds the interpreter: tearing it down would
+            # destroy the active transaction and orphan its writes.  For the
+            # session's duration the caches are maintained incrementally
+            # (the branch below); the first write after it ends restores the
+            # rebuild behaviour.
             self._dirty = True
             return
         if self._network is not None:
             self._network.apply_event(event)
+            self._network.generation = self.generation
         if self._index_pool is not None:
             self._index_pool.apply_event(event, generation=self.generation)
         if self._interpreter is not None:
@@ -386,6 +442,12 @@ class PrimaEngine:
             store = self._link_stores.get(event.type_name)
             if store is not None:
                 store.delete(event.link)
+
+    def _session_active(self) -> bool:
+        """``True`` while the cached interpreter runs a ``BEGIN WORK`` session."""
+        return self._interpreter is not None and getattr(
+            self._interpreter, "in_transaction", False
+        )
 
     def _after_write(self) -> None:
         """Account a store write that has no live snapshot to maintain."""
@@ -426,6 +488,31 @@ class PrimaEngine:
         report["index_generation"] = (
             self._index_pool.generation if self._index_pool is not None else 0
         )
+        return report
+
+    def maintenance_report(self) -> Dict[str, object]:
+        """The full maintenance report: cache counters **plus** MVCC/GC state.
+
+        Extends :meth:`maintenance_statistics` with the version-chain
+        statistics benchmarks and tests assert on:
+
+        * ``versions_live`` — version-chain entries currently held;
+        * ``versions_collected`` — cumulative entries dropped by GC;
+        * ``oldest_pinned_generation`` — the generation the oldest active
+          reader pins (``None`` when nothing is pinned — chains are then
+          truncated on the next collection);
+        * ``pins_active`` — active snapshot/transaction pins;
+        * ``network_generation`` — the write generation the cached atom
+          network was last maintained at.
+        """
+        report: Dict[str, object] = dict(self.maintenance_statistics())
+        report["network_generation"] = (
+            self._network.generation if self._network is not None else 0
+        )
+        if self._snapshot is not None and self._snapshot.versioning is not None:
+            report.update(self._snapshot.version_statistics())
+        else:
+            report.update(NO_VERSION_STATISTICS)
         return report
 
     # ------------------------------------------------------------- loading
@@ -486,3 +573,77 @@ class PrimaEngine:
             f"PrimaEngine({self.name!r}, atom_types={len(self._atom_stores)}, "
             f"link_types={len(self._link_stores)}, maintenance={self.maintenance!r})"
         )
+
+
+class SnapshotHandle:
+    """A pinned, repeatable-read view over a :class:`PrimaEngine` snapshot.
+
+    Obtained from :meth:`PrimaEngine.snapshot_at`; usable as a context
+    manager.  The handle captures the engine's interpreter and snapshot
+    database at pin time, so its reads stay generation-stable even across
+    engine cache invalidations.  :meth:`release` drops the pin and triggers
+    version-chain garbage collection.
+    """
+
+    def __init__(self, database: Database, interpreter, snapshot: Snapshot) -> None:
+        self._database = database
+        self._interpreter = interpreter
+        self._snapshot = snapshot
+        self._released = False
+
+    @property
+    def generation(self) -> int:
+        """The pinned write generation."""
+        return self._snapshot.generation
+
+    @property
+    def snapshot(self) -> Snapshot:
+        """The underlying visibility predicate (for executor-level callers)."""
+        return self._snapshot
+
+    def query(self, statement: str) -> "QueryResult":
+        """Execute an MQL read statement as of the pinned generation.
+
+        Snapshot handles are read-only: DML and transaction statements are
+        rejected — writes go through ``engine.query`` (or a ``BEGIN WORK``
+        session) and remain invisible to this handle.
+        """
+        if self._released:
+            raise StorageError("snapshot handle has been released")
+        from repro.mql.ast_nodes import DMLStatement, TransactionStatement
+        from repro.mql.parser import parse  # deferred: package cycle
+
+        ast = parse(statement) if isinstance(statement, str) else statement
+        inner = getattr(ast, "statement", ast)  # unwrap EXPLAIN
+        if isinstance(inner, (TransactionStatement, *DMLStatement.__args__)):
+            raise StorageError(
+                "snapshot handles are read-only; run DML through the engine"
+            )
+        return self._interpreter.execute(ast, at=self._snapshot)
+
+    def database_view(self):
+        """The pinned :class:`~repro.core.versions.DatabaseView` (direct reads)."""
+        if self._released:
+            raise StorageError("snapshot handle has been released")
+        return self._database.at(self._snapshot)
+
+    def release(self) -> None:
+        """Unpin the generation (idempotent); triggers version GC."""
+        if not self._released:
+            self._released = True
+            self._database.release_pin(self._snapshot.generation)
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def __enter__(self) -> "SnapshotHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        self.release()
+        return False
+
+    def __repr__(self) -> str:
+        state = "released" if self._released else "pinned"
+        return f"SnapshotHandle(generation={self.generation}, {state})"

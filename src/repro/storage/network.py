@@ -45,6 +45,10 @@ class AtomNetwork:
         # and the same unordered semantics LinkType.links_of hands out.
         self._links_by_type: Dict[str, Dict[str, Set[Link]]] = {}
         self.rebuilds = 0
+        #: Write generation this view was last maintained at (stamped by the
+        #: owning engine; a network matching the engine's generation is
+        #: coherent with the head — pinned readers bypass it entirely).
+        self.generation = 0
         self.refresh()
 
     def refresh(self) -> None:

@@ -1,0 +1,489 @@
+"""MVCC: version chains, snapshot-pinned readers, and interleaved transactions.
+
+Covers the concurrency layer end to end: copy-on-write version chains and
+their garbage collection, `PrimaEngine.snapshot_at` repeatable reads,
+first-committer-wins conflict detection between interleaved transactions
+(including a hypothesis sweep over random interleavings), the MQL
+``BEGIN WORK`` / ``COMMIT WORK`` / ``ROLLBACK WORK`` session scope, and the
+EXPLAIN coverage for INSERT and MODIFY.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.database import Database
+from repro.core.versions import ABSENT, Snapshot, VersionChain
+from repro.datasets.geography import build_geography
+from repro.exceptions import (
+    StorageError,
+    TransactionConflictError,
+    TransactionError,
+)
+from repro.manipulation.transactions import Transaction
+from repro.mql.interpreter import MQLInterpreter
+from repro.storage.engine import PrimaEngine
+
+
+def small_engine(n_states: int = 6) -> PrimaEngine:
+    database = build_geography(n_states=n_states, edges_per_state=3, n_rivers=2)
+    engine = PrimaEngine.from_database(database)
+    engine.query("SELECT ALL FROM state-area WHERE state.code = 'S1';")  # warm caches
+    return engine
+
+
+def versioned_db() -> Database:
+    db = Database("mvcc")
+    db.define_atom_type("state", {"name": "string", "hectare": "integer"})
+    db.define_atom_type("area", {"area_id": "string"})
+    db.define_link_type("state-area", "state", "area")
+    db.insert_atom("state", identifier="s1", name="alpha", hectare=100)
+    db.insert_atom("area", identifier="a1", area_id="a1")
+    db.connect("state-area", "s1", "a1")
+    db.enable_versioning()
+    return db
+
+
+def fingerprint(result) -> str:
+    import json
+
+    return json.dumps(
+        sorted(json.dumps(d, sort_keys=True, default=str) for d in result.to_dicts())
+    )
+
+
+# ----------------------------------------------------------- version chains
+
+
+class TestVersionChain:
+    def test_base_entry_resolves_for_old_snapshots(self):
+        chain = VersionChain("v0")
+        chain.record(5, "v1")
+        chain.record(9, "v2")
+        assert chain.at(Snapshot(0)) == "v0"
+        assert chain.at(Snapshot(5)) == "v1"
+        assert chain.at(Snapshot(8)) == "v1"
+        assert chain.at(Snapshot(9)) == "v2"
+
+    def test_own_generations_are_visible(self):
+        chain = VersionChain("v0")
+        chain.record(7, "mine")
+        snapshot = Snapshot(3, own={7})
+        assert chain.at(snapshot) == "mine"
+        assert chain.at(Snapshot(3)) == "v0"
+
+    def test_truncate_keeps_newest_reachable_entry(self):
+        chain = VersionChain("v0")
+        chain.record(5, "v1")
+        chain.record(9, "v2")
+        dropped = chain.truncate(6)
+        assert dropped == 1  # the base entry: v1 serves every pin >= 6
+        assert chain.at(Snapshot(6)) == "v1"
+        assert chain.at(Snapshot(9)) == "v2"
+
+    def test_cannot_pin_future_generation(self):
+        db = versioned_db()
+        with pytest.raises(StorageError):
+            db.pin(db.versioning.generation + 10)
+
+
+# ------------------------------------------------------- snapshot handles
+
+
+class TestSnapshotReaders:
+    def test_pinned_reader_is_stable_across_committed_dml(self):
+        engine = small_engine()
+        query = "SELECT ALL FROM state-area WHERE state.hectare > 0;"
+        handle = engine.snapshot_at()
+        before = fingerprint(handle.query(query))
+        engine.query(
+            "INSERT state - area VALUES {name: 'nw', code: 'NW', hectare: 700, "
+            "area: {area_id: 'a_nw', kind: 'state-border'}};"
+        )
+        engine.query("MODIFY state FROM state - area SET hectare = 1 WHERE state.code = 'S1';")
+        engine.query("DELETE FROM state - area WHERE state.code = 'S2';")
+        assert fingerprint(handle.query(query)) == before
+        # A fresh (head) read observes every committed write.
+        head = fingerprint(engine.query(query))
+        assert head != before
+        handle.release()
+
+    def test_release_is_idempotent_and_blocks_queries(self):
+        engine = small_engine()
+        handle = engine.snapshot_at()
+        handle.release()
+        handle.release()
+        with pytest.raises(StorageError):
+            handle.query("SELECT ALL FROM state-area;")
+
+    def test_snapshot_handles_are_read_only(self):
+        engine = small_engine()
+        with engine.snapshot_at() as handle:
+            with pytest.raises(StorageError):
+                handle.query("DELETE FROM state - area WHERE state.code = 'S1';")
+            with pytest.raises(StorageError):
+                handle.query("BEGIN WORK;")
+        # The rejected statements really did nothing at the head.
+        assert len(engine.query("SELECT ALL FROM state-area WHERE state.code = 'S1';")) == 1
+
+    def test_context_manager_releases_and_gc_truncates(self):
+        engine = small_engine()
+        with engine.snapshot_at() as handle:
+            engine.query(
+                "MODIFY state FROM state - area SET hectare = 42 WHERE state.code = 'S1';"
+            )
+            report = engine.maintenance_report()
+            assert report["versions_live"] > 0
+            assert report["pins_active"] == 1
+            assert report["oldest_pinned_generation"] == handle.generation
+        report = engine.maintenance_report()
+        assert report["versions_live"] == 0
+        assert report["versions_collected"] > 0
+        assert report["oldest_pinned_generation"] is None
+        assert report["pins_active"] == 0
+
+    def test_unpinned_writes_record_no_history(self):
+        engine = small_engine()
+        engine.query("MODIFY state FROM state - area SET hectare = 7 WHERE state.code = 'S1';")
+        report = engine.maintenance_report()
+        assert report["versions_live"] == 0
+
+    def test_two_pins_gc_to_the_older_horizon(self):
+        engine = small_engine()
+        old = engine.snapshot_at()
+        engine.query("MODIFY state FROM state - area SET hectare = 11 WHERE state.code = 'S1';")
+        newer = engine.snapshot_at()
+        engine.query("MODIFY state FROM state - area SET hectare = 12 WHERE state.code = 'S1';")
+        newer.release()  # GC runs, but the old pin keeps its chain alive
+        report = engine.maintenance_report()
+        assert report["versions_live"] > 0
+        assert report["oldest_pinned_generation"] == old.generation
+        old_value = next(iter(old.query(
+            "SELECT ALL FROM state-area WHERE state.code = 'S1';"
+        ))).root_atom["hectare"]
+        assert old_value not in (11, 12)
+        old.release()
+        assert engine.maintenance_report()["versions_live"] == 0
+
+    def test_maintenance_report_extends_statistics(self):
+        engine = small_engine()
+        report = engine.maintenance_report()
+        statistics = engine.maintenance_statistics()
+        for key, value in statistics.items():
+            assert report[key] == value
+        for key in (
+            "versions_live",
+            "versions_collected",
+            "oldest_pinned_generation",
+            "pins_active",
+            "network_generation",
+        ):
+            assert key in report
+        assert report["network_generation"] == report["generation"]
+        assert report["index_generation"] == report["generation"]
+
+
+# ------------------------------------------------- interleaved transactions
+
+
+class TestWriterWriterConflicts:
+    def test_second_writer_conflicts_with_active_first(self):
+        db = versioned_db()
+        t1 = Transaction(db)
+        t2 = Transaction(db)
+        t1.begin()
+        t2.begin()
+        t1.modify_atom("state", "s1", hectare=111)
+        with pytest.raises(TransactionConflictError):
+            t2.modify_atom("state", "s1", hectare=222)
+        t1.commit()
+        t2.rollback()
+        assert db.atyp("state").get("s1")["hectare"] == 111
+
+    def test_late_writer_conflicts_with_earlier_commit(self):
+        db = versioned_db()
+        t2 = Transaction(db)
+        t2.begin()  # starts before t1 commits
+        t1 = Transaction(db)
+        t1.begin()
+        t1.modify_atom("state", "s1", hectare=111)
+        t1.commit()
+        with pytest.raises(TransactionConflictError):
+            t2.modify_atom("state", "s1", hectare=222)
+        t2.rollback()
+        assert db.atyp("state").get("s1")["hectare"] == 111
+
+    def test_commit_log_revalidation_first_committer_wins(self):
+        db = versioned_db()
+        state = db.versioning
+        t2 = Transaction(db)
+        t2.begin()
+        t2.modify_atom("state", "s1", hectare=222)
+        # Simulate a racing commit the eager write check could not have seen.
+        state.tick()
+        state.record_commit({("atom", "state", "s1")})
+        with pytest.raises(TransactionConflictError):
+            t2.commit()
+        assert not t2.is_active
+        assert db.atyp("state").get("s1")["hectare"] == 100  # rolled back
+
+    def test_disjoint_write_sets_both_commit(self):
+        db = versioned_db()
+        db.insert_atom("state", identifier="s2", name="beta", hectare=200)
+        t1 = Transaction(db)
+        t2 = Transaction(db)
+        t1.begin()
+        t2.begin()
+        t1.modify_atom("state", "s1", hectare=111)
+        t2.modify_atom("state", "s2", hectare=222)
+        t1.commit()
+        t2.commit()
+        assert db.atyp("state").get("s1")["hectare"] == 111
+        assert db.atyp("state").get("s2")["hectare"] == 222
+
+    def test_delete_conflicts_with_concurrent_link_writer(self):
+        db = versioned_db()
+        db.insert_atom("area", identifier="a2", area_id="a2")
+        t1 = Transaction(db)
+        t2 = Transaction(db)
+        t1.begin()
+        t2.begin()
+        t1.connect("state-area", "s1", "a2")
+        with pytest.raises(TransactionConflictError):
+            t2.delete_atom("state", "s1")  # would remove the link t1 created
+        t1.commit()
+        t2.rollback()
+        assert db.ltyp("state-area").partners_of("s1") == frozenset({"a1", "a2"})
+
+    @settings(max_examples=60, deadline=None)
+    @given(schedule=st.lists(st.booleans(), min_size=0, max_size=8))
+    def test_random_interleavings_exactly_one_winner(self, schedule):
+        """Two transactions modify the same atom under a random interleaving:
+        when they overlap, exactly one commits and the loser leaves no partial
+        state; when one finishes before the other begins, both commit (they
+        were never concurrent) and the later value is final."""
+        db = versioned_db()
+        transactions = [Transaction(db), Transaction(db)]
+        values = [111, 222]
+        steps = {0: ["begin", "modify", "commit"], 1: ["begin", "modify", "commit"]}
+        outcome = [None, None]  # "committed" | "conflict"
+        begin_step = [None, None]
+        finish_step = [None, None]
+        commit_order = []
+        clock = [0]
+        order = list(schedule) + [True] * 6 + [False] * 6  # always drains both
+
+        def advance(which: int) -> None:
+            if outcome[which] is not None or not steps[which]:
+                return
+            action = steps[which].pop(0)
+            txn = transactions[which]
+            clock[0] += 1
+            try:
+                if action == "begin":
+                    txn.begin()
+                    begin_step[which] = clock[0]
+                elif action == "modify":
+                    txn.modify_atom("state", "s1", hectare=values[which])
+                else:
+                    txn.commit()
+                    outcome[which] = "committed"
+                    finish_step[which] = clock[0]
+                    commit_order.append(which)
+            except TransactionConflictError:
+                if txn.is_active:
+                    txn.rollback()
+                outcome[which] = "conflict"
+                finish_step[which] = clock[0]
+
+        for pick_first in order:
+            advance(0 if pick_first else 1)
+        concurrent = (
+            begin_step[0] < finish_step[1] and begin_step[1] < finish_step[0]
+        )
+        if concurrent:
+            # Overlapping writers: first committer wins, the other aborts.
+            assert sorted(outcome) == ["committed", "conflict"]
+        else:
+            # Serial execution: no conflict to detect, both publish in order.
+            assert outcome == ["committed", "committed"]
+        assert commit_order, "at least one transaction must commit"
+        assert db.atyp("state").get("s1")["hectare"] == values[commit_order[-1]]
+        # No partial state: the database still holds exactly the seeded atoms.
+        assert len(db.atyp("state")) == 1
+        assert len(db.ltyp("state-area")) == 1
+        assert not db.versioning.active_transactions
+
+
+# ------------------------------------------------------------ MQL sessions
+
+
+class TestMQLTransactions:
+    def test_begin_work_pins_repeatable_reads(self):
+        engine = small_engine()
+        query = "SELECT ALL FROM state-area WHERE state.hectare > 0;"
+        engine.query("BEGIN WORK;")
+        before = fingerprint(engine.query(query))
+        # A concurrent writer through the atom interface commits to the head.
+        engine.store_atom("state", name="ghost", code="GH", hectare=999)
+        assert fingerprint(engine.query(query)) == before
+        engine.query("COMMIT WORK;")
+        assert fingerprint(engine.query(query)) != before
+
+    def test_session_sees_its_own_writes(self):
+        engine = small_engine()
+        engine.query("BEGIN WORK;")
+        engine.query(
+            "INSERT state - area VALUES {name: 'tx', code: 'TX', hectare: 550, "
+            "area: {area_id: 'a_tx', kind: 'state-border'}};"
+        )
+        inside = engine.query("SELECT ALL FROM state-area WHERE state.code = 'TX';")
+        assert len(inside) == 1
+        engine.query("ROLLBACK WORK;")
+        assert len(engine.query("SELECT ALL FROM state-area WHERE state.code = 'TX';")) == 0
+
+    def test_commit_work_publishes(self):
+        engine = small_engine()
+        engine.query("BEGIN WORK;")
+        engine.query(
+            "INSERT state - area VALUES {name: 'tx', code: 'TX', hectare: 550, "
+            "area: {area_id: 'a_tx', kind: 'state-border'}};"
+        )
+        engine.query("COMMIT WORK;")
+        assert len(engine.query("SELECT ALL FROM state-area WHERE state.code = 'TX';")) == 1
+
+    def test_failed_statement_rolls_back_to_savepoint_only(self):
+        engine = small_engine()
+        engine.query("BEGIN WORK;")
+        engine.query(
+            "INSERT state - area VALUES {name: 'ok', code: 'OK', hectare: 500, "
+            "area: {area_id: 'a_ok', kind: 'state-border'}};"
+        )
+        with pytest.raises(Exception):
+            engine.query(
+                "INSERT state - area VALUES {name: 'bad', nonsense: 1, "
+                "area: {area_id: 'a_bad', kind: 'k'}};"
+            )
+        # The failed statement is undone, the session (and its first insert) live on.
+        assert len(engine.query("SELECT ALL FROM state-area WHERE state.code = 'OK';")) == 1
+        engine.query("COMMIT WORK;")
+        assert len(engine.query("SELECT ALL FROM state-area WHERE state.code = 'OK';")) == 1
+        assert len(engine.query("SELECT ALL FROM state-area WHERE state.name = 'bad';")) == 0
+
+    def test_conflicting_sessions_first_committer_wins(self):
+        engine = small_engine()
+        snapshot = engine.to_database()
+        first = MQLInterpreter(snapshot)
+        second = MQLInterpreter(snapshot)
+        first.execute("BEGIN WORK;")
+        second.execute("BEGIN WORK;")
+        first.execute("MODIFY state FROM state - area SET hectare = 311 WHERE state.code = 'S1';")
+        with pytest.raises(TransactionConflictError):
+            second.execute(
+                "MODIFY state FROM state - area SET hectare = 322 WHERE state.code = 'S1';"
+            )
+        assert not second.in_transaction  # the losing session is aborted
+        first.execute("COMMIT WORK;")
+        winner = engine.query("SELECT ALL FROM state-area WHERE state.code = 'S1';")
+        assert next(iter(winner)).root_atom["hectare"] == 311
+
+    def test_rebuild_mode_session_survives_and_rolls_back(self):
+        """Regression: in rebuild maintenance mode, a DML statement inside
+        BEGIN WORK must not invalidate the interpreter (which would destroy
+        the session and permanently publish its uncommitted writes)."""
+        database = build_geography(n_states=4, edges_per_state=3, n_rivers=1)
+        engine = PrimaEngine.from_database(database, maintenance="rebuild")
+        engine.query("BEGIN WORK;")
+        engine.query("MODIFY state FROM state - area SET hectare = 999 WHERE state.code = 'S1';")
+        engine.query("ROLLBACK WORK;")
+        result = engine.query("SELECT ALL FROM state-area WHERE state.code = 'S1';")
+        assert next(iter(result)).root_atom["hectare"] != 999
+        # Rebuild semantics resume once the session is over.
+        engine.query("MODIFY state FROM state - area SET hectare = 7 WHERE state.code = 'S1';")
+        builds = engine.maintenance_statistics()["snapshot_builds"]
+        engine.query("SELECT ALL FROM state-area WHERE state.code = 'S1';")
+        assert engine.maintenance_statistics()["snapshot_builds"] == builds + 1
+
+    def test_pin_during_uncommitted_transaction_sees_clean_state(self):
+        """Regression: a snapshot pinned while another transaction holds
+        uncommitted writes must read the pre-transaction values, both before
+        and after that transaction rolls back (no dirty reads)."""
+        db = versioned_db()
+        txn = Transaction(db)
+        txn.begin()
+        txn.modify_atom("state", "s1", hectare=666)  # uncommitted
+        snapshot = db.versioning.make_snapshot(db.pin())
+        view = db.at(snapshot)
+        assert view.atyp("state").get("s1")["hectare"] == 100
+        txn.rollback()
+        assert view.atyp("state").get("s1")["hectare"] == 100
+        db.release_pin(snapshot.generation)
+
+    def test_literal_path_is_rejected_under_a_snapshot(self):
+        """Regression: optimize=False must not silently read the head while a
+        snapshot (session or handle) is in play."""
+        from repro.exceptions import MQLSemanticError
+
+        engine = small_engine()
+        engine.query("BEGIN WORK;")
+        with pytest.raises(MQLSemanticError):
+            engine.query("SELECT ALL FROM state-area;", optimize=False)
+        engine.query("COMMIT WORK;")
+        assert len(engine.query("SELECT ALL FROM state-area;", optimize=False)) > 0
+
+    def test_transaction_statement_misuse(self):
+        engine = small_engine()
+        with pytest.raises(TransactionError):
+            engine.query("COMMIT WORK;")
+        engine.query("BEGIN;")  # WORK is optional
+        with pytest.raises(TransactionError):
+            engine.query("BEGIN WORK;")
+        result = engine.query("ROLLBACK WORK;")
+        assert result.explanation == "ROLLBACK WORK"
+        assert len(result) == 0
+
+
+# -------------------------------------------------------- EXPLAIN coverage
+
+
+class TestExplainDML:
+    def test_explain_insert_reports_validation_checks(self):
+        engine = small_engine()
+        result = engine.query(
+            "EXPLAIN INSERT state - area VALUES {name: 'x', code: 'XX', hectare: 1, "
+            "area: {_id: 'a1'}};"
+        )
+        text = result.explanation
+        assert "ι insert" in text
+        assert "will validate" in text
+        assert "domain check state(" in text
+        assert "domain check area(" in text
+        assert "cardinality check state-area" in text
+        assert "shared subobject: reuse existing atom _id='a1'" in text
+        assert result.write_summary is None  # nothing executed
+
+    def test_explain_modify_reports_read_and_checks(self):
+        engine = small_engine()
+        result = engine.query(
+            "EXPLAIN MODIFY state FROM state - area SET hectare = 5 WHERE state.code = 'S1';"
+        )
+        text = result.explanation
+        assert "μ modify state" in text
+        assert "qualifying read" in text
+        assert "domain check state.hectare = 5" in text
+        assert "identity preserved" in text
+
+    def test_explain_delete_still_reports_qualifying_read(self):
+        engine = small_engine()
+        result = engine.query(
+            "EXPLAIN DELETE FROM state - area WHERE state.code = 'S1';"
+        )
+        assert "δ delete" in result.explanation
+        assert "qualifying read" in result.explanation
+
+    def test_explain_transaction_statement_is_rejected(self):
+        engine = small_engine()
+        from repro.exceptions import MQLSemanticError
+
+        with pytest.raises(MQLSemanticError):
+            engine.query("EXPLAIN BEGIN WORK;")

@@ -1,0 +1,108 @@
+"""Reader stability: every E-MQL example query is byte-stable under a pin.
+
+The satellite contract of the MVCC change: pin a snapshot, run every query
+the ``bench_mql_examples.py`` benchmark exercises (the paper's two worked
+statements plus the three set-operation statements), fire a burst of
+committed DML through the engine head, re-run every query against the pin,
+and assert byte-identical results — while a fresh head read observes the
+writers' state.
+"""
+
+import json
+
+import pytest
+
+from repro.datasets.geography import load_geography
+from repro.storage.engine import PrimaEngine
+
+#: Every MQL statement bench_mql_examples.py executes (kept in sync by the
+#: structural asserts in test_statement_list_matches_benchmark below).
+BENCH_MQL_STATEMENTS = (
+    # Chapter 4, statement 1 (E-MQL).
+    "SELECT ALL FROM mt_state (state - area - edge - point);",
+    # Chapter 4, statement 2 — the symmetric point-neighborhood query.
+    "SELECT ALL FROM point - edge - (area - state, net - river) WHERE point.name = 'pn';",
+    # The three set-operation statements of the benchmark.
+    "SELECT ALL FROM mt_state (state - area - edge - point) WHERE state.hectare > 800 "
+    "UNION "
+    "SELECT ALL FROM mt_state (state - area - edge - point) WHERE state.code = 'SP';",
+    "SELECT ALL FROM mt_state (state-area-edge-point) "
+    "DIFFERENCE "
+    "SELECT ALL FROM mt_state (state-area-edge-point) WHERE state.hectare > 800;",
+    "SELECT ALL FROM mt_state (state-area-edge-point) WHERE state.hectare > 800 "
+    "INTERSECT "
+    "SELECT ALL FROM mt_state (state-area-edge-point) WHERE state.code = 'MG';",
+)
+
+#: Committed DML fired between the two pinned read passes.
+DML_BURST = (
+    "INSERT state - area VALUES {name: 'Tocantins', code: 'TO', hectare: 850, "
+    "area: {area_id: 'a_to', kind: 'state-border'}};",
+    "MODIFY state FROM state - area SET hectare = 1 WHERE state.code = 'MG';",
+    "MODIFY point FROM point - edge SET name = 'renamed' WHERE point.name = 'p2';",
+    "DELETE FROM state - area - edge - point WHERE state.code = 'RJ';",
+)
+
+
+def fingerprint(result) -> str:
+    return json.dumps(
+        sorted(json.dumps(d, sort_keys=True, default=str) for d in result.to_dicts())
+    )
+
+
+@pytest.fixture()
+def engine() -> PrimaEngine:
+    prima = PrimaEngine.from_database(load_geography())
+    prima.query(BENCH_MQL_STATEMENTS[0])  # warm snapshot / network / interpreter
+    return prima
+
+
+def test_every_bench_query_is_stable_around_a_dml_burst(engine):
+    handle = engine.snapshot_at()
+    first_pass = [fingerprint(handle.query(stmt)) for stmt in BENCH_MQL_STATEMENTS]
+    for statement in DML_BURST:
+        engine.query(statement)
+    second_pass = [fingerprint(handle.query(stmt)) for stmt in BENCH_MQL_STATEMENTS]
+    assert first_pass == second_pass, "pinned reads must be byte-identical"
+    # A fresh head read observes the burst: MG dropped out of the >800 band,
+    # RJ is gone, TO arrived.
+    head = [fingerprint(engine.query(stmt)) for stmt in BENCH_MQL_STATEMENTS]
+    assert head != first_pass
+    handle.release()
+    assert engine.maintenance_report()["versions_live"] == 0
+
+
+def test_pinned_counts_match_the_benchmark_claims(engine):
+    """The pinned results reproduce the benchmark's documented cardinalities
+    even while the head mutates (10 mt_state molecules, 1 neighborhood)."""
+    with engine.snapshot_at() as handle:
+        for statement in DML_BURST:
+            engine.query(statement)
+        assert len(handle.query(BENCH_MQL_STATEMENTS[0])) == 10
+        neighborhood = handle.query(BENCH_MQL_STATEMENTS[1])
+        assert len(neighborhood) == 1
+        states = sorted(
+            atom["code"] for atom in neighborhood.molecules[0].atoms_of_type("state")
+        )
+        assert states == ["GO", "MG", "MS", "SP"]
+        assert len(handle.query(BENCH_MQL_STATEMENTS[4])) == 1  # INTERSECT keeps MG
+    # Post-release head: the DML really happened.
+    assert len(engine.query(BENCH_MQL_STATEMENTS[0])) == 10  # -RJ +TO
+    assert len(engine.query(BENCH_MQL_STATEMENTS[4])) == 0  # MG left the band
+
+
+def test_statement_list_matches_benchmark():
+    """Keep the local statement list honest against bench_mql_examples.py."""
+    from pathlib import Path
+
+    source = (
+        Path(__file__).resolve().parent.parent / "benchmarks" / "bench_mql_examples.py"
+    ).read_text(encoding="utf-8")
+    for fragment in (
+        "SELECT ALL FROM mt_state (state - area - edge - point);",
+        "WHERE point.name = 'pn'",
+        "UNION",
+        "DIFFERENCE",
+        "INTERSECT",
+    ):
+        assert fragment in source
