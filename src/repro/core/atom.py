@@ -383,3 +383,16 @@ def reset_surrogate_counter() -> None:
     """Reset the surrogate-identifier counter (used by tests for determinism)."""
     global _atom_counter
     _atom_counter = itertools.count(1)
+
+
+def ensure_surrogate_counter(minimum: int) -> None:
+    """Advance the surrogate counter past *minimum* (crash-recovery hook).
+
+    WAL replay re-creates atoms under their original ``<type>#<n>``
+    surrogates; in a fresh process the counter restarts at 1 and a later
+    insert could collide with a recovered identifier.  Recovery therefore
+    bumps the counter past the highest ordinal it replayed.
+    """
+    global _atom_counter
+    probe = next(_atom_counter)
+    _atom_counter = itertools.count(max(probe, minimum + 1))

@@ -301,13 +301,19 @@ class Molecule:
         The nesting follows the description's directed links when a
         description is attached; otherwise atoms are grouped by type.  This is
         the canonical external representation used by the examples and by the
-        NF² mapping.
+        NF² mapping.  Sibling atoms render sorted by identifier: the traversal
+        order of derivation depends on set iteration, and byte-identical
+        output across equivalent molecules (pinned readers, WAL-recovered
+        engines) requires a canonical order.
         """
         if self.description is None:
             return {
                 "root": self.root_atom.values | {"_id": self.root_atom.identifier},
                 "atoms": {
-                    type_name: [atom.values | {"_id": atom.identifier} for atom in atoms]
+                    type_name: [
+                        atom.values | {"_id": atom.identifier}
+                        for atom in sorted(atoms, key=lambda a: a.identifier)
+                    ]
                     for type_name, atoms in self._atoms_by_type.items()
                 },
             }
@@ -323,12 +329,15 @@ class Molecule:
             node: Dict[str, object] = dict(atom.values)
             node["_id"] = atom.identifier
             for directed in self.description.children_of(type_name):
-                child_atoms = [
-                    child
-                    for child in self.atoms_of_type(directed.target)
-                    if child.identifier in adjacency.get(atom.identifier, set())
-                    and child.identifier not in visited
-                ]
+                child_atoms = sorted(
+                    (
+                        child
+                        for child in self.atoms_of_type(directed.target)
+                        if child.identifier in adjacency.get(atom.identifier, set())
+                        and child.identifier not in visited
+                    ),
+                    key=lambda child: child.identifier,
+                )
                 # Propagated atom types carry decorated names ("book@result$3");
                 # render the nested dictionary under the bare, user-facing name.
                 child_key = directed.target.split("@", 1)[0]

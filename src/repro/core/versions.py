@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from typing import (
     TYPE_CHECKING,
+    Callable,
     Dict,
     FrozenSet,
     Iterable,
@@ -192,6 +193,22 @@ class VersioningState:
         self.active_transactions: "Set[object]" = set()
         #: Cumulative number of version entries dropped by garbage collection.
         self.versions_collected = 0
+        #: Callbacks ``(transaction, committed)`` fired when a transaction
+        #: finishes — at commit *immediately after* the commit-log append
+        #: (the WAL emits its record here, atomically with the MVCC commit),
+        #: and at rollback/conflict abort with ``committed=False`` (the WAL
+        #: discards the buffered events — redo-only logging).
+        self.transaction_hooks: "List[Callable[[object, bool], None]]" = []
+        #: The transaction currently inside a tracked mutation block, set by
+        #: :meth:`Transaction._tracked`.  Listeners use it to attribute a
+        #: change event to the transaction that produced it (the engine's WAL
+        #: buffers events per writer until that writer commits).
+        self.current_writer: Optional[object] = None
+
+    def notify_transaction_finished(self, txn: object, committed: bool) -> None:
+        """Fire every transaction hook (commit: right after the log append)."""
+        for hook in list(self.transaction_hooks):
+            hook(txn, committed)
 
     # ------------------------------------------------------------------ clock
 

@@ -219,7 +219,15 @@ class Executor:
             if txn.is_active:
                 txn.rollback()
             raise
-        txn.commit()
+        try:
+            txn.commit()
+        except BaseException:
+            # A commit-time failure (e.g. the durable engine's WAL append)
+            # must not leave an orphaned active transaction holding applied
+            # but undurable state: the auto-committed statement is atomic.
+            if txn.is_active:
+                txn.rollback()
+            raise
         return WriteExecutionResult(molecule_type, self.database, summary, ctx.counters)
 
 

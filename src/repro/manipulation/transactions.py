@@ -103,6 +103,10 @@ class Transaction:
         self._own_generations: Set[int] = set()
         #: Repeatable-read snapshot (session transactions only).
         self.snapshot: Optional[Snapshot] = None
+        #: ``True`` once this transaction's entry is in the MVCC commit log
+        #: (set in :meth:`commit`; a retried commit skips straight to the
+        #: durability hook instead of re-validating against itself).
+        self._commit_logged = False
 
     # ------------------------------------------------------------- lifecycle
 
@@ -147,16 +151,26 @@ class Transaction:
         self._require_active()
         state = self._state
         if state is not None:
-            conflicting = state.committed_after(self.start_generation, self.write_keys)
-            if conflicting is not None:
-                with self._tracked():
-                    self.log.undo_all()
-                self._finish()
-                raise TransactionConflictError(
-                    f"{conflicting!r} was committed by a concurrent transaction "
-                    "after this one began (first committer wins)"
-                )
-            state.record_commit(self.write_keys)
+            if not self._commit_logged:
+                conflicting = state.committed_after(self.start_generation, self.write_keys)
+                if conflicting is not None:
+                    with self._tracked():
+                        self.log.undo_all()
+                    self._finish()
+                    state.notify_transaction_finished(self, committed=False)
+                    raise TransactionConflictError(
+                        f"{conflicting!r} was committed by a concurrent transaction "
+                        "after this one began (first committer wins)"
+                    )
+                state.record_commit(self.write_keys)
+                # A retried commit (after e.g. a WAL append failure below)
+                # must not re-validate against — or re-append — its own
+                # commit-log entry: the MVCC publish already happened.
+                self._commit_logged = True
+            # Durability point: the WAL hook appends this transaction's commit
+            # record here, atomically with the MVCC commit-log entry.  On
+            # failure the transaction stays active and commit() is retryable.
+            state.notify_transaction_finished(self, committed=True)
         self.log.clear()
         self._finish()
 
@@ -166,6 +180,8 @@ class Transaction:
         with self._tracked():
             undone = self.log.undo_all()
         self._finish()
+        if self._state is not None:
+            self._state.notify_transaction_finished(self, committed=False)
         return undone
 
     def _finish(self) -> None:
@@ -230,15 +246,25 @@ class Transaction:
 
     @contextmanager
     def _tracked(self):
-        """Collect the generations ticked inside the block into ``own``."""
+        """Collect the generations ticked inside the block into ``own``.
+
+        While the block runs, the versioning state's ``current_writer`` names
+        this transaction so event listeners (the engine's WAL buffer) can
+        attribute every emitted change event to its writer.  Undo blocks run
+        tracked too: their compensating events join the same buffer, which a
+        rollback then discards wholesale.
+        """
         state = self._state
         if state is None:
             yield
             return
         before = state.generation
+        previous_writer = state.current_writer
+        state.current_writer = self
         try:
             yield
         finally:
+            state.current_writer = previous_writer
             after = state.generation
             if after > before:
                 self._own_generations.update(range(before + 1, after + 1))

@@ -180,6 +180,17 @@ class ModifyStatement:
 
 
 @dataclass(frozen=True)
+class CheckpointStatement:
+    """``CHECKPOINT`` — persist a snapshot image and truncate the WAL.
+
+    Only meaningful on a durable storage engine
+    (:class:`~repro.storage.engine.PrimaEngine` with a durability
+    configuration); rejected while a session transaction is active, because
+    the stores then carry uncommitted mirror state.
+    """
+
+
+@dataclass(frozen=True)
 class TransactionStatement:
     """``BEGIN WORK`` / ``COMMIT WORK`` / ``ROLLBACK WORK``.
 

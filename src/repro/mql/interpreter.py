@@ -47,6 +47,7 @@ from repro.engine.write import WriteSummary
 from repro.exceptions import MQLSemanticError, TransactionConflictError, TransactionError
 from repro.manipulation.transactions import Transaction
 from repro.mql.ast_nodes import (
+    CheckpointStatement,
     DeleteStatement,
     DMLStatement,
     ExplainStatement,
@@ -138,6 +139,7 @@ class MQLInterpreter:
         optimize: bool = True,
         executor: Optional[Executor] = None,
         planner: Optional[Planner] = None,
+        checkpoint=None,
     ) -> None:
         self.database = database
         self.optimize = optimize
@@ -145,6 +147,27 @@ class MQLInterpreter:
         self._planner = planner
         #: Active session transaction (``BEGIN WORK`` … ``COMMIT WORK``).
         self._session: Optional[Transaction] = None
+        #: Callable serving MQL ``CHECKPOINT`` — a durable storage engine
+        #: passes its ``PrimaEngine.checkpoint``; ``None`` rejects the
+        #: statement (nothing durable to checkpoint).
+        self._checkpoint_hook = checkpoint
+
+    @classmethod
+    def from_directory(
+        cls, directory, fsync: str = "batch", maintenance: str = "incremental"
+    ) -> "MQLInterpreter":
+        """Reopen a durable engine's directory and return its interpreter.
+
+        Recovery (checkpoint load + redo-only WAL replay) happens during the
+        engine construction; the returned interpreter serves MQL — including
+        ``CHECKPOINT`` — over the recovered state, and its engine keeps
+        logging subsequent commits to the same directory.
+        """
+        from repro.storage.engine import PrimaEngine  # deferred: package cycle
+
+        return PrimaEngine.open(
+            directory, fsync=fsync, maintenance=maintenance
+        ).interpreter()
 
     @property
     def planner(self) -> Planner:
@@ -194,10 +217,14 @@ class MQLInterpreter:
         ast = parse(statement) if isinstance(statement, str) else statement
         if isinstance(ast, TransactionStatement):
             return self._execute_transaction_statement(ast)
+        if isinstance(ast, CheckpointStatement):
+            return self._execute_checkpoint(ast)
         explain = isinstance(ast, ExplainStatement)
         inner = ast.statement if explain else ast
         if isinstance(inner, TransactionStatement):
             raise MQLSemanticError("transaction statements cannot be EXPLAINed")
+        if isinstance(inner, CheckpointStatement):
+            raise MQLSemanticError("CHECKPOINT cannot be EXPLAINed")
         if isinstance(inner, (InsertStatement, DeleteStatement, ModifyStatement)):
             return self._execute_dml(
                 inner,
@@ -247,13 +274,41 @@ class MQLInterpreter:
                 raise TransactionError(f"{action} WORK without an active transaction")
             self._session = None
             if action == "COMMIT":
-                txn.commit()  # raises TransactionConflictError when it loses
+                try:
+                    txn.commit()  # raises TransactionConflictError when it loses
+                except BaseException:
+                    if txn.is_active:
+                        # Not a conflict (the loser is fully rolled back) but
+                        # a commit-time failure such as a WAL append error:
+                        # the session stays open so the user can retry COMMIT
+                        # WORK or ROLLBACK WORK explicitly.
+                        self._session = txn
+                    raise
             else:
                 txn.rollback()
         else:  # pragma: no cover - the parser only produces the three actions
             raise MQLSemanticError(f"unknown transaction statement {action!r}")
         return QueryResult(
             None, self.database, statement, explanation=f"{action} WORK"
+        )
+
+    def _execute_checkpoint(self, statement: CheckpointStatement) -> QueryResult:
+        """Run MQL ``CHECKPOINT`` through the engine's checkpoint hook."""
+        if self._checkpoint_hook is None:
+            raise MQLSemanticError(
+                "CHECKPOINT requires a durable storage engine "
+                "(PrimaEngine with durability=DurabilityConfig(...))"
+            )
+        info = self._checkpoint_hook()
+        return QueryResult(
+            None,
+            self.database,
+            statement,
+            explanation=(
+                f"CHECKPOINT #{info['checkpoints']} at generation "
+                f"{info['generation']} ({info['atoms']} atoms, {info['links']} links); "
+                "WAL truncated"
+            ),
         )
 
     def plan(self, statement: "str | Statement | DMLStatement") -> PlanChoice:
@@ -265,8 +320,8 @@ class MQLInterpreter:
         ast = parse(statement) if isinstance(statement, str) else statement
         if isinstance(ast, ExplainStatement):
             ast = ast.statement
-        if isinstance(ast, TransactionStatement):
-            raise MQLSemanticError("transaction statements have no plan")
+        if isinstance(ast, (TransactionStatement, CheckpointStatement)):
+            raise MQLSemanticError("transaction and checkpoint statements have no plan")
         if isinstance(ast, (InsertStatement, DeleteStatement, ModifyStatement)):
             write_plan = QueryTranslator(self.database).translate_dml(ast)
             if isinstance(write_plan, InsertMolecule):

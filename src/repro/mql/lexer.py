@@ -42,6 +42,7 @@ KEYWORDS = {
     "COMMIT",
     "ROLLBACK",
     "WORK",
+    "CHECKPOINT",
 }
 
 

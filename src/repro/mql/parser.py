@@ -3,8 +3,9 @@
 Grammar (EBNF)::
 
     input       := ["EXPLAIN"] (statement | insert | delete | modify)
-                   | transaction
+                   | transaction | checkpoint
     transaction := ("BEGIN" | "COMMIT" | "ROLLBACK") ["WORK"] [";"]
+    checkpoint  := "CHECKPOINT" [";"]
     statement   := query (("UNION" | "DIFFERENCE" | "INTERSECT") query)* [";"]
     query       := "SELECT" select_list "FROM" from_clause ["WHERE" condition]
     select_list := "ALL" | ident ("," ident)*
@@ -43,6 +44,7 @@ from repro.exceptions import MQLSyntaxError
 from repro.mql.ast_nodes import (
     Assignment,
     AttributeReference,
+    CheckpointStatement,
     ComparisonCondition,
     DeleteStatement,
     DMLStatement,
@@ -115,6 +117,10 @@ class _Parser:
             return self.parse_modify()
         if token.type is TokenType.KEYWORD and token.value in ("BEGIN", "COMMIT", "ROLLBACK"):
             return self.parse_transaction()
+        if token.is_keyword("CHECKPOINT"):
+            self.advance()
+            self._finish()
+            return CheckpointStatement()
         return self.parse_statement()
 
     def parse_transaction(self) -> TransactionStatement:

@@ -25,5 +25,19 @@ from repro.storage.engine import PrimaEngine, SnapshotHandle
 from repro.storage.index import HashIndex
 from repro.storage.link_store import LinkStore
 from repro.storage.network import AtomNetwork
+from repro.storage.recovery import RecoveryResult
+from repro.storage.wal import DurabilityConfig, WalError, WriteAheadLog, read_wal
 
-__all__ = ["AtomNetwork", "AtomStore", "HashIndex", "LinkStore", "PrimaEngine", "SnapshotHandle"]
+__all__ = [
+    "AtomNetwork",
+    "AtomStore",
+    "DurabilityConfig",
+    "HashIndex",
+    "LinkStore",
+    "PrimaEngine",
+    "RecoveryResult",
+    "SnapshotHandle",
+    "WalError",
+    "WriteAheadLog",
+    "read_wal",
+]

@@ -29,12 +29,20 @@ engine's is coherent by construction).  The ``rebuild`` mode restores the
 historical invalidate-everything behaviour — every write discards all caches
 and the next read rebuilds them from the stores; the mixed-workload benchmark
 compares the two.
+
+**Durability.**  With ``durability=DurabilityConfig(directory)`` the engine
+opens (and crash-recovers) a write-ahead log on construction: change events
+are buffered per transaction and appended as one checksummed commit record
+when the transaction commits — atomically with the MVCC commit-log entry —
+so recovery (:mod:`repro.storage.recovery`) is pure redo of the committed
+prefix.  :meth:`PrimaEngine.checkpoint` (or MQL ``CHECKPOINT``) writes a
+compact catalog + occurrence image and truncates the log.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.atom import Atom, AtomType
 from repro.core.database import Database
@@ -55,6 +63,8 @@ from repro.exceptions import StorageError, UnknownNameError
 from repro.storage.atom_store import AtomStore
 from repro.storage.link_store import LinkStore
 from repro.storage.network import AtomNetwork
+from repro.storage.recovery import RecoveryResult, describe_attributes, recover
+from repro.storage.wal import DurabilityConfig, WriteAheadLog, encode_event
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.engine.physical import IndexPool
@@ -82,9 +92,21 @@ class PrimaEngine:
     and planner statistics; ``"rebuild"`` invalidates everything on each
     write and rebuilds lazily — the pre-write-pipeline behaviour, kept as
     the benchmark baseline.
+
+    *durability* (a :class:`~repro.storage.wal.DurabilityConfig`) makes the
+    engine persistent: construction recovers the directory's checkpoint and
+    write-ahead log (redo of committed transactions only), then opens the
+    log for appending.  Every DDL statement and every committed transaction
+    is logged; :meth:`checkpoint` writes a snapshot image and truncates the
+    log.  Without *durability* the engine is purely in-memory, as before.
     """
 
-    def __init__(self, name: str = "prima", maintenance: str = INCREMENTAL) -> None:
+    def __init__(
+        self,
+        name: str = "prima",
+        maintenance: str = INCREMENTAL,
+        durability: Optional[DurabilityConfig] = None,
+    ) -> None:
         if maintenance not in (INCREMENTAL, REBUILD):
             raise StorageError(
                 f"unknown maintenance mode {maintenance!r}; use 'incremental' or 'rebuild'"
@@ -110,6 +132,27 @@ class PrimaEngine:
             "invalidations": 0,
             "events_applied": 0,
         }
+        # -- durability state (all inert when durability is None) -----------
+        self._durability = durability
+        self._wal: Optional[WriteAheadLog] = None
+        #: Change events buffered per active transaction (keyed by ``id``);
+        #: flushed as one commit record when the transaction commits,
+        #: discarded when it rolls back — redo-only logging.
+        self._wal_tx_pending: Dict[int, List[Dict[str, object]]] = {}
+        #: Events of one in-flight basic-interface write (see :meth:`_mirror`).
+        self._wal_direct_buffer: List[Dict[str, object]] = []
+        self._recovery: Optional[RecoveryResult] = None
+        self._checkpoints = 0
+        if durability is not None:
+            # Recovery runs before the WAL opens for appending, so nothing
+            # replayed here is ever re-logged.
+            self._recovery = recover(self, durability)
+            factory = durability.wal_factory or WriteAheadLog
+            self._wal = factory(
+                durability.wal_path,
+                fsync=durability.fsync,
+                group_commit=durability.group_commit,
+            )
 
     # ------------------------------------------------------------------ DDL
 
@@ -120,6 +163,14 @@ class PrimaEngine:
         store = AtomStore(name, description)
         self._atom_stores[name] = store
         self._invalidate()
+        if self._wal is not None:
+            self._wal.append_ddl(
+                {
+                    "op": "atom_type",
+                    "name": name,
+                    "attributes": describe_attributes(store.description),
+                }
+            )
         return store
 
     def create_link_type(
@@ -139,11 +190,25 @@ class PrimaEngine:
         self._link_stores[name] = store
         self._cardinalities[name] = cardinality
         self._invalidate()
+        if self._wal is not None:
+            self._wal.append_ddl(
+                {
+                    "op": "link_type",
+                    "name": name,
+                    "first": first_type,
+                    "second": second_type,
+                    "cardinality": cardinality.value,
+                }
+            )
         return store
 
     def create_index(self, atom_type_name: str, attribute: str) -> None:
         """Create a secondary index on ``atom_type_name.attribute``."""
         self._atom_store(atom_type_name).create_index(attribute)
+        if self._wal is not None:
+            self._wal.append_ddl(
+                {"op": "index", "type": atom_type_name, "attribute": attribute}
+            )
 
     # --------------------------------------------- atom-oriented interface
 
@@ -160,6 +225,18 @@ class PrimaEngine:
                     atom_type.replace(atom)
         else:
             self._after_write()
+            self._wal_direct(
+                [
+                    encode_event(
+                        ChangeEvent(
+                            ATOM_INSERTED,
+                            atom_type_name,
+                            atom=atom,
+                            generation=self.generation,
+                        )
+                    )
+                ]
+            )
         return atom
 
     def get_atom(self, atom_type_name: str, identifier: str) -> Optional[Atom]:
@@ -197,6 +274,18 @@ class PrimaEngine:
                 raise
         else:
             self._after_write()
+            self._wal_direct(
+                [
+                    encode_event(
+                        ChangeEvent(
+                            LINK_CONNECTED,
+                            link_type_name,
+                            link=link,
+                            generation=self.generation,
+                        )
+                    )
+                ]
+            )
         return link
 
     def neighbours(self, link_type_name: str, identifier: str) -> Tuple[str, ...]:
@@ -205,12 +294,24 @@ class PrimaEngine:
 
     def delete_atom(self, atom_type_name: str, identifier: str) -> int:
         """Delete an atom and all its incident links; returns the links removed."""
-        self._atom_store(atom_type_name).delete(identifier)
+        maintainable = self._maintainable()
+        removed_links: List[Tuple[str, Link]] = []
+        if self._wal is not None and not maintainable:
+            # The incident links must be captured before the stores drop them;
+            # in the maintainable path the snapshot mirror emits one event per
+            # removal instead.
+            for link_store in self._link_stores.values():
+                if atom_type_name in (link_store.first_type, link_store.second_type):
+                    removed_links.extend(
+                        (link_store.link_type_name, link)
+                        for link in link_store.links_of(identifier)
+                    )
+        removed_atom = self._atom_store(atom_type_name).delete(identifier)
         removed = 0
         for store in self._link_stores.values():
             if atom_type_name in (store.first_type, store.second_type):
                 removed += store.delete_atom(identifier)
-        if self._maintainable():
+        if maintainable:
             with self._mirror():
                 for link_type in self._snapshot.link_types_of(atom_type_name):
                     link_type.remove_atom(identifier)
@@ -219,6 +320,28 @@ class PrimaEngine:
                     atom_type.remove(identifier)
         else:
             self._after_write()
+            records = [
+                encode_event(
+                    ChangeEvent(
+                        LINK_DISCONNECTED,
+                        link_type_name,
+                        link=link,
+                        generation=self.generation,
+                    )
+                )
+                for link_type_name, link in removed_links
+            ]
+            records.append(
+                encode_event(
+                    ChangeEvent(
+                        ATOM_DELETED,
+                        atom_type_name,
+                        atom=removed_atom,
+                        generation=self.generation,
+                    )
+                )
+            )
+            self._wal_direct(records)
         return removed
 
     # --------------------------------------------- molecule-processing layer
@@ -256,7 +379,12 @@ class PrimaEngine:
         # The snapshot carries the MVCC state: its version clock continues
         # the engine's write generation, so event stamps and the engine's
         # counter stay in lock-step.
-        db.enable_versioning(start_generation=self.generation)
+        state = db.enable_versioning(start_generation=self.generation)
+        if self._durability is not None:
+            # The WAL flushes a transaction's buffered events when it commits
+            # (and discards them when it rolls back); the hook fires inside
+            # Transaction.commit, right after the MVCC commit-log append.
+            state.transaction_hooks.append(self._wal_transaction_finished)
         self._snapshot = db
         self._stats["snapshot_builds"] += 1
         return db
@@ -314,7 +442,11 @@ class PrimaEngine:
             executor = Executor(
                 database, indexes=self._index_pool, network=self.network()
             )
-            self._interpreter = MQLInterpreter(database, executor=executor)
+            self._interpreter = MQLInterpreter(
+                database,
+                executor=executor,
+                checkpoint=self.checkpoint if self._durability is not None else None,
+            )
             self._stats["interpreter_builds"] += 1
         return self._interpreter
 
@@ -355,6 +487,133 @@ class PrimaEngine:
             return dict(NO_VERSION_STATISTICS)
         return self._snapshot.collect_versions()
 
+    # ---------------------------------------------------- durability and WAL
+
+    @classmethod
+    def open(
+        cls,
+        directory,
+        name: str = "prima",
+        maintenance: str = INCREMENTAL,
+        fsync: str = "batch",
+        group_commit: int = 8,
+    ) -> "PrimaEngine":
+        """Open (or create) a durable engine rooted at *directory*.
+
+        Construction recovers the directory's checkpoint and WAL; an empty
+        directory yields an empty engine whose subsequent DDL and commits are
+        logged.  Shorthand for ``PrimaEngine(durability=DurabilityConfig(…))``.
+        """
+        return cls(
+            name,
+            maintenance=maintenance,
+            durability=DurabilityConfig(directory, fsync=fsync, group_commit=group_commit),
+        )
+
+    @property
+    def durability(self) -> Optional[DurabilityConfig]:
+        """The durability configuration, or ``None`` for in-memory engines."""
+        return self._durability
+
+    @property
+    def wal(self) -> Optional[WriteAheadLog]:
+        """The open write-ahead log (``None`` for in-memory engines)."""
+        return self._wal
+
+    @property
+    def recovery(self) -> Optional[RecoveryResult]:
+        """What construction-time recovery replayed (``None`` when in-memory)."""
+        return self._recovery
+
+    def checkpoint(self) -> Dict[str, object]:
+        """Write a snapshot image and truncate the WAL (quiescent points only).
+
+        The checkpoint protocol is: image to a temporary file, fsync, atomic
+        rename over the previous image, fsync the directory, *then* truncate
+        the log — a crash between any two steps leaves a state recovery
+        handles (old image + full log, or new image + full log, both of which
+        replay to the committed head because replay is idempotent).  Refused
+        while any transaction is active: the stores then carry uncommitted
+        mirror state that must not enter an image.
+        """
+        if self._wal is None:
+            raise StorageError(
+                "checkpoint requires a durable engine; construct it with "
+                "durability=DurabilityConfig(directory)"
+            )
+        if self._wal.closed:
+            # Fail before the image write: replacing the image and then
+            # failing to truncate would otherwise leave a half-finished
+            # checkpoint behind a closed engine.
+            raise StorageError("cannot checkpoint a closed engine; reopen the directory")
+        state = self._snapshot.versioning if self._snapshot is not None else None
+        if (state is not None and state.active_transactions) or self._wal_tx_pending:
+            raise StorageError(
+                "cannot checkpoint while transactions are active; "
+                "COMMIT WORK or ROLLBACK WORK first"
+            )
+        from repro.storage.recovery import write_checkpoint  # deferred: cycle hygiene
+
+        path = write_checkpoint(self, self._durability)
+        self._wal.truncate()
+        self._checkpoints += 1
+        return {
+            "path": str(path),
+            "checkpoints": self._checkpoints,
+            "generation": self.generation,
+            "atoms": sum(len(store) for store in self._atom_stores.values()),
+            "links": sum(len(store) for store in self._link_stores.values()),
+        }
+
+    def close(self) -> None:
+        """Flush and close the WAL (idempotent; in-memory engines: no-op).
+
+        A closed durable engine keeps serving reads, but further writes fail
+        at the log append — reopen the directory with :meth:`open` instead.
+        """
+        if self._wal is not None:
+            self._wal.close()
+
+    def _wal_direct(self, records: "List[Dict[str, object]]") -> None:
+        """Log one auto-committed basic-interface write (no transaction)."""
+        if self._wal is not None and records:
+            self._wal.commit_events(records)
+
+    def _wal_capture(self, event: ChangeEvent, source: Database) -> None:
+        """Route one change event into the WAL's buffers.
+
+        Events produced inside a transaction's tracked block are buffered
+        under that transaction (flushed at commit, dropped at rollback);
+        events of a basic-interface store write collect in the mirror buffer
+        (one record per operation); everything else — a direct snapshot
+        mutation outside any transaction — auto-commits immediately.
+        """
+        state = source.versioning
+        writer = state.current_writer if state is not None else None
+        record = encode_event(event)
+        if writer is not None:
+            self._wal_tx_pending.setdefault(id(writer), []).append(record)
+        elif self._mirroring:
+            self._wal_direct_buffer.append(record)
+        else:
+            self._wal.commit_events([record])
+
+    def _wal_transaction_finished(self, txn: object, committed: bool) -> None:
+        """Transaction hook: flush the writer's buffered events on commit.
+
+        Fired by :meth:`repro.manipulation.transactions.Transaction.commit`
+        immediately after the MVCC commit-log append (and by ``rollback`` /
+        conflict aborts with ``committed=False``, which discards the buffer —
+        the log only ever carries committed transactions).
+        """
+        events = self._wal_tx_pending.get(id(txn))
+        if committed and events and self._wal is not None:
+            # May raise (closed log, full disk): the buffer is kept so a
+            # retried commit logs the transaction's events after all — the
+            # pop below is only reached once the record is safely appended.
+            self._wal.commit_events(events)
+        self._wal_tx_pending.pop(id(txn), None)
+
     # -------------------------------------------------- cache maintenance
 
     def _maintainable(self) -> bool:
@@ -371,12 +630,22 @@ class PrimaEngine:
 
         Inside the guard, :meth:`_on_change` skips the store mirror (the
         store was already written) but still maintains the derived caches.
+        The events of the guarded block form one basic-interface operation;
+        on success they are flushed to the WAL as a single commit record, on
+        failure (the store write was undone) they are discarded.
         """
         self._mirroring = True
         try:
             yield
+        except BaseException:
+            self._wal_direct_buffer.clear()
+            raise
         finally:
             self._mirroring = False
+        if self._wal_direct_buffer:
+            records = list(self._wal_direct_buffer)
+            self._wal_direct_buffer.clear()
+            self._wal_direct(records)
 
     def _listener_for(self, snapshot: Database) -> Listener:
         """A change listener that remembers which snapshot it watches.
@@ -399,6 +668,8 @@ class PrimaEngine:
         # snapshot still ticks its own, older clock).
         self.generation = max(self.generation + 1, event.generation or 0)
         self._stats["events_applied"] += 1
+        if self._wal is not None:
+            self._wal_capture(event, source)
         if not self._mirroring:
             self._mirror_to_stores(event)
         if source is not self._snapshot:
@@ -503,7 +774,11 @@ class PrimaEngine:
           truncated on the next collection);
         * ``pins_active`` — active snapshot/transaction pins;
         * ``network_generation`` — the write generation the cached atom
-          network was last maintained at.
+          network was last maintained at;
+        * ``wal_bytes`` / ``wal_records`` / ``wal_syncs`` — write-ahead-log
+          size, records appended, fsyncs issued (0 for in-memory engines);
+        * ``checkpoints`` — checkpoint images written by this engine;
+        * ``recovery_replayed`` — WAL records replayed at construction.
         """
         report: Dict[str, object] = dict(self.maintenance_statistics())
         report["network_generation"] = (
@@ -513,16 +788,32 @@ class PrimaEngine:
             report.update(self._snapshot.version_statistics())
         else:
             report.update(NO_VERSION_STATISTICS)
+        report["wal_bytes"] = self._wal.bytes_written if self._wal is not None else 0
+        report["wal_records"] = self._wal.records_written if self._wal is not None else 0
+        report["wal_syncs"] = self._wal.syncs if self._wal is not None else 0
+        report["checkpoints"] = self._checkpoints
+        report["recovery_replayed"] = (
+            self._recovery.records_replayed if self._recovery is not None else 0
+        )
         return report
 
     # ------------------------------------------------------------- loading
 
     @classmethod
     def from_database(
-        cls, database: Database, name: Optional[str] = None, maintenance: str = INCREMENTAL
+        cls,
+        database: Database,
+        name: Optional[str] = None,
+        maintenance: str = INCREMENTAL,
+        durability: Optional[DurabilityConfig] = None,
     ) -> "PrimaEngine":
-        """Bulk-load an engine from an existing database."""
-        engine = cls(name or database.name, maintenance=maintenance)
+        """Bulk-load an engine from an existing database.
+
+        With *durability* (expects a fresh directory) the bulk load bypasses
+        the log and is persisted as the first checkpoint instead — the cheap
+        way to make a dataset durable.
+        """
+        engine = cls(name or database.name, maintenance=maintenance, durability=durability)
         for atom_type in database.atom_types:
             store = engine.create_atom_type(atom_type.name, atom_type.description)
             for atom in atom_type:
@@ -535,6 +826,8 @@ class PrimaEngine:
                 first, second = link.given_order
                 store.store(first, second)
         engine._invalidate()
+        if durability is not None:
+            engine.checkpoint()
         return engine
 
     # ------------------------------------------------------------ statistics
@@ -610,12 +903,18 @@ class SnapshotHandle:
         """
         if self._released:
             raise StorageError("snapshot handle has been released")
-        from repro.mql.ast_nodes import DMLStatement, TransactionStatement
+        from repro.mql.ast_nodes import (
+            CheckpointStatement,
+            DMLStatement,
+            TransactionStatement,
+        )
         from repro.mql.parser import parse  # deferred: package cycle
 
         ast = parse(statement) if isinstance(statement, str) else statement
         inner = getattr(ast, "statement", ast)  # unwrap EXPLAIN
-        if isinstance(inner, (TransactionStatement, *DMLStatement.__args__)):
+        if isinstance(
+            inner, (TransactionStatement, CheckpointStatement, *DMLStatement.__args__)
+        ):
             raise StorageError(
                 "snapshot handles are read-only; run DML through the engine"
             )

@@ -1,0 +1,326 @@
+"""Crash recovery: checkpoint images and redo-only WAL replay.
+
+Recovery rebuilds a :class:`~repro.storage.engine.PrimaEngine` from its
+durability directory in two phases:
+
+1. **Checkpoint load** — ``checkpoint.json`` is a compact catalog + occurrence
+   image (atom types with their attribute descriptions and atoms, link types
+   with cardinalities and links, secondary indexes, the write generation).
+   Checkpoints are written atomically: the image goes to a temporary file,
+   is fsynced, and replaces the previous image via :func:`os.replace` — a
+   crash mid-checkpoint leaves the old image intact.
+2. **WAL replay** — every valid record after the checkpoint is applied in
+   append order: DDL records re-create types and indexes, commit records
+   replay their change events against the stores.  Only committed
+   transactions ever reach the log (events are buffered per transaction and
+   written as one record at commit), and :func:`repro.storage.wal.read_wal`
+   discards torn final records by checksum — so replay is pure redo and the
+   recovered state is exactly the pre-crash committed head.
+
+After replay the engine's write generation continues from the highest stamp
+seen, and the atom surrogate counter is bumped past every replayed surrogate
+identifier so new inserts cannot collide with recovered atoms.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+from repro.core.atom import Atom, ensure_surrogate_counter
+from repro.core.attributes import AtomTypeDescription, AttributeDescription
+from repro.core.link import Cardinality
+from repro.storage.wal import (
+    DurabilityConfig,
+    WalError,
+    WalScan,
+    decode_value,
+    encode_value,
+    read_wal,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.engine import PrimaEngine
+
+#: Checkpoint image format version (bumped on incompatible layout changes).
+CHECKPOINT_FORMAT = 1
+
+#: Surrogate identifiers have the form ``<type>#<n>`` (see repro.core.atom).
+_SURROGATE = re.compile(r"#(\d+)$")
+
+
+@dataclass
+class RecoveryResult:
+    """What one recovery pass did (reported via ``maintenance_report()``)."""
+
+    checkpoint_loaded: bool = False
+    records_replayed: int = 0
+    events_replayed: int = 0
+    ddl_replayed: int = 0
+    discarded_bytes: int = 0
+    generation: int = 0
+
+
+# -------------------------------------------------------------- descriptions
+
+
+def describe_attributes(description: AtomTypeDescription) -> List[Dict[str, object]]:
+    """Serialize an atom-type description for a checkpoint or DDL record."""
+    serialized = []
+    for attribute in description:
+        entry: Dict[str, object] = {"name": attribute.name, "type": attribute.data_type.value}
+        if attribute.allowed_values is not None:
+            entry["allowed"] = sorted(
+                (encode_value(value) for value in attribute.allowed_values),
+                key=repr,
+            )
+        if attribute.required:
+            entry["required"] = True
+        if attribute.doc:
+            entry["doc"] = attribute.doc
+        serialized.append(entry)
+    return serialized
+
+
+def restore_attributes(serialized: Iterable[Dict[str, object]]) -> AtomTypeDescription:
+    """Invert :func:`describe_attributes`."""
+    return AtomTypeDescription(
+        [
+            AttributeDescription(
+                entry["name"],
+                entry.get("type", "any"),
+                allowed_values=(
+                    [decode_value(value) for value in entry["allowed"]]
+                    if "allowed" in entry
+                    else None
+                ),
+                required=bool(entry.get("required", False)),
+                doc=str(entry.get("doc", "")),
+            )
+            for entry in serialized
+        ]
+    )
+
+
+# --------------------------------------------------------------- checkpoints
+
+
+def checkpoint_image(engine: "PrimaEngine") -> Dict[str, object]:
+    """A compact catalog + occurrence image of the engine's stores."""
+    atom_types = []
+    for store in engine._atom_stores.values():
+        atom_types.append(
+            {
+                "name": store.atom_type_name,
+                "attributes": describe_attributes(store.description),
+                "atoms": [
+                    {"id": atom.identifier, "v": encode_value(atom.values)}
+                    for atom in sorted(store, key=lambda a: a.identifier)
+                ],
+                "indexes": sorted(
+                    name for name in store.description.names if store.has_index(name)
+                ),
+            }
+        )
+    link_types = []
+    for store in engine._link_stores.values():
+        cardinality = engine._cardinalities.get(store.link_type_name)
+        link_types.append(
+            {
+                "name": store.link_type_name,
+                "first": store.first_type,
+                "second": store.second_type,
+                "cardinality": (cardinality or Cardinality.MANY_TO_MANY).value,
+                "links": sorted(link.given_order for link in store),
+            }
+        )
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "name": engine.name,
+        "generation": engine.generation,
+        "atom_types": atom_types,
+        "link_types": link_types,
+    }
+
+
+def write_checkpoint(engine: "PrimaEngine", config: DurabilityConfig) -> Path:
+    """Write the checkpoint image atomically (tmp file + fsync + rename)."""
+    path = config.checkpoint_path
+    path.parent.mkdir(parents=True, exist_ok=True)
+    image = checkpoint_image(engine)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(image, handle, separators=(",", ":"), sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_directory(path.parent)
+    return path
+
+
+def load_checkpoint(config: DurabilityConfig) -> Optional[Dict[str, object]]:
+    """Read the checkpoint image, or ``None`` when none has been written."""
+    path = config.checkpoint_path
+    if not path.exists():
+        return None
+    image = json.loads(path.read_text(encoding="utf-8"))
+    if image.get("format") != CHECKPOINT_FORMAT:
+        raise WalError(
+            f"unsupported checkpoint format {image.get('format')!r} in {path}"
+        )
+    return image
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Persist a rename by fsyncing its directory (best effort off-POSIX)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX platforms
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+# -------------------------------------------------------------------- replay
+
+
+def apply_checkpoint(engine: "PrimaEngine", image: Dict[str, object]) -> int:
+    """Recreate catalog and occurrences from a checkpoint image; returns the
+    highest surrogate ordinal seen."""
+    highest = 0
+    for entry in image.get("atom_types", ()):
+        store = engine.create_atom_type(entry["name"], restore_attributes(entry["attributes"]))
+        for record in entry.get("atoms", ()):
+            identifier = record["id"]
+            store.store(Atom(entry["name"], decode_value(record["v"]), identifier=identifier))
+            highest = max(highest, _surrogate_ordinal(identifier))
+        for attribute in entry.get("indexes", ()):
+            store.create_index(attribute)
+    for entry in image.get("link_types", ()):
+        engine.create_link_type(
+            entry["name"],
+            entry["first"],
+            entry["second"],
+            cardinality=Cardinality(entry.get("cardinality", Cardinality.MANY_TO_MANY.value)),
+        )
+        store = engine._link_stores[entry["name"]]
+        for first, second in entry.get("links", ()):
+            store.store(first, second)
+    return highest
+
+
+def apply_ddl_record(engine: "PrimaEngine", record: Dict[str, object]) -> None:
+    """Replay one DDL record (atom type / link type / index creation).
+
+    Replay is create-if-absent: after a crash *between* the checkpoint image
+    write and the WAL truncate, the next recovery loads an image that
+    already contains the types the un-truncated log re-creates — like event
+    replay, DDL replay must be idempotent for that window to be safe.
+    """
+    op = record.get("op")
+    if op == "atom_type":
+        if record["name"] not in engine._atom_stores:
+            engine.create_atom_type(record["name"], restore_attributes(record["attributes"]))
+    elif op == "link_type":
+        if record["name"] not in engine._link_stores:
+            engine.create_link_type(
+                record["name"],
+                record["first"],
+                record["second"],
+                cardinality=Cardinality(
+                    record.get("cardinality", Cardinality.MANY_TO_MANY.value)
+                ),
+            )
+    elif op == "index":
+        engine.create_index(record["type"], record["attribute"])
+    else:
+        raise WalError(f"unknown DDL operation {op!r} in WAL record")
+
+
+def apply_event_record(engine: "PrimaEngine", event: Dict[str, object]) -> int:
+    """Replay one serialized change event against the stores; returns the
+    highest surrogate ordinal it introduced."""
+    tag = event.get("e")
+    type_name = event["t"]
+    if tag in ("ai", "am"):
+        store = engine._atom_stores[type_name]
+        identifier = event["id"]
+        store.store(Atom(type_name, decode_value(event["v"]), identifier=identifier))
+        return _surrogate_ordinal(identifier)
+    if tag == "ad":
+        store = engine._atom_stores[type_name]
+        if event["id"] in store:
+            store.delete(event["id"])
+        return 0
+    if tag == "lc":
+        engine._link_stores[type_name].store(event["f"], event["s"])
+        return 0
+    if tag == "ld":
+        link_store = engine._link_stores[type_name]
+        from repro.core.link import Link  # local: keep module import surface small
+
+        link_store.delete(
+            Link(type_name, event["f"], event["s"], link_store.first_type, link_store.second_type)
+        )
+        return 0
+    raise WalError(f"unknown event tag {tag!r} in commit record")
+
+
+def _surrogate_ordinal(identifier: object) -> int:
+    """The numeric suffix of a ``<type>#<n>`` surrogate identifier, or 0."""
+    if not isinstance(identifier, str):
+        return 0
+    match = _SURROGATE.search(identifier)
+    return int(match.group(1)) if match else 0
+
+
+def recover(engine: "PrimaEngine", config: DurabilityConfig) -> RecoveryResult:
+    """Rebuild *engine* from its durability directory (checkpoint + WAL).
+
+    Called by :class:`~repro.storage.engine.PrimaEngine` during construction,
+    before the WAL is opened for appending — nothing replayed here is ever
+    re-logged.  Returns the telemetry ``maintenance_report()`` exposes.
+    """
+    Path(config.directory).mkdir(parents=True, exist_ok=True)
+    result = RecoveryResult()
+    highest_surrogate = 0
+    image = load_checkpoint(config)
+    if image is not None:
+        highest_surrogate = apply_checkpoint(engine, image)
+        result.checkpoint_loaded = True
+        result.generation = int(image.get("generation", 0))
+    scan: WalScan = read_wal(config.wal_path)
+    result.discarded_bytes = scan.discarded_bytes
+    if scan.discarded_bytes:
+        # The torn/corrupt tail is dead bytes: physically truncate it now,
+        # before the engine reopens the log in append mode — otherwise the
+        # records committed after this recovery would sit *behind* the
+        # invalid bytes and be discarded by the next recovery.
+        with open(config.wal_path, "r+b") as handle:
+            handle.truncate(scan.valid_bytes)
+            handle.flush()
+            os.fsync(handle.fileno())
+    for record in scan.records:
+        kind = record.get("r")
+        if kind == "ddl":
+            apply_ddl_record(engine, record)
+            result.ddl_replayed += 1
+        elif kind == "commit":
+            for event in record.get("events", ()):
+                highest_surrogate = max(
+                    highest_surrogate, apply_event_record(engine, event)
+                )
+                result.events_replayed += 1
+            result.generation = max(result.generation, int(record.get("gen", 0)))
+        else:
+            raise WalError(f"unknown WAL record kind {kind!r}")
+        result.records_replayed += 1
+    ensure_surrogate_counter(highest_surrogate)
+    engine.generation = max(engine.generation, result.generation)
+    return result

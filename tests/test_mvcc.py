@@ -487,3 +487,90 @@ class TestExplainDML:
 
         with pytest.raises(MQLSemanticError):
             engine.query("EXPLAIN BEGIN WORK;")
+
+
+# ------------------------------------------------------ pin refcount hygiene
+
+
+class TestPinRefcounting:
+    """`pins_active` bookkeeping must stay exact under sloppy release patterns.
+
+    `SnapshotHandle.release()` is documented idempotent and
+    `VersioningState.release()` tolerates over-release; these regression
+    tests assert the tolerance never *under*-counts another reader's pin.
+    """
+
+    def test_double_release_does_not_steal_a_concurrent_pin(self):
+        engine = small_engine()
+        first = engine.snapshot_at()
+        second = engine.snapshot_at()
+        assert engine.maintenance_report()["pins_active"] == 2
+        first.release()
+        first.release()
+        first.release()
+        # Over-releasing `first` must not drop `second`'s pin.
+        assert engine.maintenance_report()["pins_active"] == 1
+        engine.query(
+            "MODIFY state FROM state - area SET hectare = 5 WHERE state.code = 'S1';"
+        )
+        assert engine.maintenance_report()["versions_live"] > 0
+        second.release()
+        report = engine.maintenance_report()
+        assert report["pins_active"] == 0
+        assert report["versions_live"] == 0
+        assert report["oldest_pinned_generation"] is None
+
+    def test_context_manager_reentry_after_release_stays_exact(self):
+        engine = small_engine()
+        handle = engine.snapshot_at()
+        with handle:
+            assert engine.maintenance_report()["pins_active"] == 1
+        assert handle.released
+        assert engine.maintenance_report()["pins_active"] == 0
+        # Re-entering a released handle must not resurrect (or double-free)
+        # the pin; queries inside stay rejected.
+        with handle:
+            assert engine.maintenance_report()["pins_active"] == 0
+            with pytest.raises(StorageError):
+                handle.query("SELECT ALL FROM state-area;")
+        assert engine.maintenance_report()["pins_active"] == 0
+
+    def test_versioning_state_over_release_is_harmless(self):
+        from repro.core.versions import VersioningState
+
+        state = VersioningState()
+        state.tick()
+        pinned = state.pin()
+        assert state.pins_active == 1
+        state.release(pinned)
+        state.release(pinned)  # over-release: no error, no negative count
+        state.release(99)  # releasing a never-pinned generation: no error
+        assert state.pins_active == 0
+        assert state.oldest_pinned() is None
+        # Refcounting per generation: two pins on one generation need two
+        # releases, and over-release still floors at zero afterwards.
+        state.pin(pinned)
+        state.pin(pinned)
+        state.release(pinned)
+        assert state.pins_active == 1
+        state.release(pinned)
+        state.release(pinned)
+        assert state.pins_active == 0
+
+    def test_release_while_session_transaction_active(self):
+        engine = small_engine()
+        engine.query("BEGIN WORK;")
+        assert engine.maintenance_report()["pins_active"] == 1  # the session's pin
+        handle = engine.snapshot_at()
+        assert engine.maintenance_report()["pins_active"] == 2
+        handle.release()
+        handle.release()
+        # Releasing the reader (twice) must leave the session's own pin.
+        assert engine.maintenance_report()["pins_active"] == 1
+        engine.query(
+            "MODIFY state FROM state - area SET hectare = 9 WHERE state.code = 'S1';"
+        )
+        engine.query("COMMIT WORK;")
+        report = engine.maintenance_report()
+        assert report["pins_active"] == 0
+        assert engine.maintenance_report()["versions_live"] == 0
