@@ -14,6 +14,7 @@ representable without foreign keys.
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 from repro.core.attributes import AtomTypeDescription, make_description
@@ -154,6 +155,7 @@ class AtomType:
         "_emitter",
         "_versioning",
         "_versions",
+        "_lock",
     )
 
     def __init__(
@@ -171,6 +173,11 @@ class AtomType:
         self._emitter: Optional[ChangeEmitter] = None
         self._versioning: Optional[VersioningState] = None
         self._versions: Dict[str, VersionChain] = {}
+        #: Head lock: occurrence mutations hold it so the head swap, the
+        #: version-chain record and the change-event emission form one
+        #: atomic unit per type (events leave in generation order).  Readers
+        #: only take it to copy the identifier sets for iteration.
+        self._lock = threading.RLock()
         for atom in atoms:
             self.add(atom)
 
@@ -207,18 +214,34 @@ class AtomType:
         """
         self._versioning = state
 
-    def _version_mutation(self, identifier: str, payload: object, base: object) -> Optional[int]:
-        """Stamp one head mutation; record it in the version chain if pinned."""
+    def _version_mutation(
+        self, identifier: str, payload: object, base: object, swap
+    ) -> Optional[int]:
+        """Stamp one head mutation; chain-record and apply it atomically.
+
+        *swap* is the head mutation itself.  Tick, recording decision,
+        chain record and head swap run in **one critical section of the
+        registry lock** (nested inside the head lock — the defined order):
+        :meth:`VersioningState.pin` takes the same lock, so a concurrent
+        pin lands either wholly before the unit (recording is then on and
+        the pre-state is chained) or wholly after it (the new head *is* the
+        pinned state).  Without this, a pin arriving between an unrecorded
+        tick and the head swap would read the old head at a generation
+        that already includes the mutation — a non-repeatable read.
+        """
         state = self._versioning
         if state is None:
+            swap()
             return None
-        generation = state.tick()
-        if state.recording:
-            chain = self._versions.get(identifier)
-            if chain is None:
-                chain = VersionChain(base)
-                self._versions[identifier] = chain
-            chain.record(generation, payload)
+        with state.lock:
+            generation = state.tick()
+            if state.recording:
+                chain = self._versions.get(identifier)
+                if chain is None:
+                    chain = VersionChain(base)
+                    self._versions[identifier] = chain
+                chain.record(generation, payload)
+            swap()
         return generation
 
     def truncate_versions(self, horizon: Optional[int]) -> Tuple[int, int]:
@@ -229,30 +252,52 @@ class AtomType:
         chain whose single remaining entry matches the head state is dropped
         entirely: it can never disagree with an unversioned read.
         """
-        if horizon is None:
-            collected = sum(len(chain) for chain in self._versions.values())
-            self._versions.clear()
-            return 0, collected
-        collected = 0
-        live = 0
-        dead = []
-        for identifier, chain in self._versions.items():
-            collected += chain.truncate(horizon)
-            if len(chain) == 1:
-                payload = chain.head()
-                head = self._atoms.get(identifier)
-                if (payload is ABSENT and head is None) or payload is head:
-                    dead.append(identifier)
-                    collected += 1
-                    continue
-            live += len(chain)
-        for identifier in dead:
-            del self._versions[identifier]
-        return live, collected
+        with self._lock:
+            if horizon is None:
+                collected = sum(len(chain) for chain in self._versions.values())
+                self._versions.clear()
+                return 0, collected
+            collected = 0
+            live = 0
+            dead = []
+            for identifier, chain in self._versions.items():
+                collected += chain.truncate(horizon)
+                if len(chain) == 1:
+                    payload = chain.head()
+                    head = self._atoms.get(identifier)
+                    if (payload is ABSENT and head is None) or payload is head:
+                        dead.append(identifier)
+                        collected += 1
+                        continue
+                live += len(chain)
+            for identifier in dead:
+                del self._versions[identifier]
+            return live, collected
+
+    def collect_versions(self) -> Tuple[int, int]:
+        """Garbage-collect with a freshly read horizon; ``(live, collected)``.
+
+        The horizon is re-read *inside* the head lock: chain recording and
+        truncation serialize on it, so a pin registered before this moment
+        is guaranteed visible — a stale, pre-computed horizon could clear a
+        chain some just-pinned reader still needs.
+        """
+        with self._lock:
+            state = self._versioning
+            horizon = state.truncation_horizon() if state is not None else None
+            return self.truncate_versions(horizon)
 
     def version_statistics(self) -> Tuple[int, int]:
         """``(chains, entries)`` currently held for this type."""
-        return len(self._versions), sum(len(chain) for chain in self._versions.values())
+        with self._lock:
+            return len(self._versions), sum(
+                len(chain) for chain in self._versions.values()
+            )
+
+    def _known_identifiers(self) -> Tuple[str, ...]:
+        """All identifiers with a head or versioned state, sorted (for views)."""
+        with self._lock:
+            return tuple(sorted(set(self._atoms) | set(self._versions)))
 
     # -- accessor functions of Definition 1 --------------------------------
 
@@ -284,15 +329,20 @@ class AtomType:
                 atom = Atom(self._name, atom.values, identifier=atom.identifier)
         else:
             atom = Atom(self._name, dict(atom), identifier=identifier)
-        if atom.identifier in self._atoms:
-            raise IntegrityError(
-                f"atom identifier {atom.identifier!r} already present in atom type {self._name!r}"
+        with self._lock:
+            if atom.identifier in self._atoms:
+                raise IntegrityError(
+                    f"atom identifier {atom.identifier!r} already present in atom type {self._name!r}"
+                )
+            validated = self._description.validate_values(atom.values)
+            stored = Atom(self._name, validated, identifier=atom.identifier)
+            generation = self._version_mutation(
+                stored.identifier,
+                stored,
+                ABSENT,
+                lambda: self._atoms.__setitem__(stored.identifier, stored),
             )
-        validated = self._description.validate_values(atom.values)
-        stored = Atom(self._name, validated, identifier=atom.identifier)
-        self._atoms[stored.identifier] = stored
-        generation = self._version_mutation(stored.identifier, stored, ABSENT)
-        self._emit(ATOM_INSERTED, stored, generation=generation)
+            self._emit(ATOM_INSERTED, stored, generation=generation)
         return stored
 
     def insert(self, identifier: Optional[str] = None, **values: object) -> Atom:
@@ -306,29 +356,39 @@ class AtomType:
         ``atom_modified`` event is emitted, which is what lets subscribers
         maintain derived structures without touching the atom's links.
         """
-        previous = self._atoms.get(atom.identifier)
-        if previous is None:
-            raise IntegrityError(
-                f"atom {atom.identifier!r} is not part of atom type {self._name!r}"
+        with self._lock:
+            previous = self._atoms.get(atom.identifier)
+            if previous is None:
+                raise IntegrityError(
+                    f"atom {atom.identifier!r} is not part of atom type {self._name!r}"
+                )
+            validated = self._description.validate_values(atom.values)
+            stored = Atom(self._name, validated, identifier=atom.identifier)
+            generation = self._version_mutation(
+                stored.identifier,
+                stored,
+                previous,
+                lambda: self._atoms.__setitem__(stored.identifier, stored),
             )
-        validated = self._description.validate_values(atom.values)
-        stored = Atom(self._name, validated, identifier=atom.identifier)
-        self._atoms[stored.identifier] = stored
-        generation = self._version_mutation(stored.identifier, stored, previous)
-        self._emit(ATOM_MODIFIED, stored, previous=previous, generation=generation)
+            self._emit(ATOM_MODIFIED, stored, previous=previous, generation=generation)
         return stored
 
     def remove(self, atom: "Atom | str") -> Atom:
         """Remove an atom (by object or identifier) from the occurrence."""
         identifier = atom.identifier if isinstance(atom, Atom) else atom
-        try:
-            removed = self._atoms.pop(identifier)
-        except KeyError as exc:
-            raise IntegrityError(
-                f"atom {identifier!r} is not part of atom type {self._name!r}"
-            ) from exc
-        generation = self._version_mutation(identifier, ABSENT, removed)
-        self._emit(ATOM_DELETED, removed, generation=generation)
+        with self._lock:
+            removed = self._atoms.get(identifier)
+            if removed is None:
+                raise IntegrityError(
+                    f"atom {identifier!r} is not part of atom type {self._name!r}"
+                )
+            generation = self._version_mutation(
+                identifier,
+                ABSENT,
+                removed,
+                lambda: self._atoms.__delitem__(identifier),
+            )
+            self._emit(ATOM_DELETED, removed, generation=generation)
         return removed
 
     def get(self, identifier: str) -> Optional[Atom]:

@@ -16,6 +16,7 @@ constructions without mutating the original.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.atom import Atom, AtomType
@@ -52,6 +53,9 @@ class Database:
         self._link_types: Dict[str, LinkType] = {}
         self._listeners: List[Listener] = []
         self._versioning: Optional[VersioningState] = None
+        #: Guards versioning-state creation (``enable_versioning`` may race
+        #: between an engine thread and an MQL ``BEGIN WORK`` elsewhere).
+        self._versioning_guard = threading.Lock()
 
     # --------------------------------------------------------- change events
 
@@ -97,8 +101,9 @@ class Database:
         are retained in copy-on-write version chains, so
         :meth:`at` can serve reads as of that generation.
         """
-        if self._versioning is None:
-            self._versioning = VersioningState(start_generation)
+        with self._versioning_guard:
+            if self._versioning is None:
+                self._versioning = VersioningState(start_generation)
         for atom_type in self._atom_types.values():
             atom_type.attach_versioning(self._versioning)
         for link_type in self._link_types.values():
@@ -128,7 +133,16 @@ class Database:
         self.collect_versions()
 
     def collect_versions(self) -> Dict[str, object]:
-        """Truncate version chains past the oldest pin; returns GC statistics."""
+        """Truncate version chains past the oldest pin; returns GC statistics.
+
+        Each type re-reads the horizon under its own head lock (see
+        :meth:`AtomType.collect_versions`): chain recording and truncation
+        serialize per type, so a pin or transaction registered before the
+        type is visited is always honoured — no stale-horizon window in
+        which a just-pinned reader's chains could be cleared.  The horizon
+        covers pins *and* active transactions (see
+        :meth:`~repro.core.versions.VersioningState.truncation_horizon`).
+        """
         state = self._versioning
         if state is None:
             return {
@@ -138,18 +152,22 @@ class Database:
             }
         horizon = state.truncation_horizon()
         live = 0
+        collected_total = 0
         for atom_type in self._atom_types.values():
-            kept, collected = atom_type.truncate_versions(horizon)
+            kept, collected = atom_type.collect_versions()
             live += kept
-            state.versions_collected += collected
+            collected_total += collected
         for link_type in self._link_types.values():
-            kept, collected = link_type.truncate_versions(horizon)
+            kept, collected = link_type.collect_versions()
             live += kept
-            state.versions_collected += collected
+            collected_total += collected
+        with state.lock:
+            state.versions_collected += collected_total
+            total_collected = state.versions_collected
         state.prune_commit_log()
         return {
             "versions_live": live,
-            "versions_collected": state.versions_collected,
+            "versions_collected": total_collected,
             "oldest_pinned_generation": horizon,
         }
 

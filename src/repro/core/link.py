@@ -16,7 +16,8 @@ extended link-type definition"); see :class:`Cardinality`.
 from __future__ import annotations
 
 import enum
-from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple
+import threading
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.atom import Atom, AtomType
 from repro.core.events import (
@@ -160,6 +161,7 @@ class LinkType:
         "_versioning",
         "_versions",
         "_historic_by_atom",
+        "_lock",
     )
 
     def __init__(
@@ -182,6 +184,12 @@ class LinkType:
         self._versioning: Optional[VersioningState] = None
         self._versions: Dict[Link, VersionChain] = {}
         self._historic_by_atom: Dict[str, Set[Link]] = {}
+        #: Head lock: mutations hold it so cardinality check, occurrence
+        #: swap, chain record and event emission are one atomic unit per
+        #: type; snapshot views take it briefly to copy link collections
+        #: (links hash through Python code — unguarded iteration over the
+        #: occurrence set can observe a concurrent resize).
+        self._lock = threading.RLock()
         for link in links:
             self.add(link)
 
@@ -210,55 +218,96 @@ class LinkType:
         """
         self._versioning = state
 
-    def _version_mutation(self, link: Link, payload: object, base: object) -> Optional[int]:
-        """Stamp one head mutation; record it in the version chain if pinned."""
+    def _version_mutation(
+        self, link: Link, payload: object, base: object, swap
+    ) -> Optional[int]:
+        """Stamp one head mutation; chain-record and apply it atomically.
+
+        Mirrors :meth:`AtomType._version_mutation`: tick, recording
+        decision, chain record and the occurrence swap (*swap*) form one
+        critical section of the registry lock, so a concurrent pin lands
+        wholly before (pre-state chained) or wholly after (new head is the
+        pinned state) — never in between.
+        """
         state = self._versioning
         if state is None:
+            swap()
             return None
-        generation = state.tick()
-        if state.recording:
-            chain = self._versions.get(link)
-            if chain is None:
-                chain = VersionChain(base)
-                self._versions[link] = chain
-            chain.record(generation, payload)
-            for identifier in link.identifiers:
-                self._historic_by_atom.setdefault(identifier, set()).add(link)
+        with state.lock:
+            generation = state.tick()
+            if state.recording:
+                chain = self._versions.get(link)
+                if chain is None:
+                    chain = VersionChain(base)
+                    self._versions[link] = chain
+                chain.record(generation, payload)
+                for identifier in link.identifiers:
+                    self._historic_by_atom.setdefault(identifier, set()).add(link)
+            swap()
         return generation
 
     def truncate_versions(self, horizon: Optional[int]) -> Tuple[int, int]:
         """Garbage-collect link version chains; returns ``(live, collected)``."""
-        if horizon is None:
-            collected = sum(len(chain) for chain in self._versions.values())
-            self._versions.clear()
-            self._historic_by_atom.clear()
-            return 0, collected
-        collected = 0
-        live = 0
-        dead = []
-        for link, chain in self._versions.items():
-            collected += chain.truncate(horizon)
-            if len(chain) == 1:
-                payload = chain.head()
-                at_head = link in self._links
-                if (payload is PRESENT) == at_head:
-                    dead.append(link)
-                    collected += 1
-                    continue
-            live += len(chain)
-        for link in dead:
-            del self._versions[link]
-            for identifier in link.identifiers:
-                bucket = self._historic_by_atom.get(identifier)
-                if bucket is not None:
-                    bucket.discard(link)
-                    if not bucket:
-                        del self._historic_by_atom[identifier]
-        return live, collected
+        with self._lock:
+            if horizon is None:
+                collected = sum(len(chain) for chain in self._versions.values())
+                self._versions.clear()
+                self._historic_by_atom.clear()
+                return 0, collected
+            collected = 0
+            live = 0
+            dead = []
+            for link, chain in self._versions.items():
+                collected += chain.truncate(horizon)
+                if len(chain) == 1:
+                    payload = chain.head()
+                    at_head = link in self._links
+                    if (payload is PRESENT) == at_head:
+                        dead.append(link)
+                        collected += 1
+                        continue
+                live += len(chain)
+            for link in dead:
+                del self._versions[link]
+                for identifier in link.identifiers:
+                    bucket = self._historic_by_atom.get(identifier)
+                    if bucket is not None:
+                        bucket.discard(link)
+                        if not bucket:
+                            del self._historic_by_atom[identifier]
+            return live, collected
+
+    def collect_versions(self) -> Tuple[int, int]:
+        """Garbage-collect with a freshly read horizon; ``(live, collected)``.
+
+        Mirrors :meth:`AtomType.collect_versions`: the horizon is re-read
+        under the head lock so truncation can never race a pin registered
+        moments earlier.
+        """
+        with self._lock:
+            state = self._versioning
+            horizon = state.truncation_horizon() if state is not None else None
+            return self.truncate_versions(horizon)
 
     def version_statistics(self) -> Tuple[int, int]:
         """``(chains, entries)`` currently held for this type."""
-        return len(self._versions), sum(len(chain) for chain in self._versions.values())
+        with self._lock:
+            return len(self._versions), sum(
+                len(chain) for chain in self._versions.values()
+            )
+
+    def _known_links(self) -> "Tuple[List[Link], List[Link]]":
+        """Copies of the head occurrence and versioned links (for views)."""
+        with self._lock:
+            return list(self._links), list(self._versions)
+
+    def _incident_links(self, identifier: str) -> "Tuple[List[Link], List[Link]]":
+        """Copies of the head and historic links incident to one atom."""
+        with self._lock:
+            return (
+                list(self._by_atom.get(identifier, ())),
+                list(self._historic_by_atom.get(identifier, ())),
+            )
 
     # -- accessor functions of Definition 2 --------------------------------
 
@@ -322,14 +371,18 @@ class LinkType:
             )
         if link.link_type_name != self._name:
             link = Link(self._name, *tuple(link.identifiers) * (2 if len(link.identifiers) == 1 else 1))
-        if link in self._links:
-            return link
-        self._check_cardinality(link)
-        self._links.add(link)
-        for identifier in link.identifiers:
-            self._by_atom.setdefault(identifier, set()).add(link)
-        generation = self._version_mutation(link, PRESENT, ABSENT)
-        self._emit(LINK_CONNECTED, link, generation=generation)
+        with self._lock:
+            if link in self._links:
+                return link
+            self._check_cardinality(link)
+
+            def connect_head(link: Link = link) -> None:
+                self._links.add(link)
+                for identifier in link.identifiers:
+                    self._by_atom.setdefault(identifier, set()).add(link)
+
+            generation = self._version_mutation(link, PRESENT, ABSENT, connect_head)
+            self._emit(LINK_CONNECTED, link, generation=generation)
         return link
 
     def connect(self, first: "Atom | str", second: "Atom | str") -> Link:
@@ -355,34 +408,43 @@ class LinkType:
 
     def remove(self, link: Link) -> None:
         """Remove *link* from the occurrence (no error when absent)."""
-        if link not in self._links:
-            return
-        self._links.discard(link)
-        for identifier in link.identifiers:
-            bucket = self._by_atom.get(identifier)
-            if bucket is not None:
-                bucket.discard(link)
-                if not bucket:
-                    del self._by_atom[identifier]
-        generation = self._version_mutation(link, ABSENT, PRESENT)
-        self._emit(LINK_DISCONNECTED, link, generation=generation)
+        with self._lock:
+            if link not in self._links:
+                return
+
+            def disconnect_head(link: Link = link) -> None:
+                self._links.discard(link)
+                for identifier in link.identifiers:
+                    bucket = self._by_atom.get(identifier)
+                    if bucket is not None:
+                        bucket.discard(link)
+                        if not bucket:
+                            del self._by_atom[identifier]
+
+            generation = self._version_mutation(link, ABSENT, PRESENT, disconnect_head)
+            self._emit(LINK_DISCONNECTED, link, generation=generation)
 
     def remove_atom(self, identifier: str) -> int:
         """Remove every link incident to atom *identifier*; return the count removed."""
-        links = list(self._by_atom.get(identifier, ()))
-        for link in links:
-            self.remove(link)
-        return len(links)
+        with self._lock:
+            links = list(self._by_atom.get(identifier, ()))
+            for link in links:
+                self.remove(link)
+            return len(links)
 
     def links_of(self, atom: "Atom | str") -> FrozenSet[Link]:
         """Return all links incident to *atom*."""
         identifier = atom.identifier if isinstance(atom, Atom) else atom
-        return frozenset(self._by_atom.get(identifier, set()))
+        with self._lock:
+            return frozenset(self._by_atom.get(identifier, set()))
 
     def partners_of(self, atom: "Atom | str") -> FrozenSet[str]:
         """Return the identifiers linked to *atom* through this link type."""
         identifier = atom.identifier if isinstance(atom, Atom) else atom
-        return frozenset(link.other(identifier) for link in self._by_atom.get(identifier, set()))
+        with self._lock:
+            return frozenset(
+                link.other(identifier) for link in self._by_atom.get(identifier, set())
+            )
 
     def __contains__(self, link: object) -> bool:
         return link in self._links

@@ -29,11 +29,26 @@ is sound because a pin taken at generation *P* guarantees every later
 mutation is recorded, and the first recorded mutation of an object captures
 its pre-state (the state at *P*) as the chain's base entry.  The garbage
 collector (:meth:`VersioningState.truncation_horizon` driving the types'
-``truncate_versions``) drops every entry no live pin can reach.
+``truncate_versions``) drops every entry no live pin or active transaction
+can reach.
+
+**Thread safety.**  :class:`VersioningState` is the engine-level mutex of the
+MVCC substrate: one re-entrant :attr:`VersioningState.lock` guards the
+generation clock, the pin registry, the commit log, the active-transaction
+registry and every conflict check, so pins, commits and conflict validation
+are race-proof across threads.  Snapshot *reads* stay lock-free: resolved
+version chains are append-only (truncation swaps in a fresh list, never
+mutates one a reader may hold), and :class:`Snapshot` visibility is computed
+over immutable ints.  Writer attribution (``current_writer`` and the
+generation sink behind :meth:`begin_tracking`/:meth:`end_tracking`) is
+thread-local, so concurrent writers on different threads never steal each
+other's generations or change events.  See DESIGN.md "Threading model" for
+the full lock order.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -183,6 +198,10 @@ class VersioningState:
     """Per-database concurrency state: clock, pins, commit log, transactions."""
 
     def __init__(self, start_generation: int = 0) -> None:
+        #: The engine-level mutex: clock, pins, commit log, active
+        #: transactions and conflict checks are all guarded by this one
+        #: re-entrant lock (see the module docstring for the lock order).
+        self.lock = threading.RLock()
         #: Monotonic generation counter; every occurrence mutation ticks it.
         self.generation = start_generation
         #: Refcounted pins per generation (readers + session transactions).
@@ -199,11 +218,63 @@ class VersioningState:
         #: and at rollback/conflict abort with ``committed=False`` (the WAL
         #: discards the buffered events — redo-only logging).
         self.transaction_hooks: "List[Callable[[object, bool], None]]" = []
-        #: The transaction currently inside a tracked mutation block, set by
-        #: :meth:`Transaction._tracked`.  Listeners use it to attribute a
-        #: change event to the transaction that produced it (the engine's WAL
-        #: buffers events per writer until that writer commits).
-        self.current_writer: Optional[object] = None
+        #: Per-thread writer attribution: which transaction is inside a
+        #: tracked mutation block on *this* thread, and the sink collecting
+        #: the generations the thread ticks there.  Thread-local because two
+        #: writer threads must never attribute each other's mutations.
+        self._local = threading.local()
+
+    @property
+    def current_writer(self) -> Optional[object]:
+        """The transaction inside a tracked mutation block on this thread.
+
+        Set by :meth:`begin_tracking` (driven by
+        :meth:`Transaction._tracked`).  Listeners use it to attribute a
+        change event to the transaction that produced it (the engine's WAL
+        buffers events per writer until that writer commits)."""
+        return getattr(self._local, "writer", None)
+
+    @current_writer.setter
+    def current_writer(self, writer: Optional[object]) -> None:
+        self._local.writer = writer
+
+    def begin_tracking(
+        self, writer: object, own: "Optional[Set[int]]" = None
+    ) -> Tuple[object, Optional[List[int]], Optional[object]]:
+        """Attribute this thread's mutations to *writer*; returns a token.
+
+        Every :meth:`tick` on this thread is additionally collected into a
+        fresh sink until :meth:`end_tracking` is called with the token —
+        the exact write-generation set of the block, immune to generations
+        ticked concurrently by other threads.  With *own* (the writer's
+        live write-generation set) each tick joins the set *inside* the
+        clock's critical section: a snapshot built between a mutation and
+        the block's exit already sees the generation in ``own`` and
+        excludes it — no dirty-read window."""
+        local = self._local
+        token = (
+            getattr(local, "writer", None),
+            getattr(local, "ticks", None),
+            getattr(local, "own", None),
+        )
+        local.writer = writer
+        local.ticks = []
+        local.own = own
+        return token
+
+    def end_tracking(
+        self, token: Tuple[object, Optional[List[int]], Optional[object]]
+    ) -> List[int]:
+        """Stop tracking; returns the generations this thread ticked.
+
+        Nested blocks roll their ticks up into the enclosing sink so an
+        outer tracked block still observes everything."""
+        local = self._local
+        ticks = list(getattr(local, "ticks", None) or ())
+        local.writer, local.ticks, local.own = token
+        if token[1] is not None:
+            token[1].extend(ticks)
+        return ticks
 
     def notify_transaction_finished(self, txn: object, committed: bool) -> None:
         """Fire every transaction hook (commit: right after the log append)."""
@@ -213,9 +284,24 @@ class VersioningState:
     # ------------------------------------------------------------------ clock
 
     def tick(self) -> int:
-        """Advance and return the generation clock (one tick per mutation)."""
-        self.generation += 1
-        return self.generation
+        """Advance and return the generation clock (one tick per mutation).
+
+        Inside a tracked block the fresh generation joins the writer's
+        ``own`` set while the lock is still held — :meth:`make_snapshot`
+        (also under the lock) therefore always sees a complete ``own`` set
+        and can exclude every in-flight uncommitted write.
+        """
+        local = self._local
+        with self.lock:
+            self.generation += 1
+            generation = self.generation
+            own = getattr(local, "own", None)
+            if own is not None:
+                own.add(generation)
+        sink = getattr(local, "ticks", None)
+        if sink is not None:
+            sink.append(generation)
+        return generation
 
     @property
     def recording(self) -> bool:
@@ -226,37 +312,76 @@ class VersioningState:
         exclusion set of :meth:`make_snapshot` can only hide the uncommitted
         writes if their pre-states were chained.  Outside both, mutations pay
         one integer tick and record nothing (transaction-local chains are
-        collected as soon as the last transaction/pin ends)."""
+        collected as soon as the last transaction/pin ends).
+
+        Read lock-free on the mutation path: container truthiness is atomic,
+        and the pin/tick interleaving is safe either way — a pin that lands
+        after a mutation's recording check necessarily pins a generation at
+        or above that mutation (both run under :attr:`lock`), so the head it
+        falls back to *is* the pinned state."""
         return bool(self._pins) or bool(self.active_transactions)
 
     # ------------------------------------------------------------------- pins
 
     def pin(self, generation: Optional[int] = None) -> int:
-        """Pin *generation* (default: current) and return it (refcounted)."""
-        pinned = self.generation if generation is None else generation
-        if pinned > self.generation:
-            raise StorageError(
-                f"cannot pin future generation {pinned} (current is {self.generation})"
-            )
-        self._pins[pinned] = self._pins.get(pinned, 0) + 1
-        return pinned
+        """Pin *generation* (default: current) and return it (refcounted).
+
+        Rejects generations the registry cannot serve exactly: future ones
+        (nothing to read yet) and ones below the retention floor — the
+        truncation horizon while pins/transactions hold history, or the
+        current generation when nothing does (no chains are retained then,
+        so *any* older generation would silently read head state).  A
+        successful pin therefore always yields an exact snapshot.
+        """
+        with self.lock:
+            pinned = self.generation if generation is None else generation
+            if pinned > self.generation:
+                raise StorageError(
+                    f"cannot pin future generation {pinned} (current is {self.generation})"
+                )
+            horizon = self.truncation_horizon()
+            floor = self.generation if horizon is None else horizon
+            if pinned < floor:
+                raise StorageError(
+                    f"cannot pin generation {pinned}: version history below "
+                    f"generation {floor} is not retained (it was truncated, "
+                    "or never recorded)"
+                )
+            self._pins[pinned] = self._pins.get(pinned, 0) + 1
+            return pinned
 
     def release(self, generation: int) -> None:
-        """Release one pin on *generation* (no error when over-released)."""
-        count = self._pins.get(generation, 0)
-        if count <= 1:
-            self._pins.pop(generation, None)
-        else:
-            self._pins[generation] = count - 1
+        """Release one pin on *generation*.
+
+        Over-releasing — a generation that was never pinned, or whose pins
+        were all released already — raises :class:`StorageError`: under
+        threads a silent no-op here masks refcount races and lets the
+        garbage collector free chains a live reader still needs.  (The
+        engine-level :class:`~repro.storage.engine.SnapshotHandle` stays
+        idempotent — it guards its own released flag before calling down.)
+        """
+        with self.lock:
+            count = self._pins.get(generation, 0)
+            if count == 0:
+                raise StorageError(
+                    f"over-release of generation {generation}: no active pin "
+                    "(every release must pair with exactly one pin)"
+                )
+            if count == 1:
+                del self._pins[generation]
+            else:
+                self._pins[generation] = count - 1
 
     def oldest_pinned(self) -> Optional[int]:
         """The oldest pinned generation, or ``None`` when nothing is pinned."""
-        return min(self._pins) if self._pins else None
+        with self.lock:
+            return min(self._pins) if self._pins else None
 
     @property
     def pins_active(self) -> int:
         """The number of active pins (across all generations)."""
-        return sum(self._pins.values())
+        with self.lock:
+            return sum(self._pins.values())
 
     # -------------------------------------------------------------- conflicts
 
@@ -271,14 +396,19 @@ class VersioningState:
           conflict with an uncommitted peer;
         * a transaction that committed after *txn* began wrote the key — the
           first committer has already won.
+
+        Runs under :attr:`lock` so two threads claiming the same key race
+        the lock, not each other: exactly one of them sees the other's
+        write-set entry.
         """
-        for other in self.active_transactions:
-            if other is not txn and key in getattr(other, "write_keys", ()):
-                raise TransactionConflictError(
-                    f"write-write conflict on {key!r} with a concurrent transaction"
-                )
-        start = getattr(txn, "start_generation", 0)
-        conflicting = self.committed_after(start, (key,))
+        with self.lock:
+            for other in self.active_transactions:
+                if other is not txn and key in getattr(other, "write_keys", ()):
+                    raise TransactionConflictError(
+                        f"write-write conflict on {key!r} with a concurrent transaction"
+                    )
+            start = getattr(txn, "start_generation", 0)
+            conflicting = self.committed_after(start, (key,))
         if conflicting is not None:
             raise TransactionConflictError(
                 f"{conflicting!r} was modified by a transaction that committed "
@@ -292,12 +422,13 @@ class VersioningState:
         wanted = set(keys)
         if not wanted:
             return None
-        for commit_generation, committed in reversed(self._commit_log):
-            if commit_generation <= generation:
-                break
-            overlap = wanted & committed
-            if overlap:
-                return next(iter(overlap))
+        with self.lock:
+            for commit_generation, committed in reversed(self._commit_log):
+                if commit_generation <= generation:
+                    break
+                overlap = wanted & committed
+                if overlap:
+                    return next(iter(overlap))
         return None
 
     def record_commit(self, keys: Iterable[WriteKey]) -> None:
@@ -311,7 +442,8 @@ class VersioningState:
         """
         frozen = frozenset(keys)
         if frozen:
-            self._commit_log.append((self.tick(), frozen))
+            with self.lock:
+                self._commit_log.append((self.tick(), frozen))
 
     def make_snapshot(
         self, generation: Optional[int] = None, own: Optional[Set[int]] = None
@@ -323,39 +455,56 @@ class VersioningState:
         not observe them (no dirty reads).  *own* (a transaction's live
         write-generation set) is passed through and never excluded.
         """
-        pinned = self.generation if generation is None else generation
-        excluded: Set[int] = set()
-        for txn in self.active_transactions:
-            gens = getattr(txn, "own_generations", None)
-            if gens is None or gens is own:
-                continue
-            excluded.update(g for g in gens if g <= pinned)
-        return Snapshot(pinned, own=own, excluded=frozenset(excluded))
+        with self.lock:
+            pinned = self.generation if generation is None else generation
+            excluded: Set[int] = set()
+            for txn in self.active_transactions:
+                gens = getattr(txn, "own_generations", None)
+                if gens is None or gens is own:
+                    continue
+                excluded.update(g for g in gens if g <= pinned)
+            return Snapshot(pinned, own=own, excluded=frozenset(excluded))
 
     def prune_commit_log(self) -> None:
         """Drop commit-log entries no active transaction can conflict with."""
-        if not self.active_transactions:
-            self._commit_log.clear()
-            return
-        horizon = min(
-            getattr(txn, "start_generation", 0) for txn in self.active_transactions
-        )
-        keep_from = 0
-        for position, (commit_generation, _keys) in enumerate(self._commit_log):
-            if commit_generation <= horizon:
-                keep_from = position + 1
-        if keep_from:
-            del self._commit_log[:keep_from]
+        with self.lock:
+            if not self.active_transactions:
+                self._commit_log.clear()
+                return
+            horizon = min(
+                getattr(txn, "start_generation", 0) for txn in self.active_transactions
+            )
+            keep_from = 0
+            for position, (commit_generation, _keys) in enumerate(self._commit_log):
+                if commit_generation <= horizon:
+                    keep_from = position + 1
+            if keep_from:
+                del self._commit_log[:keep_from]
 
     # ------------------------------------------------------------ maintenance
 
     def truncation_horizon(self) -> Optional[int]:
-        """The oldest generation any reader may still need (``None`` = none)."""
-        return self.oldest_pinned()
+        """The oldest generation any reader may still need (``None`` = none).
+
+        Bounded by the oldest pin **and** the oldest active transaction's
+        start generation: a transaction's pre-states must survive until it
+        finishes, because a reader pinning mid-flight excludes the writer's
+        generations and resolves those pre-states through the chains.
+        (Truncating them on an unrelated pin release would silently hand
+        such a reader the writer's uncommitted values.)
+        """
+        with self.lock:
+            candidates = list(self._pins)
+            candidates.extend(
+                getattr(txn, "start_generation", 0)
+                for txn in self.active_transactions
+            )
+            return min(candidates) if candidates else None
 
     @property
     def commit_log_length(self) -> int:
-        return len(self._commit_log)
+        with self.lock:
+            return len(self._commit_log)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -373,6 +522,11 @@ class AtomTypeView:
     Iteration is sorted by identifier — a pinned reader must produce
     byte-identical results run after run, and the head dictionaries reorder
     under concurrent deletes/re-inserts.
+
+    Thread safety: point reads (``get``) are lock-free — single dict lookups
+    with string keys are atomic, and chain resolution walks immutable entry
+    lists.  Iteration copies the identifier sets under the type's head lock
+    (one brief critical section) and then resolves each identifier lock-free.
     """
 
     __slots__ = ("_type", "_snapshot")
@@ -397,9 +551,7 @@ class AtomTypeView:
         return None if payload is ABSENT else payload  # type: ignore[return-value]
 
     def __iter__(self) -> "Iterator[Atom]":
-        head = self._type._atoms
-        versions = self._type._versions
-        for identifier in sorted(set(head) | set(versions)):
+        for identifier in self._type._known_identifiers():
             atom = self.get(identifier)
             if atom is not None:
                 yield atom
@@ -423,7 +575,13 @@ class AtomTypeView:
 
 
 class LinkTypeView:
-    """A read-only, snapshot-consistent facade over one :class:`LinkType`."""
+    """A read-only, snapshot-consistent facade over one :class:`LinkType`.
+
+    Thread safety: occurrence iteration and incident-link lookups copy the
+    head/historic containers under the type's head lock (links hash through
+    Python code, so even building a set from them is interruptible by a
+    concurrent writer); visibility resolution over the copies is lock-free.
+    """
 
     __slots__ = ("_type", "_snapshot")
 
@@ -472,10 +630,11 @@ class LinkTypeView:
 
     def links_of(self, atom: "Atom | str") -> "FrozenSet[Link]":
         identifier = getattr(atom, "identifier", atom)
-        head = self._type._by_atom.get(identifier, ())
+        head, historic = self._type._incident_links(identifier)
         result = [link for link in head if self._link_visible(link)]
-        for link in self._type._historic_by_atom.get(identifier, ()):
-            if link not in head and self._link_visible(link):
+        head_set = set(head)
+        for link in historic:
+            if link not in head_set and self._link_visible(link):
                 result.append(link)
         return frozenset(result)
 
@@ -484,12 +643,13 @@ class LinkTypeView:
         return frozenset(link.other(identifier) for link in self.links_of(identifier))
 
     def __iter__(self) -> "Iterator[Link]":
+        head, versioned = self._type._known_links()
         seen: Set["Link"] = set()
-        for link in self._type._links:
+        for link in head:
             seen.add(link)
             if self._link_visible(link):
                 yield link
-        for link in self._type._versions:
+        for link in versioned:
             if link not in seen and self._link_visible(link):
                 yield link
 

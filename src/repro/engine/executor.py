@@ -155,6 +155,14 @@ class Executor:
         reads through a pinned :meth:`Database.at` view instead: the head's
         index pool and atom network are bypassed — they are maintained at the
         head generation and would leak post-snapshot state into the read.
+
+        Snapshot contexts are safe to build and run from any thread: every
+        object here is freshly constructed, the pinned views resolve
+        lock-free over immutable version chains (copying mutable head
+        collections briefly under the per-type head locks), and neither the
+        shared index pool nor the shared network is touched.  Head contexts
+        (``snapshot=None``) share those mutable access structures and belong
+        to the engine's owning thread.
         """
         if snapshot is None:
             return ExecutionContext(self.database, counters, self.indexes, self.network)

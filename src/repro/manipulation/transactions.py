@@ -23,6 +23,14 @@ enabled (see :meth:`repro.core.database.Database.enable_versioning`) carries:
 
 On a database without versioning the transaction degrades to the historical
 pure undo-log behaviour (no conflict detection, no snapshot).
+
+**Thread safety.**  Each :class:`Transaction` instance belongs to the thread
+that drives it (one writer = one thread), but *different* transactions may
+run on different threads concurrently: claims, registration, commit
+validation, the commit-log append and the durability hook are serialized on
+the versioning state's engine lock, undo/redo mutations take the per-type
+head locks, and writer attribution is thread-local — see DESIGN.md
+"Threading model".
 """
 
 from __future__ import annotations
@@ -122,18 +130,26 @@ class Transaction:
         return False
 
     def begin(self) -> None:
-        """Start the transaction (registers it for conflict detection)."""
+        """Start the transaction (registers it for conflict detection).
+
+        Registration — start-generation read, active-set entry and the
+        optional snapshot pin — happens in one critical section of the
+        versioning state's engine lock, so a concurrent committer can never
+        slip its commit between this transaction's baseline and its
+        registration.
+        """
         if self._active:
             raise TransactionError("transaction already active")
         self._active = True
         state = self.database.versioning
         self._state = state
         if state is not None:
-            self.start_generation = state.generation
-            state.active_transactions.add(self)
-            if self._pin_snapshot:
-                self._pinned_generation = self.database.pin(state.generation)
-                self.snapshot = state.make_snapshot(own=self._own_generations)
+            with state.lock:
+                self.start_generation = state.generation
+                state.active_transactions.add(self)
+                if self._pin_snapshot:
+                    self._pinned_generation = state.pin(state.generation)
+                    self.snapshot = state.make_snapshot(own=self._own_generations)
         elif self._pin_snapshot:
             raise TransactionError(
                 "snapshot transactions require versioning; call "
@@ -147,30 +163,45 @@ class Transaction:
         committed by another transaction after this one began, every change
         is undone and :class:`TransactionConflictError` is raised — the
         transaction leaves no partial state.
+
+        Committers are serialized on the versioning state's engine lock:
+        validation, the commit-log append and the durability hook (the WAL
+        record) form one critical section, so racing threads commit in a
+        total order and the WAL record order matches the commit-log order.
+        The loser's rollback runs *outside* the lock (undo takes per-type
+        head locks; its keys stay claimed until :meth:`_finish`).
         """
         self._require_active()
         state = self._state
         if state is not None:
-            if not self._commit_logged:
-                conflicting = state.committed_after(self.start_generation, self.write_keys)
-                if conflicting is not None:
-                    with self._tracked():
-                        self.log.undo_all()
-                    self._finish()
-                    state.notify_transaction_finished(self, committed=False)
-                    raise TransactionConflictError(
-                        f"{conflicting!r} was committed by a concurrent transaction "
-                        "after this one began (first committer wins)"
+            conflicting = None
+            with state.lock:
+                if not self._commit_logged:
+                    conflicting = state.committed_after(
+                        self.start_generation, self.write_keys
                     )
-                state.record_commit(self.write_keys)
-                # A retried commit (after e.g. a WAL append failure below)
-                # must not re-validate against — or re-append — its own
-                # commit-log entry: the MVCC publish already happened.
-                self._commit_logged = True
-            # Durability point: the WAL hook appends this transaction's commit
-            # record here, atomically with the MVCC commit-log entry.  On
-            # failure the transaction stays active and commit() is retryable.
-            state.notify_transaction_finished(self, committed=True)
+                    if conflicting is None:
+                        state.record_commit(self.write_keys)
+                        # A retried commit (after e.g. a WAL append failure
+                        # below) must not re-validate against — or re-append —
+                        # its own commit-log entry: the MVCC publish already
+                        # happened.
+                        self._commit_logged = True
+                if conflicting is None:
+                    # Durability point: the WAL hook appends this
+                    # transaction's commit record here, atomically with the
+                    # MVCC commit-log entry.  On failure the transaction
+                    # stays active and commit() is retryable.
+                    state.notify_transaction_finished(self, committed=True)
+            if conflicting is not None:
+                with self._tracked():
+                    self.log.undo_all()
+                self._finish()
+                state.notify_transaction_finished(self, committed=False)
+                raise TransactionConflictError(
+                    f"{conflicting!r} was committed by a concurrent transaction "
+                    "after this one began (first committer wins)"
+                )
         self.log.clear()
         self._finish()
 
@@ -188,14 +219,21 @@ class Transaction:
         self._active = False
         state = self._state
         if state is not None:
-            state.active_transactions.discard(self)
-            state.prune_commit_log()
-            if self._pinned_generation is not None:
-                self.database.release_pin(self._pinned_generation)
+            with state.lock:
+                state.active_transactions.discard(self)
+                state.prune_commit_log()
+                pinned = self._pinned_generation
                 self._pinned_generation = None
-            elif not state.recording:
+                still_recording = state.recording
+            # GC runs outside the engine lock — truncation takes the
+            # per-type head locks, which must never nest inside it.
+            if pinned is not None:
+                self.database.release_pin(pinned)
+            elif not still_recording:
                 # Last transaction out with no reader pinned: the chains
                 # recorded for mid-flight pin safety are unreachable now.
+                # (A pin or transaction that sneaks in concurrently is safe:
+                # collect_versions re-reads the horizon under the lock.)
                 self.database.collect_versions()
 
     def _require_active(self) -> None:
@@ -234,40 +272,49 @@ class Transaction:
     # -------------------------------------------------- write-set bookkeeping
 
     def _claim(self, key: WriteKey) -> None:
-        """Check *key* against concurrent writers, then add it to the write-set."""
+        """Check *key* against concurrent writers, then add it to the write-set.
+
+        Check and claim happen in one critical section of the engine lock:
+        of two threads claiming the same key concurrently, exactly one sees
+        the other's entry and aborts with a conflict.
+        """
         if self._state is not None:
-            self._state.check_write(key, self)
-            self.write_keys.add(key)
+            with self._state.lock:
+                self._state.check_write(key, self)
+                self.write_keys.add(key)
 
     def _record_key(self, key: WriteKey) -> None:
         """Add *key* without a conflict check (freshly created objects)."""
         if self._state is not None:
-            self.write_keys.add(key)
+            with self._state.lock:
+                self.write_keys.add(key)
 
     @contextmanager
     def _tracked(self):
         """Collect the generations ticked inside the block into ``own``.
 
-        While the block runs, the versioning state's ``current_writer`` names
-        this transaction so event listeners (the engine's WAL buffer) can
-        attribute every emitted change event to its writer.  Undo blocks run
-        tracked too: their compensating events join the same buffer, which a
-        rollback then discards wholesale.
+        While the block runs, the versioning state's (thread-local)
+        ``current_writer`` names this transaction so event listeners (the
+        engine's WAL buffer) can attribute every emitted change event to its
+        writer.  Undo blocks run tracked too: their compensating events join
+        the same buffer, which a rollback then discards wholesale.
+
+        The generations are captured through the state's per-thread tick
+        sink — exact, even while other threads tick the shared clock — and
+        each one joins ``own`` *inside* :meth:`VersioningState.tick`'s
+        critical section, so a snapshot built mid-block (which iterates
+        ``own_generations`` under the same lock) already excludes every
+        in-flight write: there is no window for a dirty read.
         """
         state = self._state
         if state is None:
             yield
             return
-        before = state.generation
-        previous_writer = state.current_writer
-        state.current_writer = self
+        token = state.begin_tracking(self, own=self._own_generations)
         try:
             yield
         finally:
-            state.current_writer = previous_writer
-            after = state.generation
-            if after > before:
-                self._own_generations.update(range(before + 1, after + 1))
+            state.end_tracking(token)
 
     # ------------------------------------------------------------ operations
 

@@ -19,6 +19,7 @@ executing.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -147,6 +148,21 @@ class MQLInterpreter:
         self._planner = planner
         #: Active session transaction (``BEGIN WORK`` … ``COMMIT WORK``).
         self._session: Optional[Transaction] = None
+        #: The thread that ran ``BEGIN WORK`` — sessions have thread
+        #: affinity: session-scoped statements from any other thread are
+        #: rejected with a clear error (pinned-snapshot reads via ``at=``
+        #: remain safe from every thread).
+        self._session_thread: Optional[int] = None
+        #: Guards the ``_session``/``_session_thread`` transitions: two
+        #: threads racing ``BEGIN WORK`` must not both pass the
+        #: already-active check and orphan one registered, pinned
+        #: transaction forever.
+        self._session_guard = threading.Lock()
+        #: Serializes planning and statistics maintenance: snapshot readers
+        #: on worker threads plan one at a time (execution itself runs
+        #: concurrently), and a writer folding a change event into the
+        #: planner statistics can never race a reader mid-optimize.
+        self._plan_lock = threading.RLock()
         #: Callable serving MQL ``CHECKPOINT`` — a durable storage engine
         #: passes its ``PrimaEngine.checkpoint``; ``None`` rejects the
         #: statement (nothing durable to checkpoint).
@@ -173,18 +189,22 @@ class MQLInterpreter:
     def planner(self) -> Planner:
         """The planner, created lazily: statistics collection is a full
         database pass and is skipped entirely on the literal path."""
-        if self._planner is None:
-            self._planner = Planner(self.database, executor=self.executor)
-        return self._planner
+        with self._plan_lock:
+            if self._planner is None:
+                self._planner = Planner(self.database, executor=self.executor)
+            return self._planner
 
     def apply_event(self, event) -> None:
         """Fold one database change event into the planner's statistics.
 
         The public maintenance hook the storage engine drives on every
         write; a no-op until the planner (and its statistics) exist.
+        Serialized on the planner lock against concurrent plan optimization
+        by snapshot-reader threads.
         """
-        if self._planner is not None:
-            self._planner.apply_event(event)
+        with self._plan_lock:
+            if self._planner is not None:
+                self._planner.apply_event(event)
 
     # ---------------------------------------------------------------- public
 
@@ -213,8 +233,16 @@ class MQLInterpreter:
         every concurrent-committed link to never leave dangling references,
         and any overlap with a concurrent writer's keys aborts via
         first-committer-wins anyway.
+
+        Thread affinity: while a ``BEGIN WORK`` session is active, every
+        statement that would touch the session (anything without ``at=``)
+        must come from the thread that began it; other threads get a
+        :class:`TransactionError` pointing them at snapshot handles.
+        Pinned reads (``at=``) are safe from any thread.
         """
         ast = parse(statement) if isinstance(statement, str) else statement
+        if at is None:
+            self._check_session_affinity()
         if isinstance(ast, TransactionStatement):
             return self._execute_transaction_statement(ast)
         if isinstance(ast, CheckpointStatement):
@@ -257,7 +285,35 @@ class MQLInterpreter:
             return self._session.snapshot
         return None
 
+    def _check_session_affinity(self) -> None:
+        """Reject session-scoped statements from a foreign thread.
+
+        One MQL session = one thread: the session transaction's undo log,
+        savepoints and pinned snapshot are single-writer state.  Concurrent
+        readers belong on pinned snapshot handles
+        (``engine.snapshot_at()`` / ``engine.parallel_query()``), which
+        execute through ``at=`` and bypass the session entirely.
+        """
+        if not self.in_transaction:
+            return
+        if threading.get_ident() != self._session_thread:
+            raise TransactionError(
+                "this interpreter has an active BEGIN WORK session bound to "
+                "the thread that began it; sessions have thread affinity — "
+                "run concurrent reads through engine.snapshot_at() or "
+                "engine.parallel_query() instead"
+            )
+
     def _execute_transaction_statement(self, statement: TransactionStatement) -> QueryResult:
+        # One session transition at a time: a racing second BEGIN WORK must
+        # see the first one's session and fail, never orphan a registered,
+        # snapshot-pinned transaction by overwriting it.
+        with self._session_guard:
+            return self._transaction_statement_locked(statement)
+
+    def _transaction_statement_locked(
+        self, statement: TransactionStatement
+    ) -> QueryResult:
         action = statement.action
         if action == "BEGIN":
             if self.in_transaction:
@@ -268,11 +324,13 @@ class MQLInterpreter:
             txn = Transaction(self.database, pin_snapshot=True)
             txn.begin()
             self._session = txn
+            self._session_thread = threading.get_ident()
         elif action in ("COMMIT", "ROLLBACK"):
             txn = self._session
             if txn is None or not txn.is_active:
                 raise TransactionError(f"{action} WORK without an active transaction")
             self._session = None
+            self._session_thread = None
             if action == "COMMIT":
                 try:
                     txn.commit()  # raises TransactionConflictError when it loses
@@ -283,6 +341,7 @@ class MQLInterpreter:
                         # the session stays open so the user can retry COMMIT
                         # WORK or ROLLBACK WORK explicitly.
                         self._session = txn
+                        self._session_thread = threading.get_ident()
                     raise
             else:
                 txn.rollback()
@@ -316,19 +375,24 @@ class MQLInterpreter:
 
         For DELETE/MODIFY the choice covers the *qualifying read* (the write
         node itself has no plan alternatives); INSERT has no read sub-plan.
+
+        Serialized on the planner lock: concurrent snapshot-reader threads
+        plan one at a time over the shared statistics (execution of the
+        chosen plan runs outside the lock, fully concurrent).
         """
         ast = parse(statement) if isinstance(statement, str) else statement
         if isinstance(ast, ExplainStatement):
             ast = ast.statement
         if isinstance(ast, (TransactionStatement, CheckpointStatement)):
             raise MQLSemanticError("transaction and checkpoint statements have no plan")
-        if isinstance(ast, (InsertStatement, DeleteStatement, ModifyStatement)):
-            write_plan = QueryTranslator(self.database).translate_dml(ast)
-            if isinstance(write_plan, InsertMolecule):
-                raise MQLSemanticError("INSERT has no qualifying read plan to optimize")
-            return self.planner.optimize(write_plan.source)
-        logical = QueryTranslator(self.database).translate_statement(ast)
-        return self.planner.optimize(logical)
+        with self._plan_lock:
+            if isinstance(ast, (InsertStatement, DeleteStatement, ModifyStatement)):
+                write_plan = QueryTranslator(self.database).translate_dml(ast)
+                if isinstance(write_plan, InsertMolecule):
+                    raise MQLSemanticError("INSERT has no qualifying read plan to optimize")
+                return self.planner.optimize(write_plan.source)
+            logical = QueryTranslator(self.database).translate_statement(ast)
+            return self.planner.optimize(logical)
 
     def explain(self, statement: "str | Statement | DMLStatement") -> List[str]:
         """Return the algebra-operation plan for *statement* without executing it.
@@ -370,7 +434,8 @@ class MQLInterpreter:
         plan = QueryTranslator(self.database).translate_dml(statement)
         choice: Optional[PlanChoice] = None
         if optimize and isinstance(plan, (DeleteMolecules, ModifyAtoms)):
-            choice = self.planner.optimize(plan.source)
+            with self._plan_lock:
+                choice = self.planner.optimize(plan.source)
             plan = replace(plan, source=choice.best)
         if explain:
             return self._explain_write(statement, plan, choice)
@@ -382,6 +447,7 @@ class MQLInterpreter:
             # the whole transaction, not just the statement.
             if txn is not None:
                 self._session = None
+                self._session_thread = None
                 if txn.is_active:
                     txn.rollback()
             raise

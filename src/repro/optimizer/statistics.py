@@ -41,12 +41,19 @@ class DatabaseStatistics:
 
     @classmethod
     def collect(cls, database: Database) -> "DatabaseStatistics":
-        """Gather statistics from *database* (single pass over the occurrences)."""
+        """Gather statistics from *database* (single pass over the occurrences).
+
+        Each occurrence is materialized atomically (``.occurrence`` is a
+        single C-level copy) before Python-level iteration, so collection
+        can run while writer threads mutate the head — the counts are then
+        a consistent point-in-time estimate rather than a crash.
+        """
         statistics = cls()
         for atom_type in database.atom_types:
-            statistics.atom_counts[atom_type.name] = len(atom_type)
+            atoms = atom_type.occurrence
+            statistics.atom_counts[atom_type.name] = len(atoms)
             for attribute in atom_type.description.names:
-                values = {atom.get(attribute) for atom in atom_type}
+                values = {atom.get(attribute) for atom in atoms}
                 statistics.distinct_values[(atom_type.name, attribute)] = max(1, len(values))
         for link_type in database.link_types:
             statistics.link_counts[link_type.name] = len(link_type)

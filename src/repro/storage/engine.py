@@ -41,8 +41,9 @@ compact catalog + occurrence image and truncates the log.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.atom import Atom, AtomType
 from repro.core.database import Database
@@ -121,7 +122,21 @@ class PrimaEngine:
         self._interpreter: Optional["MQLInterpreter"] = None
         self._index_pool: Optional["IndexPool"] = None
         self._dirty = False
-        self._mirroring = False
+        #: Serializes basic-interface writes (store_atom/connect/delete_atom)
+        #: and checkpoints against each other.
+        self._write_lock = threading.RLock()
+        #: Guards lazy construction/teardown of the cached access structures
+        #: (snapshot, network, interpreter, index pool).
+        self._cache_lock = threading.RLock()
+        #: The event path's lock: generation counter, stats, WAL routing,
+        #: store mirror and incremental cache maintenance fold one event at
+        #: a time.  Acquired *inside* the per-type head locks; only ever
+        #: acquires the true leaves below it — the interpreter's plan lock
+        #: and the WAL's lock (see DESIGN.md "Threading model").
+        self._event_lock = threading.RLock()
+        #: Per-thread mirror state: the ``_mirror`` guard flag and the
+        #: direct-write WAL buffer belong to the thread driving the write.
+        self._tls = threading.local()
         #: Monotonic write generation; cached access structures are stamped
         #: with the generation they are coherent with.
         self.generation = 0
@@ -137,10 +152,9 @@ class PrimaEngine:
         self._wal: Optional[WriteAheadLog] = None
         #: Change events buffered per active transaction (keyed by ``id``);
         #: flushed as one commit record when the transaction commits,
-        #: discarded when it rolls back — redo-only logging.
+        #: discarded when it rolls back — redo-only logging.  (Each entry is
+        #: appended and flushed by the one thread driving that transaction.)
         self._wal_tx_pending: Dict[int, List[Dict[str, object]]] = {}
-        #: Events of one in-flight basic-interface write (see :meth:`_mirror`).
-        self._wal_direct_buffer: List[Dict[str, object]] = []
         self._recovery: Optional[RecoveryResult] = None
         self._checkpoints = 0
         if durability is not None:
@@ -213,31 +227,42 @@ class PrimaEngine:
     # --------------------------------------------- atom-oriented interface
 
     def store_atom(self, atom_type_name: str, identifier: Optional[str] = None, **values) -> Atom:
-        """Insert (or replace) an atom — basic-component write operation."""
-        store = self._atom_store(atom_type_name)
-        atom = store.store(values, identifier=identifier)
-        if self._maintainable():
-            with self._mirror():
-                atom_type = self._snapshot.atyp(atom_type_name)
-                if atom_type.get(atom.identifier) is None:
-                    atom_type.add(atom)
-                else:
-                    atom_type.replace(atom)
-        else:
-            self._after_write()
-            self._wal_direct(
-                [
-                    encode_event(
-                        ChangeEvent(
-                            ATOM_INSERTED,
-                            atom_type_name,
-                            atom=atom,
-                            generation=self.generation,
+        """Insert (or replace) an atom — basic-component write operation.
+
+        Basic-interface writes serialize on the engine's write lock so the
+        store mutation, the snapshot mirror and the WAL record form one
+        atomic operation even when several threads auto-commit concurrently.
+        """
+        with self._write_lock:
+            store = self._atom_store(atom_type_name)
+            with self._event_lock:
+                # Store mutations share the event lock with the transactional
+                # mirror path (_mirror_to_stores), so multi-step store
+                # updates (dict + hash indexes) never interleave.
+                atom = store.store(values, identifier=identifier)
+            snapshot = self._maintainable()
+            if snapshot is not None:
+                with self._mirror():
+                    atom_type = snapshot.atyp(atom_type_name)
+                    if atom_type.get(atom.identifier) is None:
+                        atom_type.add(atom)
+                    else:
+                        atom_type.replace(atom)
+            else:
+                self._after_write()
+                self._wal_direct(
+                    [
+                        encode_event(
+                            ChangeEvent(
+                                ATOM_INSERTED,
+                                atom_type_name,
+                                atom=atom,
+                                generation=self.generation,
+                            )
                         )
-                    )
-                ]
-            )
-        return atom
+                    ]
+                )
+            return atom
 
     def get_atom(self, atom_type_name: str, identifier: str) -> Optional[Atom]:
         """Point lookup — basic-component read operation."""
@@ -258,35 +283,39 @@ class PrimaEngine:
         stores; when the mirror rejects the link the store write is undone
         before re-raising, so store and snapshot can never diverge.
         """
-        store = self._link_store(link_type_name)
-        first_id = first.identifier if isinstance(first, Atom) else first
-        second_id = second.identifier if isinstance(second, Atom) else second
-        probe = Link(link_type_name, first_id, second_id, store.first_type, store.second_type)
-        existed = probe in store
-        link = store.store(first_id, second_id)
-        if self._maintainable():
-            try:
-                with self._mirror():
-                    self._snapshot.ltyp(link_type_name).connect(first_id, second_id)
-            except Exception:
-                if not existed:
-                    store.delete(link)
-                raise
-        else:
-            self._after_write()
-            self._wal_direct(
-                [
-                    encode_event(
-                        ChangeEvent(
-                            LINK_CONNECTED,
-                            link_type_name,
-                            link=link,
-                            generation=self.generation,
+        with self._write_lock:
+            store = self._link_store(link_type_name)
+            first_id = first.identifier if isinstance(first, Atom) else first
+            second_id = second.identifier if isinstance(second, Atom) else second
+            probe = Link(link_type_name, first_id, second_id, store.first_type, store.second_type)
+            existed = probe in store
+            with self._event_lock:
+                link = store.store(first_id, second_id)
+            snapshot = self._maintainable()
+            if snapshot is not None:
+                try:
+                    with self._mirror():
+                        snapshot.ltyp(link_type_name).connect(first_id, second_id)
+                except Exception:
+                    if not existed:
+                        with self._event_lock:
+                            store.delete(link)
+                    raise
+            else:
+                self._after_write()
+                self._wal_direct(
+                    [
+                        encode_event(
+                            ChangeEvent(
+                                LINK_CONNECTED,
+                                link_type_name,
+                                link=link,
+                                generation=self.generation,
+                            )
                         )
-                    )
-                ]
-            )
-        return link
+                    ]
+                )
+            return link
 
     def neighbours(self, link_type_name: str, identifier: str) -> Tuple[str, ...]:
         """Adjacent atom identifiers through one link type."""
@@ -294,9 +323,13 @@ class PrimaEngine:
 
     def delete_atom(self, atom_type_name: str, identifier: str) -> int:
         """Delete an atom and all its incident links; returns the links removed."""
-        maintainable = self._maintainable()
+        with self._write_lock:
+            return self._delete_atom_locked(atom_type_name, identifier)
+
+    def _delete_atom_locked(self, atom_type_name: str, identifier: str) -> int:
+        snapshot = self._maintainable()
         removed_links: List[Tuple[str, Link]] = []
-        if self._wal is not None and not maintainable:
+        if self._wal is not None and snapshot is None:
             # The incident links must be captured before the stores drop them;
             # in the maintainable path the snapshot mirror emits one event per
             # removal instead.
@@ -306,16 +339,17 @@ class PrimaEngine:
                         (link_store.link_type_name, link)
                         for link in link_store.links_of(identifier)
                     )
-        removed_atom = self._atom_store(atom_type_name).delete(identifier)
-        removed = 0
-        for store in self._link_stores.values():
-            if atom_type_name in (store.first_type, store.second_type):
-                removed += store.delete_atom(identifier)
-        if maintainable:
+        with self._event_lock:
+            removed_atom = self._atom_store(atom_type_name).delete(identifier)
+            removed = 0
+            for store in self._link_stores.values():
+                if atom_type_name in (store.first_type, store.second_type):
+                    removed += store.delete_atom(identifier)
+        if snapshot is not None:
             with self._mirror():
-                for link_type in self._snapshot.link_types_of(atom_type_name):
+                for link_type in snapshot.link_types_of(atom_type_name):
                     link_type.remove_atom(identifier)
-                atom_type = self._snapshot.atyp(atom_type_name)
+                atom_type = snapshot.atyp(atom_type_name)
                 if atom_type.get(identifier) is not None:
                     atom_type.remove(identifier)
         else:
@@ -355,6 +389,10 @@ class PrimaEngine:
         Mutations applied directly to the snapshot — e.g. by MQL DML write
         plans or the manipulation API — are mirrored back into the stores.
         """
+        with self._cache_lock:
+            return self._to_database_locked()
+
+    def _to_database_locked(self) -> Database:
         self._check_dirty()
         if self._snapshot is not None:
             return self._snapshot
@@ -431,33 +469,35 @@ class PrimaEngine:
         structures in place; in rebuild mode any write discards them and this
         method rebuilds everything on its next call.
         """
-        self._check_dirty()
-        if self._interpreter is None:
-            from repro.engine.executor import Executor, IndexPool
-            from repro.mql.interpreter import MQLInterpreter
+        with self._cache_lock:
+            self._check_dirty()
+            if self._interpreter is None:
+                from repro.engine.executor import Executor, IndexPool
+                from repro.mql.interpreter import MQLInterpreter
 
-            database = self.to_database()
-            self._index_pool = IndexPool(database)
-            self._index_pool.generation = self.generation
-            executor = Executor(
-                database, indexes=self._index_pool, network=self.network()
-            )
-            self._interpreter = MQLInterpreter(
-                database,
-                executor=executor,
-                checkpoint=self.checkpoint if self._durability is not None else None,
-            )
-            self._stats["interpreter_builds"] += 1
-        return self._interpreter
+                database = self.to_database()
+                self._index_pool = IndexPool(database)
+                self._index_pool.generation = self.generation
+                executor = Executor(
+                    database, indexes=self._index_pool, network=self.network()
+                )
+                self._interpreter = MQLInterpreter(
+                    database,
+                    executor=executor,
+                    checkpoint=self.checkpoint if self._durability is not None else None,
+                )
+                self._stats["interpreter_builds"] += 1
+            return self._interpreter
 
     def network(self) -> AtomNetwork:
         """Return the (cached, incrementally maintained) atom-network view."""
-        self._check_dirty()
-        if self._network is None:
-            self._network = AtomNetwork(self.to_database())
-            self._network.generation = self.generation
-            self._stats["network_builds"] += 1
-        return self._network
+        with self._cache_lock:
+            self._check_dirty()
+            if self._network is None:
+                self._network = AtomNetwork(self.to_database())
+                self._network.generation = self.generation
+                self._stats["network_builds"] += 1
+            return self._network
 
     # --------------------------------------------------- snapshots and MVCC
 
@@ -471,15 +511,67 @@ class PrimaEngine:
         Pinning is refcounted; releasing the last pin on a generation lets
         the garbage collector truncate the version chains behind it.
 
-        *generation* defaults to the current write generation.  Pinning an
-        older generation is only exact while some other pin has kept its
-        versions alive — history behind the oldest pin is collected.
+        *generation* defaults to the current write generation, resolved
+        atomically inside the pin registry's lock (a concurrent writer
+        cannot slip a tick between the read and the pin).  Pinning an older
+        generation is allowed only down to the retention floor — the
+        truncation horizon while other pins/transactions hold history —
+        below it the registry refuses the pin rather than serve stale reads.
+
+        Safe to call from any thread; the returned handle's reads are safe
+        from any thread too (see :class:`SnapshotHandle`).
         """
         database = self.to_database()
         interpreter = self.interpreter()
         state = database.versioning
-        pinned = database.pin(state.generation if generation is None else generation)
-        return SnapshotHandle(database, interpreter, state.make_snapshot(pinned))
+        with state.lock:
+            # Pin and snapshot-build form one critical section: a writer
+            # finishing (e.g. rolling back) in between would otherwise leave
+            # the exclusion set without its uncommitted generations and leak
+            # dirty values into the handle.
+            pinned = database.pin(generation)
+            snapshot = state.make_snapshot(pinned)
+        return SnapshotHandle(database, interpreter, snapshot)
+
+    def parallel_query(
+        self,
+        statements: "Iterable[str]",
+        threads: Optional[int] = None,
+        generation: Optional[int] = None,
+    ) -> "List[QueryResult]":
+        """Run read-only MQL statements concurrently at one pinned generation.
+
+        Pins a single snapshot (like :meth:`snapshot_at`), executes every
+        statement through a worker-thread pool against that pinned
+        generation, and returns the results **in statement order** —
+        byte-identical to running the same statements serially on the same
+        snapshot, no matter how much committed DML races at the head.
+        Readers run lock-free over the immutable version chains; only the
+        plan step serializes briefly on the interpreter's planner lock.
+
+        *threads* defaults to ``min(len(statements), 4)``; ``threads=1``
+        degrades to a serial loop over the same pinned handle (the E-PERF7
+        benchmark's baseline).  DML and transaction statements are rejected
+        by the underlying read-only snapshot handle.
+
+        Note: under CPython's GIL the pure-Python execute phase of the
+        statements is time-sliced, not parallel — the pool buys wall-clock
+        when requests spend time off the GIL (client wire I/O, durable
+        reads, checksum/compression of results), which is what the E-PERF7
+        benchmark measures.
+        """
+        statements = list(statements)
+        if not statements:
+            return []
+        if threads is None:
+            threads = min(len(statements), 4)
+        with self.snapshot_at(generation) as handle:
+            if threads <= 1:
+                return [handle.query(statement) for statement in statements]
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=threads) as pool:
+                return list(pool.map(handle.query, statements))
 
     def collect_versions(self) -> Dict[str, object]:
         """Run version-chain garbage collection; returns the GC statistics."""
@@ -534,8 +626,13 @@ class PrimaEngine:
         handles (old image + full log, or new image + full log, both of which
         replay to the committed head because replay is idempotent).  Refused
         while any transaction is active: the stores then carry uncommitted
-        mirror state that must not enter an image.
+        mirror state that must not enter an image.  Holds the engine's write
+        lock so no basic-interface write can interleave with the image.
         """
+        with self._write_lock:
+            return self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> Dict[str, object]:
         if self._wal is None:
             raise StorageError(
                 "checkpoint requires a durable engine; construct it with "
@@ -546,16 +643,25 @@ class PrimaEngine:
             # failing to truncate would otherwise leave a half-finished
             # checkpoint behind a closed engine.
             raise StorageError("cannot checkpoint a closed engine; reopen the directory")
-        state = self._snapshot.versioning if self._snapshot is not None else None
-        if (state is not None and state.active_transactions) or self._wal_tx_pending:
-            raise StorageError(
-                "cannot checkpoint while transactions are active; "
-                "COMMIT WORK or ROLLBACK WORK first"
-            )
+        from contextlib import nullcontext
+
         from repro.storage.recovery import write_checkpoint  # deferred: cycle hygiene
 
-        path = write_checkpoint(self, self._durability)
-        self._wal.truncate()
+        state = self._snapshot.versioning if self._snapshot is not None else None
+        # The quiescence check, the image and the truncate form one critical
+        # section of the versioning engine lock (when one exists): a
+        # transaction beginning (or any mutation ticking) after the check
+        # would otherwise mirror uncommitted state into the stores
+        # mid-image.  Checkpoints are rare and explicitly quiescent;
+        # stalling pins/commits for the image write is the intended trade.
+        with state.lock if state is not None else nullcontext():
+            if (state is not None and state.active_transactions) or self._wal_tx_pending:
+                raise StorageError(
+                    "cannot checkpoint while transactions are active; "
+                    "COMMIT WORK or ROLLBACK WORK first"
+                )
+            path = write_checkpoint(self, self._durability)
+            self._wal.truncate()
         self._checkpoints += 1
         return {
             "path": str(path),
@@ -587,6 +693,10 @@ class PrimaEngine:
         events of a basic-interface store write collect in the mirror buffer
         (one record per operation); everything else — a direct snapshot
         mutation outside any transaction — auto-commits immediately.
+
+        Both the writer attribution (``current_writer``) and the mirror
+        buffer are thread-local, so concurrent writers on other threads can
+        never interleave their events into this thread's records.
         """
         state = source.versioning
         writer = state.current_writer if state is not None else None
@@ -594,7 +704,7 @@ class PrimaEngine:
         if writer is not None:
             self._wal_tx_pending.setdefault(id(writer), []).append(record)
         elif self._mirroring:
-            self._wal_direct_buffer.append(record)
+            self._direct_buffer().append(record)
         else:
             self._wal.commit_events([record])
 
@@ -616,13 +726,32 @@ class PrimaEngine:
 
     # -------------------------------------------------- cache maintenance
 
-    def _maintainable(self) -> bool:
-        """``True`` when a write can be folded into a live snapshot in place."""
-        return (
-            self.maintenance == INCREMENTAL
-            and not self._dirty
-            and self._snapshot is not None
-        )
+    def _maintainable(self) -> Optional[Database]:
+        """The live snapshot a write can be folded into, or ``None``.
+
+        Returns the snapshot *object* (not a boolean) so callers hold a
+        stable reference: a concurrent cache teardown may null
+        ``self._snapshot`` mid-write, and re-reading the attribute would
+        crash.  Writing into a just-discarded snapshot is safe — its
+        listener path degrades to the stale-handle invalidate-on-next-read
+        behaviour.
+        """
+        if self.maintenance == INCREMENTAL and not self._dirty:
+            return self._snapshot
+        return None
+
+    @property
+    def _mirroring(self) -> bool:
+        """``True`` while *this thread* is inside a :meth:`_mirror` block."""
+        return getattr(self._tls, "mirroring", False)
+
+    def _direct_buffer(self) -> "List[Dict[str, object]]":
+        """This thread's buffer of one in-flight basic-interface write."""
+        buffer = getattr(self._tls, "direct_buffer", None)
+        if buffer is None:
+            buffer = []
+            self._tls.direct_buffer = buffer
+        return buffer
 
     @contextmanager
     def _mirror(self):
@@ -632,19 +761,22 @@ class PrimaEngine:
         store was already written) but still maintains the derived caches.
         The events of the guarded block form one basic-interface operation;
         on success they are flushed to the WAL as a single commit record, on
-        failure (the store write was undone) they are discarded.
+        failure (the store write was undone) they are discarded.  The guard
+        flag and buffer are thread-local: mirror blocks on other threads
+        neither see this block's events nor flush them.
         """
-        self._mirroring = True
+        self._tls.mirroring = True
         try:
             yield
         except BaseException:
-            self._wal_direct_buffer.clear()
+            self._direct_buffer().clear()
             raise
         finally:
-            self._mirroring = False
-        if self._wal_direct_buffer:
-            records = list(self._wal_direct_buffer)
-            self._wal_direct_buffer.clear()
+            self._tls.mirroring = False
+        buffer = self._direct_buffer()
+        if buffer:
+            records = list(buffer)
+            buffer.clear()
             self._wal_direct(records)
 
     def _listener_for(self, snapshot: Database) -> Listener:
@@ -662,37 +794,46 @@ class PrimaEngine:
         return listener
 
     def _on_change(self, event: ChangeEvent, source: Database) -> None:
-        """Fold one snapshot change event into stores and cached structures."""
-        # The snapshot's version clock stamps every event; the engine counter
-        # follows it (max() also absorbs stale-handle writes whose discarded
-        # snapshot still ticks its own, older clock).
-        self.generation = max(self.generation + 1, event.generation or 0)
-        self._stats["events_applied"] += 1
-        if self._wal is not None:
-            self._wal_capture(event, source)
-        if not self._mirroring:
-            self._mirror_to_stores(event)
-        if source is not self._snapshot:
-            # Stale-handle write: the stores are up to date, the caches never
-            # saw it — defer the teardown to the next read.
-            self._dirty = True
-            return
-        if self.maintenance == REBUILD and not self._session_active():
-            # The invalidate-everything baseline — but never while a BEGIN
-            # WORK session holds the interpreter: tearing it down would
-            # destroy the active transaction and orphan its writes.  For the
-            # session's duration the caches are maintained incrementally
-            # (the branch below); the first write after it ends restores the
-            # rebuild behaviour.
-            self._dirty = True
-            return
-        if self._network is not None:
-            self._network.apply_event(event)
-            self._network.generation = self.generation
-        if self._index_pool is not None:
-            self._index_pool.apply_event(event, generation=self.generation)
-        if self._interpreter is not None:
-            self._interpreter.apply_event(event)
+        """Fold one snapshot change event into stores and cached structures.
+
+        Serialized on the engine's event lock: concurrent writer threads
+        emit events one at a time (each already holds its type's head lock),
+        and the store mirror plus every incremental cache apply exactly one
+        delta at a time.  The event lock acquires only the true leaves (the
+        interpreter's plan lock, the WAL lock), so holding a head lock here
+        can never deadlock.
+        """
+        with self._event_lock:
+            # The snapshot's version clock stamps every event; the engine
+            # counter follows it (max() also absorbs stale-handle writes
+            # whose discarded snapshot still ticks its own, older clock).
+            self.generation = max(self.generation + 1, event.generation or 0)
+            self._stats["events_applied"] += 1
+            if self._wal is not None:
+                self._wal_capture(event, source)
+            if not self._mirroring:
+                self._mirror_to_stores(event)
+            if source is not self._snapshot:
+                # Stale-handle write: the stores are up to date, the caches
+                # never saw it — defer the teardown to the next read.
+                self._dirty = True
+                return
+            if self.maintenance == REBUILD and not self._session_active():
+                # The invalidate-everything baseline — but never while a
+                # BEGIN WORK session holds the interpreter: tearing it down
+                # would destroy the active transaction and orphan its
+                # writes.  For the session's duration the caches are
+                # maintained incrementally (the branch below); the first
+                # write after it ends restores the rebuild behaviour.
+                self._dirty = True
+                return
+            if self._network is not None:
+                self._network.apply_event(event)
+                self._network.generation = self.generation
+            if self._index_pool is not None:
+                self._index_pool.apply_event(event, generation=self.generation)
+            if self._interpreter is not None:
+                self._interpreter.apply_event(event)
 
     def _mirror_to_stores(self, event: ChangeEvent) -> None:
         """Replay a snapshot-originated mutation on the backing stores."""
@@ -721,10 +862,16 @@ class PrimaEngine:
         )
 
     def _after_write(self) -> None:
-        """Account a store write that has no live snapshot to maintain."""
-        self.generation += 1
-        if self.maintenance == REBUILD:
-            self._dirty = True
+        """Account a store write that has no live snapshot to maintain.
+
+        The generation bump shares the event lock with :meth:`_on_change` —
+        the counter has exactly one guard, so ticks can never be lost
+        between a direct store write and a concurrent snapshot mutation.
+        """
+        with self._event_lock:
+            self.generation += 1
+            if self.maintenance == REBUILD:
+                self._dirty = True
 
     def _check_dirty(self) -> None:
         """Tear down invalidated caches before serving a read."""
@@ -775,8 +922,12 @@ class PrimaEngine:
         * ``pins_active`` — active snapshot/transaction pins;
         * ``network_generation`` — the write generation the cached atom
           network was last maintained at;
-        * ``wal_bytes`` / ``wal_records`` / ``wal_syncs`` — write-ahead-log
-          size, records appended, fsyncs issued (0 for in-memory engines);
+        * ``wal_bytes`` / ``wal_records`` / ``wal_syncs`` — bytes and records
+          currently in the write-ahead log (both reset by a checkpoint's
+          truncate, so they always agree) and fsyncs issued (0 for in-memory
+          engines);
+        * ``wal_lifetime_bytes`` / ``wal_lifetime_records`` — totals over the
+          log handle's lifetime, unaffected by truncation;
         * ``checkpoints`` — checkpoint images written by this engine;
         * ``recovery_replayed`` — WAL records replayed at construction.
         """
@@ -791,6 +942,12 @@ class PrimaEngine:
         report["wal_bytes"] = self._wal.bytes_written if self._wal is not None else 0
         report["wal_records"] = self._wal.records_written if self._wal is not None else 0
         report["wal_syncs"] = self._wal.syncs if self._wal is not None else 0
+        report["wal_lifetime_bytes"] = (
+            self._wal.lifetime_bytes if self._wal is not None else 0
+        )
+        report["wal_lifetime_records"] = (
+            self._wal.lifetime_records if self._wal is not None else 0
+        )
         report["checkpoints"] = self._checkpoints
         report["recovery_replayed"] = (
             self._recovery.records_replayed if self._recovery is not None else 0
@@ -876,6 +1033,13 @@ class SnapshotHandle:
     database at pin time, so its reads stay generation-stable even across
     engine cache invalidations.  :meth:`release` drops the pin and triggers
     version-chain garbage collection.
+
+    Thread safety: :meth:`query` and :meth:`database_view` may be called
+    from any thread, concurrently — reads resolve lock-free over immutable
+    version chains (:meth:`PrimaEngine.parallel_query` fans one handle out
+    over a pool).  :meth:`release` is idempotent and atomic: exactly one
+    caller unpins, no matter how many threads race the release (the
+    registry underneath treats a true over-release as an error).
     """
 
     def __init__(self, database: Database, interpreter, snapshot: Snapshot) -> None:
@@ -883,6 +1047,7 @@ class SnapshotHandle:
         self._interpreter = interpreter
         self._snapshot = snapshot
         self._released = False
+        self._release_guard = threading.Lock()
 
     @property
     def generation(self) -> int:
@@ -928,9 +1093,11 @@ class SnapshotHandle:
 
     def release(self) -> None:
         """Unpin the generation (idempotent); triggers version GC."""
-        if not self._released:
+        with self._release_guard:
+            if self._released:
+                return
             self._released = True
-            self._database.release_pin(self._snapshot.generation)
+        self._database.release_pin(self._snapshot.generation)
 
     @property
     def released(self) -> bool:

@@ -32,6 +32,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import threading
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -236,6 +237,17 @@ class WriteAheadLog:
     transactional).  The write path is ``append → flush [→ fsync]`` per the
     configured policy; :meth:`sync` forces an fsync, :meth:`truncate` empties
     the log after a checkpoint.
+
+    **Thread safety.**  Every public operation holds the log's internal
+    mutex: concurrent committers (group commit included) append whole
+    records one at a time — two racing ``commit_events`` calls can never
+    interleave their bytes into a torn record, and the byte/record counters
+    and the batch-policy unsynced count stay exact.  **Counters.**
+    ``records_written``/``bytes_written`` describe the records and bytes
+    *currently in the log* — both are reset by :meth:`truncate`, so a
+    post-checkpoint report can never show an empty log that still claims
+    records; ``lifetime_records``/``lifetime_bytes`` accumulate over the
+    handle's lifetime and survive truncation.
     """
 
     def __init__(
@@ -251,13 +263,21 @@ class WriteAheadLog:
         self.group_commit = max(1, int(group_commit))
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._file = open(self.path, "ab")
-        #: Records appended through this handle (not the on-disk total).
+        #: Serializes appends, syncs, truncation and the counters below.
+        self._lock = threading.RLock()
+        #: Records appended through this handle and still in the log
+        #: (reset by :meth:`truncate`, like ``bytes_written``).
         self.records_written = 0
         #: Bytes currently in the log file (pre-existing + appended).
         self.bytes_written = self.path.stat().st_size
+        #: Records appended through this handle, ever (survives truncation).
+        self.lifetime_records = 0
+        #: Bytes appended through this handle plus the pre-existing log
+        #: contents, ever (survives truncation).
+        self.lifetime_bytes = self.bytes_written
         #: fsync calls issued.
         self.syncs = 0
-        #: Commit records appended (subset of ``records_written``).
+        #: Commit records appended (subset of ``lifetime_records``).
         self.commits = 0
         self._unsynced = 0
         self._closed = False
@@ -272,18 +292,21 @@ class WriteAheadLog:
         caller can retry the append cleanly.  (A crashed process leaves the
         torn record instead — recovery discards it by checksum.)
         """
-        if self._closed:
-            raise WalError("write-ahead log is closed")
         data = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
         blob = _HEADER.pack(len(data), zlib.crc32(data) & 0xFFFFFFFF) + data
-        try:
-            self._write_bytes(blob)
-        except BaseException:
-            self._rewind_failed_append(self.bytes_written)
-            raise
-        self.records_written += 1
-        self.bytes_written += len(blob)
-        self._after_record()
+        with self._lock:
+            if self._closed:
+                raise WalError("write-ahead log is closed")
+            try:
+                self._write_bytes(blob)
+            except BaseException:
+                self._rewind_failed_append(self.bytes_written)
+                raise
+            self.records_written += 1
+            self.bytes_written += len(blob)
+            self.lifetime_records += 1
+            self.lifetime_bytes += len(blob)
+            self._after_record()
         return len(blob)
 
     def commit_events(self, events: Sequence[Dict[str, object]]) -> int:
@@ -294,8 +317,9 @@ class WriteAheadLog:
         record: Dict[str, object] = {"r": "commit", "events": list(events)}
         if generations:
             record["gen"] = max(generations)
-        size = self.append(record)
-        self.commits += 1
+        with self._lock:
+            size = self.append(record)
+            self.commits += 1
         return size
 
     def append_ddl(self, payload: Dict[str, object]) -> int:
@@ -339,30 +363,39 @@ class WriteAheadLog:
 
     def sync(self) -> None:
         """Flush and fsync any buffered records (regardless of policy)."""
-        if self._closed:
-            return
-        self._file.flush()
-        self._fsync()
+        with self._lock:
+            if self._closed:
+                return
+            self._file.flush()
+            self._fsync()
 
     def truncate(self) -> None:
-        """Empty the log (checkpoint protocol: image first, then truncate)."""
-        if self._closed:
-            raise WalError("write-ahead log is closed")
-        self._file.truncate(0)
-        self._file.seek(0)
-        self._file.flush()
-        os.fsync(self._file.fileno())
-        self.bytes_written = 0
-        self._unsynced = 0
+        """Empty the log (checkpoint protocol: image first, then truncate).
+
+        Resets the *current-log* counters together — ``bytes_written``,
+        ``records_written`` and the unsynced batch count all describe the
+        now-empty log — while the ``lifetime_*`` totals keep accumulating.
+        """
+        with self._lock:
+            if self._closed:
+                raise WalError("write-ahead log is closed")
+            self._file.truncate(0)
+            self._file.seek(0)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self.bytes_written = 0
+            self.records_written = 0
+            self._unsynced = 0
 
     def close(self) -> None:
         """Flush, sync and close the log handle (idempotent)."""
-        if self._closed:
-            return
-        self._file.flush()
-        os.fsync(self._file.fileno())
-        self._file.close()
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._file.close()
+            self._closed = True
 
     @property
     def closed(self) -> bool:

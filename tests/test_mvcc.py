@@ -535,7 +535,14 @@ class TestPinRefcounting:
                 handle.query("SELECT ALL FROM state-area;")
         assert engine.maintenance_report()["pins_active"] == 0
 
-    def test_versioning_state_over_release_is_harmless(self):
+    def test_versioning_state_over_release_raises(self):
+        """Registry-level over-release is an error, not a silent no-op.
+
+        The silent tolerance this test used to codify masked refcount races
+        under real threads (a double release could free chains another
+        reader still needed); the registry now raises ``StorageError`` while
+        ``SnapshotHandle.release()`` stays idempotent at the handle level.
+        """
         from repro.core.versions import VersioningState
 
         state = VersioningState()
@@ -543,19 +550,69 @@ class TestPinRefcounting:
         pinned = state.pin()
         assert state.pins_active == 1
         state.release(pinned)
-        state.release(pinned)  # over-release: no error, no negative count
-        state.release(99)  # releasing a never-pinned generation: no error
+        with pytest.raises(StorageError):
+            state.release(pinned)  # over-release: refused
+        with pytest.raises(StorageError):
+            state.release(99)  # releasing a never-pinned generation: refused
         assert state.pins_active == 0
         assert state.oldest_pinned() is None
         # Refcounting per generation: two pins on one generation need two
-        # releases, and over-release still floors at zero afterwards.
+        # releases; the third is refused and the count stays exact.
         state.pin(pinned)
         state.pin(pinned)
         state.release(pinned)
         assert state.pins_active == 1
         state.release(pinned)
-        state.release(pinned)
+        with pytest.raises(StorageError):
+            state.release(pinned)
         assert state.pins_active == 0
+
+    def test_pin_below_truncation_horizon_is_rejected(self):
+        """A pin below the retention floor would read truncated chains."""
+        from repro.core.versions import VersioningState
+
+        state = VersioningState()
+        for _ in range(5):
+            state.tick()
+        # With no pins and no transactions nothing is retained: any older
+        # generation would silently resolve to head state.
+        with pytest.raises(StorageError):
+            state.pin(3)
+        oldest = state.pin()  # the current generation is always pinnable
+        assert oldest == 5
+        state.tick()
+        state.tick()
+        # History below the oldest pin was never recorded (or has been
+        # truncated); a snapshot there would be silently stale.
+        with pytest.raises(StorageError):
+            state.pin(4)
+        # At or above the horizon stays fine.
+        assert state.pin(5) == 5
+        assert state.pin(6) == 6
+        state.release(5)
+        state.release(5)
+        state.release(6)
+        assert state.pins_active == 0
+
+    def test_pin_below_active_transaction_start_is_rejected(self):
+        """Active transactions extend the horizon: their pre-states must
+        survive, and generations before their start were never recorded."""
+        engine = small_engine()
+        database = engine.to_database()
+        from repro.manipulation.transactions import Transaction
+
+        engine.query(
+            "MODIFY state FROM state - area SET hectare = 1 WHERE state.code = 'S1';"
+        )
+        txn = Transaction(database)
+        txn.begin()
+        try:
+            start = txn.start_generation
+            assert database.versioning.truncation_horizon() == start
+            with pytest.raises(StorageError):
+                database.versioning.pin(start - 1)
+        finally:
+            txn.rollback()
 
     def test_release_while_session_transaction_active(self):
         engine = small_engine()

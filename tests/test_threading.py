@@ -1,0 +1,419 @@
+"""Thread races over the MVCC substrate: pins vs. GC, commits, readers, WAL.
+
+Real-thread counterparts of the cooperative MVCC tests: every scenario here
+puts actual ``threading.Thread`` workers behind a barrier so the racy window
+is hit deliberately, not by luck.
+
+* concurrent pin/release storms against garbage-collection truncation keep
+  the pin registry exact (over-release is an error, never an under-count);
+* two writer threads racing to commit the same write-set resolve to exactly
+  one winner — the loser gets :class:`TransactionConflictError` and leaves
+  no partial state;
+* reader threads hammering one pinned snapshot return byte-identical results
+  throughout a concurrent DML burst (and ``parallel_query`` equals serial
+  execution on the same generation);
+* a multi-threaded WAL append hammer under the ``batch`` group-commit policy
+  produces no torn or interleaved records.
+
+Iteration counts scale with the ``REPRO_STRESS`` environment knob (a
+multiplier, default 1) — CI's stress step runs the same suite with a higher
+value.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Callable, List
+
+import pytest
+
+from repro.core.versions import VersioningState
+from repro.exceptions import (
+    StorageError,
+    TransactionConflictError,
+    TransactionError,
+)
+from repro.manipulation.transactions import Transaction
+from repro.storage import PrimaEngine, WriteAheadLog, read_wal
+from repro.storage.wal import FSYNC_BATCH
+
+#: Stress multiplier: CI's stress job runs e.g. ``REPRO_STRESS=10``.
+STRESS = max(1, int(os.environ.get("REPRO_STRESS", "1")))
+
+
+def run_threads(workers: "List[Callable[[], None]]") -> None:
+    """Run *workers* on real threads; re-raise the first worker exception."""
+    errors: List[BaseException] = []
+    lock = threading.Lock()
+
+    def wrap(worker: Callable[[], None]) -> Callable[[], None]:
+        def runner() -> None:
+            try:
+                worker()
+            except BaseException as exc:  # noqa: BLE001 - reported to pytest
+                with lock:
+                    errors.append(exc)
+
+        return runner
+
+    threads = [threading.Thread(target=wrap(worker)) for worker in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+def small_engine() -> PrimaEngine:
+    """A tiny two-type engine (states and areas) with warm caches."""
+    engine = PrimaEngine("threadbox")
+    engine.create_atom_type(
+        "state", {"name": "string", "code": "string", "hectare": "integer"}
+    )
+    engine.create_atom_type("area", {"area_id": "string"})
+    engine.create_link_type("state-area", "state", "area")
+    for index in range(6):
+        engine.store_atom(
+            "state",
+            identifier=f"st{index}",
+            name=f"State{index}",
+            code=f"S{index}",
+            hectare=100 + index,
+        )
+        engine.store_atom("area", identifier=f"ar{index}", area_id=f"a{index}")
+        engine.connect("state-area", f"st{index}", f"ar{index}")
+    engine.query("SELECT ALL FROM state - area;")  # warm snapshot/interpreter
+    return engine
+
+
+def fingerprint(result) -> str:
+    """Byte-stable rendering of a query result (order-independent)."""
+    return json.dumps(
+        sorted(json.dumps(d, sort_keys=True, default=str) for d in result.to_dicts())
+    )
+
+
+READ = "SELECT ALL FROM state - area;"
+
+
+def dml_round(engine: PrimaEngine, index: int) -> None:
+    code = f"T{index:05d}"
+    engine.query(
+        f"INSERT state VALUES {{name: 'Burst', code: '{code}', hectare: {index}}};"
+    )
+    engine.query(
+        f"MODIFY state FROM state SET hectare = {index + 1} WHERE state.code = '{code}';"
+    )
+    engine.query(f"DELETE FROM state WHERE state.code = '{code}';")
+
+
+# ------------------------------------------------------ pin registry vs. GC
+
+
+class TestPinReleaseRaces:
+    def test_barrier_pin_release_storm_vs_gc_truncation(self):
+        """Pin/read/release storms against DML + GC keep the registry exact."""
+        engine = small_engine()
+        reader_count = 4
+        rounds = 8 * STRESS
+        barrier = threading.Barrier(reader_count + 1)
+
+        def reader() -> None:
+            barrier.wait()
+            for _ in range(rounds):
+                with engine.snapshot_at() as handle:
+                    assert handle.query(READ).molecules is not None
+
+        def writer() -> None:
+            barrier.wait()
+            for index in range(rounds):
+                dml_round(engine, index)
+                # Explicit GC interleaved with the readers' release-GC.
+                engine.collect_versions()
+
+        run_threads([reader] * reader_count + [writer])
+        report = engine.maintenance_report()
+        assert report["pins_active"] == 0
+        assert report["oldest_pinned_generation"] is None
+        engine.collect_versions()
+        assert engine.maintenance_report()["versions_live"] == 0
+
+    def test_racing_releases_of_one_handle_release_exactly_once(self):
+        """N threads racing ``release()`` on one handle unpin exactly once."""
+        engine = small_engine()
+        for _ in range(4 * STRESS):
+            keeper = engine.snapshot_at()  # a second pin that must survive
+            handle = engine.snapshot_at()
+            barrier = threading.Barrier(4)
+
+            def release() -> None:
+                barrier.wait()
+                handle.release()  # noqa: B023 - rebound each round
+
+            run_threads([release] * 4)
+            assert engine.maintenance_report()["pins_active"] == 1
+            keeper.release()
+            assert engine.maintenance_report()["pins_active"] == 0
+
+    def test_registry_over_release_is_an_error_under_threads(self):
+        """The raw registry refuses the (N+1)-th release instead of silently
+        stealing a pin another thread still holds."""
+        state = VersioningState()
+        state.tick()
+        generation = state.pin()
+        state.pin(generation)
+        failures = []
+        barrier = threading.Barrier(3)
+
+        def release() -> None:
+            barrier.wait()
+            try:
+                state.release(generation)
+            except StorageError:
+                failures.append(1)
+
+        run_threads([release] * 3)
+        assert len(failures) == 1  # two pins, three releases: one refused
+        assert state.pins_active == 0
+
+
+# ----------------------------------------------------------- racing writers
+
+
+class TestWriterRaces:
+    def test_two_writers_racing_same_write_set_exactly_one_wins(self):
+        """Two real-thread writers on one conflict key: one commit, one
+        :class:`TransactionConflictError`, loser fully rolled back."""
+        engine = small_engine()
+        database = engine.to_database()
+        for round_index in range(6 * STRESS):
+            barrier = threading.Barrier(2)
+            outcomes: List[str] = []
+            lock = threading.Lock()
+
+            def contender(value: int) -> None:
+                txn = Transaction(database)
+                txn.begin()
+                barrier.wait()
+                try:
+                    txn.modify_atom("state", "st1", hectare=value)
+                    txn.commit()
+                except TransactionConflictError:
+                    if txn.is_active:
+                        txn.rollback()
+                    with lock:
+                        outcomes.append("conflict")
+                else:
+                    with lock:
+                        outcomes.append(f"won:{value}")
+
+            base = 1000 * (round_index + 1)
+            run_threads(
+                [lambda: contender(base + 1), lambda: contender(base + 2)]
+            )
+            winners = [o for o in outcomes if o.startswith("won")]
+            assert len(winners) == 1, outcomes
+            assert outcomes.count("conflict") == 1, outcomes
+            # The committed value is the winner's; the loser left no trace.
+            winner_value = int(winners[0].split(":", 1)[1])
+            assert engine.get_atom("state", "st1").get("hectare") == winner_value
+            assert database.atyp("state").get("st1").get("hectare") == winner_value
+
+    def test_disjoint_writers_all_commit(self):
+        """Writers on disjoint keys never conflict and all publish."""
+        engine = small_engine()
+        database = engine.to_database()
+        writer_count = 4
+        barrier = threading.Barrier(writer_count)
+
+        def writer(slot: int) -> None:
+            txn = Transaction(database)
+            txn.begin()
+            barrier.wait()
+            txn.modify_atom("state", f"st{slot}", hectare=7000 + slot)
+            txn.commit()
+
+        run_threads([lambda s=slot: writer(s) for slot in range(writer_count)])
+        for slot in range(writer_count):
+            assert engine.get_atom("state", f"st{slot}").get("hectare") == 7000 + slot
+
+
+# --------------------------------------------------------- parallel readers
+
+
+class TestParallelReaders:
+    def test_reader_threads_generation_stable_during_dml_burst(self):
+        """N reader threads over one pinned snapshot return byte-identical
+        results while a writer thread commits a DML burst."""
+        engine = small_engine()
+        handle = engine.snapshot_at()
+        reference = fingerprint(handle.query(READ))
+        reader_count = 4
+        reads_each = 6 * STRESS
+        barrier = threading.Barrier(reader_count + 1)
+
+        def reader() -> None:
+            barrier.wait()
+            for _ in range(reads_each):
+                assert fingerprint(handle.query(READ)) == reference
+
+        def writer() -> None:
+            barrier.wait()
+            for index in range(6 * STRESS):
+                dml_round(engine, index)
+
+        run_threads([reader] * reader_count + [writer])
+        # The head moved on; the pinned view did not.
+        assert fingerprint(handle.query(READ)) == reference
+        handle.release()
+        assert engine.maintenance_report()["pins_active"] == 0
+
+    def test_parallel_query_byte_identical_vs_serial(self):
+        """``parallel_query`` equals a serial run at the same generation,
+        with a concurrent writer mutating the head in between.
+
+        A keeper pin holds the generation's history alive across the whole
+        comparison — without any pin, an unpinned stretch would let GC
+        truncate the chains an after-the-fact pin would need.
+        """
+        engine = small_engine()
+        statements = [READ, "SELECT ALL FROM state;", "SELECT ALL FROM area;"] * 4
+        keeper = engine.snapshot_at()
+        generation = keeper.generation
+        serial = [
+            fingerprint(r)
+            for r in engine.parallel_query(statements, threads=1, generation=generation)
+        ]
+        stop = threading.Event()
+
+        def churn() -> None:
+            index = 0
+            while not stop.is_set():
+                dml_round(engine, index)
+                index += 1
+
+        churner = threading.Thread(target=churn)
+        churner.start()
+        try:
+            for threads in (2, 4):
+                parallel = [
+                    fingerprint(r)
+                    for r in engine.parallel_query(
+                        statements, threads=threads, generation=generation
+                    )
+                ]
+                assert parallel == serial
+        finally:
+            stop.set()
+            churner.join()
+        keeper.release()
+
+    def test_session_thread_affinity_enforced(self):
+        """Session statements from a foreign thread fail with a clear error;
+        pinned snapshot reads from that thread keep working."""
+        engine = small_engine()
+        handle = engine.snapshot_at()
+        engine.query("BEGIN WORK;")
+        engine.query(
+            "MODIFY state FROM state SET hectare = 1 WHERE state.code = 'S0';"
+        )
+        caught: List[BaseException] = []
+        snapshots: List[str] = []
+
+        def foreign() -> None:
+            try:
+                engine.query(READ)
+            except TransactionError as exc:
+                caught.append(exc)
+            snapshots.append(fingerprint(handle.query(READ)))
+
+        run_threads([foreign])
+        assert len(caught) == 1
+        assert "thread" in str(caught[0])
+        assert snapshots  # the pinned read went through
+        engine.query("ROLLBACK WORK;")
+        handle.release()
+        assert engine.query(READ).molecules is not None  # session gone, head open
+
+
+# ----------------------------------------------------------- WAL append race
+
+
+class TestWalRaces:
+    def test_append_hammer_no_torn_records_under_batch_policy(self, tmp_path):
+        """Concurrent committers under group commit: every record on disk is
+        whole, checksummed, and exactly the set the threads appended."""
+        wal = WriteAheadLog(tmp_path / "wal.log", fsync=FSYNC_BATCH, group_commit=4)
+        writer_count = 4
+        appends_each = 25 * STRESS
+        barrier = threading.Barrier(writer_count)
+
+        def writer(slot: int) -> None:
+            barrier.wait()
+            for index in range(appends_each):
+                payload = {
+                    "e": "ai",
+                    "t": "part",
+                    "id": f"w{slot}-{index}",
+                    "v": {"marker": "x" * (10 + (index % 40))},
+                    "g": slot * 100000 + index,
+                }
+                wal.commit_events([payload])
+
+        run_threads([lambda s=slot: writer(s) for slot in range(writer_count)])
+        wal.close()
+        scan = read_wal(tmp_path / "wal.log")
+        assert not scan.torn_tail
+        assert scan.discarded_bytes == 0
+        assert len(scan.records) == writer_count * appends_each
+        seen = {record["events"][0]["id"] for record in scan.records}
+        assert len(seen) == writer_count * appends_each
+        assert scan.valid_bytes == (tmp_path / "wal.log").stat().st_size
+
+    def test_wal_counters_exact_after_concurrent_appends(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log", fsync=FSYNC_BATCH, group_commit=8)
+        barrier = threading.Barrier(3)
+
+        def writer() -> None:
+            barrier.wait()
+            for index in range(20 * STRESS):
+                wal.append_ddl({"op": "index", "type": "t", "attribute": f"a{index}"})
+
+        run_threads([writer] * 3)
+        assert wal.records_written == 60 * STRESS
+        assert wal.lifetime_records == 60 * STRESS
+        assert wal.bytes_written == wal.path.stat().st_size
+        wal.close()
+
+
+# ------------------------------------------- WAL truncate counter regression
+
+
+def test_wal_truncate_keeps_record_and_byte_counters_consistent(tmp_path):
+    """Regression: ``truncate()`` used to reset ``bytes_written`` but not
+    ``records_written``, so a post-CHECKPOINT report claimed records in an
+    empty log.  Both now describe the current log; lifetime totals survive."""
+    engine = PrimaEngine.open(tmp_path / "dir", fsync="always")
+    engine.create_atom_type("part", {"part_no": "string", "cost": "integer"})
+    engine.query("INSERT part VALUES {part_no: 'P1', cost: 10};")
+    engine.query("INSERT part VALUES {part_no: 'P2', cost: 20};")
+    before = engine.maintenance_report()
+    assert before["wal_records"] > 0
+    assert before["wal_bytes"] > 0
+    assert before["wal_lifetime_records"] == before["wal_records"]
+    engine.checkpoint()
+    after = engine.maintenance_report()
+    assert after["wal_bytes"] == 0
+    assert after["wal_records"] == 0, "truncate must reset both current-log counters"
+    assert after["wal_lifetime_records"] == before["wal_lifetime_records"]
+    assert after["wal_lifetime_bytes"] == before["wal_lifetime_bytes"]
+    # Post-checkpoint appends count from zero again, lifetime keeps growing.
+    engine.query("INSERT part VALUES {part_no: 'P3', cost: 30};")
+    final = engine.maintenance_report()
+    assert final["wal_records"] == 1
+    assert final["wal_lifetime_records"] == before["wal_lifetime_records"] + 1
+    assert final["wal_lifetime_bytes"] > before["wal_lifetime_bytes"]
+    engine.close()
