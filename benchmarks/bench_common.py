@@ -1,0 +1,72 @@
+"""Shared harness for the benchmark entry points.
+
+Every ``bench_perf_*`` module used to carry its own copy of the same
+scaffolding: the ``sys.path`` preamble that makes ``src/`` importable when
+run standalone, the ``--quick`` / ``-o OUT.json`` argument parser, the
+JSON-report writer, the result fingerprint, and the aligned table printer.
+This module owns all of it; the entry points keep their workloads and their
+output schemas, byte for byte.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Tuple
+
+# Make src/ importable both under pytest (where PYTHONPATH already points at
+# it — the insert is a harmless duplicate) and as a standalone script.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def report(title: str, rows) -> None:
+    """Print a small aligned table under a title (shows up with pytest -s)."""
+    print(f"\n=== {title} ===")
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    if not rows:
+        return
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    for row in rows:
+        print("  " + "  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+
+
+def fingerprint(result) -> str:
+    """A byte-stable rendering of a query result (order-independent)."""
+    return json.dumps(
+        sorted(json.dumps(d, sort_keys=True, default=str) for d in result.to_dicts())
+    )
+
+
+def timed(fn, *args, **kwargs) -> Tuple[object, float]:
+    """Run ``fn(*args, **kwargs)`` and return ``(value, wall-clock seconds)``."""
+    started = time.perf_counter()
+    value = fn(*args, **kwargs)
+    return value, time.perf_counter() - started
+
+
+def parse_benchmark_args(
+    argv: "List[str] | None", default_output: str, description: str
+) -> argparse.Namespace:
+    """The standard standalone interface: ``[--quick] [-o OUT.json]``."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--quick", action="store_true", help="small workload (CI smoke: a few seconds)"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=default_output,
+        help="path of the JSON report (default: %(default)s)",
+    )
+    return parser.parse_args(argv)
+
+
+def write_report(path: str, payload) -> None:
+    """Write the JSON report and tell the user where it went."""
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"  report written to {path}")

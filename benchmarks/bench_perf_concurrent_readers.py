@@ -22,28 +22,16 @@ Run standalone to emit ``BENCH_concurrent_readers.json``::
 
 from __future__ import annotations
 
-import argparse
-import json
-import sys
 import time
-from pathlib import Path
 from typing import Dict, List
 
-if __name__ == "__main__":  # standalone: make src/ importable without install
-    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+from bench_common import fingerprint, parse_benchmark_args, write_report
 
 from repro.datasets.bill_of_materials import build_bill_of_materials
 from repro.storage.engine import PrimaEngine
 
 #: The long reader: the full parts explosion of every part (recursive plan).
 READER_STATEMENT = "SELECT ALL FROM RECURSIVE part [composition] DOWN;"
-
-
-def fingerprint(result) -> str:
-    """A byte-stable rendering of a query result (order-independent)."""
-    return json.dumps(
-        sorted(json.dumps(d, sort_keys=True, default=str) for d in result.to_dicts())
-    )
 
 
 def build_engine(depth: int, fan_out: int) -> PrimaEngine:
@@ -194,22 +182,13 @@ def test_perf5_writer_throughput_with_reader():
 
 
 def main(argv: "List[str] | None" = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick", action="store_true", help="small workload (CI smoke: a few seconds)"
+    args = parse_benchmark_args(
+        argv, "BENCH_concurrent_readers.json", __doc__.splitlines()[0]
     )
-    parser.add_argument(
-        "-o",
-        "--output",
-        default="BENCH_concurrent_readers.json",
-        help="path of the JSON report (default: %(default)s)",
-    )
-    args = parser.parse_args(argv)
     rounds, depth, fan_out, read_every = (
         (12, 3, 2, 4) if args.quick else (60, 5, 2, 10)
     )
     comparison = compare(rounds=rounds, depth=depth, fan_out=fan_out, read_every=read_every)
-    Path(args.output).write_text(json.dumps(comparison, indent=2) + "\n")
     interleaved = comparison["interleaved"]
     print(
         f"E-PERF5 concurrent readers — {rounds} writer rounds over "
@@ -226,7 +205,7 @@ def main(argv: "List[str] | None" = None) -> int:
         f"after release: {interleaved['versions_live_after_release']} "
         f"(collected {interleaved['versions_collected']})"
     )
-    print(f"  report written to {args.output}")
+    write_report(args.output, comparison)
     if not comparison["reader_stable"] or not comparison["chains_truncated"]:
         return 1
     if comparison["writer_slowdown"] > 1.35:

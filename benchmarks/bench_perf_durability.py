@@ -21,17 +21,14 @@ Run standalone to emit ``BENCH_durability.json``::
 
 from __future__ import annotations
 
-import argparse
 import json
 import shutil
-import sys
 import tempfile
 import time
 from pathlib import Path
 from typing import Dict, List
 
-if __name__ == "__main__":  # standalone: make src/ importable without install
-    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+from bench_common import parse_benchmark_args, write_report
 
 from repro.core.atom import reset_surrogate_counter
 from repro.datasets.bill_of_materials import build_bill_of_materials
@@ -230,21 +227,10 @@ def test_perf6_checkpoint_empties_the_log_and_preserves_state(tmp_path):
 
 
 def main(argv: "List[str] | None" = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick", action="store_true", help="small workload (CI smoke: a few seconds)"
-    )
-    parser.add_argument(
-        "-o",
-        "--output",
-        default="BENCH_durability.json",
-        help="path of the JSON report (default: %(default)s)",
-    )
-    args = parser.parse_args(argv)
+    args = parse_benchmark_args(argv, "BENCH_durability.json", __doc__.splitlines()[0])
     rounds, depth, fan_out = (8, 3, 2) if args.quick else (40, 4, 2)
     log_lengths = [20, 60] if args.quick else [50, 150, 400]
     report = compare(rounds=rounds, depth=depth, fan_out=fan_out, log_lengths=log_lengths)
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     throughput = report["throughput"]
     print(
         f"E-PERF6 durability — {throughput['rounds']} writer rounds "
@@ -270,7 +256,7 @@ def main(argv: "List[str] | None" = None) -> int:
         f"{checkpoint['wal_bytes_after_checkpoint']} bytes, reopen replays "
         f"{checkpoint['records_replayed']} records in {checkpoint['reopen_seconds']:.3f}s"
     )
-    print(f"  report written to {args.output}")
+    write_report(args.output, report)
     if not report["recovery_identical"] or not report["checkpoint_truncates"]:
         return 1
     return 0

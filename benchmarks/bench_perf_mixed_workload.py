@@ -20,15 +20,10 @@ Run standalone to emit ``BENCH_mixed_workload.json``::
 
 from __future__ import annotations
 
-import argparse
-import json
-import sys
 import time
-from pathlib import Path
 from typing import Dict, List
 
-if __name__ == "__main__":  # standalone: make src/ importable without install
-    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+from bench_common import parse_benchmark_args, write_report
 
 from repro.datasets.geography import build_geography
 from repro.storage.engine import PrimaEngine
@@ -135,20 +130,11 @@ def test_perf4_incremental_beats_rebuild_wall_clock():
 
 
 def main(argv: "List[str] | None" = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick", action="store_true", help="small workload (CI smoke: a few seconds)"
+    args = parse_benchmark_args(
+        argv, "BENCH_mixed_workload.json", __doc__.splitlines()[0]
     )
-    parser.add_argument(
-        "-o",
-        "--output",
-        default="BENCH_mixed_workload.json",
-        help="path of the JSON report (default: %(default)s)",
-    )
-    args = parser.parse_args(argv)
     rounds, n_states = (8, 20) if args.quick else (40, 60)
     comparison = compare_modes(rounds=rounds, n_states=n_states)
-    Path(args.output).write_text(json.dumps(comparison, indent=2) + "\n")
     incremental = comparison["incremental"]
     rebuild = comparison["rebuild"]
     print(f"E-PERF4 mixed workload — {rounds} rounds over {comparison['n_states']} states")
@@ -162,7 +148,7 @@ def main(argv: "List[str] | None" = None) -> int:
         f"builds={rebuild['maintenance']['snapshot_builds']}"
     )
     print(f"  speedup: {comparison['speedup']:.2f}x, identical={comparison['results_identical']}")
-    print(f"  report written to {args.output}")
+    write_report(args.output, comparison)
     if not comparison["results_identical"]:
         return 1
     return 0

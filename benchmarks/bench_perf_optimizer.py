@@ -12,7 +12,7 @@ touches the fewest atoms.
 from __future__ import annotations
 
 import pytest
-from conftest import report
+from bench_common import report
 
 from repro import attr
 from repro.core.molecule import MoleculeTypeDescription

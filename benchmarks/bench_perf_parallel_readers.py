@@ -28,17 +28,12 @@ Run standalone to emit ``BENCH_parallel_readers.json``::
 
 from __future__ import annotations
 
-import argparse
-import json
-import sys
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from pathlib import Path
 from typing import Dict, List
 
-if __name__ == "__main__":  # standalone: make src/ importable without install
-    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+from bench_common import fingerprint, parse_benchmark_args, write_report
 
 from repro.datasets.bill_of_materials import build_bill_of_materials
 from repro.storage.engine import PrimaEngine
@@ -52,13 +47,6 @@ STATEMENTS = [
 ]
 
 THREAD_COUNTS = (1, 2, 4)
-
-
-def fingerprint(result) -> str:
-    """A byte-stable rendering of a query result (order-independent)."""
-    return json.dumps(
-        sorted(json.dumps(d, sort_keys=True, default=str) for d in result.to_dicts())
-    )
 
 
 def build_engine(depth: int, fan_out: int) -> PrimaEngine:
@@ -311,17 +299,9 @@ def test_perf7_cpu_bound_scaling_is_reported_honestly():
 
 
 def main(argv: "List[str] | None" = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--quick", action="store_true", help="small workload (CI smoke: a few seconds)"
+    args = parse_benchmark_args(
+        argv, "BENCH_parallel_readers.json", __doc__.splitlines()[0]
     )
-    parser.add_argument(
-        "-o",
-        "--output",
-        default="BENCH_parallel_readers.json",
-        help="path of the JSON report (default: %(default)s)",
-    )
-    args = parser.parse_args(argv)
     requests_total, depth, fan_out, io_stall_ms = (
         (24, 3, 2, 8.0) if args.quick else (96, 4, 2, 8.0)
     )
@@ -331,7 +311,6 @@ def main(argv: "List[str] | None" = None) -> int:
         fan_out=fan_out,
         io_stall_ms=io_stall_ms,
     )
-    Path(args.output).write_text(json.dumps(result, indent=2) + "\n")
     print(
         f"E-PERF7 parallel snapshot readers — {requests_total} requests over "
         f"{result['parts']} parts (depth={depth}, fan_out={fan_out}, "
@@ -351,7 +330,7 @@ def main(argv: "List[str] | None" = None) -> int:
         f"  byte-identical across thread counts and writer churn: "
         f"{result['results_identical']}"
     )
-    print(f"  report written to {args.output}")
+    write_report(args.output, result)
     if not result["results_identical"] or not result["pins_released"]:
         return 1
     if result["speedup_4_threads"] < 2.0:

@@ -12,7 +12,7 @@ through the streaming plan pipeline.
 from __future__ import annotations
 
 import pytest
-from conftest import report
+from bench_common import report
 
 from repro import RecursiveDescription, build_bill_of_materials, recursive_molecule_type
 from repro.core.recursion import expand_recursive

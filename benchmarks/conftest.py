@@ -9,6 +9,7 @@ paper reports (who wins, what is shared, what is reproduced exactly).
 from __future__ import annotations
 
 import pytest
+from bench_common import report  # noqa: F401 - re-exported for the bench modules
 
 from repro import load_geography
 from repro.core.molecule import MoleculeTypeDescription
@@ -17,17 +18,6 @@ from repro.datasets.geography import (
     mt_state_description,
     point_neighborhood_description,
 )
-
-
-def report(title: str, rows) -> None:
-    """Print a small aligned table under a title (shows up with pytest -s)."""
-    print(f"\n=== {title} ===")
-    rows = [tuple(str(cell) for cell in row) for row in rows]
-    if not rows:
-        return
-    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
-    for row in rows:
-        print("  " + "  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
 
 
 @pytest.fixture(scope="module")

@@ -23,6 +23,7 @@ from repro.engine.logical import (
     DefinePlan,
     DeleteMolecules,
     InsertMolecule,
+    IntervalScanPlan,
     ModifyAtoms,
     PlanNode,
     ProjectPlan,
@@ -38,6 +39,7 @@ from repro.engine.physical import (
     ExecutionCounters,
     IndexPool,
     Intersection,
+    IntervalScan,
     MoleculeScan,
     PhysicalOperator,
     Project,
@@ -60,6 +62,8 @@ def compile_plan(plan: PlanNode) -> PhysicalOperator:
         return MoleculeScan(plan.name, plan.description, plan.root_filter)
     if isinstance(plan, RecursivePlan):
         return RecursiveScan(plan.name, plan.description, plan.formula)
+    if isinstance(plan, IntervalScanPlan):
+        return IntervalScan(plan.name, plan.description, plan.formula)
     if isinstance(plan, RestrictPlan):
         return Restrict(compile_plan(plan.child), plan.formula)
     if isinstance(plan, ProjectPlan):
@@ -137,12 +141,16 @@ class Executor:
         database: Database,
         indexes: Optional[IndexPool] = None,
         network=None,
+        structure=None,
     ) -> None:
         self.database = database
         self.indexes = (
             indexes if indexes is not None else IndexPool(database, build_transient=False)
         )
         self.network = network
+        #: Optional :class:`~repro.storage.structure_index.StructureIndexStore`
+        #: shared with the owning engine; accelerates recursive plans.
+        self.structure = structure
 
     def context(
         self,
@@ -160,14 +168,21 @@ class Executor:
         object here is freshly constructed, the pinned views resolve
         lock-free over immutable version chains (copying mutable head
         collections briefly under the per-type head locks), and neither the
-        shared index pool nor the shared network is touched.  Head contexts
+        shared index pool nor the shared network is touched.  The structure
+        index store *is* shared, but it is internally locked and serves a
+        pinned reader only when its encoding is provably coherent with the
+        pin (falling back to the fixpoint loop otherwise).  Head contexts
         (``snapshot=None``) share those mutable access structures and belong
         to the engine's owning thread.
         """
         if snapshot is None:
-            return ExecutionContext(self.database, counters, self.indexes, self.network)
+            return ExecutionContext(
+                self.database, counters, self.indexes, self.network,
+                structure=self.structure,
+            )
         return ExecutionContext(
-            self.database.at(snapshot), counters, None, None, snapshot=snapshot
+            self.database.at(snapshot), counters, None, None, snapshot=snapshot,
+            structure=self.structure,
         )
 
     def stream(

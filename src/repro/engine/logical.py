@@ -83,6 +83,19 @@ class RecursivePlan:
 
 
 @dataclass(frozen=True)
+class IntervalScanPlan:
+    """α_rec accelerated — a recursive definition answered by the structure
+    index (interval range scans / compact-adjacency sweeps) instead of the
+    fixpoint loop.  Result-equivalent to the :class:`RecursivePlan` it
+    replaces; produced only by the optimizer's ``accelerate_recursion`` rule.
+    """
+
+    name: str
+    description: RecursiveDescription
+    formula: Optional[Formula] = None
+
+
+@dataclass(frozen=True)
 class SetOpPlan:
     """Ω / Δ / Ψ between two sub-plans (operator: UNION | DIFFERENCE | INTERSECT)."""
 
@@ -92,7 +105,9 @@ class SetOpPlan:
     name: Optional[str] = None
 
 
-PlanNode = Union[DefinePlan, RestrictPlan, ProjectPlan, RecursivePlan, SetOpPlan]
+PlanNode = Union[
+    DefinePlan, RestrictPlan, ProjectPlan, RecursivePlan, IntervalScanPlan, SetOpPlan
+]
 
 
 @dataclass(frozen=True, eq=False)
@@ -159,6 +174,13 @@ def describe_plan(plan: PlanNode, indent: str = "") -> str:
             f"{indent}α_rec {plan.name}[{plan.description.atom_type_name} via "
             f"{plan.description.link_type_name} {plan.description.direction}]{suffix}"
         )
+    if isinstance(plan, IntervalScanPlan):
+        suffix = f" [restr: {plan.formula!r}]" if plan.formula is not None else ""
+        return (
+            f"{indent}α_rec {plan.name}[{plan.description.atom_type_name} via "
+            f"{plan.description.link_type_name} {plan.description.direction}, "
+            f"interval scan]{suffix}"
+        )
     if isinstance(plan, SetOpPlan):
         symbol = SET_OPERATION_SYMBOLS[plan.operator]
         return (
@@ -193,7 +215,7 @@ def plan_description(plan: PlanNode) -> MoleculeTypeDescription:
     """
     if isinstance(plan, DefinePlan):
         return plan.description
-    if isinstance(plan, RecursivePlan):
+    if isinstance(plan, (RecursivePlan, IntervalScanPlan)):
         return MoleculeTypeDescription([plan.description.atom_type_name], [])
     if isinstance(plan, SetOpPlan):
         return plan_description(plan.left)
@@ -202,7 +224,7 @@ def plan_description(plan: PlanNode) -> MoleculeTypeDescription:
 
 def plan_name(plan: PlanNode) -> str:
     """The name of a plan's result molecule type (inherited through Σ and Π)."""
-    if isinstance(plan, (DefinePlan, RecursivePlan)):
+    if isinstance(plan, (DefinePlan, RecursivePlan, IntervalScanPlan)):
         return plan.name
     if isinstance(plan, SetOpPlan):
         if plan.name is not None:
@@ -237,6 +259,27 @@ def resolve_projection_names(
             raise MoleculeGraphError(f"atom type {requested!r} is not part of {subject}")
         resolved.append(match)
     return tuple(resolved)
+
+
+def recursive_nodes(
+    plan: "PlanNode | WritePlanNode",
+) -> Tuple[Union[RecursivePlan, IntervalScanPlan], ...]:
+    """Every recursive node (fixpoint or accelerated) in *plan*, pre-order."""
+    found: List[Union[RecursivePlan, IntervalScanPlan]] = []
+
+    def walk(node) -> None:
+        if isinstance(node, (RecursivePlan, IntervalScanPlan)):
+            found.append(node)
+        elif isinstance(node, (RestrictPlan, ProjectPlan)):
+            walk(node.child)
+        elif isinstance(node, SetOpPlan):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, (DeleteMolecules, ModifyAtoms)):
+            walk(node.source)
+
+    walk(plan)
+    return tuple(found)
 
 
 def canonical_structure(description: MoleculeTypeDescription) -> Tuple[FrozenSet, FrozenSet]:

@@ -37,7 +37,7 @@ from repro.core.derivation import derive_molecule, resolve_description, resolve_
 from repro.core.link import Link, LinkType
 from repro.core.molecule import Molecule, MoleculeType, MoleculeTypeDescription
 from repro.core.predicates import AttributeRef, Comparison, Formula, split_conjunction
-from repro.core.recursion import RecursiveDescription, expand_recursive
+from repro.core.recursion import RecursiveDescription, RecursiveMolecule, expand_recursive
 from repro.engine.logical import canonical_structure, resolve_projection_names
 from repro.exceptions import UnionCompatibilityError
 
@@ -81,6 +81,7 @@ class IndexPool:
         self.database = database
         self.build_transient = build_transient
         self._indexes: Dict[Tuple[str, str], object] = {}
+        self._grids: Dict[Tuple[str, Tuple[str, ...]], object] = {}
         #: Write generation this pool is coherent with (stamped by the owner).
         self.generation = 0
         #: Number of full index builds performed (a full occurrence pass each).
@@ -115,6 +116,35 @@ class IndexPool:
             self.builds += 1
         return index.lookup(value)
 
+    def grid_for(
+        self,
+        atom_type_name: str,
+        attributes: Tuple[str, ...],
+        counters: Optional[ExecutionCounters] = None,
+    ):
+        """A composite :class:`~repro.storage.index.GridIndex` over the given
+        attribute tuple, or ``None`` when none is usable.
+
+        Like :meth:`lookup`, missing grids are built transiently (one full
+        occurrence pass, charged to ``counters.atoms_indexed``) and then
+        maintained through :meth:`apply_event`.
+        """
+        key = (atom_type_name, tuple(attributes))
+        grid = self._grids.get(key)
+        if grid is None:
+            if not self.build_transient or not self.database.has_atom_type(atom_type_name):
+                return None
+            from repro.storage.index import GridIndex  # deferred: avoids a package cycle
+
+            grid = GridIndex(atom_type_name, key[1])
+            for atom in self.database.atyp(atom_type_name):
+                grid.insert(atom)
+                if counters is not None:
+                    counters.atoms_indexed += 1
+            self._grids[key] = grid
+            self.builds += 1
+        return grid
+
     def apply_event(self, event, generation: Optional[int] = None) -> None:
         """Fold one atom-level change event into every matching cached index.
 
@@ -131,6 +161,13 @@ class IndexPool:
                     index.remove(event.atom.identifier)
                 else:  # atom_inserted / atom_modified
                     index.insert(event.atom)
+            for (type_name, _attributes), grid in self._grids.items():
+                if type_name.split("@", 1)[0] != event.type_name:
+                    continue
+                if event.kind == "atom_deleted":
+                    grid.remove(event.atom.identifier)
+                else:  # atom_inserted / atom_modified
+                    grid.insert(event.atom)
         if generation is not None:
             self.generation = generation
 
@@ -151,6 +188,7 @@ class ExecutionContext:
         indexes: Optional[IndexPool] = None,
         network=None,
         snapshot=None,
+        structure=None,
     ) -> None:
         self.database = database
         self.counters = counters or ExecutionCounters()
@@ -159,6 +197,9 @@ class ExecutionContext:
         #: The pinned :class:`~repro.core.versions.Snapshot` when *database*
         #: is a generation-stamped view, ``None`` for head execution.
         self.snapshot = snapshot
+        #: Optional :class:`~repro.storage.structure_index.StructureIndexStore`
+        #: — the interval-encoded accelerator for recursive definitions.
+        self.structure = structure
 
     def links_via(self, link_type: LinkType, identifier: str) -> "Iterable[Link]":
         """The links of *link_type* incident to *identifier* (neighbour traversal)."""
@@ -239,10 +280,18 @@ class MoleculeScan(PhysicalOperator):
     def _indexed_candidates(
         self, ctx: ExecutionContext, description: MoleculeTypeDescription, root_type
     ) -> Optional[List[Atom]]:
-        """Root atoms matching an indexable equality conjunct, or ``None``."""
+        """Root atoms matching indexable equality conjuncts, or ``None``.
+
+        Two or more equality conjuncts on distinct root attributes are
+        answered as one composite (grid) lookup — the conjunctive cell read
+        prunes far more than any single hash bucket; a single conjunct keeps
+        the hash-index path.  Every candidate still passes through the full
+        root filter afterwards, so index choice never affects results.
+        """
         if ctx.indexes is None:
             return None
         root_bare = description.root.split("@", 1)[0]
+        equalities: Dict[str, object] = {}
         for conjunct in split_conjunction(self.root_filter):
             if not isinstance(conjunct, Comparison) or conjunct.op not in ("=", "=="):
                 continue
@@ -251,12 +300,25 @@ class MoleculeScan(PhysicalOperator):
             lhs_type = conjunct.lhs.atom_type
             if lhs_type is not None and lhs_type.split("@", 1)[0] != root_bare:
                 continue
+            equalities.setdefault(conjunct.lhs.attribute, conjunct.rhs)
+        if not equalities:
+            return None
+        if len(equalities) >= 2:
+            attributes = tuple(sorted(equalities))
+            grid = ctx.indexes.grid_for(description.root, attributes, ctx.counters)
+            if grid is None:
+                grid = ctx.indexes.grid_for(root_bare, attributes, ctx.counters)
+            if grid is not None:
+                ctx.counters.index_lookups += 1
+                atoms = [root_type.get(identifier) for identifier in sorted(grid.lookup(equalities))]
+                return [atom for atom in atoms if atom is not None]
+        for attribute, value in equalities.items():
             identifiers = ctx.indexes.lookup(
-                description.root, conjunct.lhs.attribute, conjunct.rhs, ctx.counters
+                description.root, attribute, value, ctx.counters
             )
             if identifiers is None:
                 identifiers = ctx.indexes.lookup(
-                    root_bare, conjunct.lhs.attribute, conjunct.rhs, ctx.counters
+                    root_bare, attribute, value, ctx.counters
                 )
             if identifiers is None:
                 continue
@@ -315,6 +377,149 @@ class RecursiveScan(PhysicalOperator):
                 if not self.formula.evaluate_molecule(molecule):
                     continue
             yield molecule
+
+
+class IntervalScan(PhysicalOperator):
+    """Recursive molecule expansion answered by the structure index.
+
+    Result-equivalent to :class:`RecursiveScan`: one recursively expanded
+    molecule per root atom, restricted by the optional formula.  The closure
+    of each root comes from the context's
+    :class:`~repro.storage.structure_index.StructureIndexStore` — a pre/post
+    interval range scan on forest-shaped data, a compact-adjacency BFS
+    otherwise — and the fixpoint loop remains the per-root fallback whenever
+    the index cannot answer coherently (pinned snapshot ahead/behind the
+    encoding, stale encoding mid-rebuild, unknown root).
+
+    On forest-shaped data with an equality-restricted formula, roots whose
+    closure provably misses one of the restriction's candidate sets are
+    skipped *before* materialisation (the existential restriction is then
+    guaranteed false); every emitted molecule is byte-identical to the
+    fixpoint path's.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        description: RecursiveDescription,
+        formula: Optional[Formula] = None,
+    ) -> None:
+        self.name = name
+        self.description = description
+        self.formula = formula
+
+    def describe(self, ctx: ExecutionContext) -> MoleculeTypeDescription:
+        return MoleculeTypeDescription([self.description.atom_type_name], [])
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Molecule]:
+        base_description = self.describe(ctx)
+        store = getattr(ctx, "structure", None)
+        index = store.for_execution(self.description, ctx) if store is not None else None
+        candidate_sets = None
+        if index is not None and store.supports_pruning(index):
+            candidate_sets = self._candidate_sets(ctx)
+        for root_atom in ctx.database.atyp(self.description.atom_type_name):
+            if candidate_sets is not None and not store.may_qualify(
+                index, root_atom.identifier, candidate_sets, self.description.max_depth
+            ):
+                # The closure provably misses a required candidate set: the
+                # existential restriction is false without materialisation.
+                ctx.counters.restrictions_evaluated += 1
+                continue
+            molecule = None
+            if index is not None:
+                molecule = self._materialize(ctx, store, index, root_atom)
+            if molecule is None:
+                molecule = expand_recursive(ctx.database, self.description, root_atom)
+            molecule.description = base_description
+            ctx.counters.molecules_derived += 1
+            ctx.counters.atoms_touched += len(molecule)
+            if self.formula is not None:
+                ctx.counters.restrictions_evaluated += 1
+                if not self.formula.evaluate_molecule(molecule):
+                    continue
+            yield molecule
+
+    def _materialize(self, ctx, store, index, root_atom) -> Optional[RecursiveMolecule]:
+        """Build the closure molecule from the index, or ``None`` to fall back."""
+        pair = store.closure(index, root_atom.identifier, self.description.max_depth)
+        if pair is None:
+            return None
+        ctx.counters.index_lookups += 1
+        members, links = pair
+        database = ctx.database
+        atom_type = database.atyp(self.description.atom_type_name)
+        link_type = database.ltyp(self.description.link_type_name)
+        other_name = link_type.other_type(self.description.atom_type_name)
+        other_type = (
+            database.atyp(other_name)
+            if other_name != self.description.atom_type_name
+            and database.has_atom_type(other_name)
+            else None
+        )
+        atoms: List[Atom] = []
+        levels: Dict[str, int] = {}
+        for identifier, level, _parent_link in members:
+            if level == 0 and identifier == root_atom.identifier:
+                atom = root_atom
+            else:
+                # Same resolution order as expand_recursive: the recursion
+                # atom type first, then the link's other endpoint type.
+                atom = atom_type.get(identifier)
+                if atom is None and other_type is not None:
+                    atom = other_type.get(identifier)
+                if atom is None:
+                    return None  # member vanished under the index — fall back
+            atoms.append(atom)
+            levels[identifier] = level
+        return RecursiveMolecule(root_atom, atoms, links, levels)
+
+    def _candidate_sets(self, ctx) -> Optional[List[FrozenSet[str]]]:
+        """Per-conjunct candidate-atom sets for containment pruning, or ``None``.
+
+        Each usable equality conjunct ``root_type.attr = const`` contributes
+        the set of atoms satisfying it (via hash or grid index).  Pruning is
+        sound per conjunct only: the restriction is existential, so different
+        closure members may satisfy different conjuncts — the closure must
+        merely *intersect* every set.  Oversized sets are dropped (testing
+        them costs more than it saves); dropping only weakens pruning.
+        """
+        if self.formula is None or ctx.indexes is None:
+            return None
+        type_name = self.description.atom_type_name
+        bare = type_name.split("@", 1)[0]
+        wanted: List[Tuple[str, object]] = []
+        for conjunct in split_conjunction(self.formula):
+            if not isinstance(conjunct, Comparison) or conjunct.op not in ("=", "=="):
+                continue
+            if isinstance(conjunct.rhs, AttributeRef):
+                continue
+            lhs_type = conjunct.lhs.atom_type
+            if lhs_type is None or lhs_type.split("@", 1)[0] != bare:
+                continue
+            wanted.append((conjunct.lhs.attribute, conjunct.rhs))
+        if not wanted:
+            return None
+        sets: List[FrozenSet[str]] = []
+        attributes = tuple(sorted({attribute for attribute, _ in wanted}))
+        grid = (
+            ctx.indexes.grid_for(type_name, attributes, ctx.counters)
+            if len(attributes) >= 2
+            else None
+        )
+        for attribute, value in wanted:
+            if grid is not None:
+                ctx.counters.index_lookups += 1
+                identifiers = grid.lookup({attribute: value})
+            else:
+                identifiers = ctx.indexes.lookup(type_name, attribute, value, ctx.counters)
+                if identifiers is None:
+                    return None
+                ctx.counters.index_lookups += 1
+            if len(identifiers) > 1024:
+                continue  # testing a huge set beats no molecules — skip it
+            sets.append(frozenset(identifiers))
+        return sets or None
 
 
 class MoleculeSource(PhysicalOperator):

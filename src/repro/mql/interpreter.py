@@ -33,7 +33,11 @@ from repro.core.molecule_algebra import (
     molecule_type_definition,
     molecule_union,
 )
-from repro.core.recursion import RecursiveDescription, recursive_molecule_type
+from repro.core.recursion import (
+    RecursiveDescription,
+    RecursiveMolecule,
+    recursive_molecule_type,
+)
 from repro.engine.executor import Executor, compile_plan
 from repro.engine.logical import (
     DeleteMolecules,
@@ -42,6 +46,7 @@ from repro.engine.logical import (
     WritePlanNode,
     describe_plan,
     plan_name,
+    recursive_nodes,
 )
 from repro.engine.physical import ExecutionCounters
 from repro.engine.write import WriteSummary
@@ -62,6 +67,7 @@ from repro.mql.ast_nodes import (
 from repro.mql.parser import parse
 from repro.mql.translator import QueryTranslator, next_anonymous_name
 from repro.optimizer.planner import PlanChoice, Planner
+from repro.optimizer.statistics import recursion_profile_key
 
 
 @dataclass
@@ -417,6 +423,7 @@ class MQLInterpreter:
         choice = self.plan(statement)
         context = self.executor.context(snapshot=snapshot) if snapshot is not None else None
         result = self.executor.run(choice.best, context=context)
+        self._observe_recursion(choice.best, result)
         return QueryResult(
             result.molecule_type,
             self.database,
@@ -424,6 +431,35 @@ class MQLInterpreter:
             counters=result.counters,
             plan_choice=choice,
         )
+
+    def _observe_recursion(self, plan, result) -> None:
+        """Feed observed fixpoint behaviour back into the planner statistics.
+
+        After a recursive execution the actual closure sizes and traversal
+        depths (the fixpoint iteration counts) are known exactly — recording
+        them per recursive description turns the cost model's flat
+        ``atoms + links`` recursion heuristic into a data-driven estimate,
+        and EXPLAIN reports the observed numbers on the next plan.
+        """
+        nodes = recursive_nodes(plan)
+        if not nodes:
+            return
+        molecules = [
+            molecule
+            for molecule in result.molecule_type
+            if isinstance(molecule, RecursiveMolecule)
+        ]
+        if not molecules:
+            return
+        roots = len(molecules)
+        avg_closure = sum(len(molecule) for molecule in molecules) / roots
+        avg_depth = sum(molecule.depth() for molecule in molecules) / roots
+        with self._plan_lock:
+            statistics = self.planner.statistics
+            for node in nodes:
+                statistics.observe_recursion(
+                    recursion_profile_key(node.description), roots, avg_closure, avg_depth
+                )
 
     # --------------------------------------------------------- write pipeline
 

@@ -7,18 +7,31 @@ the streaming executor (:mod:`repro.engine.executor`) — this is the pipeline
 behind ``MQLInterpreter`` and ``PrimaEngine.query``.  The E-PERF3 benchmark
 executes both variants and compares the estimated ranking against the measured
 work counters.
+
+Recursive plans get extra treatment: the planner consults the executor's
+structure-index store (when one is attached) for the ``accelerate_recursion``
+rewrite, costs the fixpoint-vs-interval choice from the observed recursion
+profiles in :class:`~repro.optimizer.statistics.DatabaseStatistics`, and
+annotates the :class:`PlanChoice` with per-recursion notes — traversal depth,
+estimated closure size, and the interval index state — surfaced by
+``EXPLAIN``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.database import Database
 from repro.engine.executor import Executor
+from repro.engine.logical import IntervalScanPlan, recursive_nodes
 from repro.optimizer.plans import PlanExecution, PlanNode, describe_plan
 from repro.optimizer.rules import RewriteResult, rewrite
-from repro.optimizer.statistics import CostModel, DatabaseStatistics
+from repro.optimizer.statistics import (
+    CostModel,
+    DatabaseStatistics,
+    recursion_profile_key,
+)
 
 
 @dataclass
@@ -30,6 +43,9 @@ class PlanChoice:
     original_cost: float
     optimized_cost: float
     applied_rules: Tuple[str, ...]
+    #: Human-readable planner annotations (recursion depth/closure estimates,
+    #: interval index state) rendered by :meth:`explain`.
+    notes: Tuple[str, ...] = ()
 
     @property
     def best(self) -> PlanNode:
@@ -44,8 +60,8 @@ class PlanChoice:
         return self.original_cost / self.optimized_cost
 
     def explain(self) -> str:
-        """Render both plans and the cost estimates."""
-        return (
+        """Render both plans, the cost estimates, and any planner notes."""
+        text = (
             "original plan (estimated cost {:.1f}):\n{}\n"
             "optimized plan (estimated cost {:.1f}, rules: {}):\n{}".format(
                 self.original_cost,
@@ -55,23 +71,28 @@ class PlanChoice:
                 describe_plan(self.optimized, "  "),
             )
         )
+        if self.notes:
+            text += "\n" + "\n".join(self.notes)
+        return text
 
 
 class Planner:
     """Applies the rewrite rules and picks the cheaper plan.
 
     When an :class:`~repro.engine.executor.Executor` is supplied its access
-    structures (index pool, atom network) are reused for execution; otherwise
-    a transient executor over *database* is created on demand.
+    structures (index pool, atom network, structure-index store) are reused
+    for execution and for the ``accelerate_recursion`` rewrite; otherwise a
+    transient executor over *database* is created on demand.
 
     Statistics are collected lazily, on the first optimization where a
-    rewrite rule actually fired (costing identical plans decides nothing).
-    Afterwards they can be maintained incrementally through
-    :meth:`apply_event` — the storage engine subscribes its planner to the
-    snapshot's change events, so occurrence counts stay exact across writes
-    (per-attribute distinct-value counts keep their collected values, an
-    approximation that only shapes selectivity guesses).  Results stay
-    correct either way: ranking drift can never change what a plan returns.
+    rewrite rule actually fired or a recursive node needs costing (costing
+    identical non-recursive plans decides nothing).  Afterwards they can be
+    maintained incrementally through :meth:`apply_event` — the storage engine
+    subscribes its planner to the snapshot's change events, so occurrence
+    counts stay exact across writes (per-attribute distinct-value counts keep
+    their collected values, an approximation that only shapes selectivity
+    guesses).  Results stay correct either way: ranking drift can never
+    change what a plan returns.
     """
 
     def __init__(
@@ -79,11 +100,13 @@ class Planner:
         database: Database,
         statistics: Optional[DatabaseStatistics] = None,
         executor: Optional[Executor] = None,
+        accelerators=None,
     ) -> None:
         self.database = database
         self._statistics = statistics
         self._cost_model: Optional[CostModel] = None
         self.executor = executor
+        self._accelerators = accelerators
 
     @property
     def statistics(self) -> DatabaseStatistics:
@@ -99,6 +122,13 @@ class Planner:
             self._cost_model = CostModel(self.statistics)
         return self._cost_model
 
+    @property
+    def accelerators(self):
+        """The structure-index store consulted by ``accelerate_recursion``."""
+        if self._accelerators is not None:
+            return self._accelerators
+        return getattr(self.executor, "structure", None)
+
     def apply_event(self, event) -> None:
         """Fold one change event into the collected statistics.
 
@@ -112,10 +142,12 @@ class Planner:
 
     def optimize(self, plan: PlanNode) -> PlanChoice:
         """Rewrite *plan* and return the costed :class:`PlanChoice`."""
-        rewritten: RewriteResult = rewrite(plan)
-        if not rewritten.applied_rules:
-            # No rule fired: both variants are the same plan, so collecting
-            # statistics and estimating costs would decide nothing.
+        rewritten: RewriteResult = rewrite(plan, self.accelerators)
+        recursive = recursive_nodes(rewritten.plan)
+        if not rewritten.applied_rules and not recursive:
+            # No rule fired on a non-recursive plan: both variants are the
+            # same plan, so collecting statistics and estimating costs would
+            # decide nothing.
             return PlanChoice(
                 original=plan,
                 optimized=rewritten.plan,
@@ -129,7 +161,58 @@ class Planner:
             original_cost=self.cost_model.estimate(plan),
             optimized_cost=self.cost_model.estimate(rewritten.plan),
             applied_rules=rewritten.applied_rules,
+            notes=self._recursion_notes(recursive),
         )
+
+    def _recursion_notes(self, nodes) -> Tuple[str, ...]:
+        """EXPLAIN annotations for every recursive node of the chosen plan:
+        observed (or bounded) traversal depth and closure size, plus the
+        interval index state when the node was accelerated."""
+        notes: List[str] = []
+        statistics = self.statistics
+        for node in nodes:
+            description = node.description
+            key = recursion_profile_key(description)
+            atoms = statistics.atom_counts.get(description.atom_type_name, 0)
+            profile = statistics.recursion_profile(key)
+            if profile is not None:
+                notes.append(
+                    "recursion {name}[{atom} via {link} {direction}]: observed depth "
+                    "{depth:.1f}, closure ≈ {closure:.1f} atoms/root over "
+                    "{roots:.0f} roots ({runs:.0f} runs)".format(
+                        name=node.name,
+                        atom=description.atom_type_name,
+                        link=description.link_type_name,
+                        direction=description.direction,
+                        depth=profile["avg_depth"],
+                        closure=profile["avg_closure"],
+                        roots=profile["roots"],
+                        runs=profile["runs"],
+                    )
+                )
+            else:
+                bound = (
+                    description.max_depth
+                    if description.max_depth is not None
+                    else max(0, atoms)
+                )
+                notes.append(
+                    "recursion {name}[{atom} via {link} {direction}]: no observed "
+                    "runs yet — estimated depth ≤ {bound}, closure ≤ {atoms} "
+                    "atoms/root".format(
+                        name=node.name,
+                        atom=description.atom_type_name,
+                        link=description.link_type_name,
+                        direction=description.direction,
+                        bound=bound,
+                        atoms=atoms,
+                    )
+                )
+            if isinstance(node, IntervalScanPlan):
+                accelerators = self.accelerators
+                if accelerators is not None:
+                    notes.extend(accelerators.describe(description))
+        return tuple(notes)
 
     def execute_best(self, plan: PlanNode) -> PlanExecution:
         """Optimize *plan* and execute the chosen variant on the executor."""

@@ -25,6 +25,7 @@ from repro.core.database import Database
 from repro.engine.executor import ExecutionResult, run_plan
 from repro.engine.logical import (
     DefinePlan,
+    IntervalScanPlan,
     PlanNode,
     ProjectPlan,
     RecursivePlan,
@@ -38,6 +39,7 @@ from repro.engine.physical import ExecutionCounters
 __all__ = [
     "DefinePlan",
     "ExecutionCounters",
+    "IntervalScanPlan",
     "PlanExecution",
     "PlanNode",
     "ProjectPlan",

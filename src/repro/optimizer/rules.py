@@ -1,6 +1,6 @@
 """Algebraic rewrite rules over molecule-query plans.
 
-Three rules, all of which preserve the result molecules (their correctness is
+Four rules, all of which preserve the result molecules (their correctness is
 checked by the optimizer tests, the executor/algebra parity tests and the
 ablation benchmark):
 
@@ -14,9 +14,13 @@ ablation benchmark):
 * :func:`prune_structure` — drop atom types that neither the projection nor
   any restriction references (and that are not needed to keep the structure
   coherent); the hierarchical join then has fewer branches to follow.
+* :func:`accelerate_recursion` — swap a fixpoint :class:`RecursivePlan` for an
+  :class:`IntervalScanPlan` when a registered structure index covers its
+  recursive description; closures are then answered by interval range scans
+  (or compact-adjacency sweeps) instead of hop-by-hop link chasing.
 
 All rules recurse through set operations (each side of Ω/Δ/Ψ is rewritten
-independently) and leave recursive definitions untouched.
+independently).
 """
 
 from __future__ import annotations
@@ -28,8 +32,10 @@ from repro.core.molecule import MoleculeTypeDescription
 from repro.core.predicates import And, Formula
 from repro.engine.logical import (
     DefinePlan,
+    IntervalScanPlan,
     PlanNode,
     ProjectPlan,
+    RecursivePlan,
     RestrictPlan,
     SetOpPlan,
 )
@@ -178,8 +184,39 @@ def _path_to(description: MoleculeTypeDescription, target_bare: str) -> Set[str]
     return path
 
 
-def rewrite(plan: PlanNode) -> RewriteResult:
-    """Apply all rules in their canonical order: merge, push down, prune.
+def accelerate_recursion(plan: PlanNode, accelerators) -> RewriteResult:
+    """Replace fixpoint recursion with an interval scan where an index exists.
+
+    *accelerators* is the engine's
+    :class:`~repro.storage.structure_index.StructureIndexStore` (or ``None``
+    outside an engine).  The rule fires only for descriptions whose
+    ``(atom type, link type, direction)`` key has been registered via
+    ``CREATE STRUCTURE INDEX`` — the physical operator still falls back to
+    the fixpoint loop per root when the index cannot answer coherently, so
+    firing the rule never changes results.
+    """
+    applied: List[str] = []
+    if accelerators is None:
+        return RewriteResult(plan, ())
+
+    def walk(node: PlanNode) -> PlanNode:
+        if isinstance(node, RecursivePlan) and accelerators.is_registered(node.description):
+            applied.append("accelerate_recursion")
+            return IntervalScanPlan(node.name, node.description, node.formula)
+        if isinstance(node, RestrictPlan):
+            return RestrictPlan(walk(node.child), node.formula)
+        if isinstance(node, ProjectPlan):
+            return ProjectPlan(walk(node.child), node.atom_type_names)
+        if isinstance(node, SetOpPlan):
+            return SetOpPlan(node.operator, walk(node.left), walk(node.right), node.name)
+        return node
+
+    return RewriteResult(walk(plan), tuple(applied))
+
+
+def rewrite(plan: PlanNode, accelerators=None) -> RewriteResult:
+    """Apply all rules in their canonical order: merge, push down, prune,
+    accelerate recursion.
 
     A rule firing in several places (e.g. on both sides of a union) is
     reported once.
@@ -187,5 +224,11 @@ def rewrite(plan: PlanNode) -> RewriteResult:
     merged = merge_restrictions(plan)
     pushed = push_down_restriction(merged.plan)
     pruned = prune_structure(pushed.plan)
-    applied = merged.applied_rules + pushed.applied_rules + pruned.applied_rules
-    return RewriteResult(pruned.plan, tuple(dict.fromkeys(applied)))
+    accelerated = accelerate_recursion(pruned.plan, accelerators)
+    applied = (
+        merged.applied_rules
+        + pushed.applied_rules
+        + pruned.applied_rules
+        + accelerated.applied_rules
+    )
+    return RewriteResult(accelerated.plan, tuple(dict.fromkeys(applied)))

@@ -19,6 +19,7 @@ from repro.core.molecule import MoleculeTypeDescription
 from repro.core.predicates import Comparison, Formula
 from repro.engine.logical import (
     DefinePlan,
+    IntervalScanPlan,
     PlanNode,
     ProjectPlan,
     RecursivePlan,
@@ -30,6 +31,24 @@ from repro.engine.logical import (
 #: Default selectivity assumed for a predicate whose selectivity cannot be estimated.
 DEFAULT_SELECTIVITY = 0.25
 
+#: Cost units per closure member reached by the fixpoint loop: every member
+#: is found by scanning its parent's incident links (copy + orient + filter),
+#: several times the cost of an indexed touch.
+FIXPOINT_HOP_COST = 4.0
+
+#: Cost units per closure member emitted by an interval range scan (one
+#: sorted-array slot plus one atom fetch).
+INTERVAL_TOUCH_COST = 1.0
+
+
+def recursion_profile_key(description) -> Tuple[str, str, str]:
+    """The profile key of a recursive description (``max_depth`` is per-query)."""
+    return (
+        description.atom_type_name,
+        description.link_type_name,
+        description.direction,
+    )
+
 
 @dataclass
 class DatabaseStatistics:
@@ -38,6 +57,13 @@ class DatabaseStatistics:
     atom_counts: Dict[str, int] = field(default_factory=dict)
     link_counts: Dict[str, int] = field(default_factory=dict)
     distinct_values: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: Observed fixpoint behaviour per recursive description — running
+    #: averages of closure size and traversal depth, fed back by the
+    #: interpreter after each recursive execution.  Keys are
+    #: ``(atom type, link type, direction)``.
+    recursion_profiles: Dict[Tuple[str, str, str], Dict[str, float]] = field(
+        default_factory=dict
+    )
 
     @classmethod
     def collect(cls, database: Database) -> "DatabaseStatistics":
@@ -80,6 +106,50 @@ class DatabaseStatistics:
             self.link_counts[event.type_name] = max(
                 0, self.link_counts.get(event.type_name, 0) - 1
             )
+
+    def observe_recursion(
+        self,
+        key: Tuple[str, str, str],
+        roots: int,
+        avg_closure: float,
+        avg_depth: float,
+    ) -> None:
+        """Fold one observed recursive execution into the running profile.
+
+        *roots* is the number of molecules expanded, *avg_closure* their mean
+        closure size (atoms per molecule), *avg_depth* the mean number of
+        fixpoint iterations (maximum recursion level reached).  This replaces
+        the flat ``atoms + links`` recursion heuristic with measured data, so
+        the rewrite-vs-fixpoint choice (and EXPLAIN's depth/closure report)
+        tracks the actual workload.
+        """
+        if roots <= 0:
+            return
+        profile = self.recursion_profiles.get(key)
+        if profile is None:
+            self.recursion_profiles[key] = {
+                "runs": 1.0,
+                "roots": float(roots),
+                "avg_closure": float(avg_closure),
+                "avg_depth": float(avg_depth),
+            }
+            return
+        runs = profile["runs"] + 1.0
+        weight = 1.0 / runs
+        profile["runs"] = runs
+        profile["roots"] = profile["roots"] + (roots - profile["roots"]) * weight
+        profile["avg_closure"] = (
+            profile["avg_closure"] + (avg_closure - profile["avg_closure"]) * weight
+        )
+        profile["avg_depth"] = (
+            profile["avg_depth"] + (avg_depth - profile["avg_depth"]) * weight
+        )
+
+    def recursion_profile(
+        self, key: Tuple[str, str, str]
+    ) -> "Dict[str, float] | None":
+        """The observed profile for *key*, or ``None`` before any execution."""
+        return self.recursion_profiles.get(key)
 
     def average_fanout(self, link_type_name: str, source_type: str) -> float:
         """Average number of links per source atom for *link_type_name*."""
@@ -159,17 +229,8 @@ class CostModel:
             description = _description_of(plan.child)
             kept = len(plan.atom_type_names) / max(1, len(description.atom_type_names))
             return child_cost + child_cardinality * kept, child_cardinality
-        if isinstance(plan, RecursivePlan):
-            # Coarse proxy: one pass over the recursion type's atoms and links.
-            # The true work is the sum of closure sizes over all roots, but no
-            # rewrite rule alters recursive nodes, so both costed variants
-            # carry the identical node and only relative ranking matters.
-            atoms = float(self.statistics.atom_counts.get(plan.description.atom_type_name, 0))
-            links = float(self.statistics.link_counts.get(plan.description.link_type_name, 0))
-            cardinality = atoms
-            if plan.formula is not None:
-                cardinality *= self.statistics.selectivity(plan.formula)
-            return atoms + links, cardinality
+        if isinstance(plan, (RecursivePlan, IntervalScanPlan)):
+            return self._estimate_recursive(plan)
         if isinstance(plan, SetOpPlan):
             left_cost, left_cardinality = self._estimate(plan.left)
             right_cost, right_cardinality = self._estimate(plan.right)
@@ -181,6 +242,37 @@ class CostModel:
                 return cost, left_cardinality
             return cost, min(left_cardinality, right_cardinality)
         raise TypeError(f"unknown plan node: {plan!r}")
+
+    def _estimate_recursive(self, plan) -> Tuple[float, float]:
+        """Cost a recursive node — fixpoint or interval-accelerated.
+
+        With an observed profile the true work is estimated directly: the
+        fixpoint loop pays :data:`FIXPOINT_HOP_COST` per closure member plus
+        one frontier pass per iteration, the interval scan
+        :data:`INTERVAL_TOUCH_COST` per member.  Without observations the
+        old occurrence-pass proxy remains (scaled down for the interval
+        variant, which touches each closure member once instead of scanning
+        every incident link).
+        """
+        atoms = float(self.statistics.atom_counts.get(plan.description.atom_type_name, 0))
+        links = float(self.statistics.link_counts.get(plan.description.link_type_name, 0))
+        accelerated = isinstance(plan, IntervalScanPlan)
+        cardinality = atoms
+        if plan.formula is not None:
+            cardinality *= self.statistics.selectivity(plan.formula)
+        profile = self.statistics.recursion_profile(recursion_profile_key(plan.description))
+        if profile is not None:
+            roots = atoms if atoms > 0 else profile["roots"]
+            closure = profile["avg_closure"]
+            depth = profile["avg_depth"]
+            if accelerated:
+                cost = roots * closure * INTERVAL_TOUCH_COST
+            else:
+                cost = roots * (closure * FIXPOINT_HOP_COST + depth)
+            return cost, cardinality
+        if accelerated:
+            return (atoms + links) * (INTERVAL_TOUCH_COST / FIXPOINT_HOP_COST), cardinality
+        return atoms + links, cardinality
 
 
 def _description_of(plan: PlanNode) -> MoleculeTypeDescription:

@@ -65,6 +65,7 @@ from repro.storage.atom_store import AtomStore
 from repro.storage.link_store import LinkStore
 from repro.storage.network import AtomNetwork
 from repro.storage.recovery import RecoveryResult, describe_attributes, recover
+from repro.storage.structure_index import StructureIndexStore
 from repro.storage.wal import DurabilityConfig, WriteAheadLog, encode_event
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
@@ -147,6 +148,12 @@ class PrimaEngine:
             "invalidations": 0,
             "events_applied": 0,
         }
+        #: Interval-encoded structure indexes over recursive link closures
+        #: (``CREATE STRUCTURE INDEX``).  The store outlives cache
+        #: invalidation — registrations and counters persist; only the
+        #: encodings are marked stale.  Created before recovery runs, which
+        #: may replay ``structure_index`` DDL records into it.
+        self._structure_indexes = StructureIndexStore()
         # -- durability state (all inert when durability is None) -----------
         self._durability = durability
         self._wal: Optional[WriteAheadLog] = None
@@ -222,6 +229,38 @@ class PrimaEngine:
         if self._wal is not None:
             self._wal.append_ddl(
                 {"op": "index", "type": atom_type_name, "attribute": attribute}
+            )
+
+    def create_structure_index(
+        self, atom_type_name: str, link_type_name: str, direction: str = "down"
+    ) -> None:
+        """Register an interval-encoded structure index over a recursive closure.
+
+        Recursive queries over ``atom_type_name`` via ``link_type_name`` in
+        *direction* (``"down"`` follows the link's first→second orientation,
+        ``"up"`` the reverse) are then answered by interval range scans (or a
+        compact-adjacency sweep on non-tree networks) instead of the
+        hop-by-hop fixpoint loop.  The encoding is built lazily on first use
+        and maintained incrementally off the change-event stream.
+        """
+        self._atom_store(atom_type_name)  # existence check
+        link_store = self._link_stores.get(link_type_name)
+        if link_store is None:
+            raise UnknownNameError(f"unknown link type {link_type_name!r}")
+        if atom_type_name not in (link_store.first_type, link_store.second_type):
+            raise StorageError(
+                f"link type {link_type_name!r} does not connect atom type "
+                f"{atom_type_name!r}"
+            )
+        self._structure_indexes.register(atom_type_name, link_type_name, direction)
+        if self._wal is not None:
+            self._wal.append_ddl(
+                {
+                    "op": "structure_index",
+                    "type": atom_type_name,
+                    "link": link_type_name,
+                    "direction": direction,
+                }
             )
 
     # --------------------------------------------- atom-oriented interface
@@ -478,8 +517,12 @@ class PrimaEngine:
                 database = self.to_database()
                 self._index_pool = IndexPool(database)
                 self._index_pool.generation = self.generation
+                self._structure_indexes.stamp(self.generation)
                 executor = Executor(
-                    database, indexes=self._index_pool, network=self.network()
+                    database,
+                    indexes=self._index_pool,
+                    network=self.network(),
+                    structure=self._structure_indexes,
                 )
                 self._interpreter = MQLInterpreter(
                     database,
@@ -832,6 +875,7 @@ class PrimaEngine:
                 self._network.generation = self.generation
             if self._index_pool is not None:
                 self._index_pool.apply_event(event, generation=self.generation)
+            self._structure_indexes.apply_event(event, generation=self.generation)
             if self._interpreter is not None:
                 self._interpreter.apply_event(event)
 
@@ -889,6 +933,9 @@ class PrimaEngine:
         self._network = None
         self._interpreter = None
         self._index_pool = None
+        # Registrations and counters survive; only the encodings go stale
+        # (the next head use rebuilds them from the fresh snapshot).
+        self._structure_indexes.mark_all_stale()
         self._stats["invalidations"] += 1
 
     def maintenance_statistics(self) -> Dict[str, int]:
@@ -906,6 +953,7 @@ class PrimaEngine:
         report["index_generation"] = (
             self._index_pool.generation if self._index_pool is not None else 0
         )
+        report.update(self._structure_indexes.statistics())
         return report
 
     def maintenance_report(self) -> Dict[str, object]:

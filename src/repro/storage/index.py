@@ -73,6 +73,112 @@ class HashIndex:
         )
 
 
+class GridIndex:
+    """A grid-file style composite index over several attributes of one type.
+
+    The value space is partitioned per dimension by hashing each attribute
+    value into one of ``partitions`` cells; an entry lands in the directory
+    cell addressed by its coordinate tuple.  Exact conjunctive lookups read
+    one cell; partial-match lookups (a subset of the dimensions bound) scan
+    the matching directory slice — both then filter on the stored value
+    tuples, so hash collisions never produce false positives.
+    """
+
+    __slots__ = ("atom_type_name", "attributes", "partitions", "_cells", "_entries")
+
+    def __init__(
+        self,
+        atom_type_name: str,
+        attributes: Iterable[str],
+        partitions: int = 16,
+    ) -> None:
+        self.atom_type_name = atom_type_name
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        if len(self.attributes) < 2:
+            raise StorageError("a grid index needs at least two attributes")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise StorageError("grid index attributes must be distinct")
+        self.partitions = max(2, int(partitions))
+        self._cells: Dict[Tuple[int, ...], Dict[str, Tuple[object, ...]]] = {}
+        self._entries: Dict[str, Tuple[int, ...]] = {}
+
+    def insert(self, atom: Atom) -> None:
+        """Index *atom* (replacing any previous entry for its identifier)."""
+        if atom.identifier in self._entries:
+            self.remove(atom.identifier)
+        values = tuple(
+            HashIndex._hashable(atom.get(attribute)) for attribute in self.attributes
+        )
+        coordinate = tuple(self._coordinate(value) for value in values)
+        self._cells.setdefault(coordinate, {})[atom.identifier] = values
+        self._entries[atom.identifier] = coordinate
+
+    def remove(self, identifier: str) -> None:
+        """Drop the entry for *identifier* (no error when absent)."""
+        coordinate = self._entries.pop(identifier, None)
+        if coordinate is None:
+            return
+        cell = self._cells.get(coordinate)
+        if cell is not None:
+            cell.pop(identifier, None)
+            if not cell:
+                del self._cells[coordinate]
+
+    def lookup(self, values: Dict[str, object]) -> FrozenSet[str]:
+        """Identifiers matching every bound attribute in *values*.
+
+        Binding all dimensions is an exact (single-cell) lookup; binding a
+        subset is a partial-match query over the compatible cells.  Unknown
+        attribute names raise :class:`StorageError`.
+        """
+        unknown = set(values) - set(self.attributes)
+        if unknown:
+            raise StorageError(
+                f"grid index over {self.attributes!r} cannot bind {sorted(unknown)!r}"
+            )
+        bound = {
+            name: HashIndex._hashable(value) for name, value in values.items()
+        }
+        wanted = tuple(
+            (position, bound[name], self._coordinate(bound[name]))
+            for position, name in enumerate(self.attributes)
+            if name in bound
+        )
+        matches = set()
+        if len(wanted) == len(self.attributes):
+            exact = tuple(cell_coord for _, _, cell_coord in wanted)
+            cells: Iterable[Tuple[Tuple[int, ...], Dict[str, Tuple[object, ...]]]] = (
+                ((exact, self._cells[exact]),) if exact in self._cells else ()
+            )
+        else:
+            cells = self._cells.items()
+        for coordinate, cell in cells:
+            if any(coordinate[position] != cell_coord for position, _, cell_coord in wanted):
+                continue
+            for identifier, entry in cell.items():
+                if all(entry[position] == value for position, value, _ in wanted):
+                    matches.add(identifier)
+        return frozenset(matches)
+
+    def _coordinate(self, hashable_value: object) -> int:
+        try:
+            return hash(hashable_value) % self.partitions
+        except TypeError:
+            return hash(repr(hashable_value)) % self.partitions
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, identifier: object) -> bool:
+        return identifier in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"GridIndex({self.atom_type_name}{list(self.attributes)}, "
+            f"entries={len(self._entries)}, cells={len(self._cells)})"
+        )
+
+
 class _Missing:
     """Sentinel distinguishing 'no entry' from an indexed ``None`` value."""
 

@@ -144,6 +144,7 @@ def checkpoint_image(engine: "PrimaEngine") -> Dict[str, object]:
         "generation": engine.generation,
         "atom_types": atom_types,
         "link_types": link_types,
+        "structure_indexes": sorted(engine._structure_indexes.registered()),
     }
 
 
@@ -212,6 +213,8 @@ def apply_checkpoint(engine: "PrimaEngine", image: Dict[str, object]) -> int:
         store = engine._link_stores[entry["name"]]
         for first, second in entry.get("links", ()):
             store.store(first, second)
+    for atom_type, link_type, direction in image.get("structure_indexes", ()):
+        engine.create_structure_index(atom_type, link_type, direction)
     return highest
 
 
@@ -239,6 +242,10 @@ def apply_ddl_record(engine: "PrimaEngine", record: Dict[str, object]) -> None:
             )
     elif op == "index":
         engine.create_index(record["type"], record["attribute"])
+    elif op == "structure_index":
+        engine.create_structure_index(
+            record["type"], record["link"], record.get("direction", "down")
+        )
     else:
         raise WalError(f"unknown DDL operation {op!r} in WAL record")
 

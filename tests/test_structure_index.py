@@ -1,0 +1,492 @@
+"""Interval-encoded structure index: correctness, maintenance, and planner wiring.
+
+The structure index answers recursive closures with pre/post-interval range
+scans (tree mode) or a compact-adjacency sweep (DAG/cycle mode) instead of
+the hop-by-hop fixpoint loop.  Everything here is a parity obligation: the
+accelerated path must return byte-identical molecules to the fixpoint path —
+live at the head, inside BEGIN WORK transactions, and at pinned snapshot
+generations — while the planner surfaces the choice through EXPLAIN.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.attributes import AtomTypeDescription, AttributeDescription
+from repro.exceptions import StorageError, UnknownNameError
+from repro.storage.engine import PrimaEngine
+from repro.storage.index import GridIndex
+from repro.storage.structure_index import StructureIndex, StructureIndexStore
+
+RECURSIVE_ALL = "SELECT ALL FROM RECURSIVE part [composition] DOWN;"
+RECURSIVE_UP = "SELECT ALL FROM RECURSIVE part [composition] UP;"
+
+#: A small BOM forest: two roots, branching, one deep chain under p3.
+TREE_EDGES = [
+    ("p0", "p1"),
+    ("p0", "p2"),
+    ("p1", "p3"),
+    ("p1", "p4"),
+    ("p2", "p5"),
+    ("p3", "p6"),
+    ("p6", "p7"),
+    ("p7", "p8"),
+    ("p9", "p10"),
+]
+
+
+def part_description() -> AtomTypeDescription:
+    return AtomTypeDescription(
+        [
+            AttributeDescription("part_no", "string"),
+            AttributeDescription("kind", "string"),
+            AttributeDescription("cost", "integer"),
+        ]
+    )
+
+
+def build_engine(edges=TREE_EDGES, parts=12, index=True) -> PrimaEngine:
+    engine = PrimaEngine()
+    engine.create_atom_type("part", part_description())
+    engine.create_link_type("composition", "part", "part")
+    for i in range(parts):
+        engine.store_atom(
+            "part",
+            identifier=f"p{i}",
+            part_no=f"P{i:03d}",
+            kind="assembly" if i % 3 == 0 else "piece",
+            cost=i * 10,
+        )
+    for parent, child in edges:
+        engine.connect("composition", parent, child)
+    if index:
+        engine.create_structure_index("part", "composition", "down")
+    return engine
+
+
+def canonical(result):
+    """Order-independent form of a recursive result set.
+
+    Atoms are keyed by their ``part_no`` value rather than their identifier:
+    the surrogate counter is process-global, so two equivalent engines assign
+    different auto-identifiers to MQL-inserted atoms.
+    """
+    entries = []
+    for molecule in result.molecules:
+        names = {atom.identifier: atom.get("part_no") for atom in molecule.atoms}
+        entries.append(
+            (
+                names[molecule.root_atom.identifier],
+                frozenset(names.values()),
+                frozenset(
+                    tuple(sorted(names[identifier] for identifier in link.identifiers))
+                    for link in molecule.links
+                ),
+                tuple(
+                    sorted((names[identifier], level) for identifier, level in molecule.levels.items())
+                ),
+            )
+        )
+    return sorted(entries)
+
+
+def assert_parity(accelerated: PrimaEngine, baseline: PrimaEngine, statement: str):
+    left = accelerated.query(statement)
+    right = baseline.query(statement)
+    assert canonical(left) == canonical(right)
+    return left
+
+
+# ------------------------------------------------------------------ unit level
+
+
+class TestStructureIndexUnit:
+    def test_tree_mode_range_scan(self):
+        engine = build_engine()
+        index = StructureIndex(("part", "composition", "down"))
+        index.refresh(engine.to_database())
+        assert index.tree
+        members, links = index.closure("p0")
+        identifiers = [identifier for identifier, _level, _link in members]
+        assert identifiers[0] == "p0"
+        assert set(identifiers) == {"p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8"}
+        levels = {identifier: level for identifier, level, _ in members}
+        assert levels["p0"] == 0 and levels["p8"] == 5
+        assert len(links) == 8
+
+    def test_max_depth_bound(self):
+        engine = build_engine()
+        index = StructureIndex(("part", "composition", "down"))
+        index.refresh(engine.to_database())
+        members, _links = index.closure("p0", max_depth=1)
+        assert {identifier for identifier, _l, _k in members} == {"p0", "p1", "p2"}
+
+    def test_dag_falls_to_graph_mode(self):
+        engine = build_engine(edges=TREE_EDGES + [("p2", "p3")], index=False)
+        index = StructureIndex(("part", "composition", "down"))
+        index.refresh(engine.to_database())
+        assert not index.tree
+        members, _links = index.closure("p2")
+        assert "p6" in {identifier for identifier, _l, _k in members}
+
+    def test_cycle_detected_on_rebuild(self):
+        engine = build_engine(edges=TREE_EDGES + [("p8", "p0")], index=False)
+        index = StructureIndex(("part", "composition", "down"))
+        index.refresh(engine.to_database())
+        assert not index.tree
+        members, _links = index.closure("p3")
+        # The cycle makes every chain member reachable, including back to p0.
+        assert "p0" in {identifier for identifier, _l, _k in members}
+
+    def test_incremental_leaf_graft_keeps_encoding(self):
+        engine = build_engine()
+        index = StructureIndex(("part", "composition", "down"))
+        index.refresh(engine.to_database())
+        builds = index.builds
+        engine.store_atom("part", identifier="p99", part_no="P099", kind="piece", cost=0)
+        engine.connect("composition", "p8", "p99")
+        # Drive the index directly: a fresh atom plus a leaf graft patch in place.
+        from repro.core.events import ATOM_INSERTED, LINK_CONNECTED, ChangeEvent
+
+        db = engine.to_database()
+        atom = db.atyp("part").get("p99")
+        link = next(
+            link
+            for link in db.ltyp("composition")
+            if link.identifiers == frozenset({"p8", "p99"})
+        )
+        index.apply_event(ChangeEvent(ATOM_INSERTED, "part", atom=atom))
+        index.apply_event(ChangeEvent(LINK_CONNECTED, "composition", link=link))
+        assert not index.stale
+        assert index.builds == builds
+        members, _links = index.closure("p7")
+        assert {identifier for identifier, _l, _k in members} == {"p7", "p8", "p99"}
+
+    def test_subtree_graft_marks_stale(self):
+        engine = build_engine()
+        index = StructureIndex(("part", "composition", "down"))
+        index.refresh(engine.to_database())
+        from repro.core.events import LINK_CONNECTED, ChangeEvent
+
+        engine.connect("composition", "p5", "p9")  # p9 has a subtree (p10)
+        db = engine.to_database()
+        link = next(
+            link
+            for link in db.ltyp("composition")
+            if link.identifiers == frozenset({"p5", "p9"})
+        )
+        index.apply_event(ChangeEvent(LINK_CONNECTED, "composition", link=link))
+        assert index.stale
+        assert index.gap_events >= 1
+        assert index.closure("p0") is None  # stale indexes refuse to answer
+
+    def test_store_registration_validation(self):
+        store = StructureIndexStore()
+        with pytest.raises(StorageError):
+            store.register("part", "composition", "sideways")
+        store.register("part", "composition", "down")
+        store.register("part", "composition", "down")  # idempotent
+        assert store.registered() == (("part", "composition", "down"),)
+
+    def test_engine_rejects_unrelated_link_type(self):
+        engine = PrimaEngine()
+        engine.create_atom_type("part", part_description())
+        engine.create_atom_type(
+            "supplier", AtomTypeDescription([AttributeDescription("name", "string")])
+        )
+        engine.create_link_type("composition", "part", "part")
+        engine.create_link_type("supplies", "supplier", "part")
+        with pytest.raises(UnknownNameError):
+            engine.create_structure_index("part", "nope")
+        with pytest.raises(StorageError):
+            engine.create_structure_index("supplier", "composition")
+        engine.create_structure_index("part", "supplies")  # part is an endpoint
+
+
+# ----------------------------------------------------------------- query level
+
+
+class TestAcceleratedQueries:
+    def test_full_expansion_parity(self):
+        assert_parity(build_engine(), build_engine(index=False), RECURSIVE_ALL)
+
+    def test_up_direction_parity(self):
+        accelerated = build_engine()
+        accelerated.create_structure_index("part", "composition", "up")
+        assert_parity(accelerated, build_engine(index=False), RECURSIVE_UP)
+
+    def test_selective_where_parity_and_pruning(self):
+        accelerated = build_engine()
+        accelerated.query(RECURSIVE_ALL)  # build the index
+        statement = (
+            "SELECT ALL FROM RECURSIVE part [composition] DOWN "
+            "WHERE part.part_no = 'P008';"
+        )
+        result = assert_parity(accelerated, build_engine(index=False), statement)
+        # Only the six ancestors-or-self of p8 qualify; the other six roots
+        # must have been pruned by the interval containment test, never
+        # materialized.
+        assert len(result.molecules) == 6
+        assert result.counters.molecules_derived == 6
+
+    def test_dag_and_cycle_parity(self):
+        dag_edges = TREE_EDGES + [("p2", "p3")]
+        assert_parity(
+            build_engine(edges=dag_edges),
+            build_engine(edges=dag_edges, index=False),
+            RECURSIVE_ALL,
+        )
+        cyc_edges = TREE_EDGES + [("p8", "p0")]
+        assert_parity(
+            build_engine(edges=cyc_edges),
+            build_engine(edges=cyc_edges, index=False),
+            RECURSIVE_ALL,
+        )
+
+    def test_parity_across_dml(self):
+        accelerated = build_engine()
+        baseline = build_engine(index=False)
+        accelerated.query(RECURSIVE_ALL)
+        for engine in (accelerated, baseline):
+            engine.store_atom("part", identifier="p77", part_no="P077", kind="piece", cost=7)
+            engine.connect("composition", "p4", "p77")
+            engine.delete_atom("part", "p8")  # drops the p7→p8 link too
+        assert_parity(accelerated, baseline, RECURSIVE_ALL)
+
+    def test_parity_inside_transaction(self):
+        accelerated = build_engine()
+        baseline = build_engine(index=False)
+        accelerated.query(RECURSIVE_ALL)
+        for engine in (accelerated, baseline):
+            engine.query("BEGIN WORK;")
+            engine.query("INSERT part VALUES {part_no: 'P500', kind: 'piece', cost: 5};")
+        assert_parity(accelerated, baseline, RECURSIVE_ALL)  # uncommitted view
+        for engine in (accelerated, baseline):
+            engine.query("COMMIT WORK;")
+        assert_parity(accelerated, baseline, RECURSIVE_ALL)
+
+    def test_pinned_snapshot_ignores_head_writes(self):
+        accelerated = build_engine()
+        accelerated.query(RECURSIVE_ALL)
+        handle = accelerated.snapshot_at()
+        try:
+            before = canonical(handle.query(RECURSIVE_ALL))
+            accelerated.connect("composition", "p8", "p9")
+            # The pinned read must not see the new edge — the store detects
+            # the generation mismatch and falls back to the fixpoint loop.
+            assert canonical(handle.query(RECURSIVE_ALL)) == before
+            assert accelerated.maintenance_report()["structure_snapshot_gaps"] >= 1
+        finally:
+            handle.release()
+        head = canonical(accelerated.query(RECURSIVE_ALL))
+        assert head != before
+
+    def test_maintenance_report_counters(self):
+        engine = build_engine()
+        engine.query(RECURSIVE_ALL)
+        report = engine.maintenance_report()
+        assert report["structure_indexes"] == 1
+        assert report["structure_builds"] >= 1
+        assert report["structure_gap_events"] >= 0
+        assert report["structure_generation"] == report["generation"]
+
+
+# ------------------------------------------------------------------- planner
+
+
+class TestPlannerIntegration:
+    def test_explain_reports_interval_choice(self):
+        engine = build_engine()
+        engine.query(RECURSIVE_ALL)
+        explanation = engine.query("EXPLAIN " + RECURSIVE_ALL).explanation
+        assert "accelerate_recursion" in explanation
+        assert "interval scan" in explanation
+        assert "interval index part via composition down" in explanation
+        assert "sample intervals" in explanation
+
+    def test_explain_reports_observed_depth_and_closure(self):
+        engine = build_engine()
+        engine.query(RECURSIVE_ALL)
+        explanation = engine.query("EXPLAIN " + RECURSIVE_ALL).explanation
+        assert "observed depth" in explanation
+        assert "closure ≈" in explanation
+
+    def test_explain_without_observations_reports_bounds(self):
+        engine = build_engine(index=False)
+        explanation = engine.query("EXPLAIN " + RECURSIVE_ALL).explanation
+        assert "no observed runs yet" in explanation
+        assert "estimated depth ≤" in explanation
+
+    def test_interval_plan_estimated_cheaper(self):
+        engine = build_engine()
+        engine.query(RECURSIVE_ALL)
+        choice = engine.query("EXPLAIN " + RECURSIVE_ALL).plan_choice
+        assert choice.optimized_cost < choice.original_cost
+        assert "accelerate_recursion" in choice.applied_rules
+
+
+# ------------------------------------------------------------------ grid index
+
+
+class TestGridIndex:
+    def test_requires_two_attributes(self):
+        with pytest.raises(StorageError):
+            GridIndex("part", ["part_no"])
+
+    def test_exact_and_partial_lookup(self):
+        engine = build_engine(index=False)
+        grid = GridIndex("part", ["kind", "cost"])
+        for atom in engine.to_database().atyp("part"):
+            grid.insert(atom)
+        exact = grid.lookup({"kind": "assembly", "cost": 0})
+        assert exact == {"p0"}
+        partial = grid.lookup({"kind": "assembly"})
+        assert partial == {"p0", "p3", "p6", "p9"}
+        with pytest.raises(StorageError):
+            grid.lookup({"nope": 1})
+
+    def test_remove(self):
+        engine = build_engine(index=False)
+        grid = GridIndex("part", ["kind", "cost"])
+        for atom in engine.to_database().atyp("part"):
+            grid.insert(atom)
+        grid.remove("p0")
+        assert grid.lookup({"kind": "assembly", "cost": 0}) == set()
+        assert "p0" not in grid
+
+    def test_composite_predicate_uses_grid(self):
+        engine = build_engine(index=False)
+        statement = (
+            "SELECT ALL FROM part WHERE part.kind = 'assembly' AND part.cost = 30;"
+        )
+        result = engine.query(statement)
+        assert [m.root_atom.identifier for m in result.molecules] == ["p3"]
+        # The composite equality pair resolves through one grid cell, not a
+        # full scan: exactly one candidate is materialized.
+        assert result.counters.molecules_derived == 1
+
+
+# ------------------------------------------------------------------ durability
+
+
+class TestDurability:
+    def test_wal_replay_restores_registration(self, tmp_path):
+        from repro.storage.wal import DurabilityConfig
+
+        config = DurabilityConfig(tmp_path)
+        durable = PrimaEngine(durability=config)
+        durable.create_atom_type("part", part_description())
+        durable.create_link_type("composition", "part", "part")
+        durable.create_structure_index("part", "composition")
+        reopened = PrimaEngine(durability=DurabilityConfig(tmp_path))
+        assert reopened._structure_indexes.registered() == (
+            ("part", "composition", "down"),
+        )
+
+    def test_checkpoint_restores_registration(self, tmp_path):
+        from repro.storage.wal import DurabilityConfig
+
+        durable = PrimaEngine(durability=DurabilityConfig(tmp_path))
+        durable.create_atom_type("part", part_description())
+        durable.create_link_type("composition", "part", "part")
+        durable.create_structure_index("part", "composition", "up")
+        durable.checkpoint()
+        reopened = PrimaEngine(durability=DurabilityConfig(tmp_path))
+        assert reopened._structure_indexes.registered() == (
+            ("part", "composition", "up"),
+        )
+
+
+# ------------------------------------------------------------ property-based
+
+
+relaxed = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def bom_shapes(draw):
+    """A random BOM edge list over n parts: forests, DAGs, or cyclic tangles."""
+    n = draw(st.integers(min_value=2, max_value=14))
+    n_edges = draw(st.integers(min_value=0, max_value=min(20, n * 2)))
+    edges = []
+    seen = set()
+    for _ in range(n_edges):
+        parent = draw(st.integers(min_value=0, max_value=n - 1))
+        child = draw(st.integers(min_value=0, max_value=n - 1))
+        if (parent, child) in seen:
+            continue
+        seen.add((parent, child))
+        edges.append((f"p{parent}", f"p{child}"))
+    return n, edges
+
+
+@relaxed
+@given(shape=bom_shapes(), direction=st.sampled_from(["down", "up"]))
+def test_random_shapes_parity(shape, direction):
+    n, edges = shape
+    accelerated = build_engine(edges=edges, parts=n, index=False)
+    accelerated.create_structure_index("part", "composition", direction)
+    baseline = build_engine(edges=edges, parts=n, index=False)
+    statement = (
+        f"SELECT ALL FROM RECURSIVE part [composition] {direction.upper()};"
+    )
+    assert_parity(accelerated, baseline, statement)
+
+
+@relaxed
+@given(
+    shape=bom_shapes(),
+    grafts=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=13), st.integers(min_value=0, max_value=13)),
+        max_size=4,
+    ),
+    in_transaction=st.booleans(),
+)
+def test_random_shapes_parity_under_dml(shape, grafts, in_transaction):
+    n, edges = shape
+    accelerated = build_engine(edges=edges, parts=n, index=False)
+    accelerated.create_structure_index("part", "composition", "down")
+    baseline = build_engine(edges=edges, parts=n, index=False)
+    accelerated.query(RECURSIVE_ALL)  # build before mutating
+    if in_transaction:
+        accelerated.query("BEGIN WORK;")
+        baseline.query("BEGIN WORK;")
+    applied = set(map(tuple, edges))
+    for parent, child in grafts:
+        edge = (f"p{parent % n}", f"p{child % n}")
+        if edge in applied:
+            continue
+        applied.add(edge)
+        for engine in (accelerated, baseline):
+            engine.connect("composition", *edge)
+    assert_parity(accelerated, baseline, RECURSIVE_ALL)
+    if in_transaction:
+        accelerated.query("COMMIT WORK;")
+        baseline.query("COMMIT WORK;")
+        assert_parity(accelerated, baseline, RECURSIVE_ALL)
+
+
+@relaxed
+@given(shape=bom_shapes())
+def test_random_shapes_snapshot_parity(shape):
+    n, edges = shape
+    accelerated = build_engine(edges=edges, parts=n, index=False)
+    accelerated.create_structure_index("part", "composition", "down")
+    baseline = build_engine(edges=edges, parts=n, index=False)
+    accelerated.query(RECURSIVE_ALL)
+    acc_handle = accelerated.snapshot_at()
+    base_handle = baseline.snapshot_at()
+    try:
+        accelerated.store_atom("part", identifier="pX", part_no="PX", kind="piece", cost=1)
+        baseline.store_atom("part", identifier="pX", part_no="PX", kind="piece", cost=1)
+        assert canonical(acc_handle.query(RECURSIVE_ALL)) == canonical(
+            base_handle.query(RECURSIVE_ALL)
+        )
+    finally:
+        acc_handle.release()
+        base_handle.release()

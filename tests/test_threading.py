@@ -339,6 +339,76 @@ class TestParallelReaders:
         assert engine.query(READ).molecules is not None  # session gone, head open
 
 
+# ------------------------------------------------- structure-index churn
+
+
+class TestStructureIndexChurn:
+    def test_recursive_readers_stable_under_structure_churn(self):
+        """Snapshot readers of an interval-accelerated recursion stay
+        generation-stable while writers graft and prune the BOM, and the
+        final head answer matches a fixpoint engine replaying the same
+        final state."""
+        engine = PrimaEngine("churnbox")
+        engine.create_atom_type("part", {"part_no": "string"})
+        engine.create_link_type("composition", "part", "part")
+        for index in range(8):
+            engine.store_atom("part", identifier=f"p{index}", part_no=f"P{index}")
+        for parent, child in [(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (5, 6), (6, 7)]:
+            engine.connect("composition", f"p{parent}", f"p{child}")
+        engine.create_structure_index("part", "composition", "down")
+        recursive = "SELECT ALL FROM RECURSIVE part [composition] DOWN;"
+        engine.query(recursive)  # warm caches, build the encoding
+
+        writer_count = 2
+        reader_count = 2
+        rounds = 8 * STRESS
+        barrier = threading.Barrier(writer_count + reader_count)
+
+        def writer(worker: int) -> Callable[[], None]:
+            def work() -> None:
+                barrier.wait()
+                for round_no in range(rounds):
+                    leaf = f"w{worker}r{round_no}"
+                    engine.store_atom("part", identifier=leaf, part_no=leaf)
+                    engine.connect("composition", f"p{round_no % 8}", leaf)
+                    if round_no % 3 == 0:
+                        engine.delete_atom("part", leaf)
+
+            return work
+
+        def reader() -> None:
+            barrier.wait()
+            for _ in range(rounds):
+                handle = engine.snapshot_at()
+                try:
+                    first = fingerprint(handle.query(recursive))
+                    second = fingerprint(handle.query(recursive))
+                    assert first == second
+                finally:
+                    handle.release()
+
+        run_threads([writer(w) for w in range(writer_count)] + [reader] * reader_count)
+
+        # Replay the final store state into a fixpoint-only engine and
+        # compare the head answers structurally.
+        final = engine.to_database()
+        baseline = PrimaEngine("churnbase")
+        baseline.create_atom_type("part", {"part_no": "string"})
+        baseline.create_link_type("composition", "part", "part")
+        for atom in final.atyp("part"):
+            baseline.store_atom("part", identifier=atom.identifier, part_no=atom.get("part_no"))
+        for link in final.ltyp("composition"):
+            first_id, second_id = link.given_order
+            baseline.connect("composition", first_id, second_id)
+        assert fingerprint(engine.query(recursive)) == fingerprint(
+            baseline.query(recursive)
+        )
+        report = engine.maintenance_report()
+        assert report["structure_indexes"] == 1
+        assert report["structure_builds"] >= 1
+        assert report["pins_active"] == 0
+
+
 # ----------------------------------------------------------- WAL append race
 
 
