@@ -20,6 +20,8 @@ from typing import Iterator, Optional, Tuple
 from repro.core.database import Database
 from repro.core.molecule import Molecule, MoleculeType
 from repro.engine.logical import (
+    AggregatePlan,
+    ColumnarAggregatePlan,
     DefinePlan,
     DeleteMolecules,
     InsertMolecule,
@@ -34,9 +36,12 @@ from repro.engine.logical import (
     plan_name,
 )
 from repro.engine.physical import (
+    AggregationOperator,
+    ColumnarAggregate,
     Difference,
     ExecutionContext,
     ExecutionCounters,
+    HashAggregate,
     IndexPool,
     Intersection,
     IntervalScan,
@@ -45,6 +50,7 @@ from repro.engine.physical import (
     Project,
     RecursiveScan,
     Restrict,
+    SortedGroupAggregate,
     Union,
 )
 from repro.engine.write import (
@@ -59,7 +65,22 @@ from repro.engine.write import (
 def compile_plan(plan: PlanNode) -> PhysicalOperator:
     """Translate a logical plan into a tree of pull-based physical operators."""
     if isinstance(plan, DefinePlan):
-        return MoleculeScan(plan.name, plan.description, plan.root_filter)
+        return MoleculeScan(
+            plan.name, plan.description, plan.root_filter, root_access=plan.root_access
+        )
+    if isinstance(plan, AggregatePlan):
+        child = compile_plan(plan.child)
+        if plan.strategy == "sort":
+            return SortedGroupAggregate(child, plan.group_by, plan.aggregates)
+        return HashAggregate(child, plan.group_by, plan.aggregates)
+    if isinstance(plan, ColumnarAggregatePlan):
+        return ColumnarAggregate(
+            plan.name,
+            plan.atom_type_name,
+            plan.group_by,
+            plan.aggregates,
+            plan.root_filter,
+        )
     if isinstance(plan, RecursivePlan):
         return RecursiveScan(plan.name, plan.description, plan.formula)
     if isinstance(plan, IntervalScanPlan):
@@ -110,6 +131,22 @@ class ExecutionResult:
 
 
 @dataclass
+class AggregateExecutionResult:
+    """The outcome of running one Γ plan: named columns over ordered rows."""
+
+    columns: Tuple[str, ...]
+    rows: "Tuple[Tuple, ...]"
+    database: Database
+    counters: ExecutionCounters = field(default_factory=ExecutionCounters)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> "Iterator[Tuple]":
+        return iter(self.rows)
+
+
+@dataclass
 class WriteExecutionResult:
     """The outcome of running one write plan: affected molecules plus counts."""
 
@@ -142,6 +179,7 @@ class Executor:
         indexes: Optional[IndexPool] = None,
         network=None,
         structure=None,
+        columnar=None,
     ) -> None:
         self.database = database
         self.indexes = (
@@ -151,6 +189,9 @@ class Executor:
         #: Optional :class:`~repro.storage.structure_index.StructureIndexStore`
         #: shared with the owning engine; accelerates recursive plans.
         self.structure = structure
+        #: Optional :class:`~repro.storage.columnar.ColumnarStore` shared with
+        #: the owning engine; accelerates single-type aggregate scans.
+        self.columnar = columnar
 
     def context(
         self,
@@ -178,11 +219,11 @@ class Executor:
         if snapshot is None:
             return ExecutionContext(
                 self.database, counters, self.indexes, self.network,
-                structure=self.structure,
+                structure=self.structure, columnar=self.columnar,
             )
         return ExecutionContext(
             self.database.at(snapshot), counters, None, None, snapshot=snapshot,
-            structure=self.structure,
+            structure=self.structure, columnar=self.columnar,
         )
 
     def stream(
@@ -200,6 +241,19 @@ class Executor:
         description = operator.describe(ctx)
         molecule_type = MoleculeType(plan_name(plan), description, molecules)
         return ExecutionResult(molecule_type, self.database, ctx.counters)
+
+    def run_aggregate(
+        self, plan: PlanNode, context: Optional[ExecutionContext] = None
+    ) -> AggregateExecutionResult:
+        """Execute a Γ plan and materialize its canonically ordered rows."""
+        ctx = context or self.context()
+        operator = compile_plan(plan)
+        if not isinstance(operator, AggregationOperator):
+            raise TypeError(f"not an aggregation plan: {plan!r}")
+        rows = tuple(operator.rows(ctx))
+        return AggregateExecutionResult(
+            operator.columns(), rows, self.database, ctx.counters
+        )
 
     def run_write(
         self,

@@ -43,18 +43,26 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.molecule import MoleculeTypeDescription
-from repro.core.predicates import Formula
+from repro.core.predicates import AttributeRef, Formula
 from repro.core.recursion import RecursiveDescription
 from repro.exceptions import MoleculeGraphError
 
 
 @dataclass(frozen=True)
 class DefinePlan:
-    """α — molecule-type definition, optionally pre-filtering the root atoms."""
+    """α — molecule-type definition, optionally pre-filtering the root atoms.
+
+    *root_access* is the planner's costed choice of access path for the root
+    filter's equality conjuncts: ``None`` leaves the scan operator to its
+    default (grid preferred when the attribute pair matches),
+    ``("grid", attr, ...)`` forces the grid file, ``("hash", attr, ...)``
+    forces per-attribute hash lookups over the named attributes.
+    """
 
     name: str
     description: MoleculeTypeDescription
     root_filter: Optional[Formula] = None
+    root_access: Optional[Tuple[str, ...]] = None
 
 
 @dataclass(frozen=True)
@@ -105,8 +113,65 @@ class SetOpPlan:
     name: Optional[str] = None
 
 
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate in a Γ node: ``func`` over an attribute or a component.
+
+    Exactly one of the targets is set: *attribute* (a resolved atom-attribute
+    reference — SUM/MIN/MAX/AVG/COUNT over its non-NULL values), *component*
+    (a molecule component type — COUNT of its distinct atoms per group), or
+    neither (``COUNT(*)`` — molecules per group).  *output* is the column
+    name in the result rows.
+    """
+
+    func: str
+    attribute: Optional[AttributeRef] = None
+    component: Optional[str] = None
+    output: str = ""
+
+
+@dataclass(frozen=True)
+class AggregatePlan:
+    """Γ — grouped aggregation over a child plan's molecule stream.
+
+    *group_by* keys always reference the root atom type (one molecule = one
+    root atom, so root attributes partition the stream unambiguously).
+    *strategy* names the physical choice (``"hash"`` or ``"sort"``) the
+    planner costed; both produce canonically-ordered, byte-identical rows.
+    """
+
+    child: "PlanNode"
+    group_by: Tuple[AttributeRef, ...]
+    aggregates: Tuple[AggregateSpec, ...]
+    strategy: str = "hash"
+
+
+@dataclass(frozen=True)
+class ColumnarAggregatePlan:
+    """Γ_col — aggregation answered from the columnar projection.
+
+    Result-equivalent to the single-type :class:`AggregatePlan` it replaces;
+    produced only by the optimizer's ``columnarize_aggregate`` rule.  The
+    physical operator falls back to the row path when the MVCC gate refuses
+    the columnar arrays for the executing snapshot.
+    """
+
+    atom_type_name: str
+    group_by: Tuple[AttributeRef, ...]
+    aggregates: Tuple[AggregateSpec, ...]
+    root_filter: Optional[Formula] = None
+    name: str = ""
+
+
 PlanNode = Union[
-    DefinePlan, RestrictPlan, ProjectPlan, RecursivePlan, IntervalScanPlan, SetOpPlan
+    DefinePlan,
+    RestrictPlan,
+    ProjectPlan,
+    RecursivePlan,
+    IntervalScanPlan,
+    SetOpPlan,
+    AggregatePlan,
+    ColumnarAggregatePlan,
 ]
 
 
@@ -160,6 +225,8 @@ def describe_plan(plan: PlanNode, indent: str = "") -> str:
     """Render a plan as an indented, human-readable algebra expression."""
     if isinstance(plan, DefinePlan):
         suffix = f" [root filter: {plan.root_filter!r}]" if plan.root_filter is not None else ""
+        if plan.root_access is not None:
+            suffix += f" [access: {plan.root_access[0]}({', '.join(plan.root_access[1:])})]"
         return f"{indent}α {plan.name}({', '.join(plan.description.atom_type_names)}){suffix}"
     if isinstance(plan, RestrictPlan):
         return f"{indent}Σ [{plan.formula!r}]\n" + describe_plan(plan.child, indent + "  ")
@@ -189,6 +256,23 @@ def describe_plan(plan: PlanNode, indent: str = "") -> str:
             + "\n"
             + describe_plan(plan.right, indent + "  ")
         )
+    if isinstance(plan, AggregatePlan):
+        keys = ", ".join(repr(key) for key in plan.group_by)
+        aggs = ", ".join(spec.output for spec in plan.aggregates)
+        header = f"{indent}Γ [{aggs}]"
+        if keys:
+            header += f" group by [{keys}]"
+        header += f" ({plan.strategy})"
+        return header + "\n" + describe_plan(plan.child, indent + "  ")
+    if isinstance(plan, ColumnarAggregatePlan):
+        keys = ", ".join(repr(key) for key in plan.group_by)
+        aggs = ", ".join(spec.output for spec in plan.aggregates)
+        header = f"{indent}Γ_col {plan.atom_type_name} [{aggs}]"
+        if keys:
+            header += f" group by [{keys}]"
+        if plan.root_filter is not None:
+            header += f" [root filter: {plan.root_filter!r}]"
+        return header
     if isinstance(plan, InsertMolecule):
         return (
             f"{indent}ι insert {plan.name}"
@@ -217,6 +301,8 @@ def plan_description(plan: PlanNode) -> MoleculeTypeDescription:
         return plan.description
     if isinstance(plan, (RecursivePlan, IntervalScanPlan)):
         return MoleculeTypeDescription([plan.description.atom_type_name], [])
+    if isinstance(plan, ColumnarAggregatePlan):
+        return MoleculeTypeDescription([plan.atom_type_name], [])
     if isinstance(plan, SetOpPlan):
         return plan_description(plan.left)
     return plan_description(plan.child)
@@ -225,6 +311,8 @@ def plan_description(plan: PlanNode) -> MoleculeTypeDescription:
 def plan_name(plan: PlanNode) -> str:
     """The name of a plan's result molecule type (inherited through Σ and Π)."""
     if isinstance(plan, (DefinePlan, RecursivePlan, IntervalScanPlan)):
+        return plan.name
+    if isinstance(plan, ColumnarAggregatePlan):
         return plan.name
     if isinstance(plan, SetOpPlan):
         if plan.name is not None:
@@ -270,7 +358,7 @@ def recursive_nodes(
     def walk(node) -> None:
         if isinstance(node, (RecursivePlan, IntervalScanPlan)):
             found.append(node)
-        elif isinstance(node, (RestrictPlan, ProjectPlan)):
+        elif isinstance(node, (RestrictPlan, ProjectPlan, AggregatePlan)):
             walk(node.child)
         elif isinstance(node, SetOpPlan):
             walk(node.left)

@@ -28,6 +28,7 @@ benchmarks compare across plan variants.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -36,7 +37,13 @@ from repro.core.database import Database
 from repro.core.derivation import derive_molecule, resolve_description, resolve_directed_link
 from repro.core.link import Link, LinkType
 from repro.core.molecule import Molecule, MoleculeType, MoleculeTypeDescription
-from repro.core.predicates import AttributeRef, Comparison, Formula, split_conjunction
+from repro.core.predicates import (
+    AttributeRef,
+    Comparison,
+    Formula,
+    _compare,
+    split_conjunction,
+)
 from repro.core.recursion import RecursiveDescription, RecursiveMolecule, expand_recursive
 from repro.engine.logical import canonical_structure, resolve_projection_names
 from repro.exceptions import UnionCompatibilityError
@@ -52,6 +59,8 @@ class ExecutionCounters:
     links_followed: int = 0
     index_lookups: int = 0
     atoms_indexed: int = 0
+    groups_aggregated: int = 0
+    columnar_rows_scanned: int = 0
 
 
 def molecule_value_key(molecule: Molecule) -> Tuple:
@@ -189,6 +198,7 @@ class ExecutionContext:
         network=None,
         snapshot=None,
         structure=None,
+        columnar=None,
     ) -> None:
         self.database = database
         self.counters = counters or ExecutionCounters()
@@ -200,6 +210,9 @@ class ExecutionContext:
         #: Optional :class:`~repro.storage.structure_index.StructureIndexStore`
         #: — the interval-encoded accelerator for recursive definitions.
         self.structure = structure
+        #: Optional :class:`~repro.storage.columnar.ColumnarStore` — the
+        #: read-optimized per-type attribute arrays for aggregate scans.
+        self.columnar = columnar
 
     def links_via(self, link_type: LinkType, identifier: str) -> "Iterable[Link]":
         """The links of *link_type* incident to *identifier* (neighbour traversal)."""
@@ -237,10 +250,14 @@ class MoleculeScan(PhysicalOperator):
         name: str,
         description: MoleculeTypeDescription,
         root_filter: Optional[Formula] = None,
+        root_access: Optional[Tuple[str, ...]] = None,
     ) -> None:
         self.name = name
         self.description = description
         self.root_filter = root_filter
+        #: The planner's costed access-path choice: ``None`` (default
+        #: preference), ``("grid", attr, ...)`` or ``("hash", attr, ...)``.
+        self.root_access = root_access
         self._resolved: Optional[MoleculeTypeDescription] = None
         self._resolved_for: Optional[Database] = None
 
@@ -303,7 +320,10 @@ class MoleculeScan(PhysicalOperator):
             equalities.setdefault(conjunct.lhs.attribute, conjunct.rhs)
         if not equalities:
             return None
-        if len(equalities) >= 2:
+        use_grid = len(equalities) >= 2 and (
+            self.root_access is None or self.root_access[0] == "grid"
+        )
+        if use_grid:
             attributes = tuple(sorted(equalities))
             grid = ctx.indexes.grid_for(description.root, attributes, ctx.counters)
             if grid is None:
@@ -312,6 +332,12 @@ class MoleculeScan(PhysicalOperator):
                 ctx.counters.index_lookups += 1
                 atoms = [root_type.get(identifier) for identifier in sorted(grid.lookup(equalities))]
                 return [atom for atom in atoms if atom is not None]
+        if self.root_access is not None and self.root_access[0] == "hash":
+            # The planner named the most selective attribute(s) first; try
+            # them before the arbitrary dict order of the remaining conjuncts.
+            ordered = [a for a in self.root_access[1:] if a in equalities]
+            ordered += [a for a in equalities if a not in ordered]
+            equalities = {attribute: equalities[attribute] for attribute in ordered}
         for attribute, value in equalities.items():
             identifiers = ctx.indexes.lookup(
                 description.root, attribute, value, ctx.counters
@@ -655,3 +681,369 @@ class Intersection(_BinarySetOperator):
             if key in kept and key not in seen:
                 seen.add(key)
                 yield molecule
+
+
+# --------------------------------------------------------------- aggregation
+
+
+def _canonical_key(values: Tuple) -> Tuple:
+    """Total order over group-key tuples: NULLs last, then textual order."""
+    return tuple((value is None, str(value)) for value in values)
+
+
+def _robust_extreme(values: List[object], pick) -> object:
+    """MIN/MAX tolerant of mixed value types (falls back to a textual order).
+
+    ``==``-equal extremes can carry distinct renderings (``-0.0`` vs ``0.0``,
+    ``1`` vs ``1.0``) and which one a fold meets first depends on scan order,
+    so ties are re-picked textually — the row and columnar paths then return
+    the same bytes no matter how they ordered the values.
+    """
+    textual = lambda v: (type(v).__name__, str(v))  # noqa: E731
+    try:
+        result = pick(values)
+    except TypeError:
+        return pick(values, key=textual)
+    ties = [value for value in values if value == result]
+    return pick(ties, key=textual) if len(ties) > 1 else result
+
+
+class _GroupAccumulator:
+    """Running state of one group: molecule count plus one target per spec.
+
+    Attribute targets are ``{atom identifier: value}`` maps — an atom shared
+    by several molecules of the group contributes exactly once; component
+    targets are identifier sets (distinct component atoms); ``COUNT(*)``
+    needs only the molecule counter.
+    """
+
+    __slots__ = ("count", "targets")
+
+    def __init__(self, specs) -> None:
+        self.count = 0
+        self.targets: List[object] = [
+            set() if spec.component is not None else ({} if spec.attribute is not None else None)
+            for spec in specs
+        ]
+
+    def fold_molecule(self, specs, molecule: Molecule) -> None:
+        self.count += 1
+        for spec, target in zip(specs, self.targets):
+            if spec.component is not None:
+                for atom in molecule.atoms_of_type(spec.component):
+                    target.add(atom.identifier)
+            elif spec.attribute is not None:
+                for atom in molecule.atoms_of_type(spec.attribute.atom_type):
+                    target.setdefault(atom.identifier, atom.get(spec.attribute.attribute))
+
+    def fold_atom(self, specs, identifier: str, values: "Sequence[object]") -> None:
+        """Fold one single-type root atom (row or columnar form).
+
+        *values* carries one pre-extracted attribute value per spec (``None``
+        placeholders for ``COUNT(*)``/component specs).
+        """
+        self.count += 1
+        for spec, target, value in zip(specs, self.targets, values):
+            if spec.component is not None:
+                target.add(identifier)
+            elif spec.attribute is not None:
+                target.setdefault(identifier, value)
+
+    def finalize(self, spec, target) -> object:
+        if spec.component is not None:
+            return len(target)
+        if spec.attribute is None:
+            return self.count  # COUNT(*)
+        values = [value for value in target.values() if value is not None]
+        if spec.func == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if spec.func in ("SUM", "AVG"):
+            try:
+                # math.fsum keeps float sums order-independent (byte parity
+                # between row and columnar folds); all-int sums stay exact.
+                total = (
+                    math.fsum(values)
+                    if any(isinstance(v, float) for v in values)
+                    else sum(values)
+                )
+            except TypeError:
+                return None  # non-numeric values — NULL, on both paths
+            return total if spec.func == "SUM" else total / len(values)
+        if spec.func == "MIN":
+            return _robust_extreme(values, min)
+        return _robust_extreme(values, max)
+
+
+def finalize_groups(
+    group_by: Tuple[AttributeRef, ...],
+    specs,
+    groups: "Dict[Tuple, _GroupAccumulator]",
+) -> List[Tuple]:
+    """Turn accumulated groups into canonically ordered result rows.
+
+    Shared by every Γ operator — the row, sorted and columnar folds all
+    finalize through this one function, which is what makes their outputs
+    byte-identical.  A global aggregate (no GROUP BY) over empty input yields
+    its one row with zero counts and NULL value aggregates; a grouped
+    aggregate over empty input yields no rows.
+    """
+    if not group_by and not groups:
+        groups = {(): _GroupAccumulator(specs)}
+    rows: List[Tuple] = []
+    for key in sorted(groups, key=_canonical_key):
+        accumulator = groups[key]
+        rows.append(
+            key
+            + tuple(
+                accumulator.finalize(spec, target)
+                for spec, target in zip(specs, accumulator.targets)
+            )
+        )
+    return rows
+
+
+def aggregate_columns(group_by: Tuple[AttributeRef, ...], specs) -> Tuple[str, ...]:
+    """Result column names: the group keys first, then the aggregates."""
+    keys = tuple(
+        f"{ref.atom_type}.{ref.attribute}" if ref.atom_type else ref.attribute
+        for ref in group_by
+    )
+    return keys + tuple(spec.output for spec in specs)
+
+
+class AggregationOperator(PhysicalOperator):
+    """Base of the Γ operators: produces rows, not molecules."""
+
+    group_by: Tuple[AttributeRef, ...] = ()
+    aggregates = ()
+
+    def columns(self) -> Tuple[str, ...]:
+        return aggregate_columns(self.group_by, self.aggregates)
+
+    def rows(self, ctx: ExecutionContext) -> List[Tuple]:
+        raise NotImplementedError
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Molecule]:
+        raise TypeError(
+            "aggregation operators produce rows, not molecules; "
+            "run them through Executor.run_aggregate"
+        )
+
+
+class HashAggregate(AggregationOperator):
+    """Streaming Γ: fold the child's molecule stream into a group hash table."""
+
+    def __init__(self, child: PhysicalOperator, group_by, aggregates) -> None:
+        self.child = child
+        self.group_by = tuple(group_by)
+        self.aggregates = tuple(aggregates)
+
+    def describe(self, ctx: ExecutionContext) -> MoleculeTypeDescription:
+        return self.child.describe(ctx)
+
+    def rows(self, ctx: ExecutionContext) -> List[Tuple]:
+        groups: Dict[Tuple, _GroupAccumulator] = {}
+        for molecule in self.child.execute(ctx):
+            key = tuple(ref.value_from_atom(molecule.root_atom) for ref in self.group_by)
+            accumulator = groups.get(key)
+            if accumulator is None:
+                accumulator = groups[key] = _GroupAccumulator(self.aggregates)
+            accumulator.fold_molecule(self.aggregates, molecule)
+        ctx.counters.groups_aggregated += len(groups)
+        return finalize_groups(self.group_by, self.aggregates, groups)
+
+
+class SortedGroupAggregate(AggregationOperator):
+    """Γ by sorting: materialize keyed molecules, sort, fold adjacent runs.
+
+    Result-identical to :class:`HashAggregate` (the planner's cost model
+    picks between them): equal keys are adjacent after the canonical sort, so
+    one accumulator is live at a time; a final merge pass guards the
+    pathological case of ``==``-equal keys with distinct canonical forms
+    (e.g. ``1`` vs ``1.0``).
+    """
+
+    def __init__(self, child: PhysicalOperator, group_by, aggregates) -> None:
+        self.child = child
+        self.group_by = tuple(group_by)
+        self.aggregates = tuple(aggregates)
+
+    def describe(self, ctx: ExecutionContext) -> MoleculeTypeDescription:
+        return self.child.describe(ctx)
+
+    def rows(self, ctx: ExecutionContext) -> List[Tuple]:
+        keyed: List[Tuple[Tuple, Molecule]] = [
+            (
+                tuple(ref.value_from_atom(molecule.root_atom) for ref in self.group_by),
+                molecule,
+            )
+            for molecule in self.child.execute(ctx)
+        ]
+        keyed.sort(key=lambda pair: _canonical_key(pair[0]))
+        groups: Dict[Tuple, _GroupAccumulator] = {}
+        run_key: Optional[Tuple] = None
+        accumulator: Optional[_GroupAccumulator] = None
+        for key, molecule in keyed:
+            if accumulator is None or key != run_key:
+                run_key = key
+                previous = groups.get(key)
+                if previous is None:
+                    accumulator = groups[key] = _GroupAccumulator(self.aggregates)
+                else:  # an ==-equal key seen under another canonical form
+                    accumulator = previous
+            accumulator.fold_molecule(self.aggregates, molecule)
+        ctx.counters.groups_aggregated += len(groups)
+        return finalize_groups(self.group_by, self.aggregates, groups)
+
+
+class ColumnarAggregate(AggregationOperator):
+    """Γ over the columnar projection of a single-type structure.
+
+    The group keys and aggregate targets are read straight out of per-type
+    attribute arrays; the optional root filter (a conjunction of simple
+    comparisons, guaranteed by the optimizer rule) is evaluated column-wise
+    with the exact :func:`~repro.core.predicates._compare` semantics of the
+    row path.  When the context's columnar store refuses to serve the
+    executing snapshot (stale arrays, private transaction writes) the
+    operator folds the row occurrence directly — same accumulators, same
+    finalize, byte-identical rows.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        atom_type_name: str,
+        group_by,
+        aggregates,
+        root_filter: Optional[Formula] = None,
+    ) -> None:
+        self.name = name
+        self.atom_type_name = atom_type_name
+        self.group_by = tuple(group_by)
+        self.aggregates = tuple(aggregates)
+        self.root_filter = root_filter
+
+    def describe(self, ctx: ExecutionContext) -> MoleculeTypeDescription:
+        return resolve_description(
+            ctx.database, MoleculeTypeDescription([self.atom_type_name], [])
+        )
+
+    def _spec_attributes(self) -> List[Optional[str]]:
+        """One attribute name per spec (``None`` for COUNT(*)/components)."""
+        return [
+            spec.attribute.attribute if spec.attribute is not None else None
+            for spec in self.aggregates
+        ]
+
+    def _filter_conjuncts(self) -> Optional[List[Comparison]]:
+        """The root filter as simple literal comparisons, or ``None``."""
+        if self.root_filter is None:
+            return []
+        conjuncts: List[Comparison] = []
+        for conjunct in split_conjunction(self.root_filter):
+            if not isinstance(conjunct, Comparison) or isinstance(
+                conjunct.rhs, AttributeRef
+            ):
+                return None
+            conjuncts.append(conjunct)
+        return conjuncts
+
+    def rows(self, ctx: ExecutionContext) -> List[Tuple]:
+        store = getattr(ctx, "columnar", None)
+        projection = (
+            store.for_execution(self.atom_type_name, ctx) if store is not None else None
+        )
+        conjuncts = self._filter_conjuncts()
+        if projection is not None and conjuncts is not None:
+            groups = self._fold_columnar(ctx, projection, conjuncts)
+        else:
+            if store is not None:
+                store.count_fallback()
+            groups = self._fold_rows(ctx)
+        ctx.counters.groups_aggregated += len(groups)
+        return finalize_groups(self.group_by, self.aggregates, groups)
+
+    def _fold_columnar(
+        self, ctx: ExecutionContext, projection, conjuncts: List[Comparison]
+    ) -> Dict[Tuple, _GroupAccumulator]:
+        identifiers = projection.identifiers
+        total = len(identifiers)
+        ctx.counters.columnar_rows_scanned += total
+        filter_columns = [
+            (projection.column(c.lhs.attribute), c.op, c.rhs) for c in conjuncts
+        ]
+        if filter_columns:
+            rows: "range | List[int]" = [
+                row
+                for row in range(total)
+                if all(
+                    _compare(op, column[row], rhs)
+                    for column, op, rhs in filter_columns
+                )
+            ]
+        else:
+            rows = range(total)
+        # Partition the qualifying rows by group key — the only per-row loop;
+        # everything after runs column-wise over each partition's index list.
+        key_columns = [projection.column(ref.attribute) for ref in self.group_by]
+        partitions: Dict[Tuple, List[int]] = {}
+        if len(key_columns) == 1:
+            column = key_columns[0]
+            for row in rows:
+                key = (column[row],)
+                bucket = partitions.get(key)
+                if bucket is None:
+                    bucket = partitions[key] = []
+                bucket.append(row)
+        elif key_columns:
+            for row in rows:
+                key = tuple(column[row] for column in key_columns)
+                bucket = partitions.get(key)
+                if bucket is None:
+                    bucket = partitions[key] = []
+                bucket.append(row)
+        else:
+            bucket = list(rows)
+            if bucket:
+                partitions[()] = bucket
+        # Every projection row is one distinct root atom, so the bulk fills
+        # below land exactly where fold_atom's setdefault/add would.
+        spec_columns = [
+            projection.column(attribute) if attribute is not None else None
+            for attribute in self._spec_attributes()
+        ]
+        groups: Dict[Tuple, _GroupAccumulator] = {}
+        for key, bucket in partitions.items():
+            accumulator = groups[key] = _GroupAccumulator(self.aggregates)
+            accumulator.count = len(bucket)
+            for index, (spec, column) in enumerate(zip(self.aggregates, spec_columns)):
+                if spec.component is not None:
+                    accumulator.targets[index] = {identifiers[row] for row in bucket}
+                elif spec.attribute is not None:
+                    accumulator.targets[index] = {
+                        identifiers[row]: column[row] for row in bucket
+                    }
+        return groups
+
+    def _fold_rows(self, ctx: ExecutionContext) -> Dict[Tuple, _GroupAccumulator]:
+        """Row-path fallback: fold the type occurrence atom by atom."""
+        attributes = self._spec_attributes()
+        groups: Dict[Tuple, _GroupAccumulator] = {}
+        for atom in ctx.database.atyp(self.atom_type_name):
+            ctx.counters.atoms_touched += 1
+            if self.root_filter is not None:
+                ctx.counters.restrictions_evaluated += 1
+                if not self.root_filter.evaluate_atom(atom):
+                    continue
+            key = tuple(ref.value_from_atom(atom) for ref in self.group_by)
+            accumulator = groups.get(key)
+            if accumulator is None:
+                accumulator = groups[key] = _GroupAccumulator(self.aggregates)
+            values = tuple(
+                atom.get(attribute) if attribute is not None else None
+                for attribute in attributes
+            )
+            accumulator.fold_atom(self.aggregates, atom.identifier, values)
+        return groups

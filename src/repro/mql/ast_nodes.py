@@ -113,13 +113,40 @@ class FromClause:
 
 
 @dataclass(frozen=True)
+class AggregateItem:
+    """One aggregate call in a SELECT list: ``func(attr)`` or ``COUNT(*)``.
+
+    *argument* is ``None`` for ``COUNT(*)`` (*star* is then ``True``); for
+    component counts the argument is a bare :class:`AttributeReference` whose
+    ``attribute`` names an atom type of the FROM structure.
+    """
+
+    func: str  # "COUNT" | "SUM" | "MIN" | "MAX" | "AVG"
+    argument: Optional[AttributeReference] = None
+    star: bool = False
+
+    def __str__(self) -> str:
+        inner = "*" if self.star else str(self.argument)
+        return f"{self.func.lower()}({inner})"
+
+
+@dataclass(frozen=True)
 class Query:
-    """A single SELECT-FROM-WHERE query block."""
+    """A single SELECT-FROM-WHERE query block.
+
+    Aggregation extends the block: when *aggregates* is non-empty the SELECT
+    list consisted of aggregate calls (plus, optionally, the *select_refs*
+    attribute references, each of which must also appear in *group_by*) and
+    the result is a set of rows, not molecules.
+    """
 
     select_all: bool
     projection: Tuple[str, ...]
     from_clause: FromClause
     where: Optional[object] = None
+    aggregates: Tuple[AggregateItem, ...] = ()
+    group_by: Tuple[AttributeReference, ...] = ()
+    select_refs: Tuple[AttributeReference, ...] = ()
 
 
 @dataclass(frozen=True)

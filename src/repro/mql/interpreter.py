@@ -40,6 +40,8 @@ from repro.core.recursion import (
 )
 from repro.engine.executor import Executor, compile_plan
 from repro.engine.logical import (
+    AggregatePlan,
+    ColumnarAggregatePlan,
     DeleteMolecules,
     InsertMolecule,
     ModifyAtoms,
@@ -95,6 +97,11 @@ class QueryResult:
     write_summary:
         For DML statements: the affected-count report of the write plan
         (molecules affected, atoms/links inserted, removed, modified).
+    columns / rows:
+        For aggregate statements (``GROUP BY``/aggregate functions): the
+        result is a canonically ordered row set, not a molecule set —
+        *columns* names the group keys and aggregates, *rows* carries the
+        value tuples; ``molecule_type`` is then ``None``.
     """
 
     molecule_type: Optional[MoleculeType]
@@ -104,6 +111,8 @@ class QueryResult:
     plan_choice: Optional[PlanChoice] = None
     explanation: Optional[str] = None
     write_summary: Optional[WriteSummary] = None
+    columns: Optional[Tuple[str, ...]] = None
+    rows: Optional[Tuple[Tuple, ...]] = None
 
     @property
     def molecules(self) -> Tuple[Molecule, ...]:
@@ -120,13 +129,20 @@ class QueryResult:
         return len(self)
 
     def __len__(self) -> int:
+        if self.rows is not None:
+            return len(self.rows)
         return len(self.molecule_type) if self.molecule_type is not None else 0
 
     def __iter__(self):
+        if self.rows is not None:
+            return iter(self.rows)
         return iter(self.molecule_type if self.molecule_type is not None else ())
 
     def to_dicts(self) -> List[Dict[str, object]]:
-        """Render every result molecule as a nested dictionary."""
+        """Render the result — molecules as nested dictionaries, aggregate
+        rows as flat column-name dictionaries."""
+        if self.rows is not None:
+            return [dict(zip(self.columns or (), row)) for row in self.rows]
         return [molecule.to_nested_dict() for molecule in self]
 
 
@@ -422,6 +438,17 @@ class MQLInterpreter:
     def _execute_planned(self, statement: Statement, snapshot=None) -> QueryResult:
         choice = self.plan(statement)
         context = self.executor.context(snapshot=snapshot) if snapshot is not None else None
+        if isinstance(choice.best, (AggregatePlan, ColumnarAggregatePlan)):
+            aggregate = self.executor.run_aggregate(choice.best, context=context)
+            return QueryResult(
+                None,
+                self.database,
+                statement,
+                counters=aggregate.counters,
+                plan_choice=choice,
+                columns=aggregate.columns,
+                rows=aggregate.rows,
+            )
         result = self.executor.run(choice.best, context=context)
         self._observe_recursion(choice.best, result)
         return QueryResult(
@@ -613,6 +640,11 @@ class MQLInterpreter:
         return self._execute_query(statement, database)
 
     def _execute_query(self, query: Query, database: Database) -> Tuple[MoleculeType, Database]:
+        if query.aggregates or query.group_by:
+            raise MQLSemanticError(
+                "aggregation runs only through the planned pipeline; the "
+                "literal (optimize=False) path has no Γ materialization"
+            )
         translator = QueryTranslator(database)
         description = translator.translate_from(query.from_clause)
         name = query.from_clause.molecule_name or next_anonymous_name()

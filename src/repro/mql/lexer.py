@@ -43,6 +43,8 @@ KEYWORDS = {
     "ROLLBACK",
     "WORK",
     "CHECKPOINT",
+    "GROUP",
+    "BY",
 }
 
 
@@ -56,6 +58,7 @@ class TokenType(enum.Enum):
     NUMBER = "number"
     OPERATOR = "operator"  # = != <> < <= > >=
     DASH = "dash"  # the structure separator '-'
+    STAR = "star"  # '*' — COUNT(*)
     LPAREN = "lparen"
     RPAREN = "rparen"
     LBRACE = "lbrace"  # { } delimit nested object literals (INSERT ... VALUES)
@@ -180,6 +183,7 @@ def tokenize(text: str) -> List[Token]:
             continue
         simple = {
             "-": TokenType.DASH,
+            "*": TokenType.STAR,
             "(": TokenType.LPAREN,
             ")": TokenType.RPAREN,
             "{": TokenType.LBRACE,

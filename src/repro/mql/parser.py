@@ -8,7 +8,11 @@ Grammar (EBNF)::
     checkpoint  := "CHECKPOINT" [";"]
     statement   := query (("UNION" | "DIFFERENCE" | "INTERSECT") query)* [";"]
     query       := "SELECT" select_list "FROM" from_clause ["WHERE" condition]
-    select_list := "ALL" | ident ("," ident)*
+                   ["GROUP" "BY" attr_ref ("," attr_ref)*]
+    select_list := "ALL" | select_item ("," select_item)*
+    select_item := aggregate | attr_ref
+    aggregate   := ("COUNT" | "SUM" | "MIN" | "MAX" | "AVG")
+                   "(" ("*" | attr_ref) ")"
     from_clause := recursive | [ident] "(" path ")" | path
     recursive   := "RECURSIVE" ident [bracket_name] ["DOWN" | "UP"] [number]
     path        := node ("-" [bracket_name "-"] node)*
@@ -42,6 +46,7 @@ from typing import List, Optional, Tuple, Union
 
 from repro.exceptions import MQLSyntaxError
 from repro.mql.ast_nodes import (
+    AggregateItem,
     Assignment,
     AttributeReference,
     CheckpointStatement,
@@ -152,24 +157,78 @@ class _Parser:
                 f"unexpected trailing input {token.value!r}", token.line, token.column
             )
 
+    _AGGREGATE_FUNCS = ("COUNT", "SUM", "MIN", "MAX", "AVG")
+
     def parse_query(self) -> Query:
         self.expect(TokenType.KEYWORD, "SELECT")
         select_all = False
         projection: Tuple[str, ...] = ()
+        aggregates: Tuple[AggregateItem, ...] = ()
+        select_refs: Tuple[AttributeReference, ...] = ()
         if self.accept_keyword("ALL"):
             select_all = True
         else:
-            names = [self.expect(TokenType.IDENT).value]
+            items: List[Union[AggregateItem, AttributeReference]] = [
+                self.parse_select_item()
+            ]
             while self.peek().type is TokenType.COMMA:
                 self.advance()
-                names.append(self.expect(TokenType.IDENT).value)
-            projection = tuple(str(name) for name in names)
+                items.append(self.parse_select_item())
+            if any(isinstance(item, AggregateItem) for item in items):
+                aggregates = tuple(i for i in items if isinstance(i, AggregateItem))
+                select_refs = tuple(
+                    i for i in items if isinstance(i, AttributeReference)
+                )
+            else:
+                for item in items:
+                    if isinstance(item, AttributeReference) and item.atom_type:
+                        raise MQLSyntaxError(
+                            "dotted attribute references in the SELECT list "
+                            "require aggregation (GROUP BY)",
+                            self.peek().line,
+                            self.peek().column,
+                        )
+                projection = tuple(str(item.attribute) for item in items)  # type: ignore[union-attr]
         self.expect(TokenType.KEYWORD, "FROM")
         from_clause = self.parse_from_clause()
         where = None
         if self.accept_keyword("WHERE"):
             where = self.parse_condition()
-        return Query(select_all, projection, from_clause, where)
+        group_by: Tuple[AttributeReference, ...] = ()
+        if self.accept_keyword("GROUP"):
+            self.expect(TokenType.KEYWORD, "BY")
+            keys = [self.parse_attribute_reference()]
+            while self.peek().type is TokenType.COMMA:
+                self.advance()
+                keys.append(self.parse_attribute_reference())
+            group_by = tuple(keys)
+        return Query(
+            select_all, projection, from_clause, where, aggregates, group_by, select_refs
+        )
+
+    def parse_select_item(self) -> "AggregateItem | AttributeReference":
+        token = self.peek()
+        if (
+            token.type is TokenType.IDENT
+            and str(token.value).upper() in self._AGGREGATE_FUNCS
+            and self.peek(1).type is TokenType.LPAREN
+        ):
+            func = str(self.advance().value).upper()
+            self.expect(TokenType.LPAREN)
+            if self.peek().type is TokenType.STAR:
+                star_token = self.advance()
+                if func != "COUNT":
+                    raise MQLSyntaxError(
+                        f"'*' is only valid in COUNT(*), not {func}(*)",
+                        star_token.line,
+                        star_token.column,
+                    )
+                self.expect(TokenType.RPAREN)
+                return AggregateItem(func, None, star=True)
+            argument = self.parse_attribute_reference()
+            self.expect(TokenType.RPAREN)
+            return AggregateItem(func, argument)
+        return self.parse_attribute_reference()
 
     # ------------------------------------------------------------------- DML
 

@@ -32,6 +32,8 @@ from repro.core.predicates import (
 )
 from repro.core.recursion import RecursiveDescription
 from repro.engine.logical import (
+    AggregatePlan,
+    AggregateSpec,
     DefinePlan,
     DeleteMolecules,
     InsertMolecule,
@@ -46,6 +48,7 @@ from repro.engine.logical import (
 )
 from repro.exceptions import MoleculeGraphError, MQLSemanticError
 from repro.mql.ast_nodes import (
+    AggregateItem,
     AttributeReference,
     ComparisonCondition,
     DeleteStatement,
@@ -147,6 +150,11 @@ class QueryTranslator:
         query blocks; all semantic checks run here, before any execution.
         """
         if isinstance(statement, SetOperation):
+            for side in (statement.left, statement.right):
+                if isinstance(side, Query) and (side.aggregates or side.group_by):
+                    raise MQLSemanticError(
+                        "aggregate query blocks cannot appear in set operations"
+                    )
             return SetOpPlan(
                 statement.operator,
                 self.translate_statement(statement.left),
@@ -160,6 +168,8 @@ class QueryTranslator:
         """Translate one SELECT-FROM-WHERE block into a logical plan."""
         description = self.translate_from(query.from_clause)
         name = query.from_clause.molecule_name or next_anonymous_name()
+        if query.aggregates or query.group_by:
+            return self._translate_aggregate_query(query, description, name)
         if isinstance(description, RecursiveDescription):
             if not query.select_all:
                 raise MQLSemanticError("projection over a RECURSIVE structure is not supported")
@@ -176,6 +186,89 @@ class QueryTranslator:
         if projection is not None:
             plan = ProjectPlan(plan, tuple(projection))
         return plan
+
+    # ----------------------------------------------------------- aggregation
+
+    def _translate_aggregate_query(
+        self,
+        query: Query,
+        description: Union[MoleculeTypeDescription, RecursiveDescription],
+        name: str,
+    ) -> PlanNode:
+        """Translate an aggregate query block into α [→ Σ] → Γ."""
+        if isinstance(description, RecursiveDescription):
+            raise MQLSemanticError(
+                "aggregation over a RECURSIVE structure is not supported"
+            )
+        if not query.aggregates:
+            raise MQLSemanticError("GROUP BY requires at least one aggregate function")
+        group_by = tuple(
+            self._resolve_group_key(reference, description) for reference in query.group_by
+        )
+        # AttributeRef overloads == to build Comparison formulas, so plain
+        # membership tests silently pass; compare the identity fields instead.
+        keys = {(key.atom_type, key.attribute) for key in group_by}
+        for reference in query.select_refs:
+            resolved = self._resolve_reference(reference, description)
+            if (resolved.atom_type, resolved.attribute) not in keys:
+                raise MQLSemanticError(
+                    f"SELECT references {reference!s}, which is neither an "
+                    "aggregate nor a GROUP BY key"
+                )
+        aggregates = tuple(
+            self._resolve_aggregate(item, description) for item in query.aggregates
+        )
+        plan: PlanNode = DefinePlan(name, description)
+        if query.where is not None:
+            plan = RestrictPlan(plan, self.translate_condition(query.where, description))
+        return AggregatePlan(plan, group_by, aggregates)
+
+    def _resolve_group_key(
+        self,
+        reference: AttributeReference,
+        description: MoleculeTypeDescription,
+    ) -> AttributeRef:
+        """A GROUP BY key must be a root-atom attribute (one molecule = one root)."""
+        resolved = self._resolve_reference(reference, description)
+        if resolved.atom_type != description.root:
+            raise MQLSemanticError(
+                f"GROUP BY must reference the root atom type "
+                f"{description.root!r}, not {resolved.atom_type!r}"
+            )
+        return resolved
+
+    def _resolve_aggregate(
+        self,
+        item: AggregateItem,
+        description: MoleculeTypeDescription,
+    ) -> AggregateSpec:
+        """Resolve one aggregate call to an attribute or component target."""
+        if item.star:
+            return AggregateSpec("COUNT", output="count(*)")
+        reference = item.argument
+        assert reference is not None  # the parser guarantees it
+        if reference.atom_type is None:
+            # A bare name matching an atom type of the structure is a
+            # component count (distinct component atoms per group).
+            component = None
+            for present in description.atom_type_names:
+                if present == reference.attribute or (
+                    present.split("@", 1)[0] == reference.attribute
+                ):
+                    component = present
+                    break
+            if component is not None:
+                if item.func != "COUNT":
+                    raise MQLSemanticError(
+                        f"{item.func} over the component type {reference.attribute!r} "
+                        "is not supported; only COUNT counts component atoms"
+                    )
+                return AggregateSpec(
+                    "COUNT", component=component, output=f"count({reference.attribute})"
+                )
+        resolved = self._resolve_reference(reference, description)
+        output = f"{item.func.lower()}({resolved.atom_type}.{resolved.attribute})"
+        return AggregateSpec(item.func, attribute=resolved, output=output)
 
     # ------------------------------------------------------------------- DML
 

@@ -24,7 +24,11 @@ from typing import List, Optional, Tuple
 
 from repro.core.database import Database
 from repro.engine.executor import Executor
-from repro.engine.logical import IntervalScanPlan, recursive_nodes
+from repro.engine.logical import (
+    ColumnarAggregatePlan,
+    IntervalScanPlan,
+    recursive_nodes,
+)
 from repro.optimizer.plans import PlanExecution, PlanNode, describe_plan
 from repro.optimizer.rules import RewriteResult, rewrite
 from repro.optimizer.statistics import (
@@ -129,6 +133,11 @@ class Planner:
             return self._accelerators
         return getattr(self.executor, "structure", None)
 
+    @property
+    def columnar(self):
+        """The columnar projection store consulted by ``columnarize_aggregate``."""
+        return getattr(self.executor, "columnar", None)
+
     def apply_event(self, event) -> None:
         """Fold one change event into the collected statistics.
 
@@ -142,7 +151,12 @@ class Planner:
 
     def optimize(self, plan: PlanNode) -> PlanChoice:
         """Rewrite *plan* and return the costed :class:`PlanChoice`."""
-        rewritten: RewriteResult = rewrite(plan, self.accelerators)
+        rewritten: RewriteResult = rewrite(
+            plan,
+            self.accelerators,
+            columnar=self.columnar,
+            statistics=lambda: self.statistics,
+        )
         recursive = recursive_nodes(rewritten.plan)
         if not rewritten.applied_rules and not recursive:
             # No rule fired on a non-recursive plan: both variants are the
@@ -161,8 +175,17 @@ class Planner:
             original_cost=self.cost_model.estimate(plan),
             optimized_cost=self.cost_model.estimate(rewritten.plan),
             applied_rules=rewritten.applied_rules,
-            notes=self._recursion_notes(recursive),
+            notes=self._recursion_notes(recursive) + self._columnar_notes(rewritten.plan),
         )
+
+    def _columnar_notes(self, plan: PlanNode) -> Tuple[str, ...]:
+        """EXPLAIN annotations for a columnarized Γ: projection state and size."""
+        if not isinstance(plan, ColumnarAggregatePlan):
+            return ()
+        columnar = self.columnar
+        if columnar is None:
+            return ()
+        return tuple(columnar.describe(plan.atom_type_name))
 
     def _recursion_notes(self, nodes) -> Tuple[str, ...]:
         """EXPLAIN annotations for every recursive node of the chosen plan:

@@ -24,6 +24,9 @@ from __future__ import annotations
 from repro.core.database import Database
 from repro.engine.executor import ExecutionResult, run_plan
 from repro.engine.logical import (
+    AggregatePlan,
+    AggregateSpec,
+    ColumnarAggregatePlan,
     DefinePlan,
     IntervalScanPlan,
     PlanNode,
@@ -37,6 +40,9 @@ from repro.engine.logical import (
 from repro.engine.physical import ExecutionCounters
 
 __all__ = [
+    "AggregatePlan",
+    "AggregateSpec",
+    "ColumnarAggregatePlan",
     "DefinePlan",
     "ExecutionCounters",
     "IntervalScanPlan",

@@ -1,6 +1,6 @@
 """Algebraic rewrite rules over molecule-query plans.
 
-Four rules, all of which preserve the result molecules (their correctness is
+Six rules, all of which preserve the result molecules (their correctness is
 checked by the optimizer tests, the executor/algebra parity tests and the
 ablation benchmark):
 
@@ -11,6 +11,10 @@ ablation benchmark):
   derivation (``Σ[f](α(...)) → α[root filter f](...)``); molecules that would
   be filtered out are never derived, and the scan can answer equality filters
   through a secondary index.
+* :func:`choose_root_access` — cost composite grid-file probes against the
+  best single hash-bucket lookup for multi-equality root filters and pin the
+  winner on the α as its ``root_access`` (the scan previously always
+  preferred the grid).
 * :func:`prune_structure` — drop atom types that neither the projection nor
   any restriction references (and that are not needed to keep the structure
   coherent); the hierarchical join then has fewer branches to follow.
@@ -18,19 +22,32 @@ ablation benchmark):
   :class:`IntervalScanPlan` when a registered structure index covers its
   recursive description; closures are then answered by interval range scans
   (or compact-adjacency sweeps) instead of hop-by-hop link chasing.
+* :func:`columnarize_aggregate` — route a Γ over a single-type, link-free α
+  (with an index-friendly literal filter, or none) onto the columnar
+  projection scan; the physical operator still falls back to the row path
+  whenever the projection cannot serve the read coherently, so firing the
+  rule never changes results.
 
 All rules recurse through set operations (each side of Ω/Δ/Ψ is rewritten
-independently).
+independently) and through Γ inputs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.core.molecule import MoleculeTypeDescription
-from repro.core.predicates import And, Formula
+from repro.core.predicates import (
+    And,
+    AttributeRef,
+    Comparison,
+    Formula,
+    split_conjunction,
+)
 from repro.engine.logical import (
+    AggregatePlan,
+    ColumnarAggregatePlan,
     DefinePlan,
     IntervalScanPlan,
     PlanNode,
@@ -62,6 +79,8 @@ def merge_restrictions(plan: PlanNode) -> RewriteResult:
             return RestrictPlan(child, node.formula)
         if isinstance(node, ProjectPlan):
             return ProjectPlan(walk(node.child), node.atom_type_names)
+        if isinstance(node, AggregatePlan):
+            return AggregatePlan(walk(node.child), node.group_by, node.aggregates, node.strategy)
         if isinstance(node, SetOpPlan):
             return SetOpPlan(node.operator, walk(node.left), walk(node.right), node.name)
         return node
@@ -92,10 +111,12 @@ def push_down_restriction(plan: PlanNode) -> RewriteResult:
                     if child.root_filter is None
                     else And(child.root_filter, node.formula)
                 )
-                return DefinePlan(child.name, child.description, combined)
+                return DefinePlan(child.name, child.description, combined, child.root_access)
             return RestrictPlan(child, node.formula)
         if isinstance(node, ProjectPlan):
             return ProjectPlan(walk(node.child), node.atom_type_names)
+        if isinstance(node, AggregatePlan):
+            return AggregatePlan(walk(node.child), node.group_by, node.aggregates, node.strategy)
         if isinstance(node, SetOpPlan):
             return SetOpPlan(node.operator, walk(node.left), walk(node.right), node.name)
         return node
@@ -153,7 +174,9 @@ def prune_structure(plan: PlanNode) -> RewriteResult:
 
     def walk(node: PlanNode) -> PlanNode:
         if isinstance(node, DefinePlan):
-            return DefinePlan(node.name, prune_description(node.description), node.root_filter)
+            return DefinePlan(
+                node.name, prune_description(node.description), node.root_filter, node.root_access
+            )
         if isinstance(node, RestrictPlan):
             return RestrictPlan(walk(node.child), node.formula)
         if isinstance(node, ProjectPlan):
@@ -207,6 +230,8 @@ def accelerate_recursion(plan: PlanNode, accelerators) -> RewriteResult:
             return RestrictPlan(walk(node.child), node.formula)
         if isinstance(node, ProjectPlan):
             return ProjectPlan(walk(node.child), node.atom_type_names)
+        if isinstance(node, AggregatePlan):
+            return AggregatePlan(walk(node.child), node.group_by, node.aggregates, node.strategy)
         if isinstance(node, SetOpPlan):
             return SetOpPlan(node.operator, walk(node.left), walk(node.right), node.name)
         return node
@@ -214,21 +239,160 @@ def accelerate_recursion(plan: PlanNode, accelerators) -> RewriteResult:
     return RewriteResult(walk(plan), tuple(applied))
 
 
-def rewrite(plan: PlanNode, accelerators=None) -> RewriteResult:
-    """Apply all rules in their canonical order: merge, push down, prune,
-    accelerate recursion.
+def _equality_attributes(formula: Formula, root_type: str) -> List[str]:
+    """Root attributes bound by literal equality conjuncts of *formula*.
+
+    Mirrors the scan's own conjunct extraction
+    (:meth:`~repro.engine.physical.MoleculeScan._indexed_candidates`) so the
+    access choice is costed on exactly the attributes the probe would use.
+    """
+    root_bare = root_type.split("@", 1)[0]
+    attributes: List[str] = []
+    for conjunct in split_conjunction(formula):
+        if not isinstance(conjunct, Comparison) or conjunct.op not in ("=", "=="):
+            continue
+        if isinstance(conjunct.rhs, AttributeRef):
+            continue
+        lhs_type = conjunct.lhs.atom_type
+        if lhs_type is not None and lhs_type.split("@", 1)[0] != root_bare:
+            continue
+        if conjunct.lhs.attribute not in attributes:
+            attributes.append(conjunct.lhs.attribute)
+    return attributes
+
+
+def choose_root_access(plan: PlanNode, statistics=None) -> RewriteResult:
+    """Pin the costed grid-vs-hash access method on multi-equality α scans.
+
+    *statistics* is a :class:`~repro.optimizer.statistics.DatabaseStatistics`
+    or a zero-argument callable returning one (evaluated only when a
+    candidate scan exists, preserving the planner's lazy collection).  The
+    scan's built-in default is the composite grid probe, so the rule only
+    reports firing when the cost model overturns it in favour of a hash
+    bucket on the most selective attribute — either way the full root filter
+    still post-checks every candidate, so the choice never affects results.
+    """
+    applied: List[str] = []
+    if statistics is None:
+        return RewriteResult(plan, ())
+    from repro.optimizer.statistics import CostModel  # deferred: keeps import cost off the rule path
+
+    state: dict = {}
+
+    def cost_model() -> CostModel:
+        if "model" not in state:
+            stats = statistics() if callable(statistics) else statistics
+            state["model"] = CostModel(stats)
+        return state["model"]
+
+    def decide(node: DefinePlan) -> DefinePlan:
+        if node.root_access is not None or node.root_filter is None:
+            return node
+        attributes = _equality_attributes(node.root_filter, node.description.root)
+        if len(attributes) < 2:
+            return node  # single-attribute probes already use the hash index
+        choice = cost_model().root_access_choice(node.description.root, attributes)
+        if choice is None or choice[0][0] != "hash":
+            return node  # the grid remains the scan's default
+        applied.append("choose_root_access")
+        return DefinePlan(node.name, node.description, node.root_filter, choice[0])
+
+    def walk(node: PlanNode) -> PlanNode:
+        if isinstance(node, DefinePlan):
+            return decide(node)
+        if isinstance(node, RestrictPlan):
+            return RestrictPlan(walk(node.child), node.formula)
+        if isinstance(node, ProjectPlan):
+            return ProjectPlan(walk(node.child), node.atom_type_names)
+        if isinstance(node, AggregatePlan):
+            return AggregatePlan(walk(node.child), node.group_by, node.aggregates, node.strategy)
+        if isinstance(node, SetOpPlan):
+            return SetOpPlan(node.operator, walk(node.left), walk(node.right), node.name)
+        return node
+
+    return RewriteResult(walk(plan), tuple(applied))
+
+
+def _literal_conjunction(formula: Formula) -> "Optional[Tuple[Comparison, ...]]":
+    """*formula* as simple literal comparisons, or ``None`` when ineligible."""
+    conjuncts: List[Comparison] = []
+    for conjunct in split_conjunction(formula):
+        if not isinstance(conjunct, Comparison) or isinstance(conjunct.rhs, AttributeRef):
+            return None
+        conjuncts.append(conjunct)
+    return tuple(conjuncts)
+
+
+def columnarize_aggregate(plan: PlanNode, columnar) -> RewriteResult:
+    """Route an eligible Γ onto the columnar projection scan.
+
+    *columnar* is the engine's
+    :class:`~repro.storage.columnar.ColumnarStore` (or ``None`` outside an
+    engine).  Eligible means: the Γ input is a bare single-type, link-free α
+    whose root filter is absent or a conjunction of literal comparisons —
+    exactly the shape the columnar operator can evaluate column-wise.  The
+    operator re-checks coherence at execution time and falls back to the row
+    path over the same (possibly pinned) view, so the rewrite is always
+    result-preserving.
+    """
+    applied: List[str] = []
+    if columnar is None or not getattr(columnar, "enabled", True):
+        return RewriteResult(plan, ())
+
+    def eligible(node: AggregatePlan) -> Optional[DefinePlan]:
+        child = node.child
+        if not isinstance(child, DefinePlan):
+            return None
+        description = child.description
+        if len(description.atom_type_names) != 1 or description.directed_links:
+            return None
+        if child.root_filter is not None and _literal_conjunction(child.root_filter) is None:
+            return None
+        return child
+
+    def walk(node: PlanNode) -> PlanNode:
+        if isinstance(node, AggregatePlan):
+            child = eligible(node)
+            if child is not None:
+                applied.append("columnarize_aggregate")
+                return ColumnarAggregatePlan(
+                    child.description.root,
+                    node.group_by,
+                    node.aggregates,
+                    root_filter=child.root_filter,
+                    name=child.name,
+                )
+            return AggregatePlan(walk(node.child), node.group_by, node.aggregates, node.strategy)
+        if isinstance(node, RestrictPlan):
+            return RestrictPlan(walk(node.child), node.formula)
+        if isinstance(node, ProjectPlan):
+            return ProjectPlan(walk(node.child), node.atom_type_names)
+        if isinstance(node, SetOpPlan):
+            return SetOpPlan(node.operator, walk(node.left), walk(node.right), node.name)
+        return node
+
+    return RewriteResult(walk(plan), tuple(applied))
+
+
+def rewrite(plan: PlanNode, accelerators=None, columnar=None, statistics=None) -> RewriteResult:
+    """Apply all rules in their canonical order: merge, push down, choose the
+    root access method, prune, accelerate recursion, columnarize aggregates.
 
     A rule firing in several places (e.g. on both sides of a union) is
     reported once.
     """
     merged = merge_restrictions(plan)
     pushed = push_down_restriction(merged.plan)
-    pruned = prune_structure(pushed.plan)
+    access = choose_root_access(pushed.plan, statistics)
+    pruned = prune_structure(access.plan)
     accelerated = accelerate_recursion(pruned.plan, accelerators)
+    columnarized = columnarize_aggregate(accelerated.plan, columnar)
     applied = (
         merged.applied_rules
         + pushed.applied_rules
+        + access.applied_rules
         + pruned.applied_rules
         + accelerated.applied_rules
+        + columnarized.applied_rules
     )
-    return RewriteResult(accelerated.plan, tuple(dict.fromkeys(applied)))
+    return RewriteResult(columnarized.plan, tuple(dict.fromkeys(applied)))

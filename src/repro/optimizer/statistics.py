@@ -11,13 +11,16 @@ benchmark runs — which is all a rule-driven planner needs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.core.database import Database
 from repro.core.molecule import MoleculeTypeDescription
 from repro.core.predicates import Comparison, Formula
 from repro.engine.logical import (
+    AggregatePlan,
+    ColumnarAggregatePlan,
     DefinePlan,
     IntervalScanPlan,
     PlanNode,
@@ -39,6 +42,18 @@ FIXPOINT_HOP_COST = 4.0
 #: Cost units per closure member emitted by an interval range scan (one
 #: sorted-array slot plus one atom fetch).
 INTERVAL_TOUCH_COST = 1.0
+
+#: Cost units per row visited by a columnar aggregate scan: a list index into
+#: the attribute array instead of a per-atom dict traversal plus molecule
+#: assembly — a fraction of a row-path touch.
+COLUMNAR_TOUCH_COST = 0.25
+
+#: Fixed cost units per dimension of a composite grid-file probe (locating
+#: and intersecting the matching grid regions).
+GRID_PROBE_COST = 8.0
+
+#: Fixed cost units for one hash-index bucket lookup.
+HASH_PROBE_COST = 1.0
 
 
 def recursion_profile_key(description) -> Tuple[str, str, str]:
@@ -231,6 +246,27 @@ class CostModel:
             return child_cost + child_cardinality * kept, child_cardinality
         if isinstance(plan, (RecursivePlan, IntervalScanPlan)):
             return self._estimate_recursive(plan)
+        if isinstance(plan, AggregatePlan):
+            child_cost, child_cardinality = self._estimate(plan.child)
+            groups = self._group_cardinality(plan.group_by, child_cardinality)
+            # One fold per input molecule, plus the grouping structure: hash
+            # probes are linear, sorted grouping pays the comparison sort.
+            if plan.strategy == "sort":
+                grouping = child_cardinality * max(1.0, math.log2(child_cardinality + 1.0))
+            else:
+                grouping = child_cardinality
+            return child_cost + child_cardinality + grouping, groups
+        if isinstance(plan, ColumnarAggregatePlan):
+            bare = plan.atom_type_name.split("@", 1)[0]
+            atoms = float(
+                self.statistics.atom_counts.get(bare)
+                or self.statistics.atom_counts.get(plan.atom_type_name, 0)
+            )
+            cardinality = atoms
+            if plan.root_filter is not None:
+                cardinality *= self.statistics.selectivity(plan.root_filter)
+            groups = self._group_cardinality(plan.group_by, cardinality)
+            return atoms * COLUMNAR_TOUCH_COST + groups, groups
         if isinstance(plan, SetOpPlan):
             left_cost, left_cardinality = self._estimate(plan.left)
             right_cost, right_cardinality = self._estimate(plan.right)
@@ -242,6 +278,63 @@ class CostModel:
                 return cost, left_cardinality
             return cost, min(left_cardinality, right_cardinality)
         raise TypeError(f"unknown plan node: {plan!r}")
+
+    def _group_cardinality(self, group_by, cardinality: float) -> float:
+        """Expected number of groups a Γ over *cardinality* inputs produces."""
+        if not group_by:
+            return 1.0
+        groups = 1.0
+        for reference in group_by:
+            bare = (reference.atom_type or "").split("@", 1)[0]
+            distinct = self.statistics.distinct_values.get(
+                (bare, reference.attribute)
+            ) or self.statistics.distinct_values.get(
+                (reference.atom_type, reference.attribute)
+            )
+            groups *= float(distinct) if distinct else max(1.0, cardinality**0.5)
+        return min(groups, max(1.0, cardinality))
+
+    def root_access_choice(
+        self, root_type: str, attributes: Sequence[str]
+    ) -> "Tuple[Tuple[str, ...], float, float] | None":
+        """Cost a composite grid probe against the best single hash bucket.
+
+        For *attributes* (two or more equality-constrained root attributes)
+        returns ``(access, chosen_cost, alternative_cost)`` where *access* is
+        ``("grid", attrs...)`` or ``("hash", best_attribute)``.  The grid
+        probe pays a fixed region-intersection overhead per dimension but
+        reads only the conjunctive cell; the hash probe is nearly free but
+        must post-filter its whole bucket through the residual predicates.
+        A near-unique attribute therefore makes the hash index win; pairs of
+        low-cardinality attributes keep the grid.  Returns ``None`` when the
+        occurrence is empty (nothing to rank).
+        """
+        bare = root_type.split("@", 1)[0]
+        atoms = float(
+            self.statistics.atom_counts.get(bare)
+            or self.statistics.atom_counts.get(root_type, 0)
+        )
+        if atoms <= 0 or len(attributes) < 2:
+            return None
+
+        def distinct(attribute: str) -> float:
+            return float(
+                self.statistics.distinct_values.get((bare, attribute))
+                or self.statistics.distinct_values.get((root_type, attribute))
+                or 1.0
+            )
+
+        best = max(attributes, key=distinct)
+        bucket = atoms / distinct(best)
+        residual = len(attributes) - 1
+        hash_cost = HASH_PROBE_COST + bucket * (1.0 + residual)
+        cell = atoms
+        for attribute in attributes:
+            cell /= distinct(attribute)
+        grid_cost = GRID_PROBE_COST * len(attributes) + cell
+        if hash_cost < grid_cost:
+            return ("hash", best), hash_cost, grid_cost
+        return ("grid",) + tuple(sorted(attributes)), grid_cost, hash_cost
 
     def _estimate_recursive(self, plan) -> Tuple[float, float]:
         """Cost a recursive node — fixpoint or interval-accelerated.

@@ -65,6 +65,7 @@ from repro.storage.atom_store import AtomStore
 from repro.storage.link_store import LinkStore
 from repro.storage.network import AtomNetwork
 from repro.storage.recovery import RecoveryResult, describe_attributes, recover
+from repro.storage.columnar import ColumnarStore
 from repro.storage.structure_index import StructureIndexStore
 from repro.storage.wal import DurabilityConfig, WriteAheadLog, encode_event
 
@@ -154,6 +155,10 @@ class PrimaEngine:
         #: encodings are marked stale.  Created before recovery runs, which
         #: may replay ``structure_index`` DDL records into it.
         self._structure_indexes = StructureIndexStore()
+        #: Columnar attribute projections backing MQL aggregate scans.  Like
+        #: the structure-index store it outlives cache invalidation: the
+        #: arrays are merely marked stale and rebuilt lazily on next head use.
+        self._columnar = ColumnarStore()
         # -- durability state (all inert when durability is None) -----------
         self._durability = durability
         self._wal: Optional[WriteAheadLog] = None
@@ -262,6 +267,15 @@ class PrimaEngine:
                     "direction": direction,
                 }
             )
+
+    def set_columnar(self, enabled: bool) -> None:
+        """Switch the columnar aggregation path on or off.
+
+        Disabled, every aggregate runs on the row operators (hash/sorted-group
+        over the molecule scan) — the benchmark baseline and an escape hatch;
+        the projections and their counters are kept, not dropped.
+        """
+        self._columnar.enabled = bool(enabled)
 
     # --------------------------------------------- atom-oriented interface
 
@@ -518,11 +532,13 @@ class PrimaEngine:
                 self._index_pool = IndexPool(database)
                 self._index_pool.generation = self.generation
                 self._structure_indexes.stamp(self.generation)
+                self._columnar.stamp(self.generation)
                 executor = Executor(
                     database,
                     indexes=self._index_pool,
                     network=self.network(),
                     structure=self._structure_indexes,
+                    columnar=self._columnar,
                 )
                 self._interpreter = MQLInterpreter(
                     database,
@@ -876,6 +892,7 @@ class PrimaEngine:
             if self._index_pool is not None:
                 self._index_pool.apply_event(event, generation=self.generation)
             self._structure_indexes.apply_event(event, generation=self.generation)
+            self._columnar.apply_event(event, generation=self.generation)
             if self._interpreter is not None:
                 self._interpreter.apply_event(event)
 
@@ -936,6 +953,7 @@ class PrimaEngine:
         # Registrations and counters survive; only the encodings go stale
         # (the next head use rebuilds them from the fresh snapshot).
         self._structure_indexes.mark_all_stale()
+        self._columnar.mark_all_stale()
         self._stats["invalidations"] += 1
 
     def maintenance_statistics(self) -> Dict[str, int]:
@@ -954,6 +972,7 @@ class PrimaEngine:
             self._index_pool.generation if self._index_pool is not None else 0
         )
         report.update(self._structure_indexes.statistics())
+        report.update(self._columnar.statistics())
         return report
 
     def maintenance_report(self) -> Dict[str, object]:

@@ -33,7 +33,15 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from repro.core.atom import Atom, ensure_surrogate_counter
 from repro.core.attributes import AtomTypeDescription, AttributeDescription
-from repro.core.link import Cardinality
+from repro.core.events import (
+    ATOM_DELETED,
+    ATOM_INSERTED,
+    ATOM_MODIFIED,
+    LINK_CONNECTED,
+    LINK_DISCONNECTED,
+    ChangeEvent,
+)
+from repro.core.link import Cardinality, Link
 from repro.storage.wal import (
     DurabilityConfig,
     WalError,
@@ -145,6 +153,11 @@ def checkpoint_image(engine: "PrimaEngine") -> Dict[str, object]:
         "atom_types": atom_types,
         "link_types": link_types,
         "structure_indexes": sorted(engine._structure_indexes.registered()),
+        # Built, non-stale interval encodings travel with the image so
+        # recovery restores them directly instead of re-deriving each from a
+        # full occurrence pass on first use (absent in older images — those
+        # simply keep the lazy-rebuild behaviour).
+        "structure_encodings": engine._structure_indexes.encoded_states(),
     }
 
 
@@ -215,6 +228,7 @@ def apply_checkpoint(engine: "PrimaEngine", image: Dict[str, object]) -> int:
             store.store(first, second)
     for atom_type, link_type, direction in image.get("structure_indexes", ()):
         engine.create_structure_index(atom_type, link_type, direction)
+    engine._structure_indexes.restore_states(image.get("structure_encodings", ()))
     return highest
 
 
@@ -252,28 +266,53 @@ def apply_ddl_record(engine: "PrimaEngine", record: Dict[str, object]) -> None:
 
 def apply_event_record(engine: "PrimaEngine", event: Dict[str, object]) -> int:
     """Replay one serialized change event against the stores; returns the
-    highest surrogate ordinal it introduced."""
+    highest surrogate ordinal it introduced.
+
+    Each replayed mutation is also folded into the structure-index store as a
+    :class:`~repro.core.events.ChangeEvent` — encodings restored from the
+    checkpoint image stay coherent across the WAL tail exactly as they do
+    across live writes (and mark themselves stale on anything the in-place
+    scheme cannot express).
+    """
     tag = event.get("e")
     type_name = event["t"]
     if tag in ("ai", "am"):
         store = engine._atom_stores[type_name]
         identifier = event["id"]
-        store.store(Atom(type_name, decode_value(event["v"]), identifier=identifier))
+        atom = Atom(type_name, decode_value(event["v"]), identifier=identifier)
+        store.store(atom)
+        kind = ATOM_INSERTED if tag == "ai" else ATOM_MODIFIED
+        engine._structure_indexes.apply_event(ChangeEvent(kind, type_name, atom=atom))
         return _surrogate_ordinal(identifier)
     if tag == "ad":
         store = engine._atom_stores[type_name]
         if event["id"] in store:
             store.delete(event["id"])
+        engine._structure_indexes.apply_event(
+            ChangeEvent(ATOM_DELETED, type_name, atom=Atom(type_name, {}, identifier=event["id"]))
+        )
         return 0
     if tag == "lc":
-        engine._link_stores[type_name].store(event["f"], event["s"])
+        link_store = engine._link_stores[type_name]
+        link_store.store(event["f"], event["s"])
+        engine._structure_indexes.apply_event(
+            ChangeEvent(
+                LINK_CONNECTED,
+                type_name,
+                link=Link(
+                    type_name, event["f"], event["s"], link_store.first_type, link_store.second_type
+                ),
+            )
+        )
         return 0
     if tag == "ld":
         link_store = engine._link_stores[type_name]
-        from repro.core.link import Link  # local: keep module import surface small
-
-        link_store.delete(
-            Link(type_name, event["f"], event["s"], link_store.first_type, link_store.second_type)
+        link = Link(
+            type_name, event["f"], event["s"], link_store.first_type, link_store.second_type
+        )
+        link_store.delete(link)
+        engine._structure_indexes.apply_event(
+            ChangeEvent(LINK_DISCONNECTED, type_name, link=link)
         )
         return 0
     raise WalError(f"unknown event tag {tag!r} in commit record")

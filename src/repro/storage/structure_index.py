@@ -509,6 +509,86 @@ class StructureIndex:
                 return False
         return True
 
+    # ------------------------------------------------------------ persistence
+
+    def encode_state(self) -> Optional[Dict[str, object]]:
+        """Serialize the built encoding for a checkpoint image.
+
+        Returns ``None`` while stale — a suspect encoding must never be made
+        durable (recovery would otherwise trust it).  Links are stored as
+        their ``given_order`` pairs; everything else is plain JSON-safe data.
+        """
+        if self.stale:
+            return None
+        return {
+            "key": list(self.key),
+            "reflexive": self._reflexive,
+            "first_type": self._first_type,
+            "second_type": self._second_type,
+            "cycle": self._cycle,
+            "nodes": sorted(self._nodes),
+            "edges": sorted(
+                [parent, child, list(link.given_order)]
+                for parent, bucket in self._children.items()
+                for child, link in bucket.items()
+            ),
+            "pre": dict(self._pre),
+            "post": dict(self._post),
+            "depth": dict(self._depth),
+            "parent_link": {
+                child: list(link.given_order)
+                for child, link in self._parent_link.items()
+            },
+            "max_coord": self._max_coord,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Invert :func:`encode_state`: rebuild the index without an
+        occurrence pass (``builds`` stays untouched).  Raises ``KeyError`` /
+        ``TypeError`` / ``ValueError`` on malformed state — the caller then
+        falls back to the lazy rebuild path.
+        """
+        self._reflexive = bool(state["reflexive"])
+        self._first_type = str(state["first_type"])
+        self._second_type = str(state["second_type"])
+        self._cycle = bool(state["cycle"])
+        self._nodes = set(state["nodes"])
+        self._children = {}
+        self._indegree = {}
+        self._multi_parent = 0
+        self._self_loops = 0
+        links: Dict[Tuple[str, str], Link] = {}
+        for parent, child, order in state["edges"]:
+            first, second = order
+            link = Link(
+                self.link_type_name, first, second, self._first_type, self._second_type
+            )
+            links[(first, second)] = link
+            self._children.setdefault(parent, {})[child] = link
+            self._nodes.add(parent)
+            self._nodes.add(child)
+            if parent == child:
+                self._self_loops += 1
+                continue
+            degree = self._indegree.get(child, 0) + 1
+            self._indegree[child] = degree
+            if degree == 2:
+                self._multi_parent += 1
+        self._pre = {key: float(value) for key, value in state["pre"].items()}
+        self._post = {key: float(value) for key, value in state["post"].items()}
+        self._depth = {key: int(value) for key, value in state["depth"].items()}
+        self._parent_link = {}
+        for child, order in state["parent_link"].items():
+            first, second = order
+            self._parent_link[child] = links.get((first, second)) or Link(
+                self.link_type_name, first, second, self._first_type, self._second_type
+            )
+        self._order = sorted(
+            (pre, identifier) for identifier, pre in self._pre.items()
+        )
+        self._max_coord = float(state["max_coord"])
+        self.stale = False
+
     # ------------------------------------------------------------- reporting
 
     def describe(self, samples: int = 3) -> List[str]:
@@ -668,6 +748,45 @@ class StructureIndexStore:
             for index in self._indexes.values():
                 if index is not None and not index.stale:
                     index.generation = generation
+
+    # ------------------------------------------------------------ persistence
+
+    def encoded_states(self) -> List[Dict[str, object]]:
+        """Serialized encodings of every built, non-stale index (checkpointing)."""
+        with self._lock:
+            states = []
+            for index in self._indexes.values():
+                if index is None:
+                    continue
+                state = index.encode_state()
+                if state is not None:
+                    states.append(state)
+            return states
+
+    def restore_states(self, states: Iterable[Dict[str, object]]) -> int:
+        """Restore checkpointed encodings onto registered keys; returns how
+        many were restored.  Unregistered keys and malformed entries are
+        skipped — those indexes simply rebuild lazily, exactly as before
+        encodings were persisted.
+        """
+        restored = 0
+        with self._lock:
+            for state in states:
+                try:
+                    key: StructureKey = tuple(state["key"])  # type: ignore[assignment]
+                except (KeyError, TypeError):
+                    continue
+                if key not in self._indexes:
+                    continue
+                index = StructureIndex(key)
+                try:
+                    index.restore_state(state)
+                except (KeyError, TypeError, ValueError):
+                    continue
+                index.generation = self.generation
+                self._indexes[key] = index
+                restored += 1
+        return restored
 
     # ------------------------------------------------------------- reporting
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import attr, molecule_type_definition
+from repro import Database, attr, molecule_type_definition
 from repro.core.molecule import MoleculeTypeDescription
 from repro.exceptions import ManipulationError, TransactionError
 from repro.manipulation import (
@@ -21,7 +21,14 @@ from repro.optimizer import (
     execute_plan,
 )
 from repro.optimizer.plans import describe_plan, plan_description
-from repro.optimizer.rules import merge_restrictions, prune_structure, push_down_restriction, rewrite
+from repro.optimizer.rules import (
+    choose_root_access,
+    merge_restrictions,
+    prune_structure,
+    push_down_restriction,
+    rewrite,
+)
+from repro.storage import PrimaEngine
 
 
 @pytest.fixture()
@@ -256,3 +263,99 @@ class TestCostModelAndPlanner:
         plan = RestrictPlan(DefinePlan("mt_state", mt_state_desc), attr("hectare", "state") > 800)
         execution = planner.execute_best(plan)
         assert len(execution.molecule_type) == 4
+
+
+class TestRootAccessChoice:
+    """Costed grid-vs-hash root access (``choose_root_access``).
+
+    The scan historically always preferred the composite grid probe for
+    multi-equality root filters; the rule overturns that whenever one
+    attribute is selective enough that its hash bucket (plus residual
+    post-filtering) beats the grid's per-dimension probe overhead.
+    """
+
+    def _device_db(self, count=200):
+        db = Database("access")
+        db.define_atom_type("device", {"serial": "string", "flag": "string"})
+        for i in range(count):
+            db.insert_atom(
+                "device",
+                identifier=f"d{i}",
+                serial=f"S{i:04d}",
+                flag="on" if i % 2 else "off",
+            )
+        return db
+
+    def _device_plan(self):
+        description = MoleculeTypeDescription(["device"], [])
+        formula = (attr("serial", "device") == "S0007") & (attr("flag", "device") == "on")
+        return RestrictPlan(DefinePlan("mt_device", description), formula)
+
+    def test_cost_model_ranks_hash_and_grid(self):
+        near_unique = DatabaseStatistics(
+            atom_counts={"device": 1000},
+            distinct_values={("device", "serial"): 1000, ("device", "flag"): 2},
+        )
+        access, chosen, alternative = CostModel(near_unique).root_access_choice(
+            "device", ["serial", "flag"]
+        )
+        assert access == ("hash", "serial")
+        assert chosen < alternative
+        low_cardinality = DatabaseStatistics(
+            atom_counts={"cell": 1000},
+            distinct_values={("cell", "row"): 10, ("cell", "col"): 10},
+        )
+        access, chosen, alternative = CostModel(low_cardinality).root_access_choice(
+            "cell", ["row", "col"]
+        )
+        assert access[0] == "grid"
+        assert chosen < alternative
+
+    def test_hash_wins_on_near_unique_attribute(self):
+        db = self._device_db()
+        statistics = DatabaseStatistics.collect(db)
+        pushed = push_down_restriction(self._device_plan()).plan
+        rewritten = choose_root_access(pushed, statistics)
+        assert rewritten.applied_rules == ("choose_root_access",)
+        assert rewritten.plan.root_access == ("hash", "serial")
+        # Pinning the access method never changes results.
+        naive = execute_plan(db, pushed)
+        chosen = execute_plan(db, rewritten.plan)
+        assert {m.root_atom.identifier for m in naive.molecule_type} == {
+            m.root_atom.identifier for m in chosen.molecule_type
+        } == {"d7"}
+
+    def test_grid_keeps_low_cardinality_pairs(self):
+        db = Database("access-grid")
+        db.define_atom_type("cell", {"row": "integer", "col": "integer"})
+        for i in range(400):
+            db.insert_atom("cell", identifier=f"c{i}", row=i % 10, col=(i // 10) % 10)
+        statistics = DatabaseStatistics.collect(db)
+        description = MoleculeTypeDescription(["cell"], [])
+        formula = (attr("row", "cell") == 3) & (attr("col", "cell") == 4)
+        pushed = push_down_restriction(
+            RestrictPlan(DefinePlan("mt_cell", description), formula)
+        ).plan
+        rewritten = choose_root_access(pushed, statistics)
+        assert rewritten.applied_rules == ()
+        assert rewritten.plan.root_access is None  # grid stays the scan default
+
+    def test_engine_query_pins_hash_access_end_to_end(self):
+        engine = PrimaEngine()
+        engine.create_atom_type("device", {"serial": "string", "flag": "string"})
+        for i in range(200):
+            engine.store_atom(
+                "device",
+                identifier=f"d{i}",
+                serial=f"S{i:04d}",
+                flag="on" if i % 2 else "off",
+            )
+        statement = (
+            "SELECT ALL FROM device "
+            "WHERE device.serial = 'S0007' AND device.flag = 'on';"
+        )
+        result = engine.query(statement)
+        assert [m.root_atom.identifier for m in result.molecules] == ["d7"]
+        choice = engine.plan(statement)
+        assert "choose_root_access" in choice.applied_rules
+        assert "hash(serial)" in choice.explain()

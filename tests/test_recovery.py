@@ -661,3 +661,108 @@ def test_failed_commit_append_rolls_back_an_autocommitted_statement(tmp_path):
     recovered = PrimaEngine("crashbox", durability=DurabilityConfig(tmp_path / "dir"))
     assert store_state(recovered) == committed
     recovered.close()
+
+
+# ----------------------------------------- persisted structure-index encodings
+
+RECURSIVE_BOM = "SELECT ALL FROM RECURSIVE part [composition] DOWN;"
+
+BOM_EDGES = [
+    ("p0", "p1"),
+    ("p0", "p2"),
+    ("p1", "p3"),
+    ("p2", "p4"),
+    ("p3", "p5"),
+    ("p5", "p6"),
+]
+
+
+def build_bom_engine(directory) -> PrimaEngine:
+    """A small BOM engine with a registered structure index."""
+    reset_surrogate_counter()
+    config = DurabilityConfig(directory, fsync=FSYNC_ALWAYS)
+    engine = PrimaEngine("bombox", durability=config)
+    engine.create_atom_type("part", {"part_no": "string", "cost": "integer"})
+    engine.create_link_type("composition", "part", "part")
+    for i in range(8):
+        engine.store_atom("part", identifier=f"p{i}", part_no=f"P{i}", cost=i)
+    for parent, child in BOM_EDGES:
+        engine.connect("composition", parent, child)
+    engine.create_structure_index("part", "composition", "down")
+    return engine
+
+
+def canonical_closures(engine: PrimaEngine):
+    """Order-independent form of the recursive BOM result."""
+    entries = []
+    for molecule in engine.query(RECURSIVE_BOM).molecules:
+        names = {atom.identifier: atom.get("part_no") for atom in molecule.atoms}
+        entries.append(
+            (
+                names[molecule.root_atom.identifier],
+                frozenset(names.values()),
+                tuple(
+                    sorted(
+                        (names[identifier], level)
+                        for identifier, level in molecule.levels.items()
+                    )
+                ),
+            )
+        )
+    return sorted(entries)
+
+
+def test_checkpoint_persists_structure_encodings(tmp_path):
+    """A built interval encoding travels with the checkpoint image: the
+    reopened engine answers recursive queries without a single rebuild."""
+    engine = build_bom_engine(tmp_path / "dir")
+    before = canonical_closures(engine)  # builds the encoding
+    assert engine.maintenance_report()["structure_builds"] == 1
+    engine.checkpoint()
+    engine.close()
+
+    reset_surrogate_counter()
+    reopened = PrimaEngine("bombox", durability=DurabilityConfig(tmp_path / "dir"))
+    assert canonical_closures(reopened) == before
+    report = reopened.maintenance_report()
+    assert report["structure_indexes"] == 1
+    assert report["structure_builds"] == 0, "restored encoding must not be rebuilt"
+    reopened.close()
+
+
+def test_restored_encodings_stay_coherent_across_the_wal_tail(tmp_path):
+    """Commits after the checkpoint are folded into the restored encoding
+    during replay, exactly as live writes are folded into the built one."""
+    engine = build_bom_engine(tmp_path / "dir")
+    canonical_closures(engine)  # build + make durable
+    engine.checkpoint()
+    engine.store_atom("part", identifier="p9", part_no="P9", cost=9)
+    engine.connect("composition", "p6", "p9")  # leaf graft: in-place fold
+    before = canonical_closures(engine)
+    engine.close()
+
+    reset_surrogate_counter()
+    reopened = PrimaEngine("bombox", durability=DurabilityConfig(tmp_path / "dir"))
+    assert canonical_closures(reopened) == before
+    assert reopened.maintenance_report()["structure_builds"] == 0
+    reopened.close()
+
+
+def test_checkpoint_image_without_encodings_rebuilds_lazily(tmp_path):
+    """Older images (no ``structure_encodings`` key) keep the pre-existing
+    behaviour: registration survives, the encoding rebuilds on first use."""
+    engine = build_bom_engine(tmp_path / "dir")
+    before = canonical_closures(engine)
+    engine.checkpoint()
+    engine.close()
+
+    path = DurabilityConfig(tmp_path / "dir").checkpoint_path
+    image = json.loads(path.read_text(encoding="utf-8"))
+    image.pop("structure_encodings", None)
+    path.write_text(json.dumps(image, separators=(",", ":")), encoding="utf-8")
+
+    reset_surrogate_counter()
+    reopened = PrimaEngine("bombox", durability=DurabilityConfig(tmp_path / "dir"))
+    assert canonical_closures(reopened) == before
+    assert reopened.maintenance_report()["structure_builds"] == 1
+    reopened.close()
