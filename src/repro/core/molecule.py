@@ -314,7 +314,10 @@ class Molecule:
                         atom.values | {"_id": atom.identifier}
                         for atom in sorted(atoms, key=lambda a: a.identifier)
                     ]
-                    for type_name, atoms in self._atoms_by_type.items()
+                    # Sorted type names: the grouping dict's insertion order
+                    # follows derivation order, which differs between
+                    # equivalent molecules (pinned readers, shipped plans).
+                    for type_name, atoms in sorted(self._atoms_by_type.items())
                 },
             }
         adjacency: Dict[str, Set[str]] = {}

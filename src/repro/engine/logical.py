@@ -120,14 +120,17 @@ class AggregateSpec:
     Exactly one of the targets is set: *attribute* (a resolved atom-attribute
     reference — SUM/MIN/MAX/AVG/COUNT over its non-NULL values), *component*
     (a molecule component type — COUNT of its distinct atoms per group), or
-    neither (``COUNT(*)`` — molecules per group).  *output* is the column
-    name in the result rows.
+    neither (``COUNT(*)`` — molecules per group).  *distinct* marks
+    ``COUNT(DISTINCT attr)``: the accumulator then keeps a set of observed
+    values instead of a per-atom value map.  *output* is the column name in
+    the result rows.
     """
 
     func: str
     attribute: Optional[AttributeRef] = None
     component: Optional[str] = None
     output: str = ""
+    distinct: bool = False
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,7 @@ benchmarks compare across plan variants.
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -387,6 +388,9 @@ class RecursiveScan(PhysicalOperator):
         self.name = name
         self.description = description
         self.formula = formula
+        #: Optional ``(index, count)`` root partition — a worker executing
+        #: one slice of a fanned-out scan expands only its own roots.
+        self.partition: Optional[Tuple[int, int]] = None
 
     def describe(self, ctx: ExecutionContext) -> MoleculeTypeDescription:
         return MoleculeTypeDescription([self.description.atom_type_name], [])
@@ -394,6 +398,8 @@ class RecursiveScan(PhysicalOperator):
     def execute(self, ctx: ExecutionContext) -> Iterator[Molecule]:
         base_description = self.describe(ctx)
         for root_atom in ctx.database.atyp(self.description.atom_type_name):
+            if not partition_member(root_atom.identifier, self.partition):
+                continue
             molecule = expand_recursive(ctx.database, self.description, root_atom)
             molecule.description = base_description
             ctx.counters.molecules_derived += 1
@@ -433,6 +439,9 @@ class IntervalScan(PhysicalOperator):
         self.name = name
         self.description = description
         self.formula = formula
+        #: Optional ``(index, count)`` root partition — a worker executing
+        #: one slice of a fanned-out scan expands only its own roots.
+        self.partition: Optional[Tuple[int, int]] = None
 
     def describe(self, ctx: ExecutionContext) -> MoleculeTypeDescription:
         return MoleculeTypeDescription([self.description.atom_type_name], [])
@@ -445,6 +454,8 @@ class IntervalScan(PhysicalOperator):
         if index is not None and store.supports_pruning(index):
             candidate_sets = self._candidate_sets(ctx)
         for root_atom in ctx.database.atyp(self.description.atom_type_name):
+            if not partition_member(root_atom.identifier, self.partition):
+                continue
             if candidate_sets is not None and not store.may_qualify(
                 index, root_atom.identifier, candidate_sets, self.description.max_depth
             ):
@@ -691,6 +702,35 @@ def _canonical_key(values: Tuple) -> Tuple:
     return tuple((value is None, str(value)) for value in values)
 
 
+def partition_member(identifier: str, partition: "Optional[Tuple[int, int]]") -> bool:
+    """Whether *identifier* belongs to partition ``(index, count)``.
+
+    Membership hashes the identifier with :func:`zlib.crc32`, not the builtin
+    ``hash`` — the builtin is salted per process, and partitioned execution
+    splits one scan across worker *processes* whose partitions must tile the
+    occurrence exactly (every root in exactly one partition).
+    """
+    if partition is None:
+        return True
+    index, count = partition
+    return zlib.crc32(identifier.encode("utf-8")) % count == index
+
+
+def _distinct_key(value: object) -> object:
+    """The set member recorded for one DISTINCT value.
+
+    Hashable values stand for themselves (``==``-equal values collapse, the
+    usual SQL reading of DISTINCT); unhashable values fall back to a
+    canonical ``(type name, repr)`` tag so a list- or dict-valued attribute
+    still counts deterministically instead of raising.
+    """
+    try:
+        hash(value)
+    except TypeError:
+        return ("__unhashable__", type(value).__name__, repr(value))
+    return value
+
+
 def _robust_extreme(values: List[object], pick) -> object:
     """MIN/MAX tolerant of mixed value types (falls back to a textual order).
 
@@ -713,7 +753,8 @@ class _GroupAccumulator:
 
     Attribute targets are ``{atom identifier: value}`` maps — an atom shared
     by several molecules of the group contributes exactly once; component
-    targets are identifier sets (distinct component atoms); ``COUNT(*)``
+    targets are identifier sets (distinct component atoms); DISTINCT targets
+    are sets of observed values (see :func:`_distinct_key`); ``COUNT(*)``
     needs only the molecule counter.
     """
 
@@ -722,7 +763,9 @@ class _GroupAccumulator:
     def __init__(self, specs) -> None:
         self.count = 0
         self.targets: List[object] = [
-            set() if spec.component is not None else ({} if spec.attribute is not None else None)
+            set()
+            if spec.component is not None or spec.distinct
+            else ({} if spec.attribute is not None else None)
             for spec in specs
         ]
 
@@ -732,6 +775,11 @@ class _GroupAccumulator:
             if spec.component is not None:
                 for atom in molecule.atoms_of_type(spec.component):
                     target.add(atom.identifier)
+            elif spec.distinct:
+                for atom in molecule.atoms_of_type(spec.attribute.atom_type):
+                    value = atom.get(spec.attribute.attribute)
+                    if value is not None:
+                        target.add(_distinct_key(value))
             elif spec.attribute is not None:
                 for atom in molecule.atoms_of_type(spec.attribute.atom_type):
                     target.setdefault(atom.identifier, atom.get(spec.attribute.attribute))
@@ -746,11 +794,14 @@ class _GroupAccumulator:
         for spec, target, value in zip(specs, self.targets, values):
             if spec.component is not None:
                 target.add(identifier)
+            elif spec.distinct:
+                if value is not None:
+                    target.add(_distinct_key(value))
             elif spec.attribute is not None:
                 target.setdefault(identifier, value)
 
     def finalize(self, spec, target) -> object:
-        if spec.component is not None:
+        if spec.component is not None or spec.distinct:
             return len(target)
         if spec.attribute is None:
             return self.count  # COUNT(*)
@@ -802,6 +853,36 @@ def finalize_groups(
             )
         )
     return rows
+
+
+def merge_group_accumulators(
+    specs,
+    groups: "Dict[Tuple, _GroupAccumulator]",
+    partial: "Dict[Tuple, _GroupAccumulator]",
+) -> None:
+    """Merge one partition's partial groups into *groups* (in place).
+
+    The inverse of splitting a fold across disjoint root partitions: counts
+    add, identifier/value sets (components, DISTINCT) union, and per-atom
+    value maps merge with first-writer-wins ``setdefault`` — exactly what a
+    single fold over the union of the partitions would have produced,
+    because partitions never share a root atom.  Finalizing the merged
+    groups through :func:`finalize_groups` therefore yields byte-identical
+    rows to the serial fold.
+    """
+    for key, accumulator in partial.items():
+        into = groups.get(key)
+        if into is None:
+            groups[key] = accumulator
+            continue
+        into.count += accumulator.count
+        for index, spec in enumerate(specs):
+            if spec.component is not None or spec.distinct:
+                into.targets[index] |= accumulator.targets[index]
+            elif spec.attribute is not None:
+                target = into.targets[index]
+                for identifier, value in accumulator.targets[index].items():
+                    target.setdefault(identifier, value)
 
 
 def aggregate_columns(group_by: Tuple[AttributeRef, ...], specs) -> Tuple[str, ...]:
@@ -924,6 +1005,10 @@ class ColumnarAggregate(AggregationOperator):
         self.group_by = tuple(group_by)
         self.aggregates = tuple(aggregates)
         self.root_filter = root_filter
+        #: Optional ``(index, count)`` root partition — a worker folding one
+        #: slice of a fanned-out Γ accumulates only its own root atoms; the
+        #: partial groups are merged via :func:`merge_group_accumulators`.
+        self.partition: Optional[Tuple[int, int]] = None
 
     def describe(self, ctx: ExecutionContext) -> MoleculeTypeDescription:
         return resolve_description(
@@ -951,19 +1036,27 @@ class ColumnarAggregate(AggregationOperator):
         return conjuncts
 
     def rows(self, ctx: ExecutionContext) -> List[Tuple]:
+        groups = self.partial_groups(ctx)
+        ctx.counters.groups_aggregated += len(groups)
+        return finalize_groups(self.group_by, self.aggregates, groups)
+
+    def partial_groups(self, ctx: ExecutionContext) -> "Dict[Tuple, _GroupAccumulator]":
+        """The (possibly partition-restricted) accumulated groups, unfinalized.
+
+        Partitioned workers return these raw states for the primary to merge
+        through :func:`merge_group_accumulators` before one shared
+        :func:`finalize_groups` pass.
+        """
         store = getattr(ctx, "columnar", None)
         projection = (
             store.for_execution(self.atom_type_name, ctx) if store is not None else None
         )
         conjuncts = self._filter_conjuncts()
         if projection is not None and conjuncts is not None:
-            groups = self._fold_columnar(ctx, projection, conjuncts)
-        else:
-            if store is not None:
-                store.count_fallback()
-            groups = self._fold_rows(ctx)
-        ctx.counters.groups_aggregated += len(groups)
-        return finalize_groups(self.group_by, self.aggregates, groups)
+            return self._fold_columnar(ctx, projection, conjuncts)
+        if store is not None:
+            store.count_fallback()
+        return self._fold_rows(ctx)
 
     def _fold_columnar(
         self, ctx: ExecutionContext, projection, conjuncts: List[Comparison]
@@ -985,6 +1078,10 @@ class ColumnarAggregate(AggregationOperator):
             ]
         else:
             rows = range(total)
+        if self.partition is not None:
+            rows = [
+                row for row in rows if partition_member(identifiers[row], self.partition)
+            ]
         # Partition the qualifying rows by group key — the only per-row loop;
         # everything after runs column-wise over each partition's index list.
         key_columns = [projection.column(ref.attribute) for ref in self.group_by]
@@ -1021,6 +1118,12 @@ class ColumnarAggregate(AggregationOperator):
             for index, (spec, column) in enumerate(zip(self.aggregates, spec_columns)):
                 if spec.component is not None:
                     accumulator.targets[index] = {identifiers[row] for row in bucket}
+                elif spec.distinct:
+                    accumulator.targets[index] = {
+                        _distinct_key(column[row])
+                        for row in bucket
+                        if column[row] is not None
+                    }
                 elif spec.attribute is not None:
                     accumulator.targets[index] = {
                         identifiers[row]: column[row] for row in bucket
@@ -1032,6 +1135,8 @@ class ColumnarAggregate(AggregationOperator):
         attributes = self._spec_attributes()
         groups: Dict[Tuple, _GroupAccumulator] = {}
         for atom in ctx.database.atyp(self.atom_type_name):
+            if not partition_member(atom.identifier, self.partition):
+                continue
             ctx.counters.atoms_touched += 1
             if self.root_filter is not None:
                 ctx.counters.restrictions_evaluated += 1

@@ -118,15 +118,20 @@ class AggregateItem:
 
     *argument* is ``None`` for ``COUNT(*)`` (*star* is then ``True``); for
     component counts the argument is a bare :class:`AttributeReference` whose
-    ``attribute`` names an atom type of the FROM structure.
+    ``attribute`` names an atom type of the FROM structure.  *distinct*
+    marks ``COUNT(DISTINCT attr)`` — the parser only accepts it on COUNT
+    over an attribute argument.
     """
 
     func: str  # "COUNT" | "SUM" | "MIN" | "MAX" | "AVG"
     argument: Optional[AttributeReference] = None
     star: bool = False
+    distinct: bool = False
 
     def __str__(self) -> str:
         inner = "*" if self.star else str(self.argument)
+        if self.distinct:
+            inner = f"distinct {inner}"
         return f"{self.func.lower()}({inner})"
 
 

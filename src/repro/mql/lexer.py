@@ -45,6 +45,7 @@ KEYWORDS = {
     "CHECKPOINT",
     "GROUP",
     "BY",
+    "DISTINCT",
 }
 
 

@@ -225,9 +225,19 @@ class _Parser:
                     )
                 self.expect(TokenType.RPAREN)
                 return AggregateItem(func, None, star=True)
+            distinct = False
+            if self.peek().type is TokenType.KEYWORD and str(self.peek().value) == "DISTINCT":
+                distinct_token = self.advance()
+                if func != "COUNT":
+                    raise MQLSyntaxError(
+                        f"DISTINCT is only valid in COUNT(DISTINCT …), not {func}",
+                        distinct_token.line,
+                        distinct_token.column,
+                    )
+                distinct = True
             argument = self.parse_attribute_reference()
             self.expect(TokenType.RPAREN)
-            return AggregateItem(func, argument)
+            return AggregateItem(func, argument, distinct=distinct)
         return self.parse_attribute_reference()
 
     # ------------------------------------------------------------------- DML

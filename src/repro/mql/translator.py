@@ -247,6 +247,20 @@ class QueryTranslator:
             return AggregateSpec("COUNT", output="count(*)")
         reference = item.argument
         assert reference is not None  # the parser guarantees it
+        if item.distinct:
+            for present in description.atom_type_names:
+                if reference.atom_type is None and (
+                    present == reference.attribute
+                    or present.split("@", 1)[0] == reference.attribute
+                ):
+                    raise MQLSemanticError(
+                        f"COUNT(DISTINCT {reference.attribute}) over the component "
+                        "type is not supported; component counts are already "
+                        "distinct — use COUNT(type) instead"
+                    )
+            resolved = self._resolve_reference(reference, description)
+            output = f"count(distinct {resolved.atom_type}.{resolved.attribute})"
+            return AggregateSpec("COUNT", attribute=resolved, distinct=True, output=output)
         if reference.atom_type is None:
             # A bare name matching an atom type of the structure is a
             # component count (distinct component atoms per group).

@@ -32,8 +32,10 @@ from repro.engine.logical import (
 from repro.optimizer.plans import PlanExecution, PlanNode, describe_plan
 from repro.optimizer.rules import RewriteResult, rewrite
 from repro.optimizer.statistics import (
+    CATCHUP_RECORD_COST,
     CostModel,
     DatabaseStatistics,
+    PLAN_SHIP_COST,
     recursion_profile_key,
 )
 
@@ -50,6 +52,11 @@ class PlanChoice:
     #: Human-readable planner annotations (recursion depth/closure estimates,
     #: interval index state) rendered by :meth:`explain`.
     notes: Tuple[str, ...] = ()
+    #: Where the planner would run this plan: ``"process"`` when shipping it
+    #: to the worker-process pool is costed cheaper than serial execution,
+    #: ``"serial"`` when it is not, ``None`` when no pool telemetry was
+    #: available (no pool, or the plan short-circuited costing).
+    dispatch: Optional[str] = None
 
     @property
     def best(self) -> PlanNode:
@@ -111,6 +118,10 @@ class Planner:
         self._cost_model: Optional[CostModel] = None
         self.executor = executor
         self._accelerators = accelerators
+        #: Callable returning live process-pool telemetry
+        #: (``{"workers": n, "backlog": records}``) or ``None``; the storage
+        #: engine wires this so costed plans carry a dispatch recommendation.
+        self.dispatch_advisor = None
 
     @property
     def statistics(self) -> DatabaseStatistics:
@@ -169,13 +180,51 @@ class Planner:
                 optimized_cost=0.0,
                 applied_rules=(),
             )
-        return PlanChoice(
+        choice = PlanChoice(
             original=plan,
             optimized=rewritten.plan,
             original_cost=self.cost_model.estimate(plan),
             optimized_cost=self.cost_model.estimate(rewritten.plan),
             applied_rules=rewritten.applied_rules,
             notes=self._recursion_notes(recursive) + self._columnar_notes(rewritten.plan),
+        )
+        self._advise_dispatch(choice)
+        return choice
+
+    def _advise_dispatch(self, choice: PlanChoice) -> None:
+        """Cost process-pool dispatch against serial execution of *choice*.
+
+        Shipping wins when the per-worker share of the plan's cost beats the
+        fixed serialization overhead plus catching the workers up on the WAL
+        records they have not yet applied.  The telemetry comes from
+        :attr:`dispatch_advisor`; without it (no pool) dispatch stays
+        ``None`` and EXPLAIN says nothing.
+        """
+        advisor = self.dispatch_advisor
+        if advisor is None:
+            return
+        state = advisor()
+        if not state or state.get("workers", 0) < 2:
+            return
+        workers = state["workers"]
+        backlog = state.get("backlog", 0)
+        serial_cost = min(choice.original_cost, choice.optimized_cost)
+        process_cost = (
+            serial_cost / workers + PLAN_SHIP_COST + backlog * CATCHUP_RECORD_COST
+        )
+        choice.dispatch = "process" if process_cost < serial_cost else "serial"
+        choice.notes += (
+            "dispatch: {choice} (serial {serial:.1f} vs process {process:.1f} "
+            "= {serial:.1f}/{workers} workers + {ship:.0f} ship + "
+            "{backlog} backlog records × {record:.1f})".format(
+                choice=choice.dispatch,
+                serial=serial_cost,
+                process=process_cost,
+                workers=workers,
+                ship=PLAN_SHIP_COST,
+                backlog=backlog,
+                record=CATCHUP_RECORD_COST,
+            ),
         )
 
     def _columnar_notes(self, plan: PlanNode) -> Tuple[str, ...]:

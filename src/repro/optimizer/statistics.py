@@ -55,6 +55,16 @@ GRID_PROBE_COST = 8.0
 #: Fixed cost units for one hash-index bucket lookup.
 HASH_PROBE_COST = 1.0
 
+#: Fixed cost units for shipping one compiled plan to a worker process:
+#: codec round-trip, pipe transfer, and result decode on the way back.
+#: Dispatch only pays off once the plan's execution cost dwarfs this.
+PLAN_SHIP_COST = 250.0
+
+#: Cost units per WAL record a worker must apply to catch up to the pinned
+#: generation before it may execute the shipped plan (decode + store write
+#: + cache invalidation, amortized).
+CATCHUP_RECORD_COST = 2.0
+
 
 def recursion_profile_key(description) -> Tuple[str, str, str]:
     """The profile key of a recursive description (``max_depth`` is per-query)."""

@@ -41,6 +41,7 @@ compact catalog + occurrence image and truncates the log.
 
 from __future__ import annotations
 
+import os
 import threading
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -169,6 +170,10 @@ class PrimaEngine:
         self._wal_tx_pending: Dict[int, List[Dict[str, object]]] = {}
         self._recovery: Optional[RecoveryResult] = None
         self._checkpoints = 0
+        #: Lazily created pool of checkpoint-seeded worker processes
+        #: (:meth:`process_pool`); ``None`` until first use and for
+        #: in-memory engines.
+        self._procpool = None
         if durability is not None:
             # Recovery runs before the WAL opens for appending, so nothing
             # replayed here is ever re-logged.
@@ -540,9 +545,17 @@ class PrimaEngine:
                     structure=self._structure_indexes,
                     columnar=self._columnar,
                 )
+                from repro.optimizer.planner import Planner
+
+                planner = Planner(database, executor=executor)
+                # EXPLAIN reports whether the costed plan is worth shipping
+                # to the process pool; the advisor reads the live pool state
+                # (None while no pool exists — dispatch stays unreported).
+                planner.dispatch_advisor = self._dispatch_state
                 self._interpreter = MQLInterpreter(
                     database,
                     executor=executor,
+                    planner=planner,
                     checkpoint=self.checkpoint if self._durability is not None else None,
                 )
                 self._stats["interpreter_builds"] += 1
@@ -597,6 +610,8 @@ class PrimaEngine:
         statements: "Iterable[str]",
         threads: Optional[int] = None,
         generation: Optional[int] = None,
+        mode: str = "thread",
+        workers: Optional[int] = None,
     ) -> "List[QueryResult]":
         """Run read-only MQL statements concurrently at one pinned generation.
 
@@ -614,14 +629,31 @@ class PrimaEngine:
         by the underlying read-only snapshot handle.
 
         Note: under CPython's GIL the pure-Python execute phase of the
-        statements is time-sliced, not parallel — the pool buys wall-clock
-        when requests spend time off the GIL (client wire I/O, durable
-        reads, checksum/compression of results), which is what the E-PERF7
-        benchmark measures.
+        statements is time-sliced, not parallel — the thread pool buys
+        wall-clock when requests spend time off the GIL (client wire I/O,
+        durable reads, checksum/compression of results), which is what the
+        E-PERF7 benchmark measures.
+
+        ``mode="process"`` instead ships each statement's compiled plan to
+        the checkpoint-seeded worker-process pool (:meth:`process_pool`),
+        executing CPU-bound plans off-GIL on *workers* processes.  Results
+        keep statement order and render byte-identical ``to_dicts()``
+        content; statements the shipping codec refuses (opaque predicates,
+        EXPLAIN, DML — which still raises) fall back to primary-side
+        execution at the same pinned generation.  ``mode="serial"`` is the
+        explicit one-thread baseline.
         """
         statements = list(statements)
         if not statements:
             return []
+        if mode == "process":
+            return self._parallel_query_process(statements, generation, workers)
+        if mode == "serial":
+            threads = 1
+        elif mode != "thread":
+            raise StorageError(
+                f"unknown parallel_query mode {mode!r}; use 'thread', 'process' or 'serial'"
+            )
         if threads is None:
             threads = min(len(statements), 4)
         with self.snapshot_at(generation) as handle:
@@ -631,6 +663,231 @@ class PrimaEngine:
 
             with ThreadPoolExecutor(max_workers=threads) as pool:
                 return list(pool.map(handle.query, statements))
+
+    def process_pool(self, workers: Optional[int] = None):
+        """The engine's pool of checkpoint-seeded worker processes (lazy).
+
+        Requires durability: workers seed by loading the checkpoint image
+        and replaying the WAL tail, then track the primary through
+        incremental record shipping (see :mod:`repro.engine.procpool`).
+        *workers* sizes the pool on first creation (default
+        ``min(4, cpu count)``); later calls return the existing pool.
+        """
+        if self._durability is None:
+            raise StorageError(
+                "process_pool requires a durable engine; construct it with "
+                "durability=DurabilityConfig(directory)"
+            )
+        with self._cache_lock:
+            if self._procpool is None:
+                from repro.engine.procpool import ProcessPool
+
+                size = workers or max(1, min(4, os.cpu_count() or 1))
+                self._procpool = ProcessPool(self, size)
+            return self._procpool
+
+    def _dispatch_state(self) -> "Optional[Dict[str, int]]":
+        """Live pool telemetry for the planner's dispatch costing (or None)."""
+        pool = self._procpool
+        if pool is None:
+            return None
+        return pool.dispatch_state()
+
+    def _parallel_query_process(
+        self,
+        statements: "List[str]",
+        generation: Optional[int],
+        workers: Optional[int],
+    ) -> "List[QueryResult]":
+        """Fan statements out over the worker-process pool at one pin.
+
+        The pin and the feed cut are taken inside the versioning engine
+        lock, the same critical section transactional commits append their
+        WAL record in — a commit is therefore either visible at the pin
+        *and* included in the cut, or neither.  (Non-transactional direct
+        store writes flush their record outside that lock; interleaving one
+        with the pin can put the cut one record past the pin, which only
+        matters if the caller races direct writes against the dispatch.)
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.engine.logical import (
+            AggregatePlan,
+            ColumnarAggregatePlan,
+            IntervalScanPlan,
+            RecursivePlan,
+        )
+        from repro.engine.physical import (
+            aggregate_columns,
+            finalize_groups,
+            merge_group_accumulators,
+        )
+        from repro.storage.shipping import (
+            ShippedQueryResult,
+            ShippingError,
+            decode_group_states,
+            plan_to_json,
+        )
+        from repro.mql.ast_nodes import Query, SetOperation
+        from repro.mql.parser import parse
+
+        pool = self.process_pool(workers)
+        pool.counters["dispatches"] += 1
+        interpreter = self.interpreter()
+        database = self.to_database()
+        state = database.versioning
+        with state.lock:
+            pinned = database.pin(generation)
+            snapshot = state.make_snapshot(pinned)
+            cut_seq = pool.feed_position()
+        handle = SnapshotHandle(database, interpreter, snapshot)
+        try:
+            pin_gen = handle.generation
+            # ---- classify: build one shippable job per statement, or None.
+            jobs: "List[Optional[Dict[str, object]]]" = []
+            plans: "List[Optional[object]]" = []
+            for statement in statements:
+                job = None
+                plan = None
+                try:
+                    ast = parse(statement)
+                    if isinstance(ast, (Query, SetOperation)):
+                        choice = interpreter.plan(ast)
+                        plan = choice.best
+                        aggregate = isinstance(
+                            plan, (AggregatePlan, ColumnarAggregatePlan)
+                        )
+                        job = {
+                            "plan": plan_to_json(plan),
+                            "pin": pin_gen,
+                            "mode": "rows" if aggregate else "molecules",
+                            "partition": None,
+                        }
+                except ShippingError:
+                    job = None
+                except Exception:
+                    # Unparseable / untranslatable statements fall through to
+                    # handle.query, which raises the proper MQL error.
+                    job = None
+                jobs.append(job)
+                plans.append(plan)
+
+            results: "List[Optional[QueryResult]]" = [None] * len(statements)
+
+            # ---- intra-query partitioning: one statement, many workers.
+            partitionable = (
+                len(statements) == 1
+                and jobs[0] is not None
+                and pool.size >= 2
+                and isinstance(
+                    plans[0], (RecursivePlan, IntervalScanPlan, ColumnarAggregatePlan)
+                )
+            )
+            if partitionable:
+                plan = plans[0]
+                count = pool.size
+                grouped = isinstance(plan, ColumnarAggregatePlan)
+                part_jobs = []
+                for index in range(count):
+                    job = dict(jobs[0])
+                    job["partition"] = [index, count]
+                    if grouped:
+                        job["mode"] = "groups"
+                    part_jobs.append(job)
+                with ThreadPoolExecutor(max_workers=count) as fanout:
+                    futures = [
+                        fanout.submit(pool.run_batch, index, pin_gen, cut_seq, [(0, job)])
+                        for index, job in enumerate(part_jobs)
+                    ]
+                    outcomes = [future.result()[0] for future in futures]
+                if all(outcome[0] == "result" for outcome in outcomes):
+                    pool.counters["partitioned"] += 1
+                    if grouped:
+                        specs = plan.aggregates
+                        merged: Dict = {}
+                        total_counters: Dict[str, int] = {}
+                        for outcome in outcomes:
+                            payload = outcome[1]
+                            partial = decode_group_states(specs, payload["groups"])
+                            merge_group_accumulators(specs, merged, partial)
+                            for key, value in payload.get("counters", {}).items():
+                                total_counters[key] = total_counters.get(key, 0) + value
+                        rows = tuple(
+                            tuple(row)
+                            for row in finalize_groups(plan.group_by, specs, merged)
+                        )
+                        results[0] = ShippedQueryResult(
+                            statements[0],
+                            columns=aggregate_columns(plan.group_by, specs),
+                            rows=rows,
+                            counters=total_counters,
+                            dispatch="process-partitioned",
+                        )
+                    else:
+                        import json as _json
+
+                        dicts = []
+                        total_counters = {}
+                        for outcome in outcomes:
+                            payload = outcome[1]
+                            from repro.storage.wal import decode_value
+
+                            dicts.extend(
+                                decode_value(entry) for entry in payload["dicts"]
+                            )
+                            for key, value in payload.get("counters", {}).items():
+                                total_counters[key] = total_counters.get(key, 0) + value
+                        # Partitions interleave arbitrarily: impose the
+                        # canonical rendering order so the merged result is
+                        # deterministic regardless of worker scheduling.
+                        dicts.sort(
+                            key=lambda entry: _json.dumps(
+                                entry, sort_keys=True, default=str
+                            )
+                        )
+                        results[0] = ShippedQueryResult(
+                            statements[0],
+                            dicts=dicts,
+                            counters=total_counters,
+                            dispatch="process-partitioned",
+                        )
+                    pool._trim_feed()
+                    return list(results)
+                # A refused/crashed partition poisons the merge — fall back.
+                pool.counters["fallbacks"] += 1
+                results[0] = handle.query(statements[0])
+                return list(results)
+
+            # ---- statement fan-out: round-robin statements over workers.
+            batches: "Dict[int, List[Tuple[int, Dict[str, object]]]]" = {}
+            for index, job in enumerate(jobs):
+                if job is not None:
+                    batches.setdefault(index % pool.size, []).append((index, job))
+            if batches:
+                with ThreadPoolExecutor(max_workers=len(batches)) as fanout:
+                    futures = {
+                        fanout.submit(
+                            pool.run_batch, slot, pin_gen, cut_seq, batch
+                        ): slot
+                        for slot, batch in batches.items()
+                    }
+                    for future in futures:
+                        for index, outcome in future.result().items():
+                            if outcome[0] == "result":
+                                results[index] = ShippedQueryResult.from_payload(
+                                    statements[index], outcome[1]
+                                )
+            # Fallbacks: never-shippable statements plus refused/crashed ones
+            # execute on the primary at the same pinned generation (DML and
+            # transaction statements raise here, matching thread mode).
+            for index, result in enumerate(results):
+                if result is None:
+                    pool.counters["fallbacks"] += 1
+                    results[index] = handle.query(statements[index])
+            pool._trim_feed()
+            return list(results)
+        finally:
+            handle.release()
 
     def collect_versions(self) -> Dict[str, object]:
         """Run version-chain garbage collection; returns the GC statistics."""
@@ -733,9 +990,14 @@ class PrimaEngine:
     def close(self) -> None:
         """Flush and close the WAL (idempotent; in-memory engines: no-op).
 
-        A closed durable engine keeps serving reads, but further writes fail
+        Shuts down the worker-process pool first, if one was created.  A
+        closed durable engine keeps serving reads, but further writes fail
         at the log append — reopen the directory with :meth:`open` instead.
         """
+        with self._cache_lock:
+            pool, self._procpool = self._procpool, None
+        if pool is not None:
+            pool.shutdown()
         if self._wal is not None:
             self._wal.close()
 
@@ -1019,6 +1281,19 @@ class PrimaEngine:
         report["recovery_replayed"] = (
             self._recovery.records_replayed if self._recovery is not None else 0
         )
+        pool = self._procpool
+        report["procpool_workers"] = pool.size if pool is not None else 0
+        for key in (
+            "dispatches",
+            "plans_shipped",
+            "catchup_records",
+            "restarts",
+            "refusals",
+            "fallbacks",
+            "partitioned",
+            "workers_started",
+        ):
+            report[f"procpool_{key}"] = pool.counters[key] if pool is not None else 0
         return report
 
     # ------------------------------------------------------------- loading

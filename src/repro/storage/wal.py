@@ -281,6 +281,21 @@ class WriteAheadLog:
         self.commits = 0
         self._unsynced = 0
         self._closed = False
+        #: Optional record tap (see :meth:`set_observer`).
+        self._observer = None
+
+    def set_observer(self, observer) -> None:
+        """Install a callable invoked with every appended record payload.
+
+        The observer fires inside the log's mutex *after* the record's bytes
+        are flushed to the OS, so observation order equals log order and an
+        observed record is always readable from the file — the invariant the
+        process-pool's catch-up feed relies on (a worker seeded from the
+        files has at least every record observed so far).  Pass ``None`` to
+        remove the tap.  The observer must not call back into the log.
+        """
+        with self._lock:
+            self._observer = observer
 
     # ------------------------------------------------------------- appending
 
@@ -307,6 +322,8 @@ class WriteAheadLog:
             self.lifetime_records += 1
             self.lifetime_bytes += len(blob)
             self._after_record()
+            if self._observer is not None:
+                self._observer(payload)
         return len(blob)
 
     def commit_events(self, events: Sequence[Dict[str, object]]) -> int:

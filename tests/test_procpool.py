@@ -1,0 +1,387 @@
+"""Multi-process query execution: checkpoint-seeded workers, plan shipping.
+
+``PrimaEngine.parallel_query(..., mode="process")`` ships compiled logical
+plans to a pool of worker processes, each seeded by loading the latest
+checkpoint image and replaying the WAL tail, then kept current through
+incremental record shipping.  The contract is the same as thread mode:
+statement-ordered results whose rendered content is byte-identical to serial
+execution at the same pinned generation.
+
+Covers: fingerprint parity for statement fan-out and for the two partitioned
+shapes (per-root recursive closures, per-partition columnar Γ folds with a
+``COUNT(DISTINCT …)`` set-merge), transparent restart after ``kill -9`` of a
+worker mid-sequence, incremental catch-up after write bursts and after
+checkpoint truncation, generation refusal → primary fallback, shipping-codec
+round-trip determinism, and a hypothesis sweep of interleaved DML.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.atom import reset_surrogate_counter
+from repro.exceptions import StorageError
+from repro.storage.engine import PrimaEngine
+from repro.storage.shipping import (
+    ShippedQueryResult,
+    ShippingError,
+    encode_plan,
+    plan_from_json,
+    plan_to_json,
+)
+from repro.storage.wal import DurabilityConfig
+
+
+def fingerprint(result):
+    """Order-independent canonical rendering of a query result."""
+    return sorted(json.dumps(d, sort_keys=True, default=str) for d in result.to_dicts())
+
+
+TREE_EDGES = [
+    ("p0", "p1"),
+    ("p0", "p2"),
+    ("p1", "p3"),
+    ("p1", "p4"),
+    ("p2", "p5"),
+    ("p3", "p6"),
+    ("p6", "p7"),
+    ("p7", "p8"),
+    ("p9", "p10"),
+]
+
+STATEMENTS = [
+    "SELECT item FROM item WHERE item.qty = 2;",
+    "SELECT item.grp, COUNT(DISTINCT item.qty), SUM(item.val) FROM item GROUP BY item.grp;",
+    "SELECT COUNT(item.name) FROM item;",
+    "SELECT ALL FROM RECURSIVE part [composition] DOWN;",
+]
+
+RECURSIVE_ALL = "SELECT ALL FROM RECURSIVE part [composition] DOWN;"
+GROUPED_DISTINCT = (
+    "SELECT item.grp, COUNT(DISTINCT item.qty), SUM(item.val) "
+    "FROM item GROUP BY item.grp;"
+)
+
+
+def build_engine(directory, parts=12, items=60, checkpoint=True) -> PrimaEngine:
+    reset_surrogate_counter()
+    engine = PrimaEngine(durability=DurabilityConfig(directory))
+    engine.create_atom_type(
+        "item", {"name": "string", "grp": "string", "val": "real", "qty": "integer"}
+    )
+    engine.create_atom_type("part", {"part_no": "string", "cost": "integer"})
+    engine.create_link_type("composition", "part", "part")
+    for i in range(items):
+        engine.store_atom(
+            "item",
+            identifier=f"i{i}",
+            name=f"n{i}",
+            grp="even" if i % 2 == 0 else "odd",
+            val=float(i),
+            qty=i % 5,
+        )
+    for i in range(parts):
+        engine.store_atom("part", identifier=f"p{i}", part_no=f"P{i:03d}", cost=i * 10)
+    for parent, child in TREE_EDGES:
+        engine.connect("composition", parent, child)
+    if checkpoint:
+        engine.checkpoint()
+    return engine
+
+
+@pytest.fixture(scope="module")
+def shared_engine(tmp_path_factory):
+    """One engine + 2-worker pool reused by the read-only parity tests."""
+    engine = build_engine(tmp_path_factory.mktemp("procpool-shared"))
+    engine.process_pool(workers=2)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture
+def fresh_engine(tmp_path):
+    engine = build_engine(tmp_path)
+    yield engine
+    engine.close()
+
+
+class TestProcessModeParity:
+    def test_statement_fanout_matches_serial(self, shared_engine):
+        serial = shared_engine.parallel_query(STATEMENTS, mode="serial")
+        proc = shared_engine.parallel_query(STATEMENTS, mode="process")
+        assert len(proc) == len(serial)
+        for expected, got in zip(serial, proc):
+            assert fingerprint(got) == fingerprint(expected)
+
+    def test_partitioned_recursive_closure(self, shared_engine):
+        serial = shared_engine.query(RECURSIVE_ALL)
+        (proc,) = shared_engine.parallel_query([RECURSIVE_ALL], mode="process")
+        assert isinstance(proc, ShippedQueryResult)
+        assert proc.dispatch == "process-partitioned"
+        assert fingerprint(proc) == fingerprint(serial)
+
+    def test_partitioned_distinct_merge(self, shared_engine):
+        """COUNT(DISTINCT …) merges value *sets* across partitioned Γ folds —
+        a count-merge would overcount values present in several partitions."""
+        serial = shared_engine.query(GROUPED_DISTINCT)
+        (proc,) = shared_engine.parallel_query([GROUPED_DISTINCT], mode="process")
+        assert proc.dispatch == "process-partitioned"
+        assert fingerprint(proc) == fingerprint(serial)
+        assert shared_engine.process_pool().counters["partitioned"] >= 1
+
+    def test_results_keep_statement_order(self, shared_engine):
+        statements = list(reversed(STATEMENTS))
+        serial = shared_engine.parallel_query(statements, mode="serial")
+        proc = shared_engine.parallel_query(statements, mode="process")
+        for expected, got in zip(serial, proc):
+            assert fingerprint(got) == fingerprint(expected)
+
+    def test_explain_falls_back_to_primary(self, shared_engine):
+        (result,) = shared_engine.parallel_query(
+            ["EXPLAIN SELECT item FROM item WHERE item.qty = 2;"], mode="process"
+        )
+        assert not isinstance(result, ShippedQueryResult)
+        assert shared_engine.process_pool().counters["fallbacks"] >= 1
+
+    def test_dml_still_rejected(self, shared_engine):
+        with pytest.raises(StorageError):
+            shared_engine.parallel_query(
+                ["DELETE FROM item WHERE item.qty = 2;"], mode="process"
+            )
+
+    def test_unknown_mode_rejected(self, shared_engine):
+        with pytest.raises(StorageError):
+            shared_engine.parallel_query(["SELECT item FROM item;"], mode="fiber")
+
+    def test_maintenance_report_counters(self, shared_engine):
+        shared_engine.parallel_query(STATEMENTS[:2], mode="process")
+        report = shared_engine.maintenance_report()
+        assert report["procpool_workers"] == 2
+        assert report["procpool_dispatches"] >= 1
+        assert report["procpool_plans_shipped"] >= 1
+        assert report["procpool_workers_started"] >= 2
+
+
+class TestWorkerLifecycle:
+    def test_crash_mid_sequence_restarts_transparently(self, fresh_engine):
+        pool = fresh_engine.process_pool(workers=2)
+        baseline = fresh_engine.parallel_query(STATEMENTS, mode="serial")
+        victim = pool.worker_pids()[0]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            try:
+                os.kill(victim, 0)
+            except OSError:
+                break
+            time.sleep(0.02)
+        proc = fresh_engine.parallel_query(STATEMENTS, mode="process")
+        for expected, got in zip(baseline, proc):
+            assert fingerprint(got) == fingerprint(expected)
+        assert pool.counters["restarts"] >= 1
+        assert victim not in pool.worker_pids()
+
+    def test_catchup_after_write_burst(self, fresh_engine):
+        pool = fresh_engine.process_pool(workers=2)
+        fresh_engine.parallel_query(STATEMENTS[:1], mode="process")  # workers current
+        for i in range(100, 150):
+            fresh_engine.store_atom(
+                "item",
+                identifier=f"i{i}",
+                name=f"n{i}",
+                grp="burst",
+                val=float(i),
+                qty=i % 5,
+            )
+        serial = fresh_engine.parallel_query(STATEMENTS, mode="serial")
+        proc = fresh_engine.parallel_query(STATEMENTS, mode="process")
+        for expected, got in zip(serial, proc):
+            assert fingerprint(got) == fingerprint(expected)
+        assert pool.counters["catchup_records"] >= 50
+
+    def test_catchup_across_checkpoint_truncation(self, fresh_engine):
+        """A checkpoint truncates the WAL file; workers must keep tracking
+        through the in-memory feed (which only ever grows) regardless."""
+        pool = fresh_engine.process_pool(workers=2)
+        fresh_engine.parallel_query(STATEMENTS[:1], mode="process")
+        for i in range(200, 220):
+            fresh_engine.store_atom(
+                "item", identifier=f"i{i}", name=f"n{i}", grp="pre", val=1.0, qty=1
+            )
+        fresh_engine.checkpoint()
+        for i in range(220, 240):
+            fresh_engine.store_atom(
+                "item", identifier=f"i{i}", name=f"n{i}", grp="post", val=2.0, qty=2
+            )
+        serial = fresh_engine.parallel_query(STATEMENTS, mode="serial")
+        proc = fresh_engine.parallel_query(STATEMENTS, mode="process")
+        for expected, got in zip(serial, proc):
+            assert fingerprint(got) == fingerprint(expected)
+        assert pool.counters["restarts"] == 0
+
+    def test_refusal_on_rewound_generation_falls_back(self, fresh_engine):
+        pool = fresh_engine.process_pool(workers=2)
+        with fresh_engine.snapshot_at() as old:
+            for i in range(300, 310):
+                fresh_engine.store_atom(
+                    "item", identifier=f"i{i}", name=f"n{i}", grp="new", val=3.0, qty=3
+                )
+            # Advance the workers past the old generation…
+            fresh_engine.parallel_query(STATEMENTS[:1], mode="process")
+            refusals_before = pool.counters["refusals"]
+            # …then dispatch pinned at it: workers cannot rewind, so every
+            # statement falls back to the primary at the old pin.
+            results = fresh_engine.parallel_query(
+                ["SELECT COUNT(item.name) FROM item;"],
+                mode="process",
+                generation=old.generation,
+            )
+            expected = old.query("SELECT COUNT(item.name) FROM item;")
+            assert fingerprint(results[0]) == fingerprint(expected)
+            assert pool.counters["refusals"] > refusals_before
+            assert pool.counters["fallbacks"] >= 1
+
+    def test_pool_requires_durability(self):
+        engine = PrimaEngine()
+        with pytest.raises(StorageError):
+            engine.process_pool()
+
+    def test_close_shuts_down_pool(self, tmp_path):
+        engine = build_engine(tmp_path)
+        pool = engine.process_pool(workers=2)
+        pids = pool.worker_pids()
+        engine.close()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            alive = []
+            for pid in pids:
+                try:
+                    os.kill(pid, 0)
+                    alive.append(pid)
+                except OSError:
+                    pass
+            if not alive:
+                break
+            time.sleep(0.02)
+        assert not alive
+
+
+class TestShippingCodec:
+    def plans(self, engine):
+        interpreter = engine.interpreter()
+        return [interpreter.plan(statement).best for statement in STATEMENTS]
+
+    def test_roundtrip_is_byte_identical(self, shared_engine):
+        for plan in self.plans(shared_engine):
+            wire = plan_to_json(plan)
+            again = plan_to_json(plan_from_json(wire))
+            assert wire == again
+
+    def test_encoding_is_deterministic_across_translations(self, shared_engine):
+        """Two translations of the same statement encode identically except
+        for the translator's fresh ``mql_resultN`` gensym (which names the
+        result molecule type but never shapes its content)."""
+        import re
+
+        interpreter = shared_engine.interpreter()
+        anonymize = lambda wire: re.sub(r"mql_result\d+", "mql_result#", wire)
+        for statement in STATEMENTS:
+            first = plan_to_json(interpreter.plan(statement).best)
+            second = plan_to_json(interpreter.plan(statement).best)
+            assert anonymize(first) == anonymize(second)
+
+    def test_opaque_predicates_are_rejected(self, shared_engine):
+        from repro.core.predicates import PredicateFormula
+        from repro.engine.logical import RestrictPlan
+
+        plan = self.plans(shared_engine)[0]
+        opaque = RestrictPlan(
+            child=plan, formula=PredicateFormula(lambda atom: True, "opaque")
+        )
+        with pytest.raises(ShippingError):
+            encode_plan(opaque)
+
+    def test_explain_output_is_deterministic(self, shared_engine):
+        """Determinism audit: `PlanChoice.explain()` must render identically
+        for repeated plannings of the same statement — modulo the translator's
+        ``mql_resultN`` gensym — with no dict-order leaks."""
+        import re
+
+        interpreter = shared_engine.interpreter()
+        anonymize = lambda text: re.sub(r"mql_result\d+", "mql_result#", text)
+        for statement in STATEMENTS:
+            assert anonymize(interpreter.plan(statement).explain()) == anonymize(
+                interpreter.plan(statement).explain()
+            )
+
+    def test_to_dicts_is_deterministic(self, shared_engine):
+        for statement in STATEMENTS:
+            first = shared_engine.query(statement).to_dicts()
+            second = shared_engine.query(statement).to_dicts()
+            assert json.dumps(first, sort_keys=True, default=str) == json.dumps(
+                second, sort_keys=True, default=str
+            )
+
+
+@st.composite
+def dml_batches(draw):
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=6))):
+        kind = draw(st.sampled_from(["insert", "modify", "delete"]))
+        index = draw(st.integers(min_value=0, max_value=59))
+        if kind == "insert":
+            ops.append(
+                (
+                    "insert",
+                    draw(st.integers(min_value=1000, max_value=1999)),
+                    draw(st.integers(min_value=0, max_value=4)),
+                )
+            )
+        elif kind == "modify":
+            # MQL real literals are fixed-point (no exponent notation).
+            value = round(draw(st.floats(0, 100, allow_nan=False)), 2)
+            ops.append(("modify", index, value))
+        else:
+            ops.append(("delete", index))
+    return ops
+
+
+class TestInterleavedDMLSweep:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(batch=dml_batches())
+    def test_parity_after_interleaved_dml(self, shared_engine, batch):
+        """Process-mode results stay byte-identical to serial execution no
+        matter what committed DML lands between dispatches (state accumulates
+        across examples — every dispatch re-ships the new WAL tail)."""
+        for op in batch:
+            if op[0] == "insert":
+                _, index, qty = op
+                shared_engine.query(
+                    "INSERT item VALUES {{name: 'h{0}', grp: 'hyp', "
+                    "val: {0}.0, qty: {1}}};".format(index, qty)
+                )
+            elif op[0] == "modify":
+                _, index, val = op
+                shared_engine.query(
+                    f"MODIFY item FROM item SET val = {val:.2f} "
+                    f"WHERE item.name = 'n{index}';"
+                )
+            else:
+                _, index = op
+                shared_engine.query(
+                    f"DELETE FROM item WHERE item.name = 'n{index}';"
+                )
+        serial = shared_engine.parallel_query(STATEMENTS[:3], mode="serial")
+        proc = shared_engine.parallel_query(STATEMENTS[:3], mode="process")
+        for expected, got in zip(serial, proc):
+            assert fingerprint(got) == fingerprint(expected)
