@@ -210,6 +210,12 @@ class VersioningState:
         self._commit_log: List[Tuple[int, FrozenSet[WriteKey]]] = []
         #: Transactions currently between ``begin`` and ``commit``/``rollback``.
         self.active_transactions: "Set[object]" = set()
+        #: ``True`` once the engine owning this state has been fenced by a
+        #: replica promotion: transactions refuse to begin *and* to commit
+        #: (an in-flight transaction aborts at its commit point), so no
+        #: write can ever follow the promoted follower's final catch-up
+        #: slice.  Set under :attr:`lock` by ``PrimaEngine.fence()``.
+        self.fenced = False
         #: Cumulative number of version entries dropped by garbage collection.
         self.versions_collected = 0
         #: Callbacks ``(transaction, committed)`` fired when a transaction

@@ -14,7 +14,7 @@ plans** to worker **processes**:
   torn WAL tails, it just stops at the last valid record.
 
 * **Catch-up.**  The primary taps its WAL through
-  :meth:`~repro.storage.wal.WriteAheadLog.set_observer` into an in-memory
+  :meth:`~repro.storage.wal.WriteAheadLog.add_observer` into an in-memory
   **record feed** with monotone sequence numbers.  Before a dispatch, each
   worker receives exactly the feed slice past its applied position — never
   a full reload.  Sequence numbers (not generations) drive the slice:
@@ -42,7 +42,6 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
-import os
 import threading
 from typing import Dict, List, Optional, Tuple
 
@@ -67,52 +66,21 @@ class WorkerRefused(Exception):
 def _seed_engine(directory: str):
     """Build a read-only engine replica from *directory*'s checkpoint + WAL.
 
-    Mirrors :func:`repro.storage.recovery.recover` except that nothing is
-    ever written: no WAL is opened for appending and a torn tail is skipped
-    (``read_wal`` already stops at the last valid record) instead of
-    truncated.  Returns ``(engine, generation, records_replayed)``.
+    Thin wrapper over :func:`repro.storage.replication.seed_engine` — the
+    seeding path followers share — returning the pool's historical
+    ``(engine, generation, records_replayed)`` tuple.
     """
-    from repro.storage.engine import PrimaEngine
-    from repro.storage.recovery import (
-        apply_checkpoint,
-        apply_ddl_record,
-        apply_event_record,
-        ensure_surrogate_counter,
-        load_checkpoint,
-    )
-    from repro.storage.wal import DurabilityConfig, read_wal
+    from repro.storage.replication import seed_engine
 
-    config = DurabilityConfig(directory)
-    engine = PrimaEngine(name="prima-worker")
-    generation = 0
-    highest_surrogate = 0
-    replayed = 0
-    image = load_checkpoint(config)
-    if image is not None:
-        highest_surrogate = apply_checkpoint(engine, image)
-        generation = int(image.get("generation", 0))
-    if os.path.exists(config.wal_path):
-        for record in read_wal(config.wal_path).records:
-            generation = max(generation, _apply_record(engine, record))
-            replayed += 1
-    ensure_surrogate_counter(highest_surrogate)
-    engine.generation = max(engine.generation, generation)
-    return engine, generation, replayed
+    seed = seed_engine(directory, name="prima-worker")
+    return seed.engine, seed.generation, seed.records_replayed
 
 
 def _apply_record(engine, record: Dict[str, object]) -> int:
     """Replay one WAL/feed record; returns the record's highest generation."""
-    from repro.storage.recovery import apply_ddl_record, apply_event_record
+    from repro.storage.replication import apply_record
 
-    kind = record.get("r")
-    if kind == "ddl":
-        apply_ddl_record(engine, record)
-        return 0
-    if kind == "commit":
-        for event in record.get("events", ()):
-            apply_event_record(engine, event)
-        return int(record.get("gen", 0))
-    raise StorageError(f"unknown record kind {kind!r} in catch-up feed")
+    return apply_record(engine, record)
 
 
 def _execute_job(engine, job: Dict[str, object], applied_generation: int):
@@ -276,8 +244,10 @@ class ProcessPool:
         }
         # Tap the WAL before any worker spawns: every record not yet on the
         # feed at spawn time is, by the observer's post-flush contract,
-        # already in the files the worker seeds from.
-        engine.wal.set_observer(self._observe)
+        # already in the files the worker seeds from.  The tap is one of
+        # possibly many subscribers (a replication hub may tail the same
+        # log); shutdown removes exactly this one.
+        engine.wal.add_observer(self._observe)
         self._workers: List[_WorkerHandle] = [self._spawn() for _ in range(size)]
         #: One conversation (catch-up + execute batch, restarts included) at
         #: a time per worker slot — concurrent dispatches interleave across
@@ -358,7 +328,7 @@ class ProcessPool:
         self._closed = True
         wal = self._engine.wal
         if wal is not None:
-            wal.set_observer(None)
+            wal.remove_observer(self._observe)
         for worker in self._workers:
             try:
                 worker.conn.send(("stop",))

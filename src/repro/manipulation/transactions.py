@@ -145,6 +145,12 @@ class Transaction:
         self._state = state
         if state is not None:
             with state.lock:
+                if getattr(state, "fenced", False):
+                    self._active = False
+                    raise TransactionError(
+                        "engine is fenced (a follower was promoted); "
+                        "writes must go to the promoted engine"
+                    )
                 self.start_generation = state.generation
                 state.active_transactions.add(self)
                 if self._pin_snapshot:
@@ -175,8 +181,15 @@ class Transaction:
         state = self._state
         if state is not None:
             conflicting = None
+            fenced = False
             with state.lock:
-                if not self._commit_logged:
+                if not self._commit_logged and getattr(state, "fenced", False):
+                    # The engine was fenced by a replica promotion after this
+                    # transaction began: its writes must not reach the commit
+                    # log (the promoted follower already took the final feed
+                    # cut).  Abort exactly like a conflict loser.
+                    fenced = True
+                if not fenced and not self._commit_logged:
                     conflicting = state.committed_after(
                         self.start_generation, self.write_keys
                     )
@@ -187,12 +200,21 @@ class Transaction:
                         # its own commit-log entry: the MVCC publish already
                         # happened.
                         self._commit_logged = True
-                if conflicting is None:
+                if conflicting is None and not fenced:
                     # Durability point: the WAL hook appends this
                     # transaction's commit record here, atomically with the
                     # MVCC commit-log entry.  On failure the transaction
                     # stays active and commit() is retryable.
                     state.notify_transaction_finished(self, committed=True)
+            if fenced:
+                with self._tracked():
+                    self.log.undo_all()
+                self._finish()
+                state.notify_transaction_finished(self, committed=False)
+                raise TransactionError(
+                    "engine was fenced (a follower was promoted) before this "
+                    "transaction committed; all changes were rolled back"
+                )
             if conflicting is not None:
                 with self._tracked():
                     self.log.undo_all()

@@ -36,6 +36,7 @@ from repro.optimizer.statistics import (
     CostModel,
     DatabaseStatistics,
     PLAN_SHIP_COST,
+    REPLICA_ROUTE_COST,
     recursion_profile_key,
 )
 
@@ -192,37 +193,76 @@ class Planner:
         return choice
 
     def _advise_dispatch(self, choice: PlanChoice) -> None:
-        """Cost process-pool dispatch against serial execution of *choice*.
+        """Cost dispatch targets against serial execution of *choice*.
 
-        Shipping wins when the per-worker share of the plan's cost beats the
-        fixed serialization overhead plus catching the workers up on the WAL
-        records they have not yet applied.  The telemetry comes from
-        :attr:`dispatch_advisor`; without it (no pool) dispatch stays
-        ``None`` and EXPLAIN says nothing.
+        Process shipping wins when the per-worker share of the plan's cost
+        beats the fixed serialization overhead plus catching the workers up
+        on the WAL records they have not yet applied; replica routing wins
+        when the per-follower share beats the (much smaller) routing
+        overhead plus the followers' replication lag.  Ties break toward
+        serial, then process — the declaration order below.  The telemetry
+        comes from :attr:`dispatch_advisor`; without it (no pool, no hub)
+        dispatch stays ``None`` and EXPLAIN says nothing.
         """
         advisor = self.dispatch_advisor
         if advisor is None:
             return
         state = advisor()
-        if not state or state.get("workers", 0) < 2:
+        if not state:
             return
-        workers = state["workers"]
+        workers = state.get("workers", 0)
+        replicas = state.get("replicas", 0)
         backlog = state.get("backlog", 0)
         serial_cost = min(choice.original_cost, choice.optimized_cost)
         process_cost = (
             serial_cost / workers + PLAN_SHIP_COST + backlog * CATCHUP_RECORD_COST
+            if workers >= 2
+            else None
         )
-        choice.dispatch = "process" if process_cost < serial_cost else "serial"
+        if replicas < 1:
+            if process_cost is None:
+                return
+            choice.dispatch = "process" if process_cost < serial_cost else "serial"
+            choice.notes += (
+                "dispatch: {choice} (serial {serial:.1f} vs process {process:.1f} "
+                "= {serial:.1f}/{workers} workers + {ship:.0f} ship + "
+                "{backlog} backlog records × {record:.1f})".format(
+                    choice=choice.dispatch,
+                    serial=serial_cost,
+                    process=process_cost,
+                    workers=workers,
+                    ship=PLAN_SHIP_COST,
+                    backlog=backlog,
+                    record=CATCHUP_RECORD_COST,
+                ),
+            )
+            return
+        replica_lag = state.get("replica_lag", 0)
+        replica_cost = (
+            serial_cost / replicas
+            + REPLICA_ROUTE_COST
+            + replica_lag * CATCHUP_RECORD_COST
+        )
+        candidates = [("serial", serial_cost)]
+        if process_cost is not None:
+            candidates.append(("process", process_cost))
+        candidates.append(("replica", replica_cost))
+        # min() is stable: on a tie the earlier candidate wins.
+        choice.dispatch = min(candidates, key=lambda entry: entry[1])[0]
+        versus = " vs ".join(
+            "{name} {cost:.1f}".format(name=name, cost=cost)
+            for name, cost in candidates
+        )
         choice.notes += (
-            "dispatch: {choice} (serial {serial:.1f} vs process {process:.1f} "
-            "= {serial:.1f}/{workers} workers + {ship:.0f} ship + "
-            "{backlog} backlog records × {record:.1f})".format(
+            "dispatch: {choice} ({versus}; replica = {serial:.1f}/{replicas} "
+            "replicas + {route:.0f} route + {lag} lag generations × "
+            "{record:.1f})".format(
                 choice=choice.dispatch,
+                versus=versus,
                 serial=serial_cost,
-                process=process_cost,
-                workers=workers,
-                ship=PLAN_SHIP_COST,
-                backlog=backlog,
+                replicas=replicas,
+                route=REPLICA_ROUTE_COST,
+                lag=replica_lag,
                 record=CATCHUP_RECORD_COST,
             ),
         )

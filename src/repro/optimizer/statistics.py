@@ -65,6 +65,13 @@ PLAN_SHIP_COST = 250.0
 #: + cache invalidation, amortized).
 CATCHUP_RECORD_COST = 2.0
 
+#: Fixed cost units for routing one read statement to an in-process
+#: follower replica: snapshot pin + parse on the follower's interpreter.
+#: Far cheaper than PLAN_SHIP_COST (no codec, no pipe), so replica routing
+#: pays off earlier — but a lagging follower still owes one catch-up
+#: record application per feed record behind the pin.
+REPLICA_ROUTE_COST = 50.0
+
 
 def recursion_profile_key(description) -> Tuple[str, str, str]:
     """The profile key of a recursive description (``max_depth`` is per-query)."""

@@ -26,16 +26,24 @@ from repro.storage.index import HashIndex
 from repro.storage.link_store import LinkStore
 from repro.storage.network import AtomNetwork
 from repro.storage.recovery import RecoveryResult
+from repro.storage.replication import (
+    FollowerEngine,
+    ReplicationError,
+    ReplicationHub,
+)
 from repro.storage.wal import DurabilityConfig, WalError, WriteAheadLog, read_wal
 
 __all__ = [
     "AtomNetwork",
     "AtomStore",
     "DurabilityConfig",
+    "FollowerEngine",
     "HashIndex",
     "LinkStore",
     "PrimaEngine",
     "RecoveryResult",
+    "ReplicationError",
+    "ReplicationHub",
     "SnapshotHandle",
     "WalError",
     "WriteAheadLog",

@@ -174,6 +174,13 @@ class PrimaEngine:
         #: (:meth:`process_pool`); ``None`` until first use and for
         #: in-memory engines.
         self._procpool = None
+        #: Lazily created replication hub (:meth:`replication_hub`);
+        #: ``None`` until first use and for in-memory engines.
+        self._replication = None
+        #: ``True`` once :meth:`fence` ran (a follower was promoted over
+        #: this engine): every write — basic interface, DDL, transactions —
+        #: is refused from then on.
+        self._fenced = False
         if durability is not None:
             # Recovery runs before the WAL opens for appending, so nothing
             # replayed here is ever re-logged.
@@ -189,6 +196,7 @@ class PrimaEngine:
 
     def create_atom_type(self, name: str, description) -> AtomStore:
         """Create an atom type (backed by an :class:`AtomStore`)."""
+        self._require_unfenced()
         if name in self._atom_stores or name in self._link_stores:
             raise StorageError(f"type name {name!r} already in use")
         store = AtomStore(name, description)
@@ -212,6 +220,7 @@ class PrimaEngine:
         cardinality: Cardinality = Cardinality.MANY_TO_MANY,
     ) -> LinkStore:
         """Create a link type (backed by a :class:`LinkStore`)."""
+        self._require_unfenced()
         if name in self._atom_stores or name in self._link_stores:
             raise StorageError(f"type name {name!r} already in use")
         for type_name in (first_type, second_type):
@@ -235,6 +244,7 @@ class PrimaEngine:
 
     def create_index(self, atom_type_name: str, attribute: str) -> None:
         """Create a secondary index on ``atom_type_name.attribute``."""
+        self._require_unfenced()
         self._atom_store(atom_type_name).create_index(attribute)
         if self._wal is not None:
             self._wal.append_ddl(
@@ -253,6 +263,7 @@ class PrimaEngine:
         hop-by-hop fixpoint loop.  The encoding is built lazily on first use
         and maintained incrementally off the change-event stream.
         """
+        self._require_unfenced()
         self._atom_store(atom_type_name)  # existence check
         link_store = self._link_stores.get(link_type_name)
         if link_store is None:
@@ -292,6 +303,7 @@ class PrimaEngine:
         atomic operation even when several threads auto-commit concurrently.
         """
         with self._write_lock:
+            self._require_unfenced()
             store = self._atom_store(atom_type_name)
             with self._event_lock:
                 # Store mutations share the event lock with the transactional
@@ -342,6 +354,7 @@ class PrimaEngine:
         before re-raising, so store and snapshot can never diverge.
         """
         with self._write_lock:
+            self._require_unfenced()
             store = self._link_store(link_type_name)
             first_id = first.identifier if isinstance(first, Atom) else first
             second_id = second.identifier if isinstance(second, Atom) else second
@@ -382,6 +395,7 @@ class PrimaEngine:
     def delete_atom(self, atom_type_name: str, identifier: str) -> int:
         """Delete an atom and all its incident links; returns the links removed."""
         with self._write_lock:
+            self._require_unfenced()
             return self._delete_atom_locked(atom_type_name, identifier)
 
     def _delete_atom_locked(self, atom_type_name: str, identifier: str) -> int:
@@ -476,6 +490,9 @@ class PrimaEngine:
         # the engine's write generation, so event stamps and the engine's
         # counter stay in lock-step.
         state = db.enable_versioning(start_generation=self.generation)
+        # A fence outlives cache invalidation: rebuilt snapshots carry it so
+        # transactions on them keep refusing after the caches turn over.
+        state.fenced = self._fenced
         if self._durability is not None:
             # The WAL flushes a transaction's buffered events when it commits
             # (and discards them when it rolls back); the hook fires inside
@@ -612,6 +629,7 @@ class PrimaEngine:
         generation: Optional[int] = None,
         mode: str = "thread",
         workers: Optional[int] = None,
+        max_lag: int = 0,
     ) -> "List[QueryResult]":
         """Run read-only MQL statements concurrently at one pinned generation.
 
@@ -642,17 +660,32 @@ class PrimaEngine:
         EXPLAIN, DML — which still raises) fall back to primary-side
         execution at the same pinned generation.  ``mode="serial"`` is the
         explicit one-thread baseline.
+
+        ``mode="replica"`` routes read statements over the replication
+        hub's followers (:meth:`create_follower`) instead.  *max_lag*
+        bounds staleness in generations: a follower within the bound
+        serves at its own applied generation; one lagging further is
+        caught up (the hub ships the missing feed slice) before it serves;
+        one *ahead* of the pin is skipped — a follower cannot rewind.
+        With the default ``max_lag=0`` every routed follower answers
+        exactly at the pinned generation, byte-identical to primary
+        execution.  Unshippable statements (EXPLAIN, DML — which still
+        raises — and anything unparseable) and statements no follower can
+        serve fall back to the primary at the same pinned generation.
         """
         statements = list(statements)
         if not statements:
             return []
         if mode == "process":
             return self._parallel_query_process(statements, generation, workers)
+        if mode == "replica":
+            return self._parallel_query_replica(statements, generation, max_lag)
         if mode == "serial":
             threads = 1
         elif mode != "thread":
             raise StorageError(
-                f"unknown parallel_query mode {mode!r}; use 'thread', 'process' or 'serial'"
+                f"unknown parallel_query mode {mode!r}; use 'thread', "
+                "'process', 'replica' or 'serial'"
             )
         if threads is None:
             threads = min(len(statements), 4)
@@ -687,11 +720,87 @@ class PrimaEngine:
             return self._procpool
 
     def _dispatch_state(self) -> "Optional[Dict[str, int]]":
-        """Live pool telemetry for the planner's dispatch costing (or None)."""
+        """Live pool + replica telemetry for the planner's dispatch costing.
+
+        Merges the process pool's ``{"workers", "backlog"}`` with the
+        replication hub's ``{"replicas", "replica_lag"}``; ``None`` while
+        neither exists (dispatch stays unreported in EXPLAIN).
+        """
         pool = self._procpool
-        if pool is None:
+        hub = self._replication
+        if pool is None and hub is None:
             return None
-        return pool.dispatch_state()
+        state: Dict[str, int] = {}
+        if pool is not None:
+            state.update(pool.dispatch_state())
+        if hub is not None:
+            state.update(hub.dispatch_state())
+        return state
+
+    # --------------------------------------------------------- replication
+
+    def replication_hub(self):
+        """The engine's replication hub (lazy; durable engines only).
+
+        The hub taps the WAL into an in-memory record feed and owns the
+        followers it ships to (see :mod:`repro.storage.replication`).
+        """
+        if self._durability is None:
+            raise StorageError(
+                "replication requires a durable engine; construct it with "
+                "durability=DurabilityConfig(directory)"
+            )
+        with self._cache_lock:
+            if self._replication is None:
+                from repro.storage.replication import ReplicationHub
+
+                self._replication = ReplicationHub(self)
+            return self._replication
+
+    def create_follower(self, name: Optional[str] = None):
+        """Seed a new in-process follower tracking this engine's WAL feed.
+
+        Shorthand for ``engine.replication_hub().create_follower(name)``.
+        The follower serves snapshot reads at its applied generation; the
+        replica router (``parallel_query(mode="replica")``) fans read
+        statements over all followers created this way.
+        """
+        return self.replication_hub().create_follower(name)
+
+    def fence(self) -> None:
+        """Refuse every future write — the promotion protocol's first step.
+
+        Takes the write lock (draining in-flight basic-interface writers)
+        and the versioning engine lock (draining racing committers) before
+        flipping the flag, so after :meth:`fence` returns no record can
+        ever reach the WAL again: basic-interface writes and DDL raise
+        :class:`StorageError`, new transactions refuse to begin, and
+        in-flight transactions abort at their commit point.  Reads (and
+        :meth:`checkpoint`) keep working.  Idempotent.
+        """
+        with self._write_lock:
+            snapshot = self._snapshot
+            state = snapshot.versioning if snapshot is not None else None
+            if state is not None:
+                with state.lock:
+                    self._fenced = True
+                    state.fenced = True
+            else:
+                # No snapshot exists; _to_database_locked propagates the
+                # flag into the next one it builds.
+                self._fenced = True
+
+    @property
+    def fenced(self) -> bool:
+        """``True`` once a follower promotion fenced this engine."""
+        return self._fenced
+
+    def _require_unfenced(self) -> None:
+        if self._fenced:
+            raise StorageError(
+                "engine is fenced (a follower was promoted); writes must go "
+                "to the promoted engine"
+            )
 
     def _parallel_query_process(
         self,
@@ -889,6 +998,101 @@ class PrimaEngine:
         finally:
             handle.release()
 
+    def _parallel_query_replica(
+        self,
+        statements: "List[str]",
+        generation: Optional[int],
+        max_lag: int,
+    ) -> "List[QueryResult]":
+        """Fan read statements over the replication hub's followers.
+
+        The pin and the feed cut are taken inside the versioning engine
+        lock — the same critical section transactional commits append
+        their WAL record in — so a commit is either visible at the pin
+        *and* included in the cut, or neither (the process-mode contract).
+
+        Follower eligibility at the pinned generation: lag < 0 (ahead of
+        an older pin) skips the follower; lag > *max_lag* waits on it (the
+        hub ships the missing ``(applied_seq, cut]`` slice — a refusal
+        skips instead); 0 ≤ lag ≤ *max_lag* serves as-is at the follower's
+        own applied generation.  Statements route round-robin over the
+        eligible followers; everything else — unshippable statements,
+        follower-side failures, no eligible follower at all — executes on
+        the primary at the same pinned generation.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.mql.ast_nodes import Query, SetOperation
+        from repro.mql.parser import parse
+        from repro.storage.replication import ReplicationError
+
+        hub = self._replication
+        followers = hub.followers() if hub is not None else []
+        database = self.to_database()
+        interpreter = self.interpreter()
+        state = database.versioning
+        with state.lock:
+            pinned = database.pin(generation)
+            snapshot = state.make_snapshot(pinned)
+            cut = hub.feed_position() if hub is not None else 0
+        handle = SnapshotHandle(database, interpreter, snapshot)
+        try:
+            pin_gen = handle.generation
+            eligible = []
+            for follower in followers:
+                lag = follower.lag(pin_gen)
+                if lag < 0:
+                    hub.counters["skipped"] += 1
+                    continue
+                if lag > max_lag:
+                    try:
+                        hub.ship(follower, pin_gen, cut)
+                        hub.counters["waits"] += 1
+                    except ReplicationError:
+                        hub.counters["skipped"] += 1
+                        continue
+                eligible.append(follower)
+
+            results: "List[Optional[QueryResult]]" = [None] * len(statements)
+            assignments: "List[Tuple[int, object]]" = []
+            if eligible:
+                routable = []
+                for index, statement in enumerate(statements):
+                    try:
+                        ast = parse(statement)
+                    except Exception:
+                        continue  # falls back; the primary raises properly
+                    if isinstance(ast, (Query, SetOperation)):
+                        routable.append(index)
+                assignments = [
+                    (index, eligible[position % len(eligible)])
+                    for position, index in enumerate(routable)
+                ]
+            if assignments:
+
+                def run(assignment):
+                    index, follower = assignment
+                    try:
+                        return index, follower.query(statements[index])
+                    except StorageError:
+                        # Follower-side failure (closed, promoted, racing
+                        # detach): the primary fallback below serves it.
+                        return index, None
+
+                with ThreadPoolExecutor(max_workers=len(eligible)) as fanout:
+                    for index, result in fanout.map(run, assignments):
+                        if result is not None:
+                            hub.counters["routed"] += 1
+                        results[index] = result
+            for index, result in enumerate(results):
+                if result is None:
+                    if hub is not None:
+                        hub.counters["fallbacks"] += 1
+                    results[index] = handle.query(statements[index])
+            return list(results)
+        finally:
+            handle.release()
+
     def collect_versions(self) -> Dict[str, object]:
         """Run version-chain garbage collection; returns the GC statistics."""
         if self._snapshot is None:
@@ -990,14 +1194,19 @@ class PrimaEngine:
     def close(self) -> None:
         """Flush and close the WAL (idempotent; in-memory engines: no-op).
 
-        Shuts down the worker-process pool first, if one was created.  A
-        closed durable engine keeps serving reads, but further writes fail
-        at the log append — reopen the directory with :meth:`open` instead.
+        Shuts down the worker-process pool and the replication hub first,
+        if they were created (the hub's followers survive, detached, at
+        their applied generations).  A closed durable engine keeps serving
+        reads, but further writes fail at the log append — reopen the
+        directory with :meth:`open` instead.
         """
         with self._cache_lock:
             pool, self._procpool = self._procpool, None
+            hub, self._replication = self._replication, None
         if pool is not None:
             pool.shutdown()
+        if hub is not None:
+            hub.close()
         if self._wal is not None:
             self._wal.close()
 
@@ -1258,7 +1467,11 @@ class PrimaEngine:
         * ``wal_lifetime_bytes`` / ``wal_lifetime_records`` — totals over the
           log handle's lifetime, unaffected by truncation;
         * ``checkpoints`` — checkpoint images written by this engine;
-        * ``recovery_replayed`` — WAL records replayed at construction.
+        * ``recovery_replayed`` — WAL records replayed at construction;
+        * ``replication_*`` — follower count, worst follower lag (in
+          generations) and the hub's ship/route/fallback counters (all 0
+          while no replication hub exists);
+        * ``fenced`` — whether a follower promotion fenced this engine.
         """
         report: Dict[str, object] = dict(self.maintenance_statistics())
         report["network_generation"] = (
@@ -1294,6 +1507,26 @@ class PrimaEngine:
             "workers_started",
         ):
             report[f"procpool_{key}"] = pool.counters[key] if pool is not None else 0
+        hub = self._replication
+        report["replication_followers"] = (
+            len(hub.followers()) if hub is not None else 0
+        )
+        report["replication_lag"] = hub.max_lag() if hub is not None else 0
+        for key in (
+            "followers_started",
+            "ships",
+            "records_shipped",
+            "refusals",
+            "promotions",
+            "routed",
+            "fallbacks",
+            "skipped",
+            "waits",
+        ):
+            report[f"replication_{key}"] = (
+                hub.counters[key] if hub is not None else 0
+            )
+        report["fenced"] = self._fenced
         return report
 
     # ------------------------------------------------------------- loading

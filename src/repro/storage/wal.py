@@ -281,21 +281,33 @@ class WriteAheadLog:
         self.commits = 0
         self._unsynced = 0
         self._closed = False
-        #: Optional record tap (see :meth:`set_observer`).
-        self._observer = None
+        #: Record taps (see :meth:`add_observer`), in registration order.
+        self._observers: List[Callable[[Dict[str, object]], None]] = []
 
-    def set_observer(self, observer) -> None:
-        """Install a callable invoked with every appended record payload.
+    def add_observer(self, observer) -> None:
+        """Register a callable invoked with every appended record payload.
 
-        The observer fires inside the log's mutex *after* the record's bytes
-        are flushed to the OS, so observation order equals log order and an
-        observed record is always readable from the file — the invariant the
-        process-pool's catch-up feed relies on (a worker seeded from the
-        files has at least every record observed so far).  Pass ``None`` to
-        remove the tap.  The observer must not call back into the log.
+        Observers fire inside the log's mutex *after* the record's bytes are
+        flushed to the OS, so observation order equals log order and an
+        observed record is always readable from the file — the invariant
+        both the process-pool's and the replication hub's catch-up feeds
+        rely on (a subscriber seeded from the files has at least every
+        record observed so far).  Any number of observers may be live at
+        once — a process pool and a replication tail never clobber each
+        other's tap — each removes only its own via :meth:`remove_observer`.
+        An observer must not call back into the log.
         """
         with self._lock:
-            self._observer = observer
+            if observer not in self._observers:
+                self._observers.append(observer)
+
+    def remove_observer(self, observer) -> None:
+        """Remove one registered tap (idempotent); other taps keep firing."""
+        with self._lock:
+            try:
+                self._observers.remove(observer)
+            except ValueError:
+                pass
 
     # ------------------------------------------------------------- appending
 
@@ -322,8 +334,8 @@ class WriteAheadLog:
             self.lifetime_records += 1
             self.lifetime_bytes += len(blob)
             self._after_record()
-            if self._observer is not None:
-                self._observer(payload)
+            for observer in self._observers:
+                observer(payload)
         return len(blob)
 
     def commit_events(self, events: Sequence[Dict[str, object]]) -> int:
@@ -430,7 +442,12 @@ class WriteAheadLog:
 
 @dataclass
 class WalScan:
-    """The outcome of scanning a log file: valid records plus tail telemetry."""
+    """The outcome of scanning a log file: valid records plus tail telemetry.
+
+    ``valid_bytes`` is the *absolute* file offset one past the last valid
+    record — an incremental poller resumes its next :func:`read_wal` call
+    from exactly there, regardless of the ``from_offset`` it scanned from.
+    """
 
     records: List[Dict[str, object]]
     valid_bytes: int
@@ -442,18 +459,28 @@ class WalScan:
         return self.discarded_bytes > 0
 
 
-def read_wal(path: "str | Path") -> WalScan:
-    """Scan a WAL file, returning every valid record in append order.
+def read_wal(path: "str | Path", from_offset: int = 0) -> WalScan:
+    """Scan a WAL file from *from_offset*, returning valid records in order.
 
     Scanning stops at the first incomplete or checksum-failing record; the
     remaining bytes are reported as discarded.  This is what makes recovery
     redo-only: a torn final record (crash mid-append) can never contribute a
     partial transaction.
+
+    A follower polling a **live** primary must treat a non-zero
+    ``discarded_bytes`` as *not yet*, never as corruption: appends are
+    sequential, so bytes past the last valid record are simply an in-flight
+    record whose remainder has not reached the file — the poller re-polls
+    from ``valid_bytes`` (the last good offset) and the same scan succeeds
+    once the append completes.  Only crash recovery — which knows no append
+    is in flight — may truncate the tail away.
     """
     path = Path(path)
     if not path.exists():
-        return WalScan([], 0, 0)
-    data = path.read_bytes()
+        return WalScan([], from_offset, 0)
+    with open(path, "rb") as handle:
+        handle.seek(from_offset)
+        data = handle.read()
     records: List[Dict[str, object]] = []
     offset = 0
     total = len(data)
@@ -474,4 +501,4 @@ def read_wal(path: "str | Path") -> WalScan:
             break
         records.append(record)
         offset = end
-    return WalScan(records, offset, total - offset)
+    return WalScan(records, from_offset + offset, total - offset)

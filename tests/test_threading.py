@@ -459,6 +459,68 @@ class TestWalRaces:
         wal.close()
 
 
+# ------------------------------------------------------ replication churn
+
+
+class TestFollowerChurn:
+    def test_follower_churn_under_write_burst(self, tmp_path):
+        """Followers joining, catching up, querying, and detaching while
+        writer threads burst DML: every catch-up lands on a consistent
+        generation and a final catch-up reaches byte-parity with the head."""
+        engine = PrimaEngine.open(tmp_path / "dir", fsync="off")
+        engine.create_atom_type(
+            "state", {"name": "string", "code": "string", "hectare": "integer"}
+        )
+        engine.create_atom_type("area", {"area_id": "string"})
+        engine.create_link_type("state-area", "state", "area")
+        for index in range(6):
+            engine.store_atom(
+                "state",
+                identifier=f"st{index}",
+                name=f"State{index}",
+                code=f"S{index}",
+                hectare=100 + index,
+            )
+            engine.store_atom("area", identifier=f"ar{index}", area_id=f"a{index}")
+            engine.connect("state-area", f"st{index}", f"ar{index}")
+        engine.checkpoint()
+        hub = engine.replication_hub()
+        writer_count = 2
+        churner_count = 3
+        rounds = 5 * STRESS
+        barrier = threading.Barrier(writer_count + churner_count)
+
+        def writer(slot: int) -> None:
+            barrier.wait()
+            for index in range(rounds):
+                dml_round(engine, slot * 100000 + index)
+
+        def churner(slot: int) -> None:
+            barrier.wait()
+            for index in range(rounds):
+                follower = engine.create_follower(f"churn-{slot}-{index}")
+                try:
+                    hub.ship(follower)
+                    result = follower.query("SELECT COUNT(state.name) FROM state;")
+                    assert len(result.to_dicts()) == 1
+                finally:
+                    follower.close()
+
+        run_threads(
+            [lambda s=slot: writer(s) for slot in range(writer_count)]
+            + [lambda s=slot: churner(s) for slot in range(churner_count)]
+        )
+        assert hub.followers() == []
+        # A fresh follower after the storm catches up to exact parity.
+        follower = engine.create_follower("final")
+        hub.ship(follower)
+        assert fingerprint(follower.query(READ)) == fingerprint(engine.query(READ))
+        report = engine.maintenance_report()
+        assert report["replication_followers_started"] == churner_count * rounds + 1
+        assert report["replication_lag"] == 0
+        engine.close()
+
+
 # ------------------------------------------- WAL truncate counter regression
 
 
