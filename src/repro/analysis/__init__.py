@@ -1,0 +1,39 @@
+"""Static + runtime concurrency analysis for the reproduction.
+
+The package enforces the lock discipline DESIGN.md's "Threading model"
+section documents:
+
+* :mod:`repro.analysis.registry` — the machine-readable lock registry.
+  Every ``threading.Lock``/``RLock`` in ``src/repro`` is declared here with
+  a numeric *level*; locks may only be acquired in strictly ascending level
+  order.  DESIGN.md's lock-order table is generated from this registry
+  (``python -m repro.analysis --emit-design-table``), so prose and code
+  cannot drift apart.
+
+* :mod:`repro.analysis.lockorder` — an AST-based static analyzer.  It maps
+  every ``with <lock>:`` / ``<lock>.acquire()`` site to a registry entry,
+  propagates held-lock sets through an intra-package call graph, and
+  reports inversions (acquiring a lock at a level ≤ one already held),
+  cycles in the acquired-while-held graph, and undeclared lock
+  constructions.
+
+* :mod:`repro.analysis.guards` — checks ``# guarded-by: <lock>``
+  annotations on shared mutable attributes: every write must be lexically
+  inside a ``with`` of that lock or in a function annotated
+  ``# requires: <lock>``.
+
+* :mod:`repro.analysis.runtime` — the opt-in instrumented locks behind
+  ``REPRO_DEBUG_LOCKS=1``: every lock in the codebase is built through
+  :func:`~repro.analysis.runtime.make_lock` / ``make_rlock``, which return
+  plain ``threading`` primitives normally and order-asserting wrappers
+  (per-thread held stack, raise on non-ascending acquisition) when the
+  variable is set — the static hierarchy is then also asserted live under
+  the race suites.
+
+Run the whole suite of checks with ``python -m repro.analysis`` (or the
+``repro-lint`` entry point); it exits non-zero on any finding.  Findings
+are suppressed inline with ``# lock-lint: ignore[<rule>] — <reason>`` and
+the reason is mandatory.
+"""
+
+from repro.analysis.registry import LOCKS, LockSpec, lock_by_name  # noqa: F401

@@ -1,0 +1,169 @@
+"""``python -m repro.analysis`` — the concurrency lint CLI.
+
+Runs the whole static suite over ``src/repro`` and exits non-zero on any
+finding:
+
+* lock-order analysis (:mod:`repro.analysis.lockorder`): inversions,
+  cycles, undeclared/unregistered lock constructions, stale registry
+  entries, malformed suppressions;
+* guarded-write analysis (:mod:`repro.analysis.guards`);
+* DESIGN.md drift: the lock-order table between the
+  ``<!-- lock-table:begin -->`` / ``<!-- lock-table:end -->`` markers must
+  equal :func:`repro.analysis.registry.design_table` (``--fix-design``
+  rewrites it).
+
+Also installed as the ``repro-lint`` console script.
+"""
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis import lockorder
+from repro.analysis.guards import check_guards
+from repro.analysis.lockorder import Finding, analyze, collect_sources
+from repro.analysis.registry import design_table
+
+TABLE_BEGIN = "<!-- lock-table:begin -->"
+TABLE_END = "<!-- lock-table:end -->"
+
+
+def _default_root() -> str:
+    """The ``src`` directory containing the installed ``repro`` package."""
+    package_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return os.path.dirname(package_dir)
+
+
+def _default_design(root: str) -> Optional[str]:
+    """DESIGN.md next to (or above) the analyzed tree: for ``src/repro``
+    the file lives at the repo root, two levels up."""
+    parent = os.path.dirname(os.path.abspath(root))
+    for candidate_dir in (parent, os.path.dirname(parent)):
+        candidate = os.path.join(candidate_dir, "DESIGN.md")
+        if os.path.exists(candidate):
+            return candidate
+    return None
+
+
+def check_design(path: str, fix: bool = False) -> List[Finding]:
+    """Compare (or rewrite) DESIGN.md's generated lock table."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    begin = text.find(TABLE_BEGIN)
+    end = text.find(TABLE_END)
+    if begin < 0 or end < 0 or end < begin:
+        return [
+            Finding(
+                "design-drift",
+                os.path.basename(path),
+                1,
+                f"missing {TABLE_BEGIN} / {TABLE_END} markers around the "
+                "lock-order table",
+            )
+        ]
+    current = text[begin + len(TABLE_BEGIN):end].strip("\n")
+    expected = design_table()
+    if current == expected:
+        return []
+    if fix:
+        updated = (
+            text[: begin + len(TABLE_BEGIN)]
+            + "\n"
+            + expected
+            + "\n"
+            + text[end:]
+        )
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(updated)
+        return []
+    line = text[:begin].count("\n") + 1
+    return [
+        Finding(
+            "design-drift",
+            os.path.basename(path),
+            line,
+            "DESIGN.md lock-order table is out of date with "
+            "repro.analysis.registry; run 'python -m repro.analysis "
+            "--fix-design'",
+        )
+    ]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static concurrency lint for the repro package",
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        help="directory to analyze (default: the installed src/repro tree)",
+    )
+    parser.add_argument(
+        "--design",
+        default=None,
+        help="DESIGN.md to check the generated lock table in "
+        "(default: <root>/../DESIGN.md when present)",
+    )
+    parser.add_argument(
+        "--no-design",
+        action="store_true",
+        help="skip the DESIGN.md drift check",
+    )
+    parser.add_argument(
+        "--fix-design",
+        action="store_true",
+        help="rewrite the DESIGN.md lock table from the registry",
+    )
+    parser.add_argument(
+        "--emit-design-table",
+        action="store_true",
+        help="print the generated lock table and exit",
+    )
+    options = parser.parse_args(argv)
+
+    if options.emit_design_table:
+        print(design_table())
+        return 0
+
+    root = options.root
+    if root is None:
+        root = os.path.join(_default_root(), "repro")
+    if not os.path.isdir(root):
+        print(f"repro-lint: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    sources = collect_sources(root)
+    findings = analyze(sources)
+    findings += check_guards(sources)
+
+    if not options.no_design:
+        design = options.design or _default_design(root)
+        if design is not None:
+            findings += check_design(design, fix=options.fix_design)
+        elif options.design is not None:
+            print(
+                f"repro-lint: no such design file: {options.design}",
+                file=sys.stderr,
+            )
+            return 2
+
+    if not findings:
+        locks = len(lockorder.Registry().locks)
+        print(
+            f"repro-lint: clean — {len(sources)} modules, "
+            f"{locks} registered locks, 0 findings"
+        )
+        return 0
+
+    findings.sort(key=lambda finding: (finding.module, finding.line, finding.rule))
+    for finding in findings:
+        print(finding.render())
+    print(f"repro-lint: {len(findings)} finding(s)")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,206 @@
+"""Opt-in runtime lock-discipline checking (``REPRO_DEBUG_LOCKS=1``).
+
+Every lock in ``src/repro`` is constructed through :func:`make_lock` /
+:func:`make_rlock` with its registry name.  Normally these return plain
+``threading`` primitives — zero overhead, byte-identical behaviour.  When
+``REPRO_DEBUG_LOCKS=1`` is set they return :class:`OrderedLock` /
+:class:`OrderedRLock` instead: each acquisition is checked against a
+per-thread stack of held locks and a **non-ascending** acquisition (a lock
+whose registry level is ≤ the level of any lock already held, other than a
+legal re-entry of the same re-entrant instance) raises
+:class:`LockOrderViolation` at the exact site a deadlock could form — the
+static hierarchy of :mod:`repro.analysis.registry` asserted live, under the
+real race suites.
+
+The environment variable is read at *construction* time, so tests can flip
+it per-engine without re-importing anything.  Checked acquisitions are
+counted in a process-wide total (:func:`assertion_count`), which
+``PrimaEngine.maintenance_report()`` surfaces as ``lock_assertions`` so a
+stress run's artifact proves the checker actually engaged.
+"""
+
+import os
+import threading
+from typing import List, Optional, Tuple
+
+from repro.analysis.registry import declared_count, lock_by_name
+
+ENV_FLAG = "REPRO_DEBUG_LOCKS"
+
+#: Per-thread stack of (lock object, name, level) currently held, in
+#: acquisition order.  Only instrumented locks appear on it.
+_held = threading.local()
+
+#: Process-wide count of checked acquisitions; guarded by _counter_lock.
+#: (The counter lock is internal to the checker: it is only ever held for
+#: the increment itself, never across another acquisition.)
+_assertions = 0
+_counter_lock = threading.Lock()
+
+
+class LockOrderViolation(RuntimeError):
+    """A lock was acquired out of hierarchy order on one thread."""
+
+
+def enabled() -> bool:
+    """``True`` when ``REPRO_DEBUG_LOCKS=1`` is set right now."""
+    return os.environ.get(ENV_FLAG) == "1"
+
+
+def assertion_count() -> int:
+    """Checked lock acquisitions so far, process-wide."""
+    return _assertions
+
+
+def locks_declared() -> int:
+    """Number of locks in the registry (mirrors the registry count)."""
+    return declared_count()
+
+
+def held_locks() -> List[Tuple[str, int]]:
+    """(name, level) of every instrumented lock this thread holds."""
+    return [(name, level) for _lock, name, level in _stack()]
+
+
+def _stack() -> List[Tuple[object, str, int]]:
+    stack = getattr(_held, "stack", None)
+    if stack is None:
+        stack = []
+        _held.stack = stack
+    return stack
+
+
+def _count_assertion() -> None:
+    global _assertions
+    with _counter_lock:
+        _assertions += 1
+
+
+class _OrderedBase:
+    """Shared acquire/release bookkeeping for both instrumented kinds."""
+
+    _reentrant = False
+
+    def __init__(self, name: str, inner) -> None:
+        spec = lock_by_name(name)
+        if spec is None:
+            raise LockOrderViolation(
+                f"lock {name!r} is not declared in repro.analysis.registry; "
+                "add a LockSpec with a level before constructing it"
+            )
+        expected = "RLock" if self._reentrant else "Lock"
+        if spec.kind != expected:
+            raise LockOrderViolation(
+                f"lock {name!r} is registered as a {spec.kind} but was "
+                f"constructed as a {expected}"
+            )
+        self.name = name
+        self.level = spec.level
+        self._inner = inner
+
+    def _check_order(self) -> None:
+        stack = _stack()
+        for held_lock, held_name, held_level in stack:
+            if held_lock is self:
+                if self._reentrant:
+                    return  # legal re-entry of the same RLock instance
+                raise LockOrderViolation(
+                    f"non-reentrant lock {self.name!r} (level {self.level}) "
+                    "re-acquired by the thread already holding it"
+                )
+        worst = max(stack, key=lambda entry: entry[2], default=None)
+        if worst is not None and self.level <= worst[2]:
+            held_names = " -> ".join(
+                f"{name}({level})" for _lock, name, level in stack
+            )
+            raise LockOrderViolation(
+                f"lock order violation: acquiring {self.name!r} (level "
+                f"{self.level}) while holding {worst[1]!r} (level "
+                f"{worst[2]}); held stack: {held_names}"
+            )
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        self._check_order()
+        _count_assertion()
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            _stack().append((self, self.name, self.level))
+        return acquired
+
+    def release(self) -> None:
+        stack = _stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][0] is self:
+                del stack[index]
+                break
+        self._inner.release()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        self.release()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "OrderedRLock" if self._reentrant else "OrderedLock"
+        return f"{kind}({self.name!r}, level={self.level})"
+
+
+class OrderedLock(_OrderedBase):
+    """An instrumented ``threading.Lock`` asserting the registry order."""
+
+    _reentrant = False
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name, threading.Lock())
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+
+class OrderedRLock(_OrderedBase):
+    """An instrumented ``threading.RLock`` asserting the registry order."""
+
+    _reentrant = True
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name, threading.RLock())
+
+
+def make_lock(name: str):
+    """A ``threading.Lock`` for the registered lock *name*.
+
+    Plain and overhead-free normally; an order-asserting
+    :class:`OrderedLock` when ``REPRO_DEBUG_LOCKS=1`` is set.
+    """
+    if enabled():
+        return OrderedLock(name)
+    return threading.Lock()
+
+
+def make_rlock(name: str):
+    """A ``threading.RLock`` for the registered lock *name*.
+
+    Plain and overhead-free normally; an order-asserting
+    :class:`OrderedRLock` when ``REPRO_DEBUG_LOCKS=1`` is set.
+    """
+    if enabled():
+        return OrderedRLock(name)
+    return threading.RLock()
+
+
+def checker_report() -> Optional[dict]:
+    """``{"locks_declared", "lock_assertions"}`` while checking is active.
+
+    ``None`` when ``REPRO_DEBUG_LOCKS`` is not set — callers splice the
+    counters into their own reports only when the checker is live, so a
+    silent no-op checker can never masquerade as an engaged one.
+    """
+    if not enabled() and _assertions == 0:
+        return None
+    return {
+        "locks_declared": locks_declared(),
+        "lock_assertions": assertion_count(),
+    }

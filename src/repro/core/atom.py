@@ -14,7 +14,7 @@ representable without foreign keys.
 from __future__ import annotations
 
 import itertools
-import threading
+from repro.analysis.runtime import make_rlock
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 from repro.core.attributes import AtomTypeDescription, make_description
@@ -168,16 +168,16 @@ class AtomType:
             raise SchemaError(f"invalid atom-type name: {name!r}")
         self._name = name
         self._description = make_description(description)
-        self._atoms: Dict[str, Atom] = {}
+        self._atoms: Dict[str, Atom] = {}  # guarded-by: AtomType._lock
         self._by_identifier = self._atoms  # alias, kept for readability
         self._emitter: Optional[ChangeEmitter] = None
         self._versioning: Optional[VersioningState] = None
-        self._versions: Dict[str, VersionChain] = {}
+        self._versions: Dict[str, VersionChain] = {}  # guarded-by: AtomType._lock
         #: Head lock: occurrence mutations hold it so the head swap, the
         #: version-chain record and the change-event emission form one
         #: atomic unit per type (events leave in generation order).  Readers
         #: only take it to copy the identifier sets for iteration.
-        self._lock = threading.RLock()
+        self._lock = make_rlock("AtomType._lock")
         for atom in atoms:
             self.add(atom)
 
@@ -214,6 +214,7 @@ class AtomType:
         """
         self._versioning = state
 
+    # requires: AtomType._lock
     def _version_mutation(
         self, identifier: str, payload: object, base: object, swap
     ) -> Optional[int]:

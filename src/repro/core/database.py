@@ -16,7 +16,7 @@ constructions without mutating the original.
 
 from __future__ import annotations
 
-import threading
+from repro.analysis.runtime import make_lock
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.atom import Atom, AtomType
@@ -52,10 +52,10 @@ class Database:
         self._atom_types: Dict[str, AtomType] = {}
         self._link_types: Dict[str, LinkType] = {}
         self._listeners: List[Listener] = []
-        self._versioning: Optional[VersioningState] = None
+        self._versioning: Optional[VersioningState] = None  # guarded-by: Database._versioning_guard
         #: Guards versioning-state creation (``enable_versioning`` may race
         #: between an engine thread and an MQL ``BEGIN WORK`` elsewhere).
-        self._versioning_guard = threading.Lock()
+        self._versioning_guard = make_lock("Database._versioning_guard")
 
     # --------------------------------------------------------- change events
 

@@ -16,7 +16,7 @@ extended link-type definition"); see :class:`Cardinality`.
 from __future__ import annotations
 
 import enum
-import threading
+from repro.analysis.runtime import make_rlock
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.atom import Atom, AtomType
@@ -178,18 +178,18 @@ class LinkType:
         self._first_type = first_type.name if isinstance(first_type, AtomType) else first_type
         self._second_type = second_type.name if isinstance(second_type, AtomType) else second_type
         self.cardinality = cardinality
-        self._links: Set[Link] = set()
-        self._by_atom: Dict[str, Set[Link]] = {}
+        self._links: Set[Link] = set()  # guarded-by: LinkType._lock
+        self._by_atom: Dict[str, Set[Link]] = {}  # guarded-by: LinkType._lock
         self._emitter: Optional[ChangeEmitter] = None
         self._versioning: Optional[VersioningState] = None
-        self._versions: Dict[Link, VersionChain] = {}
-        self._historic_by_atom: Dict[str, Set[Link]] = {}
+        self._versions: Dict[Link, VersionChain] = {}  # guarded-by: LinkType._lock
+        self._historic_by_atom: Dict[str, Set[Link]] = {}  # guarded-by: LinkType._lock
         #: Head lock: mutations hold it so cardinality check, occurrence
         #: swap, chain record and event emission are one atomic unit per
         #: type; snapshot views take it briefly to copy link collections
         #: (links hash through Python code — unguarded iteration over the
         #: occurrence set can observe a concurrent resize).
-        self._lock = threading.RLock()
+        self._lock = make_rlock("LinkType._lock")
         for link in links:
             self.add(link)
 
@@ -218,6 +218,7 @@ class LinkType:
         """
         self._versioning = state
 
+    # requires: LinkType._lock
     def _version_mutation(
         self, link: Link, payload: object, base: object, swap
     ) -> Optional[int]:

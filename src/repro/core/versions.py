@@ -49,6 +49,8 @@ the full lock order.
 from __future__ import annotations
 
 import threading
+
+from repro.analysis.runtime import make_rlock
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -201,13 +203,13 @@ class VersioningState:
         #: The engine-level mutex: clock, pins, commit log, active
         #: transactions and conflict checks are all guarded by this one
         #: re-entrant lock (see the module docstring for the lock order).
-        self.lock = threading.RLock()
+        self.lock = make_rlock("VersioningState.lock")
         #: Monotonic generation counter; every occurrence mutation ticks it.
         self.generation = start_generation
         #: Refcounted pins per generation (readers + session transactions).
-        self._pins: Dict[int, int] = {}
+        self._pins: Dict[int, int] = {}  # guarded-by: VersioningState.lock
         #: ``(commit_generation, write_keys)`` of every relevant commit.
-        self._commit_log: List[Tuple[int, FrozenSet[WriteKey]]] = []
+        self._commit_log: List[Tuple[int, FrozenSet[WriteKey]]] = []  # guarded-by: VersioningState.lock
         #: Transactions currently between ``begin`` and ``commit``/``rollback``.
         self.active_transactions: "Set[object]" = set()
         #: ``True`` once the engine owning this state has been fenced by a

@@ -43,6 +43,8 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import threading
+
+from repro.analysis.runtime import make_lock
 from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import StorageError
@@ -228,9 +230,9 @@ class ProcessPool:
         self._engine = engine
         self._directory = str(engine.durability.directory)
         self._context = multiprocessing.get_context("spawn")
-        self._feed: List[Dict[str, object]] = []
-        self._feed_base = 0  # absolute sequence number of self._feed[0]
-        self._feed_lock = threading.Lock()
+        self._feed: List[Dict[str, object]] = []  # guarded-by: ProcessPool._feed_lock
+        self._feed_base = 0  # absolute sequence number of self._feed[0]  # guarded-by: ProcessPool._feed_lock
+        self._feed_lock = make_lock("ProcessPool._feed_lock")
         self._closed = False
         self.counters: Dict[str, int] = {
             "workers_started": 0,
@@ -248,12 +250,12 @@ class ProcessPool:
         # possibly many subscribers (a replication hub may tail the same
         # log); shutdown removes exactly this one.
         engine.wal.add_observer(self._observe)
-        self._workers: List[_WorkerHandle] = [self._spawn() for _ in range(size)]
+        self._workers: List[_WorkerHandle] = [self._spawn() for _ in range(size)]  # guarded-by: ProcessPool._slot_locks
         #: One conversation (catch-up + execute batch, restarts included) at
         #: a time per worker slot — concurrent dispatches interleave across
         #: slots, never on one pipe.
         self._slot_locks: List[threading.Lock] = [
-            threading.Lock() for _ in self._workers
+            make_lock("ProcessPool._slot_locks") for _ in self._workers
         ]
 
     # ------------------------------------------------------------- the feed
@@ -309,6 +311,7 @@ class ProcessPool:
         self.counters["workers_started"] += 1
         return _WorkerHandle(process, parent_conn, applied_seq, int(reply[1]))
 
+    # requires: ProcessPool._slot_locks
     def _restart(self, index: int) -> None:
         worker = self._workers[index]
         try:
@@ -343,7 +346,11 @@ class ProcessPool:
             if worker.process.is_alive():
                 worker.process.terminate()
                 worker.process.join(timeout=10)
-        self._workers = []
+        # Slot locks are deliberately NOT taken here: shutdown runs after
+        # the engine unpublished the pool (no new dispatches can reach it)
+        # and closing the pipes makes any in-flight conversation fail over
+        # to serial execution rather than deadlock against a dead worker.
+        self._workers = []  # lock-lint: ignore[unguarded-write] — see above: pool already unpublished, pipes closed
 
     # ------------------------------------------------------------- dispatch
 

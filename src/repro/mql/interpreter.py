@@ -20,6 +20,8 @@ executing.
 from __future__ import annotations
 
 import threading
+
+from repro.analysis.runtime import make_lock, make_rlock
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -169,22 +171,22 @@ class MQLInterpreter:
         self.executor = executor or Executor(database)
         self._planner = planner
         #: Active session transaction (``BEGIN WORK`` … ``COMMIT WORK``).
-        self._session: Optional[Transaction] = None
+        self._session: Optional[Transaction] = None  # guarded-by: MQLInterpreter._session_guard
         #: The thread that ran ``BEGIN WORK`` — sessions have thread
         #: affinity: session-scoped statements from any other thread are
         #: rejected with a clear error (pinned-snapshot reads via ``at=``
         #: remain safe from every thread).
-        self._session_thread: Optional[int] = None
+        self._session_thread: Optional[int] = None  # guarded-by: MQLInterpreter._session_guard
         #: Guards the ``_session``/``_session_thread`` transitions: two
         #: threads racing ``BEGIN WORK`` must not both pass the
         #: already-active check and orphan one registered, pinned
         #: transaction forever.
-        self._session_guard = threading.Lock()
+        self._session_guard = make_lock("MQLInterpreter._session_guard")
         #: Serializes planning and statistics maintenance: snapshot readers
         #: on worker threads plan one at a time (execution itself runs
         #: concurrently), and a writer folding a change event into the
         #: planner statistics can never race a reader mid-optimize.
-        self._plan_lock = threading.RLock()
+        self._plan_lock = make_rlock("MQLInterpreter._plan_lock")
         #: Callable serving MQL ``CHECKPOINT`` — a durable storage engine
         #: passes its ``PrimaEngine.checkpoint``; ``None`` rejects the
         #: statement (nothing durable to checkpoint).
@@ -333,6 +335,7 @@ class MQLInterpreter:
         with self._session_guard:
             return self._transaction_statement_locked(statement)
 
+    # requires: MQLInterpreter._session_guard
     def _transaction_statement_locked(
         self, statement: TransactionStatement
     ) -> QueryResult:
@@ -507,10 +510,15 @@ class MQLInterpreter:
             result = self.executor.run_write(plan, txn=txn)
         except TransactionConflictError:
             # The session lost a write-write race: snapshot-isolation dooms
-            # the whole transaction, not just the statement.
+            # the whole transaction, not just the statement.  The session
+            # teardown takes the guard — a concurrent BEGIN WORK must see
+            # either the doomed session or the cleared slot, never a torn
+            # transition.
             if txn is not None:
-                self._session = None
-                self._session_thread = None
+                with self._session_guard:
+                    if self._session is txn:
+                        self._session = None
+                        self._session_thread = None
                 if txn.is_active:
                     txn.rollback()
             raise

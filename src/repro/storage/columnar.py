@@ -20,7 +20,7 @@ parity.  All counters surface through ``maintenance_report()``.
 
 from __future__ import annotations
 
-import threading
+from repro.analysis.runtime import make_rlock
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.events import (
@@ -143,11 +143,11 @@ class ColumnarStore:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.RLock()
+        self._lock = make_rlock("ColumnarStore._lock")
         #: Planner/executor switch — ``False`` keeps every aggregate on the
         #: row operators (the benchmark baseline and an escape hatch).
         self.enabled = True
-        self._projections: Dict[str, ColumnarProjection] = {}
+        self._projections: Dict[str, ColumnarProjection] = {}  # guarded-by: ColumnarStore._lock
         #: Engine write generation (stamped on every fold and interpreter build).
         self.generation = 0
         #: Pinned-snapshot reads that could not use a projection coherently.

@@ -43,6 +43,9 @@ from __future__ import annotations
 
 import os
 import threading
+
+from repro.analysis.runtime import make_lock, make_rlock
+from repro.analysis.runtime import checker_report as runtime_lock_report
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -127,16 +130,16 @@ class PrimaEngine:
         self._dirty = False
         #: Serializes basic-interface writes (store_atom/connect/delete_atom)
         #: and checkpoints against each other.
-        self._write_lock = threading.RLock()
+        self._write_lock = make_rlock("PrimaEngine._write_lock")
         #: Guards lazy construction/teardown of the cached access structures
         #: (snapshot, network, interpreter, index pool).
-        self._cache_lock = threading.RLock()
+        self._cache_lock = make_rlock("PrimaEngine._cache_lock")
         #: The event path's lock: generation counter, stats, WAL routing,
         #: store mirror and incremental cache maintenance fold one event at
         #: a time.  Acquired *inside* the per-type head locks; only ever
         #: acquires the true leaves below it — the interpreter's plan lock
         #: and the WAL's lock (see DESIGN.md "Threading model").
-        self._event_lock = threading.RLock()
+        self._event_lock = make_rlock("PrimaEngine._event_lock")
         #: Per-thread mirror state: the ``_mirror`` guard flag and the
         #: direct-write WAL buffer belong to the thread driving the write.
         self._tls = threading.local()
@@ -173,14 +176,14 @@ class PrimaEngine:
         #: Lazily created pool of checkpoint-seeded worker processes
         #: (:meth:`process_pool`); ``None`` until first use and for
         #: in-memory engines.
-        self._procpool = None
+        self._procpool = None  # guarded-by: PrimaEngine._cache_lock
         #: Lazily created replication hub (:meth:`replication_hub`);
         #: ``None`` until first use and for in-memory engines.
-        self._replication = None
+        self._replication = None  # guarded-by: PrimaEngine._cache_lock
         #: ``True`` once :meth:`fence` ran (a follower was promoted over
         #: this engine): every write — basic interface, DDL, transactions —
         #: is refused from then on.
-        self._fenced = False
+        self._fenced = False  # guarded-by: PrimaEngine._write_lock
         if durability is not None:
             # Recovery runs before the WAL opens for appending, so nothing
             # replayed here is ever re-logged.
@@ -1471,7 +1474,10 @@ class PrimaEngine:
         * ``replication_*`` — follower count, worst follower lag (in
           generations) and the hub's ship/route/fallback counters (all 0
           while no replication hub exists);
-        * ``fenced`` — whether a follower promotion fenced this engine.
+        * ``fenced`` — whether a follower promotion fenced this engine;
+        * ``locks_declared`` / ``lock_assertions`` — only while the runtime
+          lock-discipline checker (``REPRO_DEBUG_LOCKS=1``) is active:
+          registry size and checked acquisitions process-wide.
         """
         report: Dict[str, object] = dict(self.maintenance_statistics())
         report["network_generation"] = (
@@ -1527,6 +1533,12 @@ class PrimaEngine:
                 hub.counters[key] if hub is not None else 0
             )
         report["fenced"] = self._fenced
+        lock_report = runtime_lock_report()
+        if lock_report is not None:
+            # Only present while REPRO_DEBUG_LOCKS is (or was) active: a
+            # stress artifact carrying these keys proves the lock-discipline
+            # checker actually engaged during the run.
+            report.update(lock_report)
         return report
 
     # ------------------------------------------------------------- loading
@@ -1621,8 +1633,8 @@ class SnapshotHandle:
         self._database = database
         self._interpreter = interpreter
         self._snapshot = snapshot
-        self._released = False
-        self._release_guard = threading.Lock()
+        self._released = False  # guarded-by: SnapshotHandle._release_guard
+        self._release_guard = make_lock("SnapshotHandle._release_guard")
 
     @property
     def generation(self) -> int:

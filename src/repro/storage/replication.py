@@ -52,7 +52,7 @@ provides the follower lifecycle and the feed it routes over.
 from __future__ import annotations
 
 import os
-import threading
+from repro.analysis.runtime import make_lock, make_rlock
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -170,8 +170,8 @@ class FollowerEngine:
         #: through the recovery primitives, which replace store entries
         #: with fresh objects — an in-flight read over previously exported
         #: snapshot objects never sees a partial apply.
-        self._lock = threading.RLock()
-        self._promoted = False
+        self._lock = make_rlock("FollowerEngine._lock")
+        self._promoted = False  # guarded-by: FollowerEngine._lock
         self._closed = False
         self.counters: Dict[str, int] = {
             "records_applied": 0,
@@ -191,7 +191,7 @@ class FollowerEngine:
         self._engine = seed.engine
         #: Generation the follower's state has reached (applied records
         #: plus pin fast-forwards).
-        self.applied_generation = seed.generation
+        self.applied_generation = seed.generation  # guarded-by: FollowerEngine._lock
         self._wal_offset = seed.wal_offset
         self._stamp = seed.checkpoint_stamp
         return seed
@@ -393,11 +393,11 @@ class ReplicationHub:
             )
         self._engine = engine
         self._directory = str(engine.durability.directory)
-        self._feed: List[Dict[str, object]] = []
-        self._feed_base = 0  # absolute sequence number of self._feed[0]
-        self._feed_lock = threading.Lock()
-        self._followers: List[FollowerEngine] = []
-        self._lock = threading.RLock()
+        self._feed: List[Dict[str, object]] = []  # guarded-by: ReplicationHub._feed_lock
+        self._feed_base = 0  # absolute sequence number of self._feed[0]  # guarded-by: ReplicationHub._feed_lock
+        self._feed_lock = make_lock("ReplicationHub._feed_lock")
+        self._followers: List[FollowerEngine] = []  # guarded-by: ReplicationHub._lock
+        self._lock = make_rlock("ReplicationHub._lock")
         self._closed = False
         self.counters: Dict[str, int] = {
             "followers_started": 0,
@@ -542,18 +542,23 @@ class ReplicationHub:
         return shipped
 
     def max_lag(self) -> int:
-        """The largest follower lag behind the primary head, in generations."""
+        """The largest follower lag behind the primary head, in generations.
+
+        Lock-free: reads an atomic snapshot of the follower list, so the
+        planner can call it while holding the plan lock (the hub lock sits
+        *below* the plan lock in the hierarchy and must not be acquired
+        under it).
+        """
         head = self._engine.generation
-        with self._lock:
-            return max(
-                (head - follower.applied_generation for follower in self._followers),
-                default=0,
-            )
+        followers = tuple(self._followers)
+        return max(
+            (head - follower.applied_generation for follower in followers),
+            default=0,
+        )
 
     def dispatch_state(self) -> Dict[str, int]:
-        """Hub telemetry for the planner's dispatch costing."""
-        with self._lock:
-            replicas = len(self._followers)
+        """Hub telemetry for the planner's dispatch costing (lock-free)."""
+        replicas = len(self._followers)
         return {"replicas": replicas, "replica_lag": self.max_lag() if replicas else 0}
 
     # ------------------------------------------------------------ promotion

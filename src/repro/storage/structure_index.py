@@ -37,7 +37,7 @@ over the pinned view, preserving byte parity.  All counters surface through
 
 from __future__ import annotations
 
-import threading
+from repro.analysis.runtime import make_rlock
 from bisect import bisect_left, bisect_right, insort
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -636,8 +636,8 @@ class StructureIndexStore:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.RLock()
-        self._indexes: Dict[StructureKey, Optional[StructureIndex]] = {}
+        self._lock = make_rlock("StructureIndexStore._lock")
+        self._indexes: Dict[StructureKey, Optional[StructureIndex]] = {}  # guarded-by: StructureIndexStore._lock
         #: Engine write generation (stamped on every fold and interpreter build).
         self.generation = 0
         #: Pinned-snapshot reads that could not use an index coherently.

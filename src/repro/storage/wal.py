@@ -32,7 +32,7 @@ from __future__ import annotations
 import json
 import os
 import struct
-import threading
+from repro.analysis.runtime import make_rlock
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -264,7 +264,7 @@ class WriteAheadLog:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._file = open(self.path, "ab")
         #: Serializes appends, syncs, truncation and the counters below.
-        self._lock = threading.RLock()
+        self._lock = make_rlock("WriteAheadLog._lock")
         #: Records appended through this handle and still in the log
         #: (reset by :meth:`truncate`, like ``bytes_written``).
         self.records_written = 0
@@ -282,7 +282,7 @@ class WriteAheadLog:
         self._unsynced = 0
         self._closed = False
         #: Record taps (see :meth:`add_observer`), in registration order.
-        self._observers: List[Callable[[Dict[str, object]], None]] = []
+        self._observers: List[Callable[[Dict[str, object]], None]] = []  # guarded-by: WriteAheadLog._lock
 
     def add_observer(self, observer) -> None:
         """Register a callable invoked with every appended record payload.

@@ -1,0 +1,220 @@
+"""The runtime lock-discipline checker (``REPRO_DEBUG_LOCKS=1``).
+
+Unit tests for the instrumented locks (ascending acquisitions pass,
+non-ascending ones raise :class:`LockOrderViolation` at the site, RLock
+re-entry is legal, the per-thread stack unwinds correctly), plus an
+engine-level scenario: a full write/query/transaction workload on an
+engine whose locks are all instrumented must run violation-free, and its
+``maintenance_report()`` must carry the ``locks_declared`` /
+``lock_assertions`` counters proving the checker engaged.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import runtime
+from repro.analysis.registry import declared_count
+from repro.analysis.runtime import (
+    ENV_FLAG,
+    LockOrderViolation,
+    OrderedLock,
+    OrderedRLock,
+    assertion_count,
+    checker_report,
+    held_locks,
+    make_lock,
+    make_rlock,
+)
+from repro.storage import PrimaEngine
+
+
+@pytest.fixture
+def debug_locks(monkeypatch):
+    """Turn the checker on for the duration of one test."""
+    monkeypatch.setenv(ENV_FLAG, "1")
+
+
+class TestFactories:
+    def test_plain_locks_when_disabled(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        assert not isinstance(make_lock("WriteAheadLog._lock"), OrderedLock)
+        assert not isinstance(
+            make_rlock("WriteAheadLog._lock"), OrderedRLock
+        )
+
+    def test_instrumented_locks_when_enabled(self, debug_locks):
+        assert isinstance(
+            make_lock("SnapshotHandle._release_guard"), OrderedLock
+        )
+        assert isinstance(make_rlock("WriteAheadLog._lock"), OrderedRLock)
+
+    def test_unregistered_name_is_rejected(self, debug_locks):
+        with pytest.raises(LockOrderViolation, match="not declared"):
+            make_lock("Nobody._lock")
+
+    def test_kind_mismatch_is_rejected(self, debug_locks):
+        # WriteAheadLog._lock is registered as an RLock.
+        with pytest.raises(LockOrderViolation, match="registered as a RLock"):
+            make_lock("WriteAheadLog._lock")
+
+
+class TestOrdering:
+    def test_ascending_acquisition_passes(self):
+        low = OrderedRLock("PrimaEngine._write_lock")  # level 10
+        high = OrderedRLock("WriteAheadLog._lock")  # level 52
+        with low:
+            with high:
+                assert [name for name, _ in held_locks()] == [
+                    "PrimaEngine._write_lock",
+                    "WriteAheadLog._lock",
+                ]
+        assert held_locks() == []
+
+    def test_descending_acquisition_raises(self):
+        low = OrderedRLock("PrimaEngine._write_lock")  # level 10
+        high = OrderedRLock("WriteAheadLog._lock")  # level 52
+        with high:
+            with pytest.raises(LockOrderViolation) as excinfo:
+                with low:
+                    pass  # pragma: no cover - never acquired
+        message = str(excinfo.value)
+        assert "PrimaEngine._write_lock" in message
+        assert "WriteAheadLog._lock" in message
+        assert "level 10" in message and "level 52" in message
+        # The failed acquisition left no residue on the held stack.
+        assert held_locks() == []
+
+    def test_equal_level_cross_instance_raises(self):
+        # Two head locks of the same per-instance family must not nest.
+        first = OrderedRLock("AtomType._lock")
+        second = OrderedRLock("AtomType._lock")
+        with first:
+            with pytest.raises(LockOrderViolation):
+                with second:
+                    pass  # pragma: no cover
+
+    def test_rlock_reentry_is_legal(self):
+        lock = OrderedRLock("AtomType._lock")
+        with lock:
+            with lock:
+                assert len(held_locks()) == 2
+        assert held_locks() == []
+
+    def test_plain_lock_reentry_raises(self):
+        lock = OrderedLock("SnapshotHandle._release_guard")
+        with lock:
+            with pytest.raises(LockOrderViolation, match="re-acquired"):
+                lock.acquire()
+
+    def test_release_unwinds_out_of_order_holds(self):
+        low = OrderedRLock("PrimaEngine._write_lock")
+        high = OrderedRLock("WriteAheadLog._lock")
+        low.acquire()
+        high.acquire()
+        low.release()  # released out of acquisition order
+        assert [name for name, _ in held_locks()] == ["WriteAheadLog._lock"]
+        high.release()
+        assert held_locks() == []
+
+    def test_held_stacks_are_per_thread(self):
+        lock = OrderedRLock("VersioningState.lock")
+        seen = []
+        with lock:
+            worker = threading.Thread(target=lambda: seen.append(held_locks()))
+            worker.start()
+            worker.join()
+        assert seen == [[]]
+
+    def test_assertions_are_counted(self):
+        before = assertion_count()
+        lock = OrderedRLock("AtomType._lock")
+        with lock:
+            pass
+        assert assertion_count() == before + 1
+
+
+class TestCheckerReport:
+    def test_report_carries_counts_when_enabled(self, debug_locks):
+        with OrderedRLock("AtomType._lock"):
+            pass
+        report = checker_report()
+        assert report is not None
+        assert report["locks_declared"] == declared_count()
+        assert report["lock_assertions"] > 0
+
+    def test_report_is_none_when_never_engaged(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        monkeypatch.setattr(runtime, "_assertions", 0)
+        assert checker_report() is None
+
+
+class TestEngineUnderChecking:
+    """A real engine workload with every lock instrumented."""
+
+    @pytest.fixture
+    def engine(self, debug_locks):
+        engine = PrimaEngine("lockcheck")
+        engine.create_atom_type(
+            "item", {"name": "string", "grp": "string", "qty": "integer"}
+        )
+        engine.create_atom_type("part", {"name": "string"})
+        engine.create_link_type("composition", "item", "part")
+        yield engine
+        engine.close()
+
+    def test_write_and_query_workload_is_violation_free(self, engine):
+        before = assertion_count()
+        for index in range(8):
+            engine.store_atom(
+                "item",
+                identifier=f"i{index}",
+                name=f"item-{index}",
+                grp="g",
+                qty=index,
+            )
+            engine.store_atom("part", identifier=f"p{index}", name=f"part-{index}")
+            engine.connect("composition", f"i{index}", f"p{index}")
+        result = engine.query("SELECT ALL FROM item - part;")
+        assert len(result) == 8
+        engine.delete_atom("part", "p7")
+        assert assertion_count() > before
+
+    def test_transactions_under_checking(self, engine):
+        interpreter = engine.interpreter()
+        interpreter.execute("BEGIN WORK;")
+        interpreter.execute(
+            "INSERT item VALUES {name: 'in-tx', grp: 'g', qty: 1};"
+        )
+        interpreter.execute("COMMIT WORK;")
+        result = engine.query("SELECT ALL FROM item WHERE item.qty = 1;")
+        assert len(result) == 1
+
+    def test_snapshot_readers_under_checking(self, engine):
+        engine.store_atom(
+            "item", identifier="snap", name="snap", grp="g", qty=9
+        )
+        handle = engine.snapshot_at()
+        try:
+            assert len(handle.query("SELECT ALL FROM item;")) >= 1
+        finally:
+            handle.release()
+
+    def test_maintenance_report_carries_lock_counters(self, engine):
+        engine.store_atom("item", identifier="c1", name="c", grp="g", qty=2)
+        report = engine.maintenance_report()
+        assert report["locks_declared"] == declared_count()
+        assert report["lock_assertions"] > 0
+
+    def test_report_counters_absent_without_checking(self, monkeypatch):
+        monkeypatch.delenv(ENV_FLAG, raising=False)
+        monkeypatch.setattr(runtime, "_assertions", 0)
+        engine = PrimaEngine("plain")
+        try:
+            report = engine.maintenance_report()
+            assert "locks_declared" not in report
+            assert "lock_assertions" not in report
+        finally:
+            engine.close()
